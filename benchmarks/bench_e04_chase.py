@@ -1,0 +1,66 @@
+"""Benchmark E4 — chase cost and null generation for schema mappings.
+
+Regenerates the Section 1 schema-mapping scenario at scale: chase time
+grows linearly with the number of source facts, and the number of marked
+nulls introduced equals the number of existential positions fired
+(one per Order tuple for the paper's mapping; ``length − 1`` per edge for
+the chain mapping).
+"""
+
+import pytest
+
+from repro.exchange import chase, order_preferences_mapping
+from repro.workloads import chain_mapping, order_preferences_source, random_graph_source
+
+SOURCE_SIZES = [10, 50, 200]
+CHAIN_LENGTHS = [2, 4, 8]
+
+
+@pytest.mark.parametrize("size", SOURCE_SIZES)
+def test_chase_order_preferences(benchmark, size):
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=size, seed=1)
+    benchmark.group = f"e04 orders={size}"
+    result = benchmark(chase, mapping, source)
+    assert result.nulls_introduced == size
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_chase_chain_mapping(benchmark, length):
+    mapping = chain_mapping(length)
+    source = random_graph_source(num_nodes=10, num_edges=30, seed=2)
+    benchmark.group = f"e04 chain length={length}"
+    result = benchmark(chase, mapping, source)
+    assert result.nulls_introduced == 30 * (length - 1)
+
+
+@pytest.mark.parametrize("size", SOURCE_SIZES[:2])
+def test_restricted_chase(benchmark, size):
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=size, seed=1)
+    benchmark.group = f"e04 orders={size}"
+    benchmark(chase, mapping, source, False)
+
+
+def test_report_table(benchmark, report):
+    def build_rows():
+        rows = []
+        mapping = order_preferences_mapping()
+        for size in SOURCE_SIZES:
+            source = order_preferences_source(num_orders=size, seed=1)
+            result = chase(mapping, source)
+            rows.append(
+                [size, result.triggers_fired, result.nulls_introduced, result.target.size()]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "E4: chase of Order(i,p) → ∃x Cust(x), Pref(x,p) — linear growth",
+        ["source facts", "triggers fired", "nulls introduced", "target facts"],
+        rows,
+    )
+    for source_facts, triggers, nulls, target_facts in rows:
+        assert triggers == source_facts
+        assert nulls == source_facts
+        assert target_facts == 2 * source_facts

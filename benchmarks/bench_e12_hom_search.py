@@ -1,0 +1,81 @@
+"""Benchmark E12 — homomorphism-based information-ordering checks.
+
+The orderings ⊑_owa / ⊑_cwa are decided by (strong onto) homomorphism
+search.  The series shows how the checks scale with instance size and that
+the strong-onto variant costs more than the plain one (it must also cover
+every target fact).
+"""
+
+import pytest
+
+from repro.core import cwa_leq, owa_leq, wcwa_leq
+from repro.datamodel import Valuation
+from repro.workloads import random_database
+
+SIZES = [4, 8, 16]
+
+
+def _pair(rows, seed=5):
+    source = random_database(
+        num_relations=2, arity=2, rows_per_relation=rows, num_nulls=3, seed=seed
+    )
+    valuation = Valuation(
+        {null: f"v{i}" for i, null in enumerate(sorted(source.nulls(), key=lambda n: n.name))}
+    )
+    return source, valuation.apply(source)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_owa_ordering_check(benchmark, rows):
+    source, target = _pair(rows)
+    benchmark.group = f"e12 rows={rows}"
+    assert benchmark(owa_leq, source, target)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_cwa_ordering_check(benchmark, rows):
+    source, target = _pair(rows)
+    benchmark.group = f"e12 rows={rows}"
+    assert benchmark(cwa_leq, source, target)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_wcwa_ordering_check(benchmark, rows):
+    source, target = _pair(rows)
+    benchmark.group = f"e12 rows={rows}"
+    assert benchmark(wcwa_leq, source, target)
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_negative_owa_check(benchmark, rows):
+    source, _ = _pair(rows)
+    other = random_database(
+        num_relations=2, arity=2, rows_per_relation=rows, num_nulls=0, seed=99
+    )
+    benchmark.group = f"e12 negative rows={rows}"
+    benchmark(owa_leq, source, other)
+
+
+def test_report_table(benchmark, report):
+    def build_rows():
+        rows_out = []
+        for rows in SIZES:
+            source, target = _pair(rows)
+            rows_out.append(
+                [
+                    rows,
+                    source.size(),
+                    owa_leq(source, target),
+                    cwa_leq(source, target),
+                    wcwa_leq(source, target),
+                ]
+            )
+        return rows_out
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "E12: ordering checks D ⊑ v(D) (all must hold)",
+        ["rows/relation", "facts", "⊑_owa", "⊑_cwa", "⊑_wcwa"],
+        rows,
+    )
+    assert all(row[2] and row[3] and row[4] for row in rows)

@@ -1,0 +1,67 @@
+"""Benchmark E21 — certain answers in data exchange via chase + naive evaluation.
+
+Regenerates the "applications" claim of Sections 1/7 as a scaling series:
+answering a UCQ over the exchanged data by (chase, naive evaluation, drop
+nulls) scales linearly with the source, and computing the core of the
+canonical solution is the expensive optional step.
+"""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.exchange import (
+    canonical_solution,
+    certain_answers_exchange,
+    core_solution,
+    order_preferences_mapping,
+)
+from repro.workloads import order_preferences_source
+
+QUERY = parse_ra("project[product](Pref)")
+JOIN_QUERY = parse_ra("project[product](join(Cust, Pref))")
+
+SOURCE_SIZES = [10, 40, 160]
+
+
+@pytest.mark.parametrize("size", SOURCE_SIZES)
+def test_exchange_certain_answers_projection(benchmark, size):
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=size, seed=3)
+    benchmark.group = f"e21 source={size}"
+    benchmark(certain_answers_exchange, mapping, source, QUERY)
+
+
+@pytest.mark.parametrize("size", SOURCE_SIZES)
+def test_exchange_certain_answers_join(benchmark, size):
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=size, seed=3)
+    benchmark.group = f"e21 source={size}"
+    benchmark(certain_answers_exchange, mapping, source, JOIN_QUERY)
+
+
+@pytest.mark.parametrize("size", SOURCE_SIZES[:2])
+def test_core_solution(benchmark, size):
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=size, seed=3)
+    benchmark.group = f"e21 core source={size}"
+    benchmark(core_solution, mapping, source)
+
+
+def test_report_table(benchmark, report):
+    def build_rows():
+        rows = []
+        mapping = order_preferences_mapping()
+        for size in SOURCE_SIZES:
+            source = order_preferences_source(num_orders=size, seed=3)
+            solution = canonical_solution(mapping, source)
+            answers = certain_answers_exchange(mapping, source, QUERY)
+            rows.append([size, solution.size(), len(solution.nulls()), len(answers)])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "E21: exchange certain answers — everything scales linearly with the source",
+        ["source facts", "solution facts", "solution nulls", "|certain answers|"],
+        rows,
+    )
+    assert all(row[1] == 2 * row[0] and row[2] == row[0] for row in rows)

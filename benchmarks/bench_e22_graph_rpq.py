@@ -1,0 +1,86 @@
+"""Benchmark E22 — certain answers for regular path queries over incomplete graphs.
+
+The series mirrors the relational story of E8 in the graph data model
+(Section 7 "beyond relations"): naive RPQ evaluation is flat in the number
+of nulls, while the intersection over valuation images grows exponentially
+with it, even though both return the same certain answers.
+"""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.graphs import IncompleteGraph, certain_answers_rpq, naive_certain_answers_rpq, parse_rpq
+
+QUERY = parse_rpq("a* . b")
+SHORT_QUERY = parse_rpq("a . b | b")
+
+NULL_COUNTS = [1, 2, 3]
+
+
+def _graph(num_nulls):
+    """A ring of 5 constant nodes plus ``num_nulls`` unknown nodes hanging off it."""
+    nodes = [f"v{i}" for i in range(5)]
+    edges = []
+    for i, node in enumerate(nodes):
+        edges.append((node, "a", nodes[(i + 1) % len(nodes)]))
+    edges.append((nodes[0], "b", nodes[2]))
+    for j in range(num_nulls):
+        unknown = Null(f"u{j}")
+        edges.append((nodes[j % len(nodes)], "a", unknown))
+        edges.append((unknown, "b", nodes[(j + 2) % len(nodes)]))
+    return IncompleteGraph(edges=edges)
+
+
+@pytest.mark.parametrize("num_nulls", NULL_COUNTS)
+def test_naive_rpq_evaluation(benchmark, num_nulls):
+    graph = _graph(num_nulls)
+    benchmark.group = f"e22 graph nulls={num_nulls}"
+    benchmark(naive_certain_answers_rpq, QUERY, graph)
+
+
+@pytest.mark.parametrize("num_nulls", NULL_COUNTS)
+def test_enumeration_rpq_evaluation(benchmark, num_nulls):
+    graph = _graph(num_nulls)
+    benchmark.group = f"e22 graph nulls={num_nulls}"
+    benchmark(certain_answers_rpq, QUERY, graph, "cwa")
+
+
+@pytest.mark.parametrize("num_nulls", NULL_COUNTS[:2])
+def test_naive_rpq_short_query(benchmark, num_nulls):
+    graph = _graph(num_nulls)
+    benchmark.group = f"e22 short query nulls={num_nulls}"
+    benchmark(naive_certain_answers_rpq, SHORT_QUERY, graph)
+
+
+@pytest.mark.parametrize("num_nulls", NULL_COUNTS[:2])
+def test_enumeration_rpq_short_query(benchmark, num_nulls):
+    graph = _graph(num_nulls)
+    benchmark.group = f"e22 short query nulls={num_nulls}"
+    benchmark(certain_answers_rpq, SHORT_QUERY, graph, "cwa")
+
+
+def test_report_table(benchmark, report):
+    def build_rows():
+        rows = []
+        for num_nulls in NULL_COUNTS:
+            graph = _graph(num_nulls)
+            naive = naive_certain_answers_rpq(QUERY, graph)
+            exact = certain_answers_rpq(QUERY, graph, semantics="cwa")
+            rows.append(
+                [
+                    num_nulls,
+                    graph.num_edges(),
+                    len(naive),
+                    len(exact),
+                    naive.rows == exact.rows,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report(
+        "E22: graph RPQ certain answers — naive evaluation agrees with enumeration",
+        ["graph nulls", "edges", "|naive answer|", "|exact answer|", "equal?"],
+        rows,
+    )
+    assert all(row[4] for row in rows)

@@ -1,0 +1,45 @@
+"""Shared configuration and reporting helpers for the benchmark suite.
+
+Every benchmark module regenerates one experiment from DESIGN.md §3/§4.
+Absolute timings depend on the machine; what must reproduce is the *shape*
+(who wins, by roughly what factor, where the crossover falls).  To make the
+shape visible without inspecting pytest-benchmark's JSON, each module also
+prints a small table of the series it measured (via the ``report`` fixture).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def format_table(title, headers, rows):
+    """Render a small ASCII table used by the benchmark reports."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Collects (title, headers, rows) tables and prints them at module teardown."""
+    tables = []
+
+    def add(title, headers, rows):
+        tables.append((title, headers, rows))
+
+    yield add
+    for title, headers, rows in tables:
+        print(format_table(title, headers, rows))

@@ -1,0 +1,13 @@
+"""Test-time path configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+pip-installed (e.g. on offline machines without editable-install support),
+so ``pytest tests/`` and ``pytest benchmarks/`` work from a fresh checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

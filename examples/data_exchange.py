@@ -1,0 +1,83 @@
+"""Data exchange with marked nulls: the Order → Cust/Pref mapping at work.
+
+Run with::
+
+    python examples/data_exchange.py
+
+Builds the paper's schema mapping, chases a source database into a
+canonical solution full of marked nulls, and answers queries over the
+target with certain-answer semantics — including one query for which naive
+evaluation would silently produce wrong answers.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database
+from repro.exchange import (
+    canonical_solution,
+    certain_answers_exchange,
+    chase,
+    core_solution,
+    order_preferences_mapping,
+)
+from repro.logic import FOQuery, Not, atom, var
+
+
+def main():
+    mapping = order_preferences_mapping()
+    print("Schema mapping:")
+    print(" ", mapping)
+
+    source = Database(
+        mapping.source_schema,
+        {"Order": [("oid1", "pr1"), ("oid2", "pr2"), ("oid3", "pr1")]},
+    )
+    print("\nSource instance:\n")
+    print(source.to_table())
+
+    result = chase(mapping, source)
+    print(f"\nChase: {result.triggers_fired} triggers fired, "
+          f"{result.nulls_introduced} marked nulls introduced.\n")
+    print(result.target.to_table())
+
+    core = core_solution(mapping, source)
+    print(f"\nCore solution has {core.size()} facts "
+          f"(canonical has {result.target.size()}).")
+
+    # ------------------------------------------------------------------
+    # Certain answers over the exchanged data.
+    # ------------------------------------------------------------------
+    preferred = parse_ra("project[product](Pref)")
+    print("\nCertainly preferred products:",
+          sorted(certain_answers_exchange(mapping, source, preferred).rows))
+
+    who = parse_ra("project[c_id](Cust)")
+    print("Certainly known customer ids :",
+          sorted(certain_answers_exchange(mapping, source, who).rows),
+          " (none — they are all invented nulls)")
+
+    linked = parse_ra("project[product](join(Cust, Pref))")
+    print("Products certainly linked to a customer:",
+          sorted(certain_answers_exchange(mapping, source, linked).rows))
+
+    # ------------------------------------------------------------------
+    # A query with negation: naive evaluation is no longer trustworthy.
+    # ------------------------------------------------------------------
+    p = var("p")
+    not_alices = FOQuery(Not(atom("Pref", "alice", p)), (p,))
+    naive = certain_answers_exchange(mapping, source, not_alices, method="naive")
+    exact = certain_answers_exchange(
+        mapping, source, not_alices, method="enumeration", semantics="owa", max_extra_facts=1
+    )
+    print("\nQuery with negation: products not preferred by 'alice'")
+    print("  naive evaluation claims:", sorted(naive.rows))
+    print("  actually certain       :", sorted(exact.rows))
+    print("  → exchange systems that naively evaluate non-UCQ queries overclaim.")
+
+
+if __name__ == "__main__":
+    main()

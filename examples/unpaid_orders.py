@@ -1,0 +1,81 @@
+"""The paper's Section 1 scenario end to end: chasing unpaid orders.
+
+Run with::
+
+    python examples/unpaid_orders.py
+
+Reproduces the unpaid-orders example: the textbook SQL query silently
+returns nothing, the tautological filter drops the null row, and the
+certain-answer machinery explains what can and cannot be trusted.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.algebra import parse_ra
+from repro.core import certain_answers_intersection, possible_answers, sound_certain_answers
+from repro.datamodel import Database, Null, Relation
+from repro.semantics import certain_boolean
+from repro.sqlnulls import parse_sql, run_sql
+
+
+def build_database():
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Orders", [("oid1", "pr1"), ("oid2", "pr2")], attributes=("o_id", "product")
+            ),
+            Relation.create(
+                "Pay", [("pid1", Null("order_ref"), 100)], attributes=("p_id", "ord", "amount")
+            ),
+        ]
+    )
+
+
+def main():
+    database = build_database()
+    print("The database of the paper's introduction:\n")
+    print(database.to_table())
+
+    # ------------------------------------------------------------------
+    # What the student writes, and what SQL answers.
+    # ------------------------------------------------------------------
+    sql_unpaid = parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+    print("\nSQL: SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+    print("SQL answer:", run_sql(database, sql_unpaid), " ← nobody gets chased for payment!")
+
+    sql_tautology = parse_sql("SELECT p_id FROM Pay WHERE ord = 'oid1' OR ord <> 'oid1'")
+    print("\nSQL: ... WHERE ord = 'oid1' OR ord <> 'oid1'")
+    print("SQL answer:", run_sql(database, sql_tautology), " ← the tautology is 'unknown' on ⊥")
+
+    # ------------------------------------------------------------------
+    # What is actually certain.
+    # ------------------------------------------------------------------
+    unpaid = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
+    print("\nRelational-algebra query:", unpaid)
+
+    some_unpaid = certain_boolean(
+        lambda world: bool(unpaid.evaluate(world)), database, semantics="cwa"
+    )
+    print("Is 'there exists an unpaid order' certain?       ", some_unpaid)
+
+    certain = certain_answers_intersection(unpaid, database, semantics="cwa")
+    print("Which specific orders are certainly unpaid?      ", sorted(certain.rows))
+
+    possible = possible_answers(unpaid, database, semantics="cwa")
+    print("Which orders are possibly unpaid?                ", sorted(possible.rows))
+
+    sound = sound_certain_answers(unpaid, database)
+    print("Sound evaluation (never a false positive) returns", sorted(sound.rows))
+
+    print(
+        "\nSummary: SQL says 'all paid' (wrong); the certain Boolean answer says\n"
+        "'at least one order is unpaid' (right); no individual order can be\n"
+        "pinned down, which the tuple-level certain answers make explicit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments whose setuptools
+lacks PEP 660 support (no ``wheel`` package available offline), via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro: certain answers over incomplete databases.
+
+A from-scratch reproduction of Leonid Libkin's PODS 2014 keynote
+*"Incomplete Data: What Went Wrong, and How to Fix It"*.
+
+The library provides:
+
+* a complete data model for incomplete relational databases — marked
+  (naive) nulls, Codd nulls, naive tables, Codd tables and conditional
+  tables (:mod:`repro.datamodel`);
+* open-world / closed-world / weak-closed-world semantics, possible-world
+  enumeration and brute-force certain answers (:mod:`repro.semantics`);
+* a relational-algebra engine with standard, naive and SQL
+  three-valued-logic evaluation, plus the ``RA_cwa`` fragment with division
+  and the Imieliński–Lipski algebra on conditional tables
+  (:mod:`repro.algebra`);
+* first-order logic: formulas, fragments (CQ, UCQ, Pos, Pos∀G),
+  positive diagrams and the δ-formulas of the paper, and conjunctive-query
+  containment (:mod:`repro.logic`);
+* homomorphism machinery and the information orderings ⊑_owa / ⊑_cwa
+  (:mod:`repro.homomorphisms`, :mod:`repro.core.orderings`);
+* the paper's framework of representation systems, certainty as knowledge
+  (``certainK``) and as object (``certainO``), and the naïve-evaluation
+  theorems (:mod:`repro.core`);
+* an SQL-null (three-valued logic) mini engine that reproduces the "what
+  went wrong" examples (:mod:`repro.sqlnulls`);
+* schema mappings and a naive chase for data-exchange scenarios
+  (:mod:`repro.exchange`);
+* integrity constraints (functional and inclusion dependencies) with
+  naive / certain / possible satisfaction (:mod:`repro.constraints`);
+* the paper's Section 7 application and data-model directions carried out
+  in code: consistent query answering over repairs (:mod:`repro.cqa`),
+  answering queries using views (:mod:`repro.views`), incomplete graph
+  databases with regular path queries and graph patterns
+  (:mod:`repro.graphs`), and incomplete data trees with tree patterns
+  (:mod:`repro.trees`); and
+* synthetic workload generators used by the experiment and benchmark
+  suites (:mod:`repro.workloads`).
+
+Quickstart
+----------
+>>> from repro import Database, Null
+>>> from repro.algebra import parse_ra
+>>> from repro.core import certain_answers_naive
+>>> db = Database.from_dict({
+...     "Order": [("oid1", "pr1"), ("oid2", "pr2")],
+...     "Pay": [("pid1", Null("o"), 100)],
+... })
+>>> query = parse_ra("project[#0](Order)")
+>>> sorted(certain_answers_naive(query, db).rows)
+[('oid1',), ('oid2',)]
+"""
+
+from .datamodel import (
+    ConditionalTable,
+    ConstantPool,
+    Database,
+    DatabaseSchema,
+    Null,
+    Relation,
+    RelationSchema,
+    Valuation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConditionalTable",
+    "ConstantPool",
+    "Database",
+    "DatabaseSchema",
+    "Null",
+    "Relation",
+    "RelationSchema",
+    "Valuation",
+    "__version__",
+]

@@ -1,0 +1,136 @@
+"""Relational algebra over complete and incomplete databases.
+
+Contents:
+
+* :mod:`repro.algebra.ast` — expression trees (σ, π, ×, ⋈, ∪, −, ∩, ÷, ρ,
+  Δ, adom) with standard/naive evaluation;
+* :mod:`repro.algebra.predicates` — selection predicates with two-valued
+  and SQL three-valued evaluation;
+* :mod:`repro.algebra.naive` — naive evaluation and the ``Q(D)_cmpl``
+  certain-answer recipe of the paper's eq. (4);
+* :mod:`repro.algebra.ra_cwa` — the positive, RA(Δ,π,×,∪) and ``RA_cwa``
+  fragments of Section 6.2;
+* :mod:`repro.algebra.ctable_algebra` — the Imieliński–Lipski algebra on
+  conditional tables (strong representation system under CWA);
+* :mod:`repro.algebra.parser` — a small textual syntax for RA expressions.
+"""
+
+from .ast import (
+    ActiveDomain,
+    ConstantRelation,
+    Delta,
+    Difference,
+    Division,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union_,
+    difference,
+    divide,
+    intersection,
+    join,
+    product,
+    project,
+    relation,
+    rename,
+    select,
+    union,
+)
+from .ctable_algebra import CTableDatabase, ctable_evaluate, predicate_condition
+from .naive import (
+    naive_boolean,
+    naive_certain_answers,
+    naive_evaluate,
+    naive_object_answer,
+)
+from .parser import RAParseError, parse_predicate, parse_ra
+from .predicates import (
+    Attr,
+    Comparison,
+    Const,
+    PAnd,
+    PNot,
+    POr,
+    PTrue,
+    Predicate,
+    attr,
+    const,
+    eq,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    neq,
+)
+from .ra_cwa import (
+    Fragment,
+    classify,
+    is_delta_fragment,
+    is_positive,
+    is_ra_cwa,
+    uses_difference,
+    uses_division,
+)
+
+__all__ = [
+    "ActiveDomain",
+    "Attr",
+    "CTableDatabase",
+    "Comparison",
+    "Const",
+    "ConstantRelation",
+    "Delta",
+    "Difference",
+    "Division",
+    "Fragment",
+    "Intersection",
+    "NaturalJoin",
+    "PAnd",
+    "PNot",
+    "POr",
+    "PTrue",
+    "Predicate",
+    "Product",
+    "Projection",
+    "RAExpression",
+    "RAParseError",
+    "RelationRef",
+    "Rename",
+    "Selection",
+    "Union_",
+    "attr",
+    "classify",
+    "const",
+    "ctable_evaluate",
+    "difference",
+    "divide",
+    "eq",
+    "intersection",
+    "is_delta_fragment",
+    "is_positive",
+    "is_ra_cwa",
+    "join",
+    "kleene_and",
+    "kleene_not",
+    "kleene_or",
+    "naive_boolean",
+    "naive_certain_answers",
+    "naive_evaluate",
+    "naive_object_answer",
+    "neq",
+    "parse_predicate",
+    "parse_ra",
+    "predicate_condition",
+    "product",
+    "project",
+    "relation",
+    "rename",
+    "select",
+    "union",
+    "uses_difference",
+    "uses_division",
+]

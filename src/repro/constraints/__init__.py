@@ -1,0 +1,18 @@
+"""Integrity constraints over incomplete databases (Section 7, "Handling constraints").
+
+Functional dependencies are treated as the paper suggests — as queries —
+with three satisfaction notions mirroring the certain/possible split of
+query answering: naive, certain (every world) and possible (some world).
+"""
+
+from .dependencies import ConstraintSet, FunctionalDependency, key
+from .inclusion import InclusionDependency, foreign_key, referential_integrity_report
+
+__all__ = [
+    "ConstraintSet",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "foreign_key",
+    "key",
+    "referential_integrity_report",
+]

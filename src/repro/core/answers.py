@@ -1,0 +1,182 @@
+"""The user-facing certain-answer API.
+
+Three ways of answering a query ``Q`` over an incomplete database ``D``:
+
+* :func:`certain_answers_naive` — the paper's recipe for the well-behaved
+  classes (eq. (4)): naive evaluation followed by dropping tuples with
+  nulls; cheap (same cost as ordinary evaluation).
+* :func:`certain_answers_intersection` — the classical definition (eq. (1))
+  computed literally by possible-world enumeration; exponential in the
+  number of nulls, used as ground truth and as the baseline in benchmarks.
+* :func:`certain_answers` — the "do the right thing" entry point: uses
+  naive evaluation when the query's fragment guarantees it for the chosen
+  semantics, and falls back to enumeration otherwise.
+
+The object/knowledge views of certainty (eqs. (9)/(10)) are exposed as
+:func:`certain_answer_object` (the naive answer itself, nulls included)
+and :func:`certain_answer_knowledge` (its δ-formula).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..algebra.ast import ConstantRelation, RAExpression, Selection
+from ..datamodel import Database, Relation
+from ..datamodel.values import is_null
+from ..logic.diagrams import delta as delta_formula
+from ..logic.formulas import FOQuery, Formula
+from ..semantics.certain import (
+    certain_answers_enumeration,
+    possible_answers_enumeration,
+)
+from ..semantics.worlds import default_domain
+from .naive_evaluation import Applicability, evaluate_query, naive_evaluation_applies
+
+Query = Union[RAExpression, FOQuery]
+
+
+def query_constants(query: Query) -> set:
+    """The constants mentioned by a query (selection predicates, literals, atoms).
+
+    Possible-world enumeration must let nulls range over these constants too
+    — a certain answer can be destroyed by a world in which a null takes a
+    value that only the query mentions (e.g. ``¬Pref('alice', p)`` when the
+    database never mentions ``'alice'``).
+    """
+    constants: set = set()
+    if isinstance(query, RAExpression):
+        for node in query.walk():
+            if isinstance(node, Selection):
+                constants |= node.predicate.constants()
+            elif isinstance(node, ConstantRelation):
+                constants |= node.relation.constants()
+    elif isinstance(query, FOQuery):
+        constants |= {c for c in query.formula.constants() if not is_null(c)}
+    else:
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+    return {c for c in constants if not is_null(c)}
+
+
+def _enumeration_domain(
+    query: Query,
+    database: Database,
+    domain: Optional[Sequence[Any]],
+    extra_constants: Optional[int],
+) -> Sequence[Any]:
+    if domain is not None:
+        return domain
+    return default_domain(
+        database, extra_constants=extra_constants, constants=query_constants(query)
+    )
+
+
+def certain_answers_naive(query: Query, database: Database) -> Relation:
+    """``Q(D)_cmpl``: naive evaluation, then drop tuples containing nulls.
+
+    Correct (equal to the classical certain answers) for UCQs under OWA and
+    CWA, and sound for the larger ``RA_cwa``/Pos∀G class under CWA.
+    """
+    return evaluate_query(query, database).complete_part()
+
+
+def certain_answer_object(query: Query, database: Database) -> Relation:
+    """``certainO(Q, D) = Q(D)``: the naive answer viewed as an object (eq. (9)).
+
+    Unlike :func:`certain_answers_naive` the result may contain nulls —
+    dropping them loses information (the paper's Section 6 example)."""
+    return evaluate_query(query, database)
+
+
+def certain_answer_knowledge(query: Query, database: Database, semantics: str = "cwa") -> Formula:
+    """``certainK(Q, D) = δ_{Q(D)}``: the knowledge-level certain answer (eq. (10))."""
+    answer = evaluate_query(query, database)
+    return delta_formula(Database.from_relations([answer.rename("Answer")]), semantics=semantics)
+
+
+def certain_answers_intersection(
+    query: Query,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """The classical intersection-based certain answers, by world enumeration."""
+    return certain_answers_enumeration(
+        lambda world: evaluate_query(query, world),
+        database,
+        semantics=semantics,
+        domain=_enumeration_domain(query, database, domain, extra_constants),
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    )
+
+
+def possible_answers(
+    query: Query,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Tuples appearing in the answer over at least one enumerated world."""
+    return possible_answers_enumeration(
+        lambda world: evaluate_query(query, world),
+        database,
+        semantics=semantics,
+        domain=_enumeration_domain(query, database, domain, extra_constants),
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    )
+
+
+def certain_answers(
+    query: Query,
+    database: Database,
+    semantics: str = "cwa",
+    method: str = "auto",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Certain answers with automatic method selection.
+
+    Parameters
+    ----------
+    method:
+        ``'auto'`` (naive when the fragment guarantees it, enumeration
+        otherwise), ``'naive'`` (force naive evaluation) or
+        ``'enumeration'`` (force possible-world enumeration).
+    """
+    if method == "naive":
+        return certain_answers_naive(query, database)
+    if method == "enumeration":
+        return certain_answers_intersection(
+            query,
+            database,
+            semantics=semantics,
+            domain=domain,
+            extra_constants=extra_constants,
+            max_extra_facts=max_extra_facts,
+        )
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}; expected 'auto', 'naive' or 'enumeration'")
+
+    verdict = naive_evaluation_applies(query, semantics=semantics)
+    if verdict.applies:
+        return certain_answers_naive(query, database)
+    return certain_answers_intersection(
+        query,
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    )
+
+
+def explain_method(query: Query, semantics: str = "cwa") -> Applicability:
+    """The applicability verdict :func:`certain_answers` would act on."""
+    return naive_evaluation_applies(query, semantics=semantics)

@@ -1,0 +1,46 @@
+"""Consistent query answering: repairs and certain answers over them.
+
+The paper's Section 7 ("Applications") lists consistency management /
+consistent query answering (reference [15], Bertossi's monograph) among the
+areas whose "standard semantics of query answering is based on certain
+answers".  This package implements that application on top of the library's
+core machinery:
+
+* :mod:`repro.cqa.repairs` — conflict detection with respect to functional
+  dependencies and subset repairs (maximal consistent sub-instances);
+* :mod:`repro.cqa.answering` — consistent answers as the intersection of
+  the query answers over all repairs, i.e. certain answers where the
+  semantics ``[[D]]`` of an inconsistent database is its set of repairs.
+
+The framing follows the paper exactly: an inconsistent database is just
+another kind of incomplete object, its repairs are its possible worlds, and
+consistent answers are the corresponding notion of certainty.
+"""
+
+from .answering import (
+    consistent_answers,
+    consistent_boolean,
+    possible_answers_over_repairs,
+    repair_semantics,
+)
+from .repairs import (
+    Conflict,
+    conflict_graph,
+    conflicting_facts,
+    count_repairs,
+    is_consistent,
+    repairs,
+)
+
+__all__ = [
+    "Conflict",
+    "conflict_graph",
+    "conflicting_facts",
+    "consistent_answers",
+    "consistent_boolean",
+    "count_repairs",
+    "is_consistent",
+    "possible_answers_over_repairs",
+    "repair_semantics",
+    "repairs",
+]

@@ -1,0 +1,90 @@
+"""Consistent query answering: certain answers over the set of repairs.
+
+Consistent answers (Arenas–Bertossi–Chomicki; the paper's reference [15])
+are defined exactly like the paper's certain answers, with the semantics
+function ``[[D]]`` instantiated to the set of subset repairs of ``D``::
+
+    consistent(Q, D, Σ) = ⋂ { Q(R) | R a repair of D w.r.t. Σ }
+
+This module computes them by explicit repair enumeration.  The point of
+the experiment built on top (E23) is the same complexity story the paper
+tells for nulls: the number of repairs is exponential in the number of
+conflicts, so the intersection-based definition is expensive, while
+queries that avoid the inconsistent portion of the data are answered
+consistently by plain evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Set, Tuple
+
+from ..datamodel import Database, Relation
+from ..datamodel.relations import Row
+from ..semantics.certain import Evaluator
+from .repairs import repairs
+
+BooleanQuery = Callable[[Database], bool]
+
+
+def repair_semantics(database: Database, constraints, violation: str = "naive") -> List[Database]:
+    """The semantics ``[[D]]`` of an inconsistent database: its subset repairs.
+
+    This is the bridge to the paper's framework — plugging this function in
+    as the semantics of incompleteness makes consistent answers a special
+    case of the paper's certain answers.
+    """
+    return repairs(database, constraints, violation)
+
+
+def consistent_answers(
+    evaluate: Evaluator,
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> Relation:
+    """Tuples in the answer over *every* repair of ``database``."""
+    certain: Optional[Set[Row]] = None
+    answer_schema = None
+    for repair in repair_semantics(database, constraints, violation):
+        answer = evaluate(repair)
+        if answer_schema is None:
+            answer_schema = answer.schema
+        certain = set(answer.rows) if certain is None else certain & answer.rows
+        if not certain:
+            break
+    if answer_schema is None or certain is None:
+        answer = evaluate(database)
+        return Relation(answer.schema, ())
+    return Relation(answer_schema, certain)
+
+
+def consistent_boolean(
+    evaluate: BooleanQuery,
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> bool:
+    """Consistent answer of a Boolean query: true iff true in every repair."""
+    return all(
+        evaluate(repair) for repair in repair_semantics(database, constraints, violation)
+    )
+
+
+def possible_answers_over_repairs(
+    evaluate: Evaluator,
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> Relation:
+    """Tuples in the answer over *some* repair (the possibility counterpart)."""
+    possible: Set[Row] = set()
+    answer_schema = None
+    for repair in repair_semantics(database, constraints, violation):
+        answer = evaluate(repair)
+        if answer_schema is None:
+            answer_schema = answer.schema
+        possible |= answer.rows
+    if answer_schema is None:
+        answer = evaluate(database)
+        return Relation(answer.schema, ())
+    return Relation(answer_schema, possible)

@@ -1,0 +1,187 @@
+"""Conflicts and subset repairs of an inconsistent database.
+
+Given a database ``D`` and a set of functional dependencies Σ, a *subset
+repair* is a maximal sub-instance of ``D`` that satisfies Σ (Arenas,
+Bertossi and Chomicki's classical notion, surveyed in the paper's reference
+[15]).  Because an FD violation always involves exactly two tuples, the
+conflicts form a graph over the facts of ``D`` and the repairs are exactly
+the maximal independent sets of that graph — which is how this module
+computes them.
+
+Databases may contain marked nulls.  By default conflicts are detected
+*naively* (nulls equal only to themselves, the usual implementation
+shortcut the paper criticises); ``violation="certain"`` instead flags a
+pair only when it violates the dependency in **every** possible world, the
+conservative choice that never repairs away tuples that might be fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from ..constraints.dependencies import ConstraintSet, FunctionalDependency
+from ..datamodel import Database, Relation
+from ..datamodel.database import Fact
+from ..datamodel.values import is_null
+
+#: The two ways of deciding whether a pair of tuples violates an FD.
+VIOLATION_MODES = ("naive", "certain")
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A pair of facts that jointly violate a functional dependency."""
+
+    dependency: FunctionalDependency
+    first: Fact
+    second: Fact
+
+    def facts(self) -> Tuple[Fact, Fact]:
+        """The two conflicting facts."""
+        return (self.first, self.second)
+
+    def __str__(self) -> str:
+        return f"{self.first} ⚡ {self.second} [{self.dependency}]"
+
+
+def _as_constraint_list(constraints) -> List[FunctionalDependency]:
+    if isinstance(constraints, ConstraintSet):
+        return list(constraints)
+    if isinstance(constraints, FunctionalDependency):
+        return [constraints]
+    return list(constraints)
+
+
+def _pair_violates(
+    dependency: FunctionalDependency,
+    relation: Relation,
+    first: Tuple,
+    second: Tuple,
+    violation: str,
+) -> bool:
+    lhs_positions = [relation.schema.index_of(a) for a in dependency.lhs]
+    rhs_positions = [relation.schema.index_of(a) for a in dependency.rhs]
+    if violation == "naive":
+        agree_lhs = all(first[i] == second[i] for i in lhs_positions)
+        agree_rhs = all(first[i] == second[i] for i in rhs_positions)
+        return agree_lhs and not agree_rhs
+    # "certain": the pair violates under every valuation — the left-hand
+    # sides must be equal in every world (syntactic equality, since two
+    # different nulls or a null and a constant can always be pulled apart)
+    # and some right-hand side position must hold two distinct constants
+    # (which no valuation can reconcile).
+    if not all(first[i] == second[i] for i in lhs_positions):
+        return False
+    for i in rhs_positions:
+        left, right = first[i], second[i]
+        if left != right and not is_null(left) and not is_null(right):
+            return True
+    return False
+
+
+def conflicting_facts(
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> List[Conflict]:
+    """All conflicts (pairs of facts violating some FD) in ``database``."""
+    if violation not in VIOLATION_MODES:
+        raise ValueError(f"violation must be one of {VIOLATION_MODES}, got {violation!r}")
+    conflicts: List[Conflict] = []
+    for dependency in _as_constraint_list(constraints):
+        relation = database.relation(dependency.relation)
+        for first, second in combinations(relation.sorted_rows(), 2):
+            if _pair_violates(dependency, relation, first, second, violation):
+                conflicts.append(
+                    Conflict(dependency, (dependency.relation, first), (dependency.relation, second))
+                )
+    return conflicts
+
+
+def conflict_graph(
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> Dict[Fact, Set[Fact]]:
+    """The conflict graph: each fact mapped to the facts it conflicts with."""
+    graph: Dict[Fact, Set[Fact]] = {}
+    for conflict in conflicting_facts(database, constraints, violation):
+        first, second = conflict.facts()
+        graph.setdefault(first, set()).add(second)
+        graph.setdefault(second, set()).add(first)
+    return graph
+
+
+def is_consistent(database: Database, constraints, violation: str = "naive") -> bool:
+    """``True`` iff the database has no conflicts with respect to the FDs."""
+    return not conflicting_facts(database, constraints, violation)
+
+
+def _maximal_independent_sets(
+    vertices: Sequence[Fact],
+    adjacency: Dict[Fact, Set[Fact]],
+) -> Iterator[FrozenSet[Fact]]:
+    """Enumerate the maximal independent sets of the conflict graph.
+
+    A straightforward branch on the first undecided vertex: either keep it
+    (and discard its neighbours) or drop it — but dropping is only fruitful
+    when some neighbour is eventually kept, which the maximality check at
+    the leaves enforces.  Instances in this library are small (repairs blow
+    up combinatorially anyway, which benchmark E23 demonstrates), so this
+    simple exact enumeration is adequate.
+    """
+    vertices = sorted(vertices, key=str)
+
+    def extend(candidates: List[Fact], chosen: Set[Fact], excluded: Set[Fact]) -> Iterator[FrozenSet[Fact]]:
+        if not candidates:
+            # maximal iff every excluded vertex conflicts with a chosen one
+            if all(adjacency[v] & chosen for v in excluded):
+                yield frozenset(chosen)
+            return
+        vertex = candidates[0]
+        rest = candidates[1:]
+        # Branch 1: keep the vertex, drop its neighbours.
+        neighbours = adjacency[vertex]
+        yield from extend(
+            [v for v in rest if v not in neighbours],
+            chosen | {vertex},
+            excluded | {v for v in rest if v in neighbours},
+        )
+        # Branch 2: exclude the vertex.
+        yield from extend(rest, set(chosen), excluded | {vertex})
+
+    seen: Set[FrozenSet[Fact]] = set()
+    for result in extend(list(vertices), set(), set()):
+        if result not in seen:
+            seen.add(result)
+            yield result
+
+
+def repairs(
+    database: Database,
+    constraints,
+    violation: str = "naive",
+) -> List[Database]:
+    """All subset repairs of ``database`` with respect to the FDs.
+
+    Facts involved in no conflict belong to every repair; the conflicting
+    facts are resolved by enumerating the maximal independent sets of the
+    conflict graph.  A consistent database has exactly one repair: itself.
+    """
+    adjacency = conflict_graph(database, constraints, violation)
+    if not adjacency:
+        return [database]
+    conflicted = sorted(adjacency, key=str)
+    safe_facts = [fact for fact in database.facts() if fact not in adjacency]
+    result: List[Database] = []
+    for independent in _maximal_independent_sets(conflicted, adjacency):
+        kept = safe_facts + sorted(independent, key=str)
+        result.append(Database.from_facts(database.schema, kept))
+    return result
+
+
+def count_repairs(database: Database, constraints, violation: str = "naive") -> int:
+    """The number of subset repairs (exponential in the worst case)."""
+    return len(repairs(database, constraints, violation))

@@ -1,0 +1,169 @@
+"""Relational schemas.
+
+A relational schema (paper, Section 2) is a set of relation names with
+associated arities.  This module additionally supports named attributes,
+which the relational-algebra layer uses for selections, projections and
+the division operator, and which the SQL layer uses to resolve column
+references.  Attribute names are optional: a schema declared only with an
+arity gets positional attribute names ``#0, #1, ...``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+def _positional_names(arity: int) -> Tuple[str, ...]:
+    return tuple(f"#{i}" for i in range(arity))
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a single relation: a name plus an ordered attribute list.
+
+    Examples
+    --------
+    >>> RelationSchema("Order", ("o_id", "product")).arity
+    2
+    >>> RelationSchema.with_arity("R", 3).attributes
+    ('#0', '#1', '#2')
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        attrs = tuple(self.attributes)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attribute names in {self.name}: {attrs}")
+        object.__setattr__(self, "attributes", attrs)
+
+    @classmethod
+    def with_arity(cls, name: str, arity: int) -> "RelationSchema":
+        """Build a schema with positional attribute names ``#0 .. #arity-1``."""
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        return cls(name, _positional_names(arity))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: Union[str, int]) -> int:
+        """Resolve an attribute name or position to a position."""
+        if isinstance(attribute, int):
+            if not 0 <= attribute < self.arity:
+                raise KeyError(
+                    f"position {attribute} out of range for {self.name}/{self.arity}"
+                )
+            return attribute
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(f"unknown attribute {attribute!r} of relation {self.name}") from None
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """Return a copy of the schema under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def project(self, attributes: Sequence[Union[str, int]], name: Optional[str] = None) -> "RelationSchema":
+        """Schema of the projection onto ``attributes`` (in the given order)."""
+        positions = [self.index_of(a) for a in attributes]
+        attrs = tuple(self.attributes[p] for p in positions)
+        return RelationSchema(name or self.name, attrs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema:
+    """A collection of relation schemas indexed by relation name.
+
+    Examples
+    --------
+    >>> schema = DatabaseSchema([
+    ...     RelationSchema("Order", ("o_id", "product")),
+    ...     RelationSchema("Pay", ("p_id", "order", "amount")),
+    ... ])
+    >>> schema["Order"].arity
+    2
+    >>> sorted(schema.names())
+    ['Order', 'Pay']
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "DatabaseSchema":
+        """Build a schema from a ``{relation name: arity}`` mapping."""
+        return cls(RelationSchema.with_arity(name, arity) for name, arity in arities.items())
+
+    @classmethod
+    def from_attributes(cls, attributes: Mapping[str, Sequence[str]]) -> "DatabaseSchema":
+        """Build a schema from a ``{relation name: attribute list}`` mapping."""
+        return cls(RelationSchema(name, tuple(attrs)) for name, attrs in attributes.items())
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation schema; re-adding an identical schema is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise ValueError(
+                f"relation {relation.name!r} already declared with a different schema"
+            )
+        self._relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseSchema):
+            return self._relations == other._relations
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def names(self) -> List[str]:
+        """Relation names in insertion order."""
+        return list(self._relations)
+
+    def arity(self, name: str) -> int:
+        """Arity of relation ``name``."""
+        return self[name].arity
+
+    def restrict(self, names: Iterable[str]) -> "DatabaseSchema":
+        """The sub-schema consisting of the given relation names."""
+        return DatabaseSchema(self[name] for name in names)
+
+    def merge(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of two schemas; identical duplicate declarations are allowed."""
+        merged = DatabaseSchema(self)
+        for rel in other:
+            merged.add(rel)
+        return merged
+
+    def __repr__(self) -> str:
+        rels = ", ".join(str(rel) for rel in self)
+        return f"DatabaseSchema({rels})"

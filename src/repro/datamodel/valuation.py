@@ -1,0 +1,197 @@
+"""Valuations of nulls.
+
+A *valuation* (paper, Section 2) is a mapping ``v : Null(D) → Const``
+assigning a constant to every null.  It extends to tuples, relations and
+databases by replacing every null with its image.  Valuations are the
+building block of both the open-world and the closed-world semantics:
+
+* ``[[D]]_cwa = { v(D)      | v a valuation }``
+* ``[[D]]_owa = { D' ⊇ v(D) | v a valuation }``
+
+This module also provides *partial* application (useful for the chase and
+for conditional-table conditions) and enumeration of all valuations over a
+finite constant domain, which the possible-world machinery in
+:mod:`repro.semantics.worlds` relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+
+from .database import Database
+from .relations import Relation
+from .values import Null, is_null
+
+
+class Valuation:
+    """An assignment of constants to (some) nulls.
+
+    A valuation is *total* for a database when it covers every null of the
+    database; applying a non-total valuation replaces only the covered
+    nulls (which is what the chase and c-table machinery need).
+
+    Examples
+    --------
+    >>> from repro.datamodel import Null
+    >>> v = Valuation({Null("x"): 1, Null("y"): 2})
+    >>> v(Null("x"))
+    1
+    >>> v.apply_row((Null("x"), 7, Null("y")))
+    (1, 7, 2)
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Null, Any]] = None) -> None:
+        self._mapping: Dict[Null, Any] = {}
+        for null, value in (mapping or {}).items():
+            if not isinstance(null, Null):
+                raise TypeError(f"valuations map nulls to constants, got key {null!r}")
+            if is_null(value) or value is None:
+                raise TypeError(
+                    f"valuations must assign constants, got {value!r} for {null}"
+                )
+            self._mapping[null] = value
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __call__(self, value: Any) -> Any:
+        """Image of a single value: nulls are mapped, constants untouched."""
+        if isinstance(value, Null):
+            return self._mapping.get(value, value)
+        return value
+
+    def __getitem__(self, null: Null) -> Any:
+        return self._mapping[null]
+
+    def get(self, null: Null, default: Any = None) -> Any:
+        """The image of ``null`` or ``default`` when it is not covered."""
+        return self._mapping.get(null, default)
+
+    def __contains__(self, null: object) -> bool:
+        return null in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Null]:
+        return iter(self._mapping)
+
+    def items(self) -> Iterable[Tuple[Null, Any]]:
+        """Iterate over ``(null, constant)`` pairs."""
+        return self._mapping.items()
+
+    def domain(self) -> Set[Null]:
+        """The set of nulls covered by the valuation."""
+        return set(self._mapping)
+
+    def image(self) -> Set[Any]:
+        """The set of constants used by the valuation."""
+        return set(self._mapping.values())
+
+    def as_dict(self) -> Dict[Null, Any]:
+        """A copy of the underlying mapping."""
+        return dict(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Valuation):
+            return self._mapping == other._mapping
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}→{v!r}" for k, v in sorted(self._mapping.items(), key=lambda kv: kv[0].name))
+        return f"Valuation({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Apply the valuation to a tuple."""
+        return tuple(self(v) for v in row)
+
+    def apply_relation(self, relation: Relation) -> Relation:
+        """Apply the valuation to every tuple of a relation."""
+        return relation.map_values(self)
+
+    def apply(self, database: Database) -> Database:
+        """Apply the valuation to every relation of a database: ``v(D)``."""
+        return database.map_values(self)
+
+    def is_total_for(self, database: Database) -> bool:
+        """``True`` iff every null of ``database`` is covered."""
+        return database.nulls() <= self.domain()
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def extend(self, mapping: Mapping[Null, Any]) -> "Valuation":
+        """A valuation additionally covering ``mapping``.
+
+        Conflicting reassignments of an already-covered null are rejected;
+        this keeps composition of chase steps sound.
+        """
+        merged = dict(self._mapping)
+        for null, value in mapping.items():
+            if null in merged and merged[null] != value:
+                raise ValueError(
+                    f"conflicting assignment for {null}: {merged[null]!r} vs {value!r}"
+                )
+            merged[null] = value
+        return Valuation(merged)
+
+    def restrict(self, nulls: Iterable[Null]) -> "Valuation":
+        """The valuation restricted to the given nulls."""
+        wanted = set(nulls)
+        return Valuation({n: c for n, c in self._mapping.items() if n in wanted})
+
+    @classmethod
+    def identity(cls) -> "Valuation":
+        """The empty valuation (leaves every value unchanged)."""
+        return cls({})
+
+
+def fresh_valuation(database: Database, avoid: Iterable[Any] = (), prefix: str = "f") -> Valuation:
+    """A valuation sending every null of ``database`` to a distinct fresh constant.
+
+    This realises the paper's observation that for every finite ``C ⊂ Const``
+    there is a valuation ``v`` with ``v(D) ≈_C D``: replace nulls with
+    distinct constants outside ``C`` (here, outside ``avoid`` and the
+    constants already present in ``database``).
+    """
+    from .values import ConstantPool
+
+    pool = ConstantPool(forbidden=set(avoid) | database.constants(), prefix=prefix)
+    nulls = sorted(database.nulls(), key=lambda n: n.name)
+    return Valuation({null: pool.fresh() for null in nulls})
+
+
+def enumerate_valuations(nulls: Iterable[Null], domain: Iterable[Any]) -> Iterator[Valuation]:
+    """Enumerate every valuation of ``nulls`` into the finite ``domain``.
+
+    The number of valuations is ``|domain| ** |nulls|``; callers are
+    responsible for keeping both small.  The enumeration order is
+    deterministic (nulls sorted by name, domain in the given order).
+    """
+    nulls = sorted(set(nulls), key=lambda n: n.name)
+    domain = list(domain)
+    if not nulls:
+        yield Valuation({})
+        return
+    if not domain:
+        return
+    for combo in itertools.product(domain, repeat=len(nulls)):
+        yield Valuation(dict(zip(nulls, combo)))
+
+
+def count_valuations(nulls: Iterable[Null], domain: Iterable[Any]) -> int:
+    """The number of valuations :func:`enumerate_valuations` would yield."""
+    num_nulls = len(set(nulls))
+    domain_size = len(list(domain))
+    if num_nulls == 0:
+        return 1
+    return domain_size ** num_nulls

@@ -1,0 +1,198 @@
+"""Values appearing in incomplete databases: constants and marked nulls.
+
+The paper (Section 2) assumes two countably infinite, disjoint sets of
+values:
+
+* ``Const`` -- ordinary constants such as numbers and strings; and
+* ``Null``  -- *marked* (a.k.a. naive) nulls, written ``⊥``, ``⊥'``,
+  ``⊥_1``, ... .  A marked null may occur several times in a database, and
+  every occurrence must be replaced by the *same* constant by a valuation.
+  SQL's nulls (Codd nulls) are the special case in which every null occurs
+  at most once.
+
+In this library a *constant* is any hashable Python object that is not an
+instance of :class:`Null` (strings, integers, floats, tuples of constants,
+...).  Nulls are explicit :class:`Null` objects.  Two nulls are equal iff
+they carry the same name, so the same marked null can be mentioned in
+several tuples and relations and still denote a single unknown value.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterable, Iterator, Optional
+
+
+class Null:
+    """A marked (naive) null value ``⊥_name``.
+
+    Parameters
+    ----------
+    name:
+        The identifier of the null.  Two :class:`Null` objects with the same
+        name are the same null (they compare and hash equal).  If no name is
+        given a globally fresh one is generated.
+
+    Examples
+    --------
+    >>> x = Null("x")
+    >>> y = Null("x")
+    >>> x == y
+    True
+    >>> x == Null("y")
+    False
+    >>> x.is_null
+    True
+    """
+
+    __slots__ = ("_name",)
+
+    _counter = itertools.count(1)
+    _counter_lock = threading.Lock()
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is None:
+            name = f"n{self._fresh_index()}"
+        if not isinstance(name, str) or not name:
+            raise TypeError("a null's name must be a non-empty string")
+        self._name = name
+
+    @classmethod
+    def _fresh_index(cls) -> int:
+        with cls._counter_lock:
+            return next(cls._counter)
+
+    @classmethod
+    def fresh(cls, prefix: str = "n") -> "Null":
+        """Return a null whose name has never been handed out before."""
+        return cls(f"{prefix}{cls._fresh_index()}")
+
+    @property
+    def name(self) -> str:
+        """The identifier of this null."""
+        return self._name
+
+    @property
+    def is_null(self) -> bool:
+        """Always ``True``; provided for symmetric use with constants."""
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Null):
+            return self._name == other._name
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Null):
+            return self._name != other._name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("repro.Null", self._name))
+
+    def __repr__(self) -> str:
+        return f"Null({self._name!r})"
+
+    def __str__(self) -> str:
+        return f"⊥{self._name}"
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` iff ``value`` is a marked null."""
+    return isinstance(value, Null)
+
+
+def is_constant(value: Any) -> bool:
+    """Return ``True`` iff ``value`` is a constant (i.e. not a null).
+
+    ``None`` is rejected outright: the library never uses ``None`` as a
+    data value, precisely to avoid confusing Python's null-ish object with
+    database nulls.
+    """
+    if value is None:
+        return False
+    return not isinstance(value, Null)
+
+
+def check_value(value: Any) -> Any:
+    """Validate that ``value`` may be stored in a relation.
+
+    A storable value is either a :class:`Null` or a hashable constant
+    different from ``None``.  Returns the value unchanged so the function
+    can be used in comprehensions.
+    """
+    if value is None:
+        raise TypeError(
+            "None cannot be stored in a relation; use repro.Null() for "
+            "missing values"
+        )
+    if isinstance(value, Null):
+        return value
+    try:
+        hash(value)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise TypeError(f"constants must be hashable, got {value!r}") from exc
+    return value
+
+
+def nulls_in(values: Iterable[Any]) -> Iterator[Null]:
+    """Yield the nulls occurring in ``values`` (with duplicates)."""
+    for value in values:
+        if isinstance(value, Null):
+            yield value
+
+
+def constants_in(values: Iterable[Any]) -> Iterator[Any]:
+    """Yield the constants occurring in ``values`` (with duplicates)."""
+    for value in values:
+        if not isinstance(value, Null):
+            yield value
+
+
+class ConstantPool:
+    """A deterministic source of fresh constants.
+
+    The paper works with the countably infinite set ``Const``.  Several
+    constructions ("replace nulls with distinct constants outside a finite
+    set ``C``", possible-world enumeration, genericity arguments) need a
+    supply of constants that do not occur in a given database.  A
+    :class:`ConstantPool` provides such a supply deterministically so tests
+    and benchmarks are reproducible.
+
+    Parameters
+    ----------
+    forbidden:
+        Constants that must never be produced (typically the active domain
+        of the databases under consideration).
+    prefix:
+        Prefix of generated string constants.
+    """
+
+    def __init__(self, forbidden: Iterable[Any] = (), prefix: str = "c") -> None:
+        self._forbidden = {v for v in forbidden if not isinstance(v, Null)}
+        self._prefix = prefix
+        self._next = 0
+
+    def forbid(self, values: Iterable[Any]) -> None:
+        """Add more constants that the pool must avoid."""
+        self._forbidden.update(v for v in values if not isinstance(v, Null))
+
+    def fresh(self) -> str:
+        """Return a constant not in the forbidden set and never returned before."""
+        while True:
+            candidate = f"{self._prefix}{self._next}"
+            self._next += 1
+            if candidate not in self._forbidden:
+                self._forbidden.add(candidate)
+                return candidate
+
+    def take(self, count: int) -> list:
+        """Return ``count`` distinct fresh constants."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.fresh() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.fresh()

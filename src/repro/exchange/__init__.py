@@ -1,0 +1,24 @@
+"""Data exchange: schema mappings, the chase, and certain answers over targets.
+
+This package provides the substrate behind the paper's motivating example
+for marked nulls (Section 1): source-to-target tgds, the naive/oblivious
+and restricted chase producing canonical solutions with marked nulls, and
+certain-answer query answering over the exchanged data.
+"""
+
+from .answering import certain_answers_exchange, naive_exchange_answer_is_guaranteed
+from .chase import ChaseResult, canonical_solution, chase, core_solution
+from .mappings import MappingAtom, SchemaMapping, TGD, order_preferences_mapping
+
+__all__ = [
+    "ChaseResult",
+    "MappingAtom",
+    "SchemaMapping",
+    "TGD",
+    "canonical_solution",
+    "certain_answers_exchange",
+    "chase",
+    "core_solution",
+    "naive_exchange_answer_is_guaranteed",
+    "order_preferences_mapping",
+]

@@ -1,0 +1,65 @@
+"""Certain answers in data exchange.
+
+In data exchange the certain answers of a query ``Q`` over the target
+schema, for a source instance ``S`` and mapping ``M``, are defined as the
+intersection of ``Q(T)`` over all *solutions* ``T`` (target instances that
+together with ``S`` satisfy ``M``).  The classical result (Fagin et al.,
+cited as [29] in the paper) is that for unions of conjunctive queries this
+equals naive evaluation of ``Q`` over the canonical solution followed by
+dropping tuples with nulls — the same eq. (4) recipe the paper builds on.
+For queries with negation, naive evaluation over the canonical solution is
+*not* correct, which experiment E21 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from ..algebra.ast import RAExpression
+from ..core.answers import (
+    certain_answers_intersection as _certain_enumeration,
+    certain_answers_naive as _certain_naive,
+)
+from ..core.naive_evaluation import naive_evaluation_applies
+from ..datamodel import Database, Relation
+from ..logic.formulas import FOQuery
+from .chase import canonical_solution
+from .mappings import SchemaMapping
+
+Query = Union[RAExpression, FOQuery]
+
+
+def certain_answers_exchange(
+    mapping: SchemaMapping,
+    source: Database,
+    query: Query,
+    method: str = "naive",
+    semantics: str = "owa",
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Certain answers of a target query in a data-exchange setting.
+
+    Parameters
+    ----------
+    method:
+        ``'naive'`` — chase, evaluate naively, drop null tuples (correct for
+        UCQs, the standard practice in exchange systems);
+        ``'enumeration'`` — chase, then enumerate worlds of the canonical
+        solution under ``semantics`` and intersect (ground truth for small
+        instances — solutions are open-world objects, hence the default
+        ``'owa'``).
+    """
+    solution = canonical_solution(mapping, source)
+    if method == "naive":
+        return _certain_naive(query, solution)
+    if method == "enumeration":
+        return _certain_enumeration(
+            query, solution, semantics=semantics, max_extra_facts=max_extra_facts
+        )
+    raise ValueError(f"unknown method {method!r}; expected 'naive' or 'enumeration'")
+
+
+def naive_exchange_answer_is_guaranteed(query: Query) -> bool:
+    """Is the naive recipe guaranteed correct for this query (i.e. is it a UCQ)?"""
+    verdict = naive_evaluation_applies(query, semantics="owa")
+    return verdict.applies

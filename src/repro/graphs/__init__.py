@@ -1,0 +1,72 @@
+"""Incomplete graph databases and certain answers for graph queries.
+
+Section 7 of the paper ("Beyond relations: XML and graphs") points out that
+for graph data "we know even less" about handling incompleteness, citing
+regular-path-query work [14] and RDF incompleteness [56] as the starting
+points.  This package carries the paper's programme over to edge-labelled
+graphs:
+
+* :mod:`repro.graphs.model` — incomplete graphs whose node identities and
+  edge labels may be marked nulls, with a faithful relational encoding so
+  the homomorphism / ordering / possible-world machinery of the relational
+  core can be reused;
+* :mod:`repro.graphs.rpq` — regular path queries (RPQs) with an NFA-based
+  evaluator, naive evaluation over nulls, and certain answers (both the
+  naive-evaluation shortcut justified by monotonicity + genericity, and the
+  brute-force possible-world ground truth);
+* :mod:`repro.graphs.patterns` — conjunctive graph patterns (the graph
+  analogue of conjunctive queries) with homomorphism-based evaluation and
+  certain answers;
+* :mod:`repro.graphs.crpq` — conjunctive regular path queries, the query
+  class of reference [14], combining both of the above.
+"""
+
+from .crpq import (
+    ConjunctiveRPQ,
+    PathAtom,
+    certain_answers_crpq,
+    naive_certain_answers_crpq,
+)
+from .model import GraphEdge, IncompleteGraph, graph_from_database, graph_to_database
+from .patterns import EdgeAtom, GraphPattern, certain_answers_pattern, naive_certain_answers_pattern
+from .rpq import (
+    Alt,
+    Concat,
+    Label,
+    Opt,
+    Plus,
+    RegularExpression,
+    RegularPathQuery,
+    RPQParseError,
+    Star,
+    certain_answers_rpq,
+    naive_certain_answers_rpq,
+    parse_rpq,
+)
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "ConjunctiveRPQ",
+    "EdgeAtom",
+    "GraphEdge",
+    "GraphPattern",
+    "IncompleteGraph",
+    "Label",
+    "Opt",
+    "PathAtom",
+    "Plus",
+    "RPQParseError",
+    "RegularExpression",
+    "RegularPathQuery",
+    "Star",
+    "certain_answers_crpq",
+    "certain_answers_pattern",
+    "certain_answers_rpq",
+    "graph_from_database",
+    "graph_to_database",
+    "naive_certain_answers_crpq",
+    "naive_certain_answers_pattern",
+    "naive_certain_answers_rpq",
+    "parse_rpq",
+]

@@ -1,0 +1,258 @@
+"""Incomplete graph databases.
+
+An *incomplete graph* is a finite, directed, edge-labelled graph whose node
+identities and edge labels are drawn from ``Const ∪ Null`` — exactly the
+value model of the relational part of the library, so a marked null may
+appear on several edges and must always be interpreted as the same value.
+This mirrors the graph-data models surveyed by the paper's Section 7
+references ([14] for graph patterns / regular path queries, [56] for
+incomplete RDF, where blank nodes play the role of marked nulls).
+
+The semantics is inherited from the relational case through a faithful
+relational encoding (:func:`graph_to_database`): a world of an incomplete
+graph is the graph obtained by applying a valuation to all nulls (CWA), or
+any graph extending such an image (OWA).  All the machinery of
+:mod:`repro.semantics`, :mod:`repro.homomorphisms` and
+:mod:`repro.core.orderings` therefore applies to graphs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..datamodel import Database, Null, Relation, Valuation
+from ..datamodel.values import check_value, is_null
+
+GraphEdge = Tuple[Any, Any, Any]
+"""An edge is a triple ``(source node, label, target node)``."""
+
+#: Relation names used by the relational encoding of a graph.
+EDGE_RELATION = "Edge"
+NODE_RELATION = "Node"
+
+
+class IncompleteGraph:
+    """A directed, edge-labelled graph over constants and marked nulls.
+
+    The graph is immutable; transformation methods return new graphs.
+    Nodes mentioned by an edge need not be listed explicitly, but isolated
+    nodes must be.
+
+    Examples
+    --------
+    >>> from repro.datamodel import Null
+    >>> g = IncompleteGraph(edges=[("a", "knows", Null("x")), (Null("x"), "knows", "b")])
+    >>> sorted(str(n) for n in g.nodes())
+    ['a', 'b', '⊥x']
+    >>> g.is_complete()
+    False
+    """
+
+    __slots__ = ("_edges", "_nodes", "_hash")
+
+    def __init__(
+        self,
+        edges: Iterable[Sequence[Any]] = (),
+        nodes: Iterable[Any] = (),
+    ) -> None:
+        frozen_edges: Set[GraphEdge] = set()
+        for edge in edges:
+            edge = tuple(edge)
+            if len(edge) != 3:
+                raise ValueError(f"an edge must be (source, label, target), got {edge!r}")
+            frozen_edges.add((check_value(edge[0]), check_value(edge[1]), check_value(edge[2])))
+        all_nodes: Set[Any] = {check_value(n) for n in nodes}
+        for source, _label, target in frozen_edges:
+            all_nodes.add(source)
+            all_nodes.add(target)
+        self._edges: FrozenSet[GraphEdge] = frozenset(frozen_edges)
+        self._nodes: FrozenSet[Any] = frozenset(all_nodes)
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def edges(self) -> FrozenSet[GraphEdge]:
+        """The set of ``(source, label, target)`` edges."""
+        return self._edges
+
+    def nodes(self) -> FrozenSet[Any]:
+        """The set of nodes (including isolated ones)."""
+        return self._nodes
+
+    def labels(self) -> Set[Any]:
+        """The set of edge labels occurring in the graph."""
+        return {label for _s, label, _t in self._edges}
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[GraphEdge]:
+        return iter(self._edges)
+
+    def __contains__(self, edge: object) -> bool:
+        return edge in self._edges
+
+    def __bool__(self) -> bool:
+        return bool(self._edges) or bool(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IncompleteGraph):
+            return self._edges == other._edges and self._nodes == other._nodes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._edges, self._nodes))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"IncompleteGraph(nodes={len(self._nodes)}, edges={len(self._edges)})"
+
+    def sorted_edges(self) -> List[GraphEdge]:
+        """Edges in a deterministic order (for rendering and tests)."""
+        return sorted(self._edges, key=lambda e: tuple(str(v) for v in e))
+
+    def to_text(self) -> str:
+        """A human-readable rendering, one ``u -label-> v`` line per edge."""
+        lines = [f"{s} -{label}-> {t}" for s, label, t in self.sorted_edges()]
+        isolated = sorted(
+            (str(n) for n in self._nodes if not any(n in (s, t) for s, _l, t in self._edges)),
+        )
+        lines.extend(f"{n} (isolated)" for n in isolated)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # nulls, constants, completeness
+    # ------------------------------------------------------------------
+    def nulls(self) -> Set[Null]:
+        """All marked nulls occurring as nodes or labels."""
+        values = set(self._nodes)
+        for edge in self._edges:
+            values.update(edge)
+        return {v for v in values if is_null(v)}
+
+    def constants(self) -> Set[Any]:
+        """All constants occurring as nodes or labels."""
+        values = set(self._nodes)
+        for edge in self._edges:
+            values.update(edge)
+        return {v for v in values if not is_null(v)}
+
+    def active_domain(self) -> Set[Any]:
+        """All values (nodes and labels), constants and nulls alike."""
+        return self.constants() | self.nulls()
+
+    def is_complete(self) -> bool:
+        """``True`` iff the graph mentions no nulls."""
+        return not self.nulls()
+
+    # ------------------------------------------------------------------
+    # adjacency (used by the RPQ evaluator)
+    # ------------------------------------------------------------------
+    def successors(self) -> Dict[Any, List[Tuple[Any, Any]]]:
+        """Adjacency map: node ``u`` → list of ``(label, v)`` with an edge ``u -label-> v``."""
+        adjacency: Dict[Any, List[Tuple[Any, Any]]] = {node: [] for node in self._nodes}
+        for source, label, target in self._edges:
+            adjacency[source].append((label, target))
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def map_values(self, function) -> "IncompleteGraph":
+        """Apply ``function`` to every node and label."""
+        return IncompleteGraph(
+            edges=[(function(s), function(l), function(t)) for s, l, t in self._edges],
+            nodes=[function(n) for n in self._nodes],
+        )
+
+    def apply_valuation(self, valuation: Valuation) -> "IncompleteGraph":
+        """The graph ``v(G)`` with every null replaced by its image."""
+        return self.map_values(valuation)
+
+    def add_edges(self, edges: Iterable[Sequence[Any]]) -> "IncompleteGraph":
+        """A graph extended with the given edges."""
+        return IncompleteGraph(edges=list(self._edges) + [tuple(e) for e in edges], nodes=self._nodes)
+
+    def union(self, other: "IncompleteGraph") -> "IncompleteGraph":
+        """Node- and edge-wise union of two graphs."""
+        return IncompleteGraph(
+            edges=list(self._edges) + list(other._edges),
+            nodes=list(self._nodes) + list(other._nodes),
+        )
+
+    def subgraph(self, nodes: Iterable[Any]) -> "IncompleteGraph":
+        """The subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        return IncompleteGraph(
+            edges=[e for e in self._edges if e[0] in keep and e[2] in keep],
+            nodes=[n for n in self._nodes if n in keep],
+        )
+
+    def contains_graph(self, other: "IncompleteGraph") -> bool:
+        """``True`` iff every node and edge of ``other`` is present here."""
+        return other._nodes <= self._nodes and other._edges <= self._edges
+
+    # ------------------------------------------------------------------
+    # relational encoding
+    # ------------------------------------------------------------------
+    def to_database(self) -> Database:
+        """The relational encoding ``Node(id)``, ``Edge(source, label, target)``.
+
+        The encoding is faithful: valuations, homomorphisms and the
+        OWA/CWA orderings on the encoded database coincide with the
+        corresponding notions on the graph, so all relational machinery of
+        the library can be reused on graphs.
+        """
+        return graph_to_database(self)
+
+    @classmethod
+    def from_database(cls, database: Database) -> "IncompleteGraph":
+        """Inverse of :meth:`to_database`."""
+        return graph_from_database(database)
+
+
+def graph_to_database(graph: IncompleteGraph) -> Database:
+    """Encode ``graph`` as a database with ``Node``/``Edge`` relations."""
+    node_relation = Relation.create(
+        NODE_RELATION,
+        [(node,) for node in graph.nodes()],
+        attributes=("id",),
+    ) if graph.nodes() else Relation.create(NODE_RELATION, [], attributes=("id",))
+    edge_relation = Relation.create(
+        EDGE_RELATION,
+        list(graph.edges()),
+        attributes=("source", "label", "target"),
+    ) if graph.edges() else Relation.create(EDGE_RELATION, [], attributes=("source", "label", "target"))
+    return Database.from_relations([node_relation, edge_relation])
+
+
+def graph_from_database(database: Database) -> IncompleteGraph:
+    """Decode a ``Node``/``Edge`` database back into an :class:`IncompleteGraph`."""
+    if EDGE_RELATION not in database:
+        raise KeyError(f"database has no {EDGE_RELATION!r} relation")
+    edges = list(database.relation(EDGE_RELATION).rows)
+    nodes: List[Any] = []
+    if NODE_RELATION in database:
+        nodes = [row[0] for row in database.relation(NODE_RELATION).rows]
+    return IncompleteGraph(edges=edges, nodes=nodes)

@@ -1,0 +1,34 @@
+"""Homomorphism machinery: search, onto/strong-onto variants, cores.
+
+Homomorphisms characterise the paper's information orderings (Section 5.2):
+
+* ``D ⊑_owa D'``  iff there is a homomorphism ``D → D'``;
+* ``D ⊑_cwa D'``  iff there is a strong onto homomorphism ``D → D'``;
+* the weak-CWA ordering corresponds to onto-on-active-domain homomorphisms.
+"""
+
+from .core import core, is_core, retract
+from .finder import (
+    Homomorphism,
+    all_homomorphisms,
+    exists_homomorphism,
+    exists_onto_homomorphism,
+    exists_strong_onto_homomorphism,
+    find_homomorphism,
+    hom_equivalent,
+    is_homomorphism,
+)
+
+__all__ = [
+    "Homomorphism",
+    "all_homomorphisms",
+    "core",
+    "exists_homomorphism",
+    "exists_onto_homomorphism",
+    "exists_strong_onto_homomorphism",
+    "find_homomorphism",
+    "hom_equivalent",
+    "is_core",
+    "is_homomorphism",
+    "retract",
+]

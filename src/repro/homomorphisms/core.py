@@ -1,0 +1,73 @@
+"""Cores of incomplete database instances.
+
+The *core* of an instance ``D`` is a smallest sub-instance ``D₀ ⊆ D`` such
+that there is a homomorphism ``D → D₀`` (a retraction).  Cores are unique
+up to isomorphism and are the canonical representatives of
+homomorphism-equivalence classes.  The paper does not use cores directly,
+but they are the standard tool for computing the object-level greatest
+lower bound (``certainO``) of finite families of instances under the OWA
+ordering, and for minimising chase results in the data-exchange substrate.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datamodel import Database, Null, is_null
+from ..datamodel.database import Fact
+from .finder import Homomorphism, exists_homomorphism, find_homomorphism
+
+
+def _sub_database(database: Database, facts: Set[Fact]) -> Database:
+    return Database.from_facts(database.schema, list(facts))
+
+
+def _retraction_exists(database: Database, candidate_facts: Set[Fact]) -> bool:
+    """Is there a homomorphism from ``database`` into the given sub-instance?"""
+    sub = _sub_database(database, candidate_facts)
+    return exists_homomorphism(database, sub)
+
+
+def core(database: Database) -> Database:
+    """Compute the core of ``database`` by greedy fact removal.
+
+    The algorithm repeatedly tries to drop a fact containing a null while a
+    retraction onto the remaining facts still exists; complete facts are
+    never redundant (a homomorphism fixes constants, so a fact without
+    nulls is always required).  Greedy removal yields a correct core
+    because retractions compose.
+    """
+    facts: Set[Fact] = set(database.facts())
+    changed = True
+    while changed:
+        changed = False
+        for fact in sorted(facts, key=lambda f: (f[0], tuple(str(v) for v in f[1]))):
+            _, row = fact
+            if not any(is_null(v) for v in row):
+                continue
+            candidate = facts - {fact}
+            if _retraction_exists(database, candidate):
+                facts = candidate
+                changed = True
+                break
+    return _sub_database(database, facts)
+
+
+def is_core(database: Database) -> bool:
+    """``True`` iff no proper sub-instance admits a retraction from ``database``."""
+    facts = set(database.facts())
+    for fact in facts:
+        _, row = fact
+        if not any(is_null(v) for v in row):
+            continue
+        if _retraction_exists(database, facts - {fact}):
+            return False
+    return True
+
+
+def retract(database: Database) -> Tuple[Database, Optional[Homomorphism]]:
+    """Return the core together with a retraction homomorphism onto it."""
+    core_db = core(database)
+    hom = find_homomorphism(database, core_db)
+    return core_db, hom

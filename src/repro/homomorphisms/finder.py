@@ -1,0 +1,261 @@
+"""Homomorphisms between incomplete database instances.
+
+A *homomorphism* ``h : D → D'`` between databases of the same schema
+(paper, Section 5.2) is a map on active domains with
+
+* ``h(a) = a`` for every constant ``a``, and
+* for every fact ``R(t̄)`` of ``D``, ``R(h(t̄))`` is a fact of ``D'``.
+
+``h`` is *onto* (used for the weak closed-world ordering) when
+``h(adom(D)) = adom(D')`` and *strong onto* when ``h(D) = D'``, i.e. every
+fact of ``D'`` is the image of a fact of ``D``.
+
+Homomorphism existence characterises the information orderings of the
+paper (``⊑_owa``, ``⊑_cwa``) and membership in the OWA/CWA semantics, and
+is the computational core of conjunctive-query containment and of naive
+evaluation correctness arguments.  The search below is a straightforward
+backtracking algorithm over the facts of the source instance with
+most-constrained-first fact ordering; instances in this library are small
+enough (tens to a few thousands of facts) for this to be entirely adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Database, Null, Relation, is_null
+from ..datamodel.database import Fact
+
+
+class Homomorphism:
+    """A concrete homomorphism: an assignment of targets to the source's nulls.
+
+    Constants are implicitly mapped to themselves, so only the null part of
+    the map is stored.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Dict[Null, Any]) -> None:
+        self._mapping = dict(mapping)
+
+    def __call__(self, value: Any) -> Any:
+        if isinstance(value, Null):
+            return self._mapping.get(value, value)
+        return value
+
+    def __getitem__(self, null: Null) -> Any:
+        return self._mapping[null]
+
+    def __contains__(self, null: object) -> bool:
+        return null in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Homomorphism):
+            return self._mapping == other._mapping
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}→{v}" for k, v in sorted(self._mapping.items(), key=lambda kv: kv[0].name)
+        )
+        return f"Homomorphism({{{inner}}})"
+
+    def as_dict(self) -> Dict[Null, Any]:
+        """A copy of the null-to-target mapping."""
+        return dict(self._mapping)
+
+    def apply_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Image of a tuple."""
+        return tuple(self(v) for v in row)
+
+    def apply(self, database: Database) -> Database:
+        """Image ``h(D)`` of a database."""
+        return database.map_values(self)
+
+    def is_valuation(self) -> bool:
+        """``True`` iff every null is mapped to a constant."""
+        return not any(is_null(v) for v in self._mapping.values())
+
+    def compose(self, after: "Homomorphism") -> "Homomorphism":
+        """The composition ``after ∘ self`` (apply ``self`` first)."""
+        mapping: Dict[Null, Any] = {}
+        for null, value in self._mapping.items():
+            mapping[null] = after(value)
+        for null, value in after._mapping.items():
+            mapping.setdefault(null, value)
+        return Homomorphism(mapping)
+
+
+def _facts_by_relation(database: Database) -> Dict[str, List[Tuple[Any, ...]]]:
+    return {rel.name: list(rel.rows) for rel in database.relations()}
+
+
+def _match_row(
+    source_row: Sequence[Any],
+    target_row: Sequence[Any],
+    assignment: Dict[Null, Any],
+) -> Optional[Dict[Null, Any]]:
+    """Try to extend ``assignment`` so that the source row maps onto the target row."""
+    extension: Dict[Null, Any] = {}
+    for s_val, t_val in zip(source_row, target_row):
+        if is_null(s_val):
+            bound = assignment.get(s_val, extension.get(s_val, _UNBOUND))
+            if bound is _UNBOUND:
+                extension[s_val] = t_val
+            elif bound != t_val:
+                return None
+        else:
+            if s_val != t_val:
+                return None
+    return extension
+
+
+class _Unbound:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()
+
+
+def _iter_homomorphisms(
+    source: Database,
+    target: Database,
+) -> Iterator[Dict[Null, Any]]:
+    """Enumerate all homomorphism assignments from ``source`` to ``target``.
+
+    The enumeration yields raw ``{null: target value}`` dictionaries; nulls
+    of the source that occur in no fact are left unassigned (any extension
+    is a homomorphism).
+    """
+    target_facts = _facts_by_relation(target)
+    source_facts: List[Fact] = source.facts()
+
+    # Most-constrained-first: process facts with many constants / already
+    # frequently occurring nulls early to prune the search.
+    def fact_key(fact: Fact) -> Tuple[int, int]:
+        _, row = fact
+        constants = sum(1 for v in row if not is_null(v))
+        return (-constants, len(row))
+
+    source_facts.sort(key=fact_key)
+
+    def backtrack(index: int, assignment: Dict[Null, Any]) -> Iterator[Dict[Null, Any]]:
+        if index == len(source_facts):
+            yield dict(assignment)
+            return
+        name, row = source_facts[index]
+        candidates = target_facts.get(name, [])
+        for target_row in candidates:
+            extension = _match_row(row, target_row, assignment)
+            if extension is None:
+                continue
+            assignment.update(extension)
+            yield from backtrack(index + 1, assignment)
+            for key in extension:
+                del assignment[key]
+
+    yield from backtrack(0, {})
+
+
+def _covers_all_target_facts(
+    mapping: Dict[Null, Any], source: Database, target: Database
+) -> bool:
+    hom = Homomorphism(mapping)
+    image = hom.apply(source)
+    return image == target
+
+
+def _is_onto_adom(mapping: Dict[Null, Any], source: Database, target: Database) -> bool:
+    hom = Homomorphism(mapping)
+    image_adom = {hom(v) for v in source.active_domain()}
+    return target.active_domain() <= image_adom
+
+
+def find_homomorphism(
+    source: Database,
+    target: Database,
+    onto: bool = False,
+    strong_onto: bool = False,
+) -> Optional[Homomorphism]:
+    """Find a homomorphism from ``source`` to ``target`` or ``None``.
+
+    Parameters
+    ----------
+    onto:
+        Require ``h(adom(source)) ⊇ adom(target)`` (the weak-CWA ordering).
+    strong_onto:
+        Require ``h(source) = target``, i.e. every fact of ``target`` is the
+        image of a fact of ``source`` (the CWA ordering).
+    """
+    if source.schema != target.schema:
+        return None
+    for mapping in _iter_homomorphisms(source, target):
+        if strong_onto and not _covers_all_target_facts(mapping, source, target):
+            continue
+        if onto and not _is_onto_adom(mapping, source, target):
+            continue
+        return Homomorphism(mapping)
+    return None
+
+
+def all_homomorphisms(
+    source: Database,
+    target: Database,
+    onto: bool = False,
+    strong_onto: bool = False,
+    limit: Optional[int] = None,
+) -> List[Homomorphism]:
+    """All homomorphisms from ``source`` to ``target`` (up to ``limit``)."""
+    if source.schema != target.schema:
+        return []
+    result: List[Homomorphism] = []
+    seen: Set[Homomorphism] = set()
+    for mapping in _iter_homomorphisms(source, target):
+        if strong_onto and not _covers_all_target_facts(mapping, source, target):
+            continue
+        if onto and not _is_onto_adom(mapping, source, target):
+            continue
+        hom = Homomorphism(mapping)
+        if hom in seen:
+            continue
+        seen.add(hom)
+        result.append(hom)
+        if limit is not None and len(result) >= limit:
+            break
+    return result
+
+
+def exists_homomorphism(source: Database, target: Database) -> bool:
+    """``True`` iff some homomorphism ``source → target`` exists."""
+    return find_homomorphism(source, target) is not None
+
+
+def exists_onto_homomorphism(source: Database, target: Database) -> bool:
+    """``True`` iff some homomorphism is onto on active domains."""
+    return find_homomorphism(source, target, onto=True) is not None
+
+
+def exists_strong_onto_homomorphism(source: Database, target: Database) -> bool:
+    """``True`` iff some homomorphism has ``h(source) = target``."""
+    return find_homomorphism(source, target, strong_onto=True) is not None
+
+
+def is_homomorphism(mapping: Dict[Null, Any], source: Database, target: Database) -> bool:
+    """Check that a given null assignment is a homomorphism ``source → target``."""
+    hom = Homomorphism(mapping)
+    if source.schema != target.schema:
+        return False
+    return target.contains_database(hom.apply(source))
+
+
+def hom_equivalent(left: Database, right: Database) -> bool:
+    """``True`` iff homomorphisms exist in both directions."""
+    return exists_homomorphism(left, right) and exists_homomorphism(right, left)

@@ -1,0 +1,90 @@
+"""Conjunctive-query containment and its link to certain answers.
+
+By the Chandra–Merlin theorem, a Boolean conjunctive query ``Q₁`` is
+contained in ``Q₂`` iff there is a homomorphism from the tableau of ``Q₂``
+to the tableau of ``Q₁`` — equivalently, iff the tableau of ``Q₁``
+(naively) satisfies ``Q₂``.  Section 4 of the paper uses this duality to
+explain *why* naive evaluation computes certain answers of conjunctive
+queries under OWA:
+
+    ``certain(Q, D)`` is true  iff  ``Q_D ⊆ Q``  iff  ``D ⊨ Q`` (naively),
+
+where ``Q_D = ∃x̄ PosDiag(D)`` is the database viewed as a query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..datamodel import Database
+from ..datamodel.schema import DatabaseSchema
+from ..homomorphisms import exists_homomorphism, find_homomorphism
+from .diagrams import database_as_query, tableau_of_query
+from .formulas import FOQuery
+from .fragments import is_conjunctive
+
+
+def is_contained_boolean(query1: FOQuery, query2: FOQuery, schema: DatabaseSchema) -> bool:
+    """``Q₁ ⊆ Q₂`` for Boolean conjunctive queries over ``schema``.
+
+    Decided by naive satisfaction of ``Q₂`` on the tableau of ``Q₁``
+    (Chandra–Merlin).
+    """
+    if query1.head or query2.head:
+        raise ValueError("is_contained_boolean expects Boolean queries; use is_contained")
+    if not is_conjunctive(query1.formula) or not is_conjunctive(query2.formula):
+        raise ValueError("containment is implemented for conjunctive queries")
+    tableau, _ = tableau_of_query(query1, schema)
+    return query2.formula.holds(tableau)
+
+
+def is_contained(query1: FOQuery, query2: FOQuery, schema: DatabaseSchema) -> bool:
+    """``Q₁ ⊆ Q₂`` for conjunctive queries with the same head arity.
+
+    The head variables of ``Q₁`` are frozen into constants; containment
+    holds iff evaluating ``Q₂`` on the frozen tableau returns the frozen
+    head tuple.
+    """
+    if len(query1.head) != len(query2.head):
+        raise ValueError("containment requires queries of the same arity")
+    if not query1.head:
+        return is_contained_boolean(query1, query2, schema)
+    if not is_conjunctive(query1.formula) or not is_conjunctive(query2.formula):
+        raise ValueError("containment is implemented for conjunctive queries")
+    tableau, frozen_head = tableau_of_query(query1, schema, freeze_head=True)
+    answers = query2.evaluate(tableau)
+    return tuple(frozen_head) in answers.rows
+
+
+def are_equivalent(query1: FOQuery, query2: FOQuery, schema: DatabaseSchema) -> bool:
+    """Mutual containment of two conjunctive queries."""
+    return is_contained(query1, query2, schema) and is_contained(query2, query1, schema)
+
+
+def certain_boolean_via_containment(query: FOQuery, database: Database) -> bool:
+    """Certain answer (OWA) of a Boolean CQ via the containment duality.
+
+    ``certain_owa(Q, D)`` is true iff ``Q_D ⊆ Q`` iff ``D ⊨ Q`` — i.e. naive
+    evaluation.  Both formulations are computed here and must agree; the
+    function returns the containment-side verdict.
+    """
+    if query.head:
+        raise ValueError("certain_boolean_via_containment expects a Boolean query")
+    if not is_conjunctive(query.formula):
+        raise ValueError("the containment duality applies to conjunctive queries")
+    q_d = database_as_query(database)
+    contained = is_contained_boolean(q_d, query, database.schema)
+    return contained
+
+
+def homomorphism_witnesses_containment(
+    query1: FOQuery, query2: FOQuery, schema: DatabaseSchema
+) -> Optional[object]:
+    """A homomorphism from the tableau of ``Q₂`` to the tableau of ``Q₁``, if any.
+
+    Its existence is equivalent to ``Q₁ ⊆ Q₂`` for Boolean CQs; returned for
+    inspection in tests demonstrating the Chandra–Merlin duality.
+    """
+    tableau1, _ = tableau_of_query(query1, schema)
+    tableau2, _ = tableau_of_query(query2, schema)
+    return find_homomorphism(tableau2, tableau1)

@@ -1,0 +1,526 @@
+"""First-order logic over relational vocabularies.
+
+Relational calculus is the declarative counterpart of relational algebra
+(paper, Section 2).  This module defines terms (variables and constants),
+formulas (relational atoms, equality, the Boolean connectives and
+quantifiers) and their evaluation on database instances under the
+*active-domain* semantics: quantifiers range over ``adom(D)`` plus the
+constants mentioned in the formula.
+
+Evaluation is purely syntactic on values, so applying it to a database
+with nulls is precisely *naive satisfaction* — the relation ``D ⊨ φ`` used
+in Section 4 of the paper, where nulls behave as ordinary values.  The SQL
+three-valued reading of logic lives in :mod:`repro.sqlnulls`, not here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..datamodel import Database, Relation
+from ..datamodel.schema import RelationSchema
+from ..datamodel.values import Null, is_null
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, Any]
+"""A term is a variable or a constant (any non-``Variable`` value, including nulls)."""
+
+
+def is_variable(term: Any) -> bool:
+    """``True`` iff ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def term_value(term: Term, assignment: Mapping[Variable, Any]) -> Any:
+    """The value of a term under an assignment (constants evaluate to themselves)."""
+    if isinstance(term, Variable):
+        try:
+            return assignment[term]
+        except KeyError:
+            raise KeyError(f"unbound variable {term}") from None
+    return term
+
+
+def variables_in(terms: Iterable[Term]) -> Set[Variable]:
+    """The variables among ``terms``."""
+    return {t for t in terms if isinstance(t, Variable)}
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+class Formula:
+    """Base class of first-order formulas."""
+
+    def free_variables(self) -> Set[Variable]:
+        """The free variables of the formula."""
+        raise NotImplementedError
+
+    def constants(self) -> Set[Any]:
+        """The constants (including nulls used as constants) mentioned."""
+        raise NotImplementedError
+
+    def relation_names(self) -> Set[str]:
+        """The relation symbols mentioned."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Formula"]:
+        """All subformulas, pre-order."""
+        stack: List[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def holds(self, database: Database, assignment: Optional[Mapping[Variable, Any]] = None) -> bool:
+        """Truth of the formula in ``database`` under ``assignment`` (active-domain semantics)."""
+        domain = sorted(
+            database.active_domain() | self.constants(), key=lambda v: (str(type(v)), str(v))
+        )
+        return self._eval(database, dict(assignment or {}), domain)
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        raise NotImplementedError
+
+    # -- connective sugar ------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The formula ``⊤`` (always true)."""
+
+    def free_variables(self) -> Set[Variable]:
+        return set()
+
+    def constants(self) -> Set[Any]:
+        return set()
+
+    def relation_names(self) -> Set[str]:
+        return set()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The formula ``⊥`` (always false)."""
+
+    def free_variables(self) -> Set[Variable]:
+        return set()
+
+    def constants(self) -> Set[Any]:
+        return set()
+
+    def relation_names(self) -> Set[str]:
+        return set()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """An atomic formula ``R(t₁, …, t_k)``."""
+
+    name: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, name: str, terms: Sequence[Term]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def free_variables(self) -> Set[Variable]:
+        return variables_in(self.terms)
+
+    def constants(self) -> Set[Any]:
+        return {t for t in self.terms if not isinstance(t, Variable)}
+
+    def relation_names(self) -> Set[str]:
+        return {self.name}
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        row = tuple(term_value(t, assignment) for t in self.terms)
+        return row in database.relation(self.name).rows
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    """The atomic formula ``t₁ = t₂``."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> Set[Variable]:
+        return variables_in((self.left, self.right))
+
+    def constants(self) -> Set[Any]:
+        return {t for t in (self.left, self.right) if not isinstance(t, Variable)}
+
+    def relation_names(self) -> Set[str]:
+        return set()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return term_value(self.left, assignment) == term_value(self.right, assignment)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+def _union_all(sets: Iterable[Set]) -> Set:
+    result: Set = set()
+    for s in sets:
+        result |= s
+    return result
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        flat: List[Formula] = []
+        for op in operands:
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def free_variables(self) -> Set[Variable]:
+        return _union_all(op.free_variables() for op in self.operands)
+
+    def constants(self) -> Set[Any]:
+        return _union_all(op.constants() for op in self.operands)
+
+    def relation_names(self) -> Set[str]:
+        return _union_all(op.relation_names() for op in self.operands)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return all(op._eval(database, assignment, domain) for op in self.operands)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({op})" if isinstance(op, (Or, Implies)) else str(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        flat: List[Formula] = []
+        for op in operands:
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def free_variables(self) -> Set[Variable]:
+        return _union_all(op.free_variables() for op in self.operands)
+
+    def constants(self) -> Set[Any]:
+        return _union_all(op.constants() for op in self.operands)
+
+    def relation_names(self) -> Set[str]:
+        return _union_all(op.relation_names() for op in self.operands)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return any(op._eval(database, assignment, domain) for op in self.operands)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> Set[Variable]:
+        return self.operand.free_variables()
+
+    def constants(self) -> Set[Any]:
+        return self.operand.constants()
+
+    def relation_names(self) -> Set[str]:
+        return self.operand.relation_names()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return not self.operand._eval(database, assignment, domain)
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``antecedent → consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def free_variables(self) -> Set[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def constants(self) -> Set[Any]:
+        return self.antecedent.constants() | self.consequent.constants()
+
+    def relation_names(self) -> Set[str]:
+        return self.antecedent.relation_names() | self.consequent.relation_names()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        if self.antecedent._eval(database, assignment, domain):
+            return self.consequent._eval(database, assignment, domain)
+        return True
+
+    def __str__(self) -> str:
+        return f"({self.antecedent}) → ({self.consequent})"
+
+
+class _Quantifier(Formula):
+    """Shared machinery of ∃ and ∀."""
+
+    symbol = "?"
+
+    def __init__(self, variables: Union[Variable, Sequence[Variable]], body: Formula) -> None:
+        if isinstance(variables, Variable):
+            variables = (variables,)
+        variables = tuple(variables)
+        if not variables:
+            raise ValueError("a quantifier must bind at least one variable")
+        if len(set(variables)) != len(variables):
+            raise ValueError("a quantifier must bind distinct variables")
+        self.variables = variables
+        self.body = body
+
+    def free_variables(self) -> Set[Variable]:
+        return self.body.free_variables() - set(self.variables)
+
+    def constants(self) -> Set[Any]:
+        return self.body.constants()
+
+    def relation_names(self) -> Set[str]:
+        return self.body.relation_names()
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is type(other):
+            return self.variables == other.variables and self.body == other.body  # type: ignore[attr-defined]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variables, self.body))
+
+    def _assignments(
+        self, assignment: Dict[Variable, Any], domain: List[Any]
+    ) -> Iterator[Dict[Variable, Any]]:
+        for combo in itertools.product(domain, repeat=len(self.variables)):
+            extended = dict(assignment)
+            extended.update(zip(self.variables, combo))
+            yield extended
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"{self.symbol}{names}. ({self.body})"
+
+
+class Exists(_Quantifier):
+    """Existential quantification ``∃x̄. φ`` (active-domain semantics)."""
+
+    symbol = "∃"
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return any(self.body._eval(database, extended, domain) for extended in self._assignments(assignment, domain))
+
+
+class Forall(_Quantifier):
+    """Universal quantification ``∀x̄. φ`` (active-domain semantics)."""
+
+    symbol = "∀"
+
+    def _eval(self, database: Database, assignment: Dict[Variable, Any], domain: List[Any]) -> bool:
+        return all(self.body._eval(database, extended, domain) for extended in self._assignments(assignment, domain))
+
+
+# ----------------------------------------------------------------------
+# Queries: formulas with an output tuple of free variables
+# ----------------------------------------------------------------------
+class FOQuery:
+    """A relational-calculus query ``{ x̄ | φ(x̄) }``.
+
+    Evaluation uses the active-domain semantics: candidate values for the
+    free variables are drawn from ``adom(D)`` together with the constants
+    of the formula.  Boolean queries have an empty tuple of free variables
+    and return a 0-ary relation containing the empty tuple iff the formula
+    holds.
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        head: Sequence[Variable] = (),
+        name: str = "Q",
+    ) -> None:
+        head = tuple(head)
+        missing = formula.free_variables() - set(head)
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise ValueError(f"free variables not in the head: {names}")
+        if len(set(head)) != len(head):
+            raise ValueError("head variables must be distinct")
+        self.formula = formula
+        self.head = head
+        self.name = name
+
+    @property
+    def arity(self) -> int:
+        """Arity of the answer relation."""
+        return len(self.head)
+
+    def output_schema(self) -> RelationSchema:
+        """The schema of the answer relation (attributes named after head variables)."""
+        return RelationSchema(self.name, tuple(v.name for v in self.head) or ())
+
+    def evaluate(self, database: Database) -> Relation:
+        """Evaluate the query on ``database`` (naive satisfaction when nulls occur)."""
+        domain = sorted(
+            database.active_domain() | self.formula.constants(),
+            key=lambda v: (str(type(v)), str(v)),
+        )
+        schema = self.output_schema()
+        if not self.head:
+            rows = [()] if self.formula.holds(database) else []
+            return Relation(RelationSchema(self.name, ()), rows)
+        rows = []
+        for combo in itertools.product(domain, repeat=len(self.head)):
+            assignment = dict(zip(self.head, combo))
+            if self.formula.holds(database, assignment):
+                rows.append(combo)
+        return Relation(schema, rows)
+
+    def boolean(self, database: Database) -> bool:
+        """Truth value for Boolean queries (non-emptiness of the answer otherwise)."""
+        return bool(self.evaluate(database))
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        return f"{{({head}) | {self.formula}}}"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def var(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name)
+
+
+def variables(names: str) -> Tuple[Variable, ...]:
+    """Build several variables from a whitespace-separated string of names."""
+    return tuple(Variable(name) for name in names.split())
+
+
+def atom(name: str, *terms: Term) -> RelationAtom:
+    """Shorthand for :class:`RelationAtom`."""
+    return RelationAtom(name, terms)
+
+
+def equals(left: Term, right: Term) -> Equality:
+    """Shorthand for :class:`Equality`."""
+    return Equality(left, right)
+
+
+def exists(variables_: Union[Variable, Sequence[Variable]], body: Formula) -> Exists:
+    """Shorthand for :class:`Exists`."""
+    return Exists(variables_, body)
+
+
+def forall(variables_: Union[Variable, Sequence[Variable]], body: Formula) -> Forall:
+    """Shorthand for :class:`Forall`."""
+    return Forall(variables_, body)
+
+
+def conj(*operands: Formula) -> Formula:
+    """Conjunction of the given formulas (``⊤`` when empty)."""
+    if not operands:
+        return Top()
+    if len(operands) == 1:
+        return operands[0]
+    return And(operands)
+
+
+def disj(*operands: Formula) -> Formula:
+    """Disjunction of the given formulas (``⊥`` when empty)."""
+    if not operands:
+        return Bottom()
+    if len(operands) == 1:
+        return operands[0]
+    return Or(operands)

@@ -1,0 +1,156 @@
+"""Syntactic fragments of first-order logic used in the paper.
+
+* **Conjunctive queries (CQ)** — ``∃, ∧`` over relational atoms and
+  equalities (select-project-join).
+* **Unions of conjunctive queries (UCQ) / existential positive** —
+  ``∃, ∧, ∨``; equivalent to the positive relational algebra.  Naive
+  evaluation computes certain answers for this class under OWA and CWA,
+  and under OWA the class is optimal for FO (Section 2 and 6.2).
+* **Positive formulas (Pos)** — no negation: ``∧, ∨, ∃, ∀``.  These form a
+  representation system for the weak CWA.
+* **Positive formulas with universal guards (Pos∀G)** — positive formulas
+  closed under the rule: if ``φ(x̄, ȳ)`` is Pos∀G, all variables of ``x̄``
+  distinct, and ``R`` has arity ``|x̄|``, then ``∀x̄ (R(x̄) → φ(x̄, ȳ))`` is
+  Pos∀G.  The paper shows Pos∀G = RA_cwa and that CWA-naive evaluation is
+  correct for it (Section 6.2); the key semantic property is preservation
+  under strong onto homomorphisms.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from .formulas import (
+    And,
+    Bottom,
+    Equality,
+    Exists,
+    FOQuery,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    Top,
+    Variable,
+    is_variable,
+)
+
+
+class FormulaFragment(Enum):
+    """Fragments ordered by how much naive evaluation can be trusted."""
+
+    CQ = "cq"
+    """Conjunctive query: ∃, ∧ over atoms."""
+
+    UCQ = "ucq"
+    """Union of conjunctive queries / existential positive: ∃, ∧, ∨."""
+
+    POSITIVE = "positive"
+    """Positive FO: ∧, ∨, ∃, ∀ (no negation)."""
+
+    POS_FORALL_GUARDED = "pos_forall_guarded"
+    """Positive FO with universally guarded ∀ (the paper's Pos∀G)."""
+
+    FO = "fo"
+    """Full first-order logic."""
+
+
+_ATOMIC = (RelationAtom, Equality, Top, Bottom)
+
+
+def is_conjunctive(formula: Formula) -> bool:
+    """``True`` iff the formula is a conjunctive query (∃, ∧ over atoms)."""
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, And):
+        return all(is_conjunctive(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return is_conjunctive(formula.body)
+    return False
+
+
+def is_ucq(formula: Formula) -> bool:
+    """``True`` iff the formula is existential positive (∃, ∧, ∨ over atoms)."""
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_ucq(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return is_ucq(formula.body)
+    return False
+
+
+# Existential positive formulas are exactly the UCQs up to normalisation.
+is_existential_positive = is_ucq
+
+
+def is_positive(formula: Formula) -> bool:
+    """``True`` iff the formula uses no negation or implication (∧, ∨, ∃, ∀)."""
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_positive(op) for op in formula.operands)
+    if isinstance(formula, (Exists, Forall)):
+        return is_positive(formula.body)
+    return False
+
+
+def _is_guarded_forall(formula: Forall) -> bool:
+    """Check the Pos∀G rule: ``∀x̄ (R(x̄) → φ)`` with an atomic guard on distinct variables."""
+    body = formula.body
+    if not isinstance(body, Implies):
+        return False
+    guard = body.antecedent
+    if not isinstance(guard, RelationAtom):
+        return False
+    guard_vars = [t for t in guard.terms if is_variable(t)]
+    if len(guard.terms) != len(guard_vars):
+        return False
+    if len(set(guard_vars)) != len(guard_vars):
+        return False
+    if set(formula.variables) != set(guard_vars):
+        return False
+    return is_pos_forall_guarded(body.consequent)
+
+
+def is_pos_forall_guarded(formula: Formula) -> bool:
+    """``True`` iff the formula is in the paper's Pos∀G class.
+
+    Pos∀G formulas are built from atoms with ``∧, ∨, ∃`` and the guarded
+    universal rule ``∀x̄ (R(x̄) → φ(x̄, ȳ))`` where ``R`` is a relation
+    symbol, the guard variables are distinct, and ``φ`` is again Pos∀G.
+    An unguarded ``∀`` (plain positive universal quantification) is *not*
+    accepted here even though it is positive — the class is exactly the one
+    Section 6.2 relates to ``RA_cwa``.
+    """
+    if isinstance(formula, _ATOMIC):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_pos_forall_guarded(op) for op in formula.operands)
+    if isinstance(formula, Exists):
+        return is_pos_forall_guarded(formula.body)
+    if isinstance(formula, Forall):
+        return _is_guarded_forall(formula)
+    return False
+
+
+def classify_formula(formula: Formula) -> FormulaFragment:
+    """The smallest fragment of this module containing ``formula``."""
+    if is_conjunctive(formula):
+        return FormulaFragment.CQ
+    if is_ucq(formula):
+        return FormulaFragment.UCQ
+    if is_pos_forall_guarded(formula):
+        return FormulaFragment.POS_FORALL_GUARDED
+    if is_positive(formula):
+        return FormulaFragment.POSITIVE
+    return FormulaFragment.FO
+
+
+def classify_query(query: Union[FOQuery, Formula]) -> FormulaFragment:
+    """Classify a query by the fragment of its formula."""
+    formula = query.formula if isinstance(query, FOQuery) else query
+    return classify_formula(formula)

@@ -1,0 +1,226 @@
+"""Translation from relational algebra to relational calculus (FO).
+
+The translation realises the classical equivalence between the two query
+languages and is used by the experiments to verify the paper's claims that
+
+* positive relational algebra = UCQ (existential positive formulas), and
+* ``RA_cwa`` queries translate into the ``Pos∀G`` class (Section 6.2):
+  division ``Q ÷ Q'`` becomes a universally quantified implication whose
+  antecedent is the translation of ``Q'`` — a relational atom whenever the
+  divisor is a base relation.
+
+Both sides are executable, so the equivalence is also checked semantically
+on randomly generated complete databases (experiment E17).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..datamodel.schema import DatabaseSchema
+from ..algebra.ast import (
+    ActiveDomain,
+    ConstantRelation,
+    Delta,
+    Difference,
+    Division,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union_,
+)
+from ..algebra.predicates import Attr, Comparison, Const, PAnd, PNot, POr, Predicate, PTrue
+from .formulas import (
+    And,
+    Bottom,
+    Equality,
+    Exists,
+    FOQuery,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    Top,
+    Variable,
+    conj,
+    disj,
+)
+
+
+class TranslationError(ValueError):
+    """Raised when an RA feature has no FO counterpart in this translation."""
+
+
+class _Translator:
+    """Stateful fresh-variable supply for one translation run."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self._schema = schema
+        self._counter = itertools.count(0)
+
+    def fresh(self, prefix: str = "z") -> Variable:
+        return Variable(f"{prefix}{next(self._counter)}")
+
+    def fresh_tuple(self, arity: int, prefix: str = "z") -> Tuple[Variable, ...]:
+        return tuple(self.fresh(prefix) for _ in range(arity))
+
+    # ------------------------------------------------------------------
+    def adom_formula(self, variable: Variable) -> Formula:
+        """``variable ∈ adom``: some relation mentions it in some position."""
+        disjuncts: List[Formula] = []
+        for rel_schema in self._schema:
+            for position in range(rel_schema.arity):
+                terms = []
+                bound: List[Variable] = []
+                for i in range(rel_schema.arity):
+                    if i == position:
+                        terms.append(variable)
+                    else:
+                        fresh = self.fresh("a")
+                        bound.append(fresh)
+                        terms.append(fresh)
+                atom = RelationAtom(rel_schema.name, tuple(terms))
+                disjuncts.append(Exists(bound, atom) if bound else atom)
+        return disj(*disjuncts)
+
+    # ------------------------------------------------------------------
+    def predicate_formula(self, predicate: Predicate, head: Sequence[Variable], expression: RAExpression) -> Formula:
+        schema = expression.output_schema(self._schema)
+
+        def term(t) -> object:
+            if isinstance(t, Attr):
+                return head[schema.index_of(t.ref)]
+            if isinstance(t, Const):
+                return t.value
+            return t
+
+        if isinstance(predicate, PTrue):
+            return Top()
+        if isinstance(predicate, Comparison):
+            if predicate.op == "=":
+                return Equality(term(predicate.left), term(predicate.right))
+            if predicate.op == "!=":
+                return Not(Equality(term(predicate.left), term(predicate.right)))
+            raise TranslationError(
+                f"order comparison {predicate.op!r} has no counterpart in the equality-only calculus"
+            )
+        if isinstance(predicate, PAnd):
+            return conj(*(self.predicate_formula(op, head, expression) for op in predicate.operands))
+        if isinstance(predicate, POr):
+            return disj(*(self.predicate_formula(op, head, expression) for op in predicate.operands))
+        if isinstance(predicate, PNot):
+            return Not(self.predicate_formula(predicate.operand, head, expression))
+        raise TranslationError(f"unsupported predicate {predicate!r}")
+
+    # ------------------------------------------------------------------
+    def translate(self, expression: RAExpression, head: Tuple[Variable, ...]) -> Formula:
+        """A formula with free variables ``head`` defining ``expression``."""
+        if isinstance(expression, RelationRef):
+            return RelationAtom(expression.name, head)
+        if isinstance(expression, ConstantRelation):
+            rows = expression.relation.sorted_rows()
+            if not rows:
+                return Bottom()
+            return disj(
+                *(conj(*(Equality(h, value) for h, value in zip(head, row))) for row in rows)
+            )
+        if isinstance(expression, Delta):
+            return conj(Equality(head[0], head[1]), self.adom_formula(head[0]))
+        if isinstance(expression, ActiveDomain):
+            return self.adom_formula(head[0])
+        if isinstance(expression, Selection):
+            child = self.translate(expression.child, head)
+            condition = self.predicate_formula(expression.predicate, head, expression.child)
+            return conj(child, condition)
+        if isinstance(expression, Projection):
+            child_schema = expression.child.output_schema(self._schema)
+            child_head = self.fresh_tuple(child_schema.arity, "p")
+            positions = [child_schema.index_of(a) for a in expression.attributes]
+            child_formula = self.translate(expression.child, child_head)
+            bindings = [Equality(h, child_head[p]) for h, p in zip(head, positions)]
+            body = conj(child_formula, *bindings)
+            return Exists(child_head, body) if child_head else body
+        if isinstance(expression, Rename):
+            return self.translate(expression.child, head)
+        if isinstance(expression, Product):
+            left_arity = expression.left.output_schema(self._schema).arity
+            left = self.translate(expression.left, head[:left_arity])
+            right = self.translate(expression.right, head[left_arity:])
+            return conj(left, right)
+        if isinstance(expression, NaturalJoin):
+            return self._translate_join(expression, head)
+        if isinstance(expression, Union_):
+            return disj(self.translate(expression.left, head), self.translate(expression.right, head))
+        if isinstance(expression, Intersection):
+            return conj(self.translate(expression.left, head), self.translate(expression.right, head))
+        if isinstance(expression, Difference):
+            return conj(
+                self.translate(expression.left, head),
+                Not(self.translate(expression.right, head)),
+            )
+        if isinstance(expression, Division):
+            return self._translate_division(expression, head)
+        raise TranslationError(f"unsupported RA node {expression!r}")
+
+    def _translate_join(self, expression: NaturalJoin, head: Tuple[Variable, ...]) -> Formula:
+        left_schema = expression.left.output_schema(self._schema)
+        right_schema = expression.right.output_schema(self._schema)
+        shared = [name for name in right_schema.attributes if name in left_schema.attributes]
+        join_pairs = [(left_schema.index_of(n), right_schema.index_of(n)) for n in shared]
+        right_keep = [
+            i for i, name in enumerate(right_schema.attributes) if name not in left_schema.attributes
+        ]
+        left_head = head[: left_schema.arity]
+        keep_head = head[left_schema.arity :]
+        right_head: List[Variable] = [None] * right_schema.arity  # type: ignore[list-item]
+        for left_pos, right_pos in join_pairs:
+            right_head[right_pos] = left_head[left_pos]
+        for out_pos, right_pos in enumerate(right_keep):
+            right_head[right_pos] = keep_head[out_pos]
+        left = self.translate(expression.left, left_head)
+        right = self.translate(expression.right, tuple(right_head))
+        return conj(left, right)
+
+    def _translate_division(self, expression: Division, head: Tuple[Variable, ...]) -> Formula:
+        left_schema, _, keep_positions, divisor_positions = expression._division_plan(self._schema)
+        divisor_arity = len(divisor_positions)
+        divisor_vars = self.fresh_tuple(divisor_arity, "d")
+        witness_vars = self.fresh_tuple(divisor_arity, "w")
+
+        def left_head(b_vars: Sequence[Variable]) -> Tuple[Variable, ...]:
+            assembled: List[Variable] = [None] * left_schema.arity  # type: ignore[list-item]
+            for out_pos, position in enumerate(keep_positions):
+                assembled[position] = head[out_pos]
+            for b_pos, position in enumerate(divisor_positions):
+                assembled[position] = b_vars[b_pos]
+            return tuple(assembled)
+
+        membership = Exists(list(witness_vars), self.translate(expression.left, left_head(witness_vars)))
+        divisor = self.translate(expression.right, divisor_vars)
+        universal = Forall(
+            list(divisor_vars),
+            Implies(divisor, self.translate(expression.left, left_head(divisor_vars))),
+        )
+        return conj(membership, universal)
+
+
+def ra_to_calculus(expression: RAExpression, schema: DatabaseSchema, name: str = "Q") -> FOQuery:
+    """Translate a relational-algebra expression into an equivalent FO query.
+
+    The resulting query has head variables ``x0, …, x_{k-1}`` matching the
+    expression's output arity and evaluates identically on complete
+    databases (up to the answer relation's attribute names).
+    """
+    translator = _Translator(schema)
+    arity = expression.output_schema(schema).arity
+    head = tuple(Variable(f"x{i}") for i in range(arity))
+    formula = translator.translate(expression, head)
+    return FOQuery(formula, head, name=name)

@@ -1,0 +1,50 @@
+"""Semantics of incomplete databases: OWA, CWA, weak CWA.
+
+This package provides:
+
+* possible-world enumeration over finite constant domains
+  (:mod:`repro.semantics.worlds`);
+* membership tests ``D' ∈ [[D]]_*`` via homomorphism search
+  (:mod:`repro.semantics.membership`); and
+* brute-force, intersection-based certain answers used as ground truth
+  throughout the test and benchmark suites
+  (:mod:`repro.semantics.certain`).
+"""
+
+from .certain import (
+    Evaluator,
+    answer_space,
+    certain_answers_enumeration,
+    certain_boolean,
+    possible_answers_enumeration,
+    possible_boolean,
+)
+from .membership import SEMANTICS, in_cwa, in_owa, in_wcwa, is_member
+from .worlds import (
+    count_cwa_worlds,
+    cwa_worlds,
+    default_domain,
+    owa_worlds,
+    wcwa_worlds,
+    worlds,
+)
+
+__all__ = [
+    "Evaluator",
+    "SEMANTICS",
+    "answer_space",
+    "certain_answers_enumeration",
+    "certain_boolean",
+    "count_cwa_worlds",
+    "cwa_worlds",
+    "default_domain",
+    "in_cwa",
+    "in_owa",
+    "in_wcwa",
+    "is_member",
+    "owa_worlds",
+    "possible_answers_enumeration",
+    "possible_boolean",
+    "wcwa_worlds",
+    "worlds",
+]

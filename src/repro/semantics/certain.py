@@ -1,0 +1,174 @@
+"""Brute-force certain answers by possible-world enumeration.
+
+This module implements the classical, intersection-based definition of
+certain answers (paper, eq. (1))::
+
+    certain(Q, D) = ⋂ { Q(D') | D' ∈ [[D]] }
+
+directly, by enumerating the (finitely approximated) set of worlds from
+:mod:`repro.semantics.worlds` and intersecting the query answers.  It is
+deliberately naive: it serves as the *ground truth* against which the
+efficient methods (naive evaluation, ``RA_cwa`` evaluation, c-table
+algebra) are validated, and as the "expensive" side of the complexity-shape
+benchmarks.  Its cost is exponential in the number of nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Database, Relation
+from ..datamodel.relations import Row
+from .worlds import cwa_worlds, owa_worlds, worlds
+
+Evaluator = Callable[[Database], Relation]
+"""A query, abstractly: a function from complete databases to relations."""
+
+
+def certain_answers_enumeration(
+    evaluate: Evaluator,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Intersection-based certain answers computed by world enumeration.
+
+    Parameters
+    ----------
+    evaluate:
+        The query, as a function from complete databases to relations.
+    database:
+        The incomplete input database.
+    semantics:
+        ``'cwa'`` or ``'owa'``.
+    domain, extra_constants, max_extra_facts:
+        Passed to the world enumerators; see :mod:`repro.semantics.worlds`.
+
+    Returns
+    -------
+    Relation
+        The relation of tuples present in the answer over *every*
+        enumerated world.  The schema is taken from the first answer.
+    """
+    answer_schema = None
+    certain: Optional[Set[Row]] = None
+    for world in worlds(
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    ):
+        answer = evaluate(world)
+        if answer_schema is None:
+            answer_schema = answer.schema
+        if certain is None:
+            certain = set(answer.rows)
+        else:
+            certain &= answer.rows
+        if not certain:
+            break
+    if answer_schema is None or certain is None:
+        # No worlds at all only happens for an empty valuation domain;
+        # evaluate on the database itself to obtain the answer schema.
+        answer = evaluate(database.complete_part())
+        return Relation(answer.schema, ())
+    return Relation(answer_schema, certain)
+
+
+def possible_answers_enumeration(
+    evaluate: Evaluator,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Union-based *possible* answers (tuples appearing in at least one world)."""
+    answer_schema = None
+    possible: Set[Row] = set()
+    for world in worlds(
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    ):
+        answer = evaluate(world)
+        if answer_schema is None:
+            answer_schema = answer.schema
+        possible |= answer.rows
+    if answer_schema is None:
+        answer = evaluate(database.complete_part())
+        return Relation(answer.schema, ())
+    return Relation(answer_schema, possible)
+
+
+def answer_space(
+    evaluate: Evaluator,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Set[frozenset]:
+    """The set ``Q([[D]])`` of answers over all enumerated worlds.
+
+    Each answer is returned as a frozen set of rows, so the result is a set
+    of sets — the object that strong representation systems must capture
+    exactly (paper, eq. (2)).
+    """
+    space: Set[frozenset] = set()
+    for world in worlds(
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    ):
+        space.add(frozenset(evaluate(world).rows))
+    return space
+
+
+def certain_boolean(
+    evaluate: Callable[[Database], bool],
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> bool:
+    """Certain answer of a Boolean query: true iff true in every enumerated world."""
+    for world in worlds(
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    ):
+        if not evaluate(world):
+            return False
+    return True
+
+
+def possible_boolean(
+    evaluate: Callable[[Database], bool],
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> bool:
+    """Possibility of a Boolean query: true iff true in at least one world."""
+    for world in worlds(
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    ):
+        if evaluate(world):
+            return True
+    return False

@@ -1,0 +1,156 @@
+"""Possible-world enumeration for incomplete databases.
+
+The paper's semantics functions map an incomplete database to an (in
+general infinite) set of complete databases::
+
+    [[D]]_cwa = { v(D)      | v a valuation }
+    [[D]]_owa = { D' ⊇ v(D) | v a valuation }
+
+Const is countably infinite, so neither set can be enumerated literally.
+For the query languages studied in the paper, however, certain answers are
+insensitive to the identity of constants outside the query and the
+database (genericity, Section 5/6).  The standard consequence — and the
+substitution documented in DESIGN.md §6 — is that it suffices to let nulls
+range over the *active domain extended with a few fresh constants* (at
+least as many as there are nulls, so that "all distinct and new" is among
+the enumerated valuations) and, under OWA, to bound the number of extra
+facts added over that finite domain.  The helpers here implement exactly
+that, with the finite domain and OWA fact bound exposed as parameters so
+experiments can cross-check two different pool sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import ConstantPool, Database, Null, Relation, Valuation, enumerate_valuations
+from ..datamodel.database import Fact
+
+
+def default_domain(
+    database: Database,
+    extra_constants: Optional[int] = None,
+    constants: Iterable[Any] = (),
+    prefix: str = "w",
+) -> List[Any]:
+    """A finite constant domain for valuation enumeration.
+
+    The domain consists of the constants of ``database``, any explicitly
+    supplied ``constants`` (e.g. constants mentioned by the query), and
+    ``extra_constants`` fresh constants.  When ``extra_constants`` is not
+    given it defaults to ``number of nulls + 1``: the valuation mapping all
+    nulls to pairwise-distinct fresh values is then enumerated, and every
+    null always has at least two candidate values, so tuples built from a
+    single unavoidable fresh constant cannot masquerade as certain answers.
+    """
+    base: List[Any] = sorted(
+        set(database.constants()) | {c for c in constants}, key=lambda value: (str(type(value)), str(value))
+    )
+    if extra_constants is None:
+        extra_constants = len(database.nulls()) + 1
+    pool = ConstantPool(forbidden=base, prefix=prefix)
+    return base + pool.take(extra_constants)
+
+
+def cwa_worlds(
+    database: Database,
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+) -> Iterator[Database]:
+    """Enumerate ``{ v(D) | v : Null(D) → domain }`` (the finite CWA approximation).
+
+    Every yielded database is complete.  Duplicates (different valuations
+    producing the same world) are suppressed.
+    """
+    if domain is None:
+        domain = default_domain(database, extra_constants=extra_constants)
+    seen: Set[Database] = set()
+    for valuation in enumerate_valuations(database.nulls(), domain):
+        world = valuation.apply(database)
+        if world not in seen:
+            seen.add(world)
+            yield world
+
+
+def owa_worlds(
+    database: Database,
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Iterator[Database]:
+    """Enumerate a finite approximation of ``[[D]]_owa``.
+
+    Each world is ``v(D)`` extended with at most ``max_extra_facts``
+    additional facts whose values are drawn from ``domain``.  The
+    approximation is exhaustive relative to the chosen domain and fact
+    bound; experiments that rely on OWA enumeration state explicitly why
+    the bound suffices for the query under test (e.g. monotone queries need
+    ``max_extra_facts = 0``).
+    """
+    if domain is None:
+        domain = default_domain(database, extra_constants=extra_constants)
+    extra_fact_pool = list(_all_facts(database, domain))
+    seen: Set[Database] = set()
+    for base_world in cwa_worlds(database, domain):
+        for count in range(0, max_extra_facts + 1):
+            for extra in itertools.combinations(extra_fact_pool, count):
+                world = base_world.add_facts(extra)
+                if world not in seen:
+                    seen.add(world)
+                    yield world
+
+
+def _all_facts(database: Database, domain: Sequence[Any]) -> Iterator[Fact]:
+    """All facts over ``database``'s schema with values drawn from ``domain``."""
+    for rel_schema in database.schema:
+        for combo in itertools.product(domain, repeat=rel_schema.arity):
+            yield (rel_schema.name, tuple(combo))
+
+
+def wcwa_worlds(
+    database: Database,
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Iterator[Database]:
+    """Enumerate a finite approximation of the weak-CWA semantics.
+
+    Worlds are ``v(D)`` extended with at most ``max_extra_facts`` facts whose
+    values are drawn from the *world's own* active domain (Reiter's weak
+    closed-world assumption: new tuples yes, new values no).
+    """
+    if domain is None:
+        domain = default_domain(database, extra_constants=extra_constants)
+    seen: Set[Database] = set()
+    for base_world in cwa_worlds(database, domain):
+        world_domain = sorted(base_world.active_domain(), key=lambda v: (str(type(v)), str(v)))
+        extra_fact_pool = list(_all_facts(base_world, world_domain))
+        for count in range(0, max_extra_facts + 1):
+            for extra in itertools.combinations(extra_fact_pool, count):
+                world = base_world.add_facts(extra)
+                if world not in seen:
+                    seen.add(world)
+                    yield world
+
+
+def count_cwa_worlds(database: Database, domain: Sequence[Any]) -> int:
+    """Upper bound on the number of worlds enumerated by :func:`cwa_worlds`."""
+    return max(1, len(domain)) ** len(database.nulls())
+
+
+def worlds(
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Iterator[Database]:
+    """Dispatch to :func:`cwa_worlds`, :func:`owa_worlds` or :func:`wcwa_worlds`."""
+    if semantics == "cwa":
+        return cwa_worlds(database, domain, extra_constants)
+    if semantics == "owa":
+        return owa_worlds(database, domain, extra_constants, max_extra_facts)
+    if semantics == "wcwa":
+        return wcwa_worlds(database, domain, extra_constants, max_extra_facts)
+    raise ValueError(f"unknown semantics {semantics!r}; expected 'cwa', 'owa' or 'wcwa'")

@@ -1,0 +1,185 @@
+"""Abstract syntax for the SQL subset used to reproduce the paper's examples.
+
+The paper's critique of SQL (Section 1) rests on how the SQL standard
+evaluates queries over nulls: comparisons involving ``NULL`` are *unknown*,
+the ``WHERE`` clause keeps only rows whose condition is *true*, and
+``NOT IN`` quantifies a comparison over a subquery result — so a single
+null in the subquery can make the whole condition unknown and silently
+drop every row.  To reproduce this faithfully we model a small but
+representative SQL subset:
+
+* ``SELECT [DISTINCT] <columns> FROM <tables> [WHERE <condition>]``;
+* conditions built from comparisons, ``AND`` / ``OR`` / ``NOT``,
+  ``IS [NOT] NULL``, ``[NOT] IN (subquery)`` and ``[NOT] EXISTS (subquery)``;
+* correlated subqueries (column references resolve against the enclosing
+  scopes).
+
+SQL nulls are *unmarked*: the engine treats every
+:class:`repro.datamodel.Null` value simply as ``NULL``, which is exactly
+the paper's remark that SQL's nulls are the special (Codd) case of marked
+nulls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference such as ``Pay.order`` or ``o_id``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant literal."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+ScalarExpression = Union[ColumnRef, Literal]
+
+
+# ----------------------------------------------------------------------
+# Conditions (three-valued)
+# ----------------------------------------------------------------------
+class SQLCondition:
+    """Base class of WHERE-clause conditions."""
+
+
+@dataclass(frozen=True)
+class SQLComparison(SQLCondition):
+    """``left op right`` with ``op ∈ {=, <>, <, <=, >, >=}``."""
+
+    left: ScalarExpression
+    op: str
+    right: ScalarExpression
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class SQLAnd(SQLCondition):
+    """Conjunction."""
+
+    operands: Tuple[SQLCondition, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class SQLOr(SQLCondition):
+    """Disjunction."""
+
+    operands: Tuple[SQLCondition, ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class SQLNot(SQLCondition):
+    """Negation."""
+
+    operand: SQLCondition
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNull(SQLCondition):
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    operand: ScalarExpression
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.operand} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class InSubquery(SQLCondition):
+    """``expr [NOT] IN (SELECT ...)`` — the star of the paper's examples."""
+
+    operand: ScalarExpression
+    subquery: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"{self.operand} {keyword} ({self.subquery})"
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(SQLCondition):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} ({self.subquery})"
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause item: a base table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name under which the table's columns are visible."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT [DISTINCT] columns FROM tables [WHERE condition]``.
+
+    ``columns`` is either the string ``"*"`` or a tuple of scalar
+    expressions.  SQL bag semantics is the default; ``distinct=True``
+    deduplicates the result.
+    """
+
+    columns: Union[str, Tuple[ScalarExpression, ...]]
+    tables: Tuple[TableRef, ...]
+    where: Optional[SQLCondition] = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        if self.columns == "*":
+            cols = "*"
+        else:
+            cols = ", ".join(str(c) for c in self.columns)
+        head = "SELECT DISTINCT" if self.distinct else "SELECT"
+        text = f"{head} {cols} FROM {', '.join(str(t) for t in self.tables)}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        return text

@@ -1,0 +1,308 @@
+"""A parser for the SQL subset of :mod:`repro.sqlnulls.ast`.
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] select_list FROM table_list [WHERE condition]
+    select_list:= '*' | scalar (',' scalar)*
+    table_list := table [alias] (',' table [alias])*
+    condition  := or_term
+    or_term    := and_term (OR and_term)*
+    and_term   := not_term (AND not_term)*
+    not_term   := NOT not_term | primary
+    primary    := '(' condition ')'
+                | EXISTS '(' query ')'
+                | scalar IS [NOT] NULL
+                | scalar [NOT] IN '(' query ')'
+                | scalar compare_op scalar
+    scalar     := quoted string | number | NULL | [table '.'] column
+
+String literals use single quotes.  ``NULL`` as a scalar literal produces a
+fresh (unmarked, from SQL's point of view) null value.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple, Union
+
+from ..datamodel.values import Null
+from .ast import (
+    ColumnRef,
+    ExistsSubquery,
+    InSubquery,
+    IsNull,
+    Literal,
+    ScalarExpression,
+    SelectQuery,
+    SQLAnd,
+    SQLComparison,
+    SQLCondition,
+    SQLNot,
+    SQLOr,
+    TableRef,
+)
+
+
+class SQLParseError(ValueError):
+    """Raised when the SQL text cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "in",
+    "is",
+    "null",
+    "exists",
+    "as",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str) -> None:
+        self.kind = kind
+        self.value = value
+
+    @property
+    def keyword(self) -> Optional[str]:
+        if self.kind == "word" and self.value.lower() in _KEYWORDS:
+            return self.value.lower()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLParseError(f"unexpected character {text[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token is not None and token.keyword in keywords
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.keyword != keyword:
+            raise SQLParseError(f"expected {keyword.upper()}, got {token.value!r}")
+
+    def _expect_punct(self, value: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != value:
+            raise SQLParseError(f"expected {value!r}, got {token.value!r}")
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "punct" and token.value == value
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar ---------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self._expect_keyword("select")
+        distinct = False
+        if self._at_keyword("distinct"):
+            self._next()
+            distinct = True
+        columns = self._parse_select_list()
+        self._expect_keyword("from")
+        tables = self._parse_table_list()
+        where: Optional[SQLCondition] = None
+        if self._at_keyword("where"):
+            self._next()
+            where = self._parse_condition()
+        return SelectQuery(columns=columns, tables=tuple(tables), where=where, distinct=distinct)
+
+    def _parse_select_list(self) -> Union[str, Tuple[ScalarExpression, ...]]:
+        if self._at_punct("*"):
+            self._next()
+            return "*"
+        columns: List[ScalarExpression] = [self._parse_scalar()]
+        while self._at_punct(","):
+            self._next()
+            columns.append(self._parse_scalar())
+        return tuple(columns)
+
+    def _parse_table_list(self) -> List[TableRef]:
+        tables = [self._parse_table()]
+        while self._at_punct(","):
+            self._next()
+            tables.append(self._parse_table())
+        return tables
+
+    def _parse_table(self) -> TableRef:
+        token = self._next()
+        if token.kind != "word" or token.keyword is not None:
+            raise SQLParseError(f"expected a table name, got {token.value!r}")
+        alias: Optional[str] = None
+        if self._at_keyword("as"):
+            self._next()
+        next_token = self._peek()
+        if next_token is not None and next_token.kind == "word" and next_token.keyword is None:
+            alias = self._next().value
+        return TableRef(token.value, alias)
+
+    # -- conditions ------------------------------------------------------
+    def _parse_condition(self) -> SQLCondition:
+        return self._parse_or()
+
+    def _parse_or(self) -> SQLCondition:
+        operands = [self._parse_and()]
+        while self._at_keyword("or"):
+            self._next()
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return SQLOr(tuple(operands))
+
+    def _parse_and(self) -> SQLCondition:
+        operands = [self._parse_not()]
+        while self._at_keyword("and"):
+            self._next()
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return SQLAnd(tuple(operands))
+
+    def _parse_not(self) -> SQLCondition:
+        if self._at_keyword("not") and not self._next_is_exists_after_not():
+            self._next()
+            return SQLNot(self._parse_not())
+        return self._parse_primary()
+
+    def _next_is_exists_after_not(self) -> bool:
+        token = self._peek(1)
+        return token is not None and token.keyword == "exists"
+
+    def _parse_primary(self) -> SQLCondition:
+        if self._at_punct("("):
+            self._next()
+            condition = self._parse_condition()
+            self._expect_punct(")")
+            return condition
+        if self._at_keyword("exists"):
+            self._next()
+            return ExistsSubquery(self._parse_parenthesised_query(), negated=False)
+        if self._at_keyword("not") and self._next_is_exists_after_not():
+            self._next()
+            self._expect_keyword("exists")
+            return ExistsSubquery(self._parse_parenthesised_query(), negated=True)
+
+        scalar = self._parse_scalar()
+        if self._at_keyword("is"):
+            self._next()
+            negated = False
+            if self._at_keyword("not"):
+                self._next()
+                negated = True
+            self._expect_keyword("null")
+            return IsNull(scalar, negated=negated)
+        if self._at_keyword("not"):
+            self._next()
+            self._expect_keyword("in")
+            return InSubquery(scalar, self._parse_parenthesised_query(), negated=True)
+        if self._at_keyword("in"):
+            self._next()
+            return InSubquery(scalar, self._parse_parenthesised_query(), negated=False)
+
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SQLParseError(f"expected a comparison operator, got {op_token.value!r}")
+        op = "<>" if op_token.value == "!=" else op_token.value
+        right = self._parse_scalar()
+        return SQLComparison(scalar, op, right)
+
+    def _parse_parenthesised_query(self) -> SelectQuery:
+        self._expect_punct("(")
+        query = self.parse_query()
+        self._expect_punct(")")
+        return query
+
+    # -- scalars ---------------------------------------------------------
+    def _parse_scalar(self) -> ScalarExpression:
+        token = self._next()
+        if token.kind == "string":
+            return Literal(token.value[1:-1].replace("''", "'"))
+        if token.kind == "number":
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "word":
+            if token.keyword == "null":
+                return Literal(Null.fresh("sql"))
+            if token.keyword is not None:
+                raise SQLParseError(f"unexpected keyword {token.value!r} in a scalar position")
+            if self._at_punct("."):
+                self._next()
+                column_token = self._next()
+                if column_token.kind != "word" or column_token.keyword is not None:
+                    raise SQLParseError(f"expected a column name, got {column_token.value!r}")
+                return ColumnRef(column_token.value, table=token.value)
+            return ColumnRef(token.value)
+        raise SQLParseError(f"expected a scalar expression, got {token.value!r}")
+
+
+def parse_sql(text: str) -> SelectQuery:
+    """Parse a SQL string of the supported subset into a :class:`SelectQuery`.
+
+    Examples
+    --------
+    >>> query = parse_sql(
+    ...     "SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+    >>> query.tables[0].name
+    'Orders'
+    """
+    parser = _Parser(_tokenize(text))
+    query = parser.parse_query()
+    if not parser.at_end():
+        raise SQLParseError("trailing input after a complete query")
+    return query

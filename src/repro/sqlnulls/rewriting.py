@@ -1,0 +1,126 @@
+"""The paper's "small and easily implementable change": IS NOT NULL rewriting.
+
+Section 2 ends with the observation that for positive queries, certain
+answers "can be done by a straightforward query evaluation followed by an
+extra selection operation, throwing out tuples with nulls (or simply
+adding IS NOT NULL conditions in the WHERE clause of the original query)".
+This module implements exactly that rewriting for the SQL subset of
+:mod:`repro.sqlnulls`:
+
+* :func:`is_positive_sql` checks that a query is in the safe fragment
+  (select-project-join-union style: equality comparisons, ``AND``/``OR``,
+  ``IN``/``EXISTS`` subqueries — no negation of any kind);
+* :func:`certain_answer_rewriting` appends ``IS NOT NULL`` conditions for
+  every output column, so that running the rewritten query on the standard
+  (three-valued) SQL engine returns certain answers for Codd (SQL-style)
+  databases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..datamodel import Database
+from .ast import (
+    ColumnRef,
+    ExistsSubquery,
+    InSubquery,
+    IsNull,
+    Literal,
+    SelectQuery,
+    SQLAnd,
+    SQLComparison,
+    SQLCondition,
+    SQLNot,
+    SQLOr,
+)
+
+
+class RewritingError(ValueError):
+    """Raised when a query is outside the fragment the rewriting is safe for."""
+
+
+def _condition_is_positive(condition: SQLCondition) -> bool:
+    if condition is None:
+        return True
+    if isinstance(condition, SQLComparison):
+        return condition.op == "="
+    if isinstance(condition, (SQLAnd, SQLOr)):
+        return all(_condition_is_positive(op) for op in condition.operands)
+    if isinstance(condition, SQLNot):
+        return False
+    if isinstance(condition, IsNull):
+        return False
+    if isinstance(condition, InSubquery):
+        return not condition.negated and is_positive_sql(condition.subquery)
+    if isinstance(condition, ExistsSubquery):
+        return not condition.negated and is_positive_sql(condition.subquery)
+    return False
+
+
+def is_positive_sql(query: SelectQuery) -> bool:
+    """Is the query in the positive (UCQ-like) SQL fragment?
+
+    Allowed: ``SELECT`` lists, multiple ``FROM`` tables, ``WHERE`` clauses
+    built from equality comparisons, ``AND``, ``OR``, non-negated ``IN`` and
+    ``EXISTS`` subqueries.  Disallowed: ``NOT``, ``<>``/``<``/..., ``NOT
+    IN``, ``NOT EXISTS`` and ``IS [NOT] NULL`` (the last because it is not
+    generic)."""
+    if query.where is None:
+        return True
+    return _condition_is_positive(query.where)
+
+
+def _output_columns(query: SelectQuery, database: Database) -> List[ColumnRef]:
+    if query.columns == "*":
+        columns: List[ColumnRef] = []
+        for table in query.tables:
+            schema = database.schema[table.name]
+            for attribute in schema.attributes:
+                columns.append(ColumnRef(attribute, table=table.binding))
+        return columns
+    columns = []
+    for expression in query.columns:  # type: ignore[union-attr]
+        if isinstance(expression, ColumnRef):
+            columns.append(expression)
+        elif isinstance(expression, Literal):
+            continue
+        else:  # pragma: no cover - defensive
+            raise RewritingError(f"unsupported output expression {expression!r}")
+    return columns
+
+
+def certain_answer_rewriting(query: SelectQuery, database: Database) -> SelectQuery:
+    """Rewrite a positive SQL query so its 3VL evaluation yields certain answers.
+
+    The rewriting appends ``<output column> IS NOT NULL`` for every column
+    of the ``SELECT`` list (or of every table for ``SELECT *``).  For Codd
+    databases — SQL's own model of nulls — the rewritten query evaluated
+    under the standard three-valued semantics returns exactly the certain
+    answers of the original query (eq. (4) of the paper restricted to the
+    SQL fragment).
+
+    Raises :class:`RewritingError` when the query is outside the positive
+    fragment: for such queries no ``IS NOT NULL`` patch can make the answers
+    trustworthy (that is the paper's point).
+    """
+    if not is_positive_sql(query):
+        raise RewritingError(
+            "the IS NOT NULL rewriting is only sound for positive queries; "
+            "this query uses negation (NOT IN / NOT EXISTS / NOT / non-equality)"
+        )
+    guards: List[SQLCondition] = [
+        IsNull(column, negated=True) for column in _output_columns(query, database)
+    ]
+    if not guards:
+        return query
+    if query.where is None:
+        where: SQLCondition = SQLAnd(tuple(guards)) if len(guards) > 1 else guards[0]
+    else:
+        where = SQLAnd(tuple([query.where] + guards))
+    return SelectQuery(
+        columns=query.columns,
+        tables=query.tables,
+        where=where,
+        distinct=query.distinct,
+    )

@@ -1,0 +1,33 @@
+"""Incomplete data trees (the XML direction of the paper's Section 7).
+
+The paper notes that incompleteness work for XML mostly reduced queries to
+relations, that structural incompleteness "leads to intractability very
+quickly", and that extending the certain-answer framework to trees needs
+query classes preserved under the right homomorphisms.  This package
+implements the tractable core of that programme:
+
+* :mod:`repro.trees.model` — unordered, labelled data trees whose *data
+  values* may be marked nulls (the structure itself is complete, the case
+  for which the paper's machinery transfers directly);
+* :mod:`repro.trees.patterns` — tree patterns with child/descendant edges,
+  label tests and data-value variables, naive evaluation, and certain
+  answers both by the naive-evaluation shortcut (patterns are monotone and
+  generic in the data values) and by brute-force valuation enumeration.
+"""
+
+from .model import DataTree, tree_from_nested
+from .patterns import (
+    PatternNode,
+    TreePattern,
+    certain_answers_tree_pattern,
+    naive_certain_answers_tree_pattern,
+)
+
+__all__ = [
+    "DataTree",
+    "PatternNode",
+    "TreePattern",
+    "certain_answers_tree_pattern",
+    "naive_certain_answers_tree_pattern",
+    "tree_from_nested",
+]

@@ -1,0 +1,193 @@
+"""Unordered, labelled data trees with possibly unknown data values.
+
+A :class:`DataTree` node carries
+
+* a *label* (an element/tag name — always a known constant; the paper
+  points out that unknown structure makes reasoning intractable very
+  quickly, so structural incompleteness is out of scope here), and
+* an optional *data value*, which is a constant or a marked null drawn from
+  the same value model as the relational part of the library (a shared null
+  denotes the same unknown value wherever it occurs).
+
+The semantics of incompleteness is the closed-world one inherited from
+valuations: ``[[t]] = { v(t) | v a valuation of the nulls of t }``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Null, Valuation
+from ..datamodel.values import check_value, is_null
+
+
+class DataTree:
+    """An unordered, labelled tree whose nodes may carry data values.
+
+    Parameters
+    ----------
+    label:
+        The node's label (tag name); must be a constant.
+    value:
+        The node's data value: a constant, a :class:`~repro.datamodel.Null`,
+        or ``None`` for "no data value at this node".
+    children:
+        The child subtrees.
+
+    Examples
+    --------
+    >>> from repro.datamodel import Null
+    >>> t = DataTree("order", children=[
+    ...     DataTree("id", value="oid1"),
+    ...     DataTree("payer", value=Null("p")),
+    ... ])
+    >>> t.size()
+    3
+    >>> sorted(n.name for n in t.nulls())
+    ['p']
+    """
+
+    __slots__ = ("label", "value", "children")
+
+    def __init__(
+        self,
+        label: str,
+        value: Any = None,
+        children: Sequence["DataTree"] = (),
+    ) -> None:
+        if not isinstance(label, str) or not label:
+            raise TypeError("a tree node's label must be a non-empty string")
+        if is_null(label):
+            raise TypeError("labels must be known constants; only data values may be nulls")
+        self.label = label
+        self.value = None if value is None else check_value(value)
+        self.children: Tuple[DataTree, ...] = tuple(children)
+        for child in self.children:
+            if not isinstance(child, DataTree):
+                raise TypeError(f"children must be DataTree instances, got {child!r}")
+
+    # ------------------------------------------------------------------
+    # traversal and measurements
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator["DataTree"]:
+        """All nodes of the tree, in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def descendants(self) -> Iterator["DataTree"]:
+        """All proper descendants, in pre-order."""
+        for child in self.children:
+            yield from child.nodes()
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return sum(1 for _ in self.nodes())
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (a single node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def labels(self) -> Set[str]:
+        """All labels occurring in the tree."""
+        return {node.label for node in self.nodes()}
+
+    def values(self) -> List[Any]:
+        """All data values (constants and nulls) present in the tree, pre-order."""
+        return [node.value for node in self.nodes() if node.value is not None]
+
+    def nulls(self) -> Set[Null]:
+        """The marked nulls occurring as data values."""
+        return {v for v in self.values() if is_null(v)}
+
+    def constants(self) -> Set[Any]:
+        """The constants occurring as data values."""
+        return {v for v in self.values() if not is_null(v)}
+
+    def is_complete(self) -> bool:
+        """``True`` iff no data value is a null."""
+        return not self.nulls()
+
+    # ------------------------------------------------------------------
+    # equality / rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataTree):
+            return NotImplemented
+        if self.label != other.label or self.value != other.value:
+            return False
+        if len(self.children) != len(other.children):
+            return False
+        # Unordered comparison: children must match up to a permutation.
+        remaining = list(other.children)
+        for child in self.children:
+            for index, candidate in enumerate(remaining):
+                if child == candidate:
+                    del remaining[index]
+                    break
+            else:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.value, frozenset(hash(c) for c in self.children), len(self.children)))
+
+    def __repr__(self) -> str:
+        return f"DataTree({self.label!r}, value={self.value!r}, children={len(self.children)})"
+
+    def to_text(self, indent: int = 0) -> str:
+        """An indented, human-readable rendering of the tree."""
+        rendered = f"{'  ' * indent}{self.label}"
+        if self.value is not None:
+            rendered += f" = {self.value}"
+        lines = [rendered]
+        for child in sorted(self.children, key=lambda c: c.label):
+            lines.append(child.to_text(indent + 1))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def map_values(self, function) -> "DataTree":
+        """Apply ``function`` to every data value (labels are untouched)."""
+        return DataTree(
+            self.label,
+            None if self.value is None else function(self.value),
+            [child.map_values(function) for child in self.children],
+        )
+
+    def apply_valuation(self, valuation: Valuation) -> "DataTree":
+        """The tree ``v(t)`` with every null data value replaced by its image."""
+        return self.map_values(valuation)
+
+    def with_children(self, children: Sequence["DataTree"]) -> "DataTree":
+        """A copy of this node with a different child list."""
+        return DataTree(self.label, self.value, children)
+
+
+def tree_from_nested(nested: Any) -> DataTree:
+    """Build a :class:`DataTree` from a nested ``(label, value, [children])`` structure.
+
+    Accepted shapes for each node: ``label``, ``(label, value)``, or
+    ``(label, value, [children...])`` where ``value`` may be ``None``.
+
+    Examples
+    --------
+    >>> t = tree_from_nested(("order", None, [("id", "oid1"), ("payer", None)]))
+    >>> t.size()
+    3
+    """
+    if isinstance(nested, str):
+        return DataTree(nested)
+    if isinstance(nested, DataTree):
+        return nested
+    if isinstance(nested, (tuple, list)):
+        if len(nested) == 2:
+            label, value = nested
+            return DataTree(label, value)
+        if len(nested) == 3:
+            label, value, children = nested
+            return DataTree(label, value, [tree_from_nested(child) for child in children])
+    raise ValueError(f"cannot interpret {nested!r} as a tree node")

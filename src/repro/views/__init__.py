@@ -1,0 +1,38 @@
+"""Query answering using views: the data-integration face of marked nulls.
+
+Section 7 of the paper ("Applications") names data integration — and in
+particular answering queries using materialized views (references [1, 39])
+— as an area whose query-answering semantics is certain answers, and whose
+practice often applies naive evaluation "in cases where it is known not to
+work".  This package implements the local-as-view (LAV) scenario on top of
+the library's substrates:
+
+* :mod:`repro.views.definitions` — conjunctive-query view definitions over
+  a base schema and their materialization on complete base databases;
+* :mod:`repro.views.answering` — the inverse-rules canonical instance (a
+  naive database over the base schema, built by reusing the data-exchange
+  chase with the view definitions read backwards), and certain answers for
+  queries over the base schema given only the view extensions.
+
+The marked nulls produced by the canonical instance are exactly the
+paper's motivation for naive nulls: the unknown base values exist, may be
+shared across facts, and naive evaluation of positive queries over them
+yields certain answers.
+"""
+
+from .answering import (
+    canonical_instance,
+    certain_answers_views,
+    inverse_mapping,
+    possible_base_facts,
+)
+from .definitions import ViewCollection, ViewDefinition
+
+__all__ = [
+    "ViewCollection",
+    "ViewDefinition",
+    "canonical_instance",
+    "certain_answers_views",
+    "inverse_mapping",
+    "possible_base_facts",
+]

@@ -1,0 +1,29 @@
+"""Synthetic workload generators (seeded, deterministic) for the experiment suite."""
+
+from .generators import (
+    chain_mapping,
+    enrolment,
+    order_preferences_source,
+    orders_payments,
+    random_database,
+    random_full_ra_query,
+    random_graph_source,
+    random_labelled_graph,
+    random_positive_query,
+    random_ra_cwa_query,
+    social_network_graph,
+)
+
+__all__ = [
+    "chain_mapping",
+    "enrolment",
+    "order_preferences_source",
+    "orders_payments",
+    "random_database",
+    "random_full_ra_query",
+    "random_graph_source",
+    "random_labelled_graph",
+    "random_positive_query",
+    "random_ra_cwa_query",
+    "social_network_graph",
+]

@@ -1,0 +1,323 @@
+"""Synthetic workload generators for tests, experiments and benchmarks.
+
+The paper is a keynote and ships no datasets, so every experiment in this
+reproduction runs on synthetic inputs produced here (see DESIGN.md §6).
+All generators are seeded and deterministic.  The three families mirror
+the paper's motivating scenarios:
+
+* **orders/payments** — the Section 1 unpaid-orders schema, with a
+  configurable fraction of payments whose ``order`` attribute is null;
+* **enrolment (division)** — a student/course schema exercising the
+  ``RA_cwa`` division queries of Section 6.2;
+* **random instances and random queries** — naive databases with a chosen
+  number of nulls, plus random UCQ / RA_cwa / full-RA queries, used by the
+  property tests and the complexity-shape benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    Difference,
+    Division,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Selection,
+    Union_,
+)
+from ..algebra.predicates import Attr, Comparison
+from ..datamodel import Database, Null, Relation
+from ..exchange.mappings import MappingAtom, SchemaMapping, TGD
+from ..datamodel.schema import DatabaseSchema
+from ..logic.formulas import Variable
+
+
+# ----------------------------------------------------------------------
+# Scenario generators
+# ----------------------------------------------------------------------
+def orders_payments(
+    num_orders: int = 10,
+    num_payments: int = 6,
+    null_fraction: float = 0.3,
+    seed: int = 0,
+) -> Database:
+    """The unpaid-orders scenario of Section 1, scaled.
+
+    ``Orders(o_id, product)`` and ``Pay(p_id, ord, amount)``; a
+    ``null_fraction`` of the payments have an unknown order reference.
+    """
+    rng = random.Random(seed)
+    orders = [(f"oid{i}", f"pr{rng.randrange(max(2, num_orders // 2))}") for i in range(num_orders)]
+    payments = []
+    for i in range(num_payments):
+        if rng.random() < null_fraction:
+            order_ref: Any = Null(f"pay{i}")
+        else:
+            order_ref = f"oid{rng.randrange(num_orders)}" if num_orders else f"oid{i}"
+        payments.append((f"pid{i}", order_ref, 10 * (i + 1)))
+    return Database.from_relations(
+        [
+            Relation.create("Orders", orders, attributes=("o_id", "product")),
+            Relation.create("Pay", payments, attributes=("p_id", "ord", "amount")),
+        ]
+    )
+
+
+def enrolment(
+    num_students: int = 8,
+    num_courses: int = 4,
+    enrol_probability: float = 0.6,
+    null_fraction: float = 0.15,
+    seed: int = 0,
+) -> Database:
+    """A student/course scenario for division queries (who takes *all* courses)."""
+    rng = random.Random(seed)
+    courses = [(f"c{i}",) for i in range(num_courses)]
+    enrolments: List[Tuple[Any, Any]] = []
+    for s in range(num_students):
+        for c in range(num_courses):
+            if rng.random() < enrol_probability:
+                course: Any = f"c{c}"
+                if rng.random() < null_fraction:
+                    course = Null(f"e{s}_{c}")
+                enrolments.append((f"s{s}", course))
+    return Database.from_relations(
+        [
+            Relation.create("Enroll", enrolments or [("s0", "c0")], attributes=("student", "course")),
+            Relation.create("Courses", courses, attributes=("course",)),
+        ]
+    )
+
+
+def random_database(
+    num_relations: int = 2,
+    arity: int = 2,
+    rows_per_relation: int = 5,
+    num_constants: int = 4,
+    num_nulls: int = 2,
+    seed: int = 0,
+) -> Database:
+    """A random naive database with the requested number of distinct nulls.
+
+    Nulls are spread over randomly chosen positions, and the same null can
+    occur several times (so the instances are genuinely naive tables, not
+    Codd tables, unless ``num_nulls`` is large relative to the positions).
+    """
+    rng = random.Random(seed)
+    constants = [f"a{i}" for i in range(num_constants)]
+    nulls = [Null(f"r{seed}_{i}") for i in range(num_nulls)]
+    relations = []
+    null_budget = list(nulls)
+    for r in range(num_relations):
+        rows = []
+        for _ in range(rows_per_relation):
+            row = []
+            for _pos in range(arity):
+                if null_budget and rng.random() < 0.25:
+                    row.append(rng.choice(nulls))
+                else:
+                    row.append(rng.choice(constants))
+            rows.append(tuple(row))
+        relations.append(Relation.create(f"R{r}", rows, arity=arity))
+    db = Database.from_relations(relations)
+    # Guarantee the requested number of *distinct* nulls actually occurs.
+    missing = [n for n in nulls if n not in db.nulls()]
+    if missing:
+        extra_facts = []
+        for i, null in enumerate(missing):
+            row = tuple([null] + [rng.choice(constants) for _ in range(arity - 1)])
+            extra_facts.append((f"R{i % num_relations}", row))
+        db = db.add_facts(extra_facts)
+    return db
+
+
+# ----------------------------------------------------------------------
+# Random query generators
+# ----------------------------------------------------------------------
+def random_positive_query(
+    schema: DatabaseSchema,
+    depth: int = 2,
+    seed: int = 0,
+) -> RAExpression:
+    """A random positive relational-algebra query (UCQ) over ``schema``."""
+    rng = random.Random(seed)
+    names = schema.names()
+
+    def build(level: int) -> RAExpression:
+        if level <= 0 or rng.random() < 0.3:
+            return RelationRef(rng.choice(names))
+        choice = rng.random()
+        child = build(level - 1)
+        child_arity = child.output_schema(schema).arity
+        if choice < 0.25 and child_arity > 1:
+            keep = sorted(rng.sample(range(child_arity), rng.randrange(1, child_arity)))
+            return Projection(child, tuple(keep))
+        if choice < 0.5:
+            position = rng.randrange(child_arity)
+            other = rng.randrange(child_arity)
+            if other == position or rng.random() < 0.5:
+                constant = f"a{rng.randrange(4)}"
+                predicate = Comparison(Attr(position), "=", constant)
+            else:
+                predicate = Comparison(Attr(position), "=", Attr(other))
+            return Selection(child, predicate)
+        other_child = build(level - 1)
+        if choice < 0.75:
+            if other_child.output_schema(schema).arity == child_arity:
+                return Union_(child, other_child)
+            return Product(child, other_child)
+        return Product(child, other_child)
+
+    return build(depth)
+
+
+def random_ra_cwa_query(
+    schema: DatabaseSchema,
+    dividend: str,
+    divisor: str,
+    seed: int = 0,
+) -> RAExpression:
+    """A random ``RA_cwa`` query featuring a division ``dividend ÷ π(divisor)``."""
+    rng = random.Random(seed)
+    dividend_arity = schema.arity(dividend)
+    divisor_arity = schema.arity(divisor)
+    keep = max(1, min(divisor_arity, dividend_arity - 1))
+    divisor_expr: RAExpression = RelationRef(divisor)
+    if divisor_arity > keep:
+        positions = sorted(rng.sample(range(divisor_arity), keep))
+        divisor_expr = Projection(divisor_expr, tuple(positions))
+    query: RAExpression = Division(RelationRef(dividend), divisor_expr)
+    if rng.random() < 0.5:
+        arity = query.output_schema(schema).arity
+        if arity > 1:
+            positions = sorted(rng.sample(range(arity), rng.randrange(1, arity)))
+            query = Projection(query, tuple(positions))
+    return query
+
+
+def random_full_ra_query(
+    schema: DatabaseSchema,
+    seed: int = 0,
+) -> RAExpression:
+    """A random full-RA query containing a difference (outside the safe fragments)."""
+    rng = random.Random(seed)
+    names = schema.names()
+    left_name = rng.choice(names)
+    arity = schema.arity(left_name)
+    compatible = [name for name in names if schema.arity(name) == arity]
+    right_name = rng.choice(compatible)
+    left: RAExpression = RelationRef(left_name)
+    right: RAExpression = RelationRef(right_name)
+    if arity > 1 and rng.random() < 0.5:
+        position = rng.randrange(arity)
+        left = Projection(left, (position,))
+        right = Projection(right, (position,))
+    return Difference(left, right)
+
+
+# ----------------------------------------------------------------------
+# Exchange workloads
+# ----------------------------------------------------------------------
+def order_preferences_source(num_orders: int = 10, seed: int = 0) -> Database:
+    """A source instance for the paper's Order → Cust/Pref mapping."""
+    rng = random.Random(seed)
+    rows = [(f"oid{i}", f"pr{rng.randrange(max(2, num_orders // 2))}") for i in range(num_orders)]
+    schema = DatabaseSchema.from_attributes({"Order": ("o_id", "product")})
+    return Database(schema, {"Order": rows})
+
+
+def chain_mapping(length: int = 2) -> SchemaMapping:
+    """A mapping whose single tgd copies a source edge relation into a target path.
+
+    ``E(x, y) → ∃z₁…z_{length-1}  P(x, z₁), P(z₁, z₂), …, P(z_{length-1}, y)``.
+    Longer chains introduce more existential nulls per trigger, which the
+    chase benchmark sweeps.
+    """
+    source = DatabaseSchema.from_attributes({"E": ("src", "dst")})
+    target = DatabaseSchema.from_attributes({"P": ("src", "dst")})
+    x, y = Variable("x"), Variable("y")
+    intermediates = [Variable(f"z{i}") for i in range(max(0, length - 1))]
+    nodes = [x] + intermediates + [y]
+    head = [MappingAtom("P", (nodes[i], nodes[i + 1])) for i in range(len(nodes) - 1)]
+    rule = TGD(body=[MappingAtom("E", (x, y))], head=head, name=f"chain{length}")
+    return SchemaMapping(source, target, [rule])
+
+
+def random_graph_source(num_nodes: int = 6, num_edges: int = 10, seed: int = 0) -> Database:
+    """A random edge relation used as the source of :func:`chain_mapping`."""
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        edges.add((f"n{rng.randrange(num_nodes)}", f"n{rng.randrange(num_nodes)}"))
+    schema = DatabaseSchema.from_attributes({"E": ("src", "dst")})
+    return Database(schema, {"E": sorted(edges)})
+
+
+# ----------------------------------------------------------------------
+# Graph workloads (Section 7: beyond relations)
+# ----------------------------------------------------------------------
+def random_labelled_graph(
+    num_nodes: int = 8,
+    num_edges: int = 16,
+    labels: Sequence[str] = ("a", "b"),
+    null_node_fraction: float = 0.15,
+    null_label_fraction: float = 0.1,
+    seed: int = 0,
+):
+    """A random incomplete edge-labelled graph.
+
+    A ``null_node_fraction`` of edge endpoints refer to marked null nodes
+    (shared across edges, modelling unknown-but-equal entities) and a
+    ``null_label_fraction`` of edges carry an unknown label.
+    """
+    from ..graphs import IncompleteGraph
+
+    rng = random.Random(seed)
+    constant_nodes = [f"v{i}" for i in range(num_nodes)]
+    null_nodes = [Null(f"g{seed}_n{i}") for i in range(max(1, num_nodes // 4))]
+    edges = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < num_edges * 20:
+        attempts += 1
+        source = rng.choice(null_nodes) if rng.random() < null_node_fraction else rng.choice(constant_nodes)
+        target = rng.choice(null_nodes) if rng.random() < null_node_fraction else rng.choice(constant_nodes)
+        if rng.random() < null_label_fraction:
+            label: Any = Null(f"g{seed}_l{len(edges)}")
+        else:
+            label = rng.choice(list(labels))
+        edges.add((source, label, target))
+    return IncompleteGraph(edges=edges, nodes=constant_nodes)
+
+
+def social_network_graph(
+    num_people: int = 6,
+    num_companies: int = 2,
+    unknown_employer_fraction: float = 0.3,
+    seed: int = 0,
+):
+    """A small social-network graph: ``knows`` edges between people, ``worksFor`` edges to companies.
+
+    A fraction of the ``worksFor`` targets are marked nulls — the employer
+    exists but is not known, the graph analogue of the unpaid-orders
+    example of Section 1.
+    """
+    from ..graphs import IncompleteGraph
+
+    rng = random.Random(seed)
+    people = [f"p{i}" for i in range(num_people)]
+    companies = [f"comp{i}" for i in range(num_companies)]
+    edges = []
+    for i, person in enumerate(people):
+        friend = people[(i + 1) % num_people]
+        edges.append((person, "knows", friend))
+        if rng.random() < 0.5 and num_people > 2:
+            edges.append((person, "knows", people[(i + 2) % num_people]))
+        if rng.random() < unknown_employer_fraction:
+            edges.append((person, "worksFor", Null(f"emp{seed}_{i}")))
+        else:
+            edges.append((person, "worksFor", rng.choice(companies)))
+    return IncompleteGraph(edges=edges, nodes=people + companies)

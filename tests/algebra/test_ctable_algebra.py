@@ -1,0 +1,175 @@
+"""Unit tests for the Imieliński–Lipski algebra on conditional tables."""
+
+import pytest
+
+from repro.algebra import CTableDatabase, ctable_evaluate, parse_ra, predicate_condition
+from repro.algebra.predicates import Attr, Comparison, PAnd, PNot, POr, PTrue
+from repro.datamodel import (
+    ConditionalTable,
+    Database,
+    Eq,
+    FALSE,
+    Null,
+    Or,
+    Relation,
+    RelationSchema,
+    TRUE,
+)
+from repro.semantics import answer_space, default_domain
+
+
+def worlds_from_ctable(table, domain):
+    return table.possible_worlds(domain)
+
+
+def worlds_from_enumeration(query, database, domain):
+    return answer_space(query.evaluate, database, semantics="cwa", domain=domain)
+
+
+def assert_strong_representation(query_text, database):
+    """[[Q̂(T)]]_cwa must equal Q([[T]]_cwa) over the default domain."""
+    query = parse_ra(query_text)
+    domain = default_domain(database)
+    ctable = ctable_evaluate(query, CTableDatabase.from_database(database))
+    assert worlds_from_ctable(ctable, domain) == worlds_from_enumeration(query, database, domain)
+
+
+class TestCTableDatabase:
+    def test_lifting_a_naive_database(self):
+        db = Database.from_dict({"R": [(1, Null("x"))]})
+        ctdb = CTableDatabase.from_database(db)
+        assert len(ctdb) == 1
+        assert len(ctdb["R"]) == 1
+        assert ctdb["R"].rows[0].condition is TRUE
+
+    def test_duplicate_table_rejected(self):
+        table = ConditionalTable.create("R", [((1,), TRUE)])
+        with pytest.raises(ValueError):
+            CTableDatabase([table, table])
+
+    def test_unknown_table(self):
+        ctdb = CTableDatabase([ConditionalTable.create("R", [((1,), TRUE)])])
+        with pytest.raises(KeyError):
+            ctdb.table("S")
+        assert "R" in ctdb
+        assert "S" not in ctdb
+
+    def test_nulls_and_constants(self):
+        bot = Null("b")
+        table = ConditionalTable.create("R", [((1, bot), Eq(bot, 1))])
+        ctdb = CTableDatabase([table])
+        assert ctdb.nulls() == {bot}
+        assert ctdb.constants() == {1}
+        assert bot in ctdb.active_domain()
+
+    def test_global_condition_conjunction(self):
+        bot = Null("b")
+        table = ConditionalTable.create("R", [((1,), TRUE)], global_condition=Eq(bot, 0))
+        other = ConditionalTable.create("S", [((2,), TRUE)])
+        ctdb = CTableDatabase([table, other])
+        assert ctdb.global_condition() == Eq(bot, 0)
+
+
+class TestPredicateCondition:
+    SCHEMA = RelationSchema("R", ("a", "b"))
+
+    def test_equality_with_constant(self):
+        condition = predicate_condition(Comparison(Attr("a"), "=", 1), (Null("x"), 2), self.SCHEMA)
+        assert condition == Eq(Null("x"), 1)
+
+    def test_equality_between_constants_folds(self):
+        assert predicate_condition(Comparison(Attr("a"), "=", 1), (1, 2), self.SCHEMA) is TRUE
+        assert predicate_condition(Comparison(Attr("a"), "=", 9), (1, 2), self.SCHEMA) is FALSE
+
+    def test_boolean_structure(self):
+        predicate = POr(
+            (Comparison(Attr("a"), "=", 1), PNot(Comparison(Attr("b"), "=", 2)))
+        )
+        condition = predicate_condition(predicate, (Null("x"), Null("y")), self.SCHEMA)
+        assert Null("x") in condition.nulls()
+        assert Null("y") in condition.nulls()
+
+    def test_true_predicate(self):
+        assert predicate_condition(PTrue(), (1, 2), self.SCHEMA) is TRUE
+
+    def test_order_comparison_on_null_rejected(self):
+        with pytest.raises(ValueError):
+            predicate_condition(Comparison(Attr("a"), "<", 5), (Null("x"), 2), self.SCHEMA)
+
+    def test_order_comparison_on_constants_folds(self):
+        assert predicate_condition(Comparison(Attr("a"), "<", 5), (1, 2), self.SCHEMA) is TRUE
+
+
+class TestStrongRepresentation:
+    """Every operator must represent Q([[T]]_cwa) exactly (strong representation)."""
+
+    def test_selection(self):
+        db = Database.from_dict({"R": [(Null("x"), 1), (2, 2)]})
+        assert_strong_representation("select[#0 = 2](R)", db)
+
+    def test_selection_on_null_against_constant(self):
+        db = Database.from_dict({"R": [(Null("x"), 1)]})
+        assert_strong_representation("select[#0 = 7](R)", db)
+
+    def test_projection(self):
+        db = Database.from_dict({"R": [(Null("x"), 1), (2, Null("y"))]})
+        assert_strong_representation("project[#1](R)", db)
+
+    def test_product_and_join(self):
+        db = Database.from_dict({"R": [(1, Null("x"))], "S": [(Null("x"),), (3,)]})
+        assert_strong_representation("product(R, S)", db)
+        assert_strong_representation("join(rename[A(a, b)](R), rename[B(b)](S))", db)
+
+    def test_union(self):
+        db = Database.from_dict({"R": [(Null("x"),)], "S": [(1,), (Null("y"),)]})
+        assert_strong_representation("union(R, S)", db)
+
+    def test_intersection(self):
+        db = Database.from_dict({"R": [(Null("x"),), (1,)], "S": [(1,), (2,)]})
+        assert_strong_representation("intersect(R, S)", db)
+
+    def test_difference_paper_example(self):
+        """R = {1, 2}, S = {⊥}: the conditional table of Section 2."""
+        db = Database.from_dict({"R": [(1,), (2,)], "S": [(Null("s"),)]})
+        assert_strong_representation("diff(R, S)", db)
+
+    def test_difference_with_nulls_on_both_sides(self):
+        db = Database.from_dict({"R": [(Null("x"),), (1,)], "S": [(Null("y"),), (2,)]})
+        assert_strong_representation("diff(R, S)", db)
+
+    def test_division(self):
+        db = Database.from_dict(
+            {"R": [("a", 1), ("a", Null("x")), ("b", 1)], "S": [(1,), (2,)]}
+        )
+        assert_strong_representation("divide(R, S)", db)
+
+    def test_composed_query(self):
+        db = Database.from_dict({"R": [(1, Null("x")), (2, 2)], "S": [(Null("x"),)]})
+        assert_strong_representation("project[#0](diff(R, product(S, S)))", db)
+
+
+class TestPaperDifferenceTable:
+    def test_conditional_answer_table_structure(self):
+        """The answer c-table for R − S contains conditionally present 1 and 2."""
+        db = Database.from_dict({"R": [(1,), (2,)], "S": [(Null("s"),)]})
+        ctable = ctable_evaluate(parse_ra("diff(R, S)"), CTableDatabase.from_database(db))
+        values = sorted(row.values for row in ctable)
+        assert values == [(1,), (2,)]
+        # Neither tuple is unconditional: each carries a ⊥ ≠ c condition.
+        assert all(row.condition is not TRUE for row in ctable)
+        domain = default_domain(db)
+        assert ctable.certain_rows(domain) == set()
+        assert ctable.possible_rows(domain) == {(1,), (2,)}
+
+    def test_disjunctive_input_table(self):
+        """Evaluating over a genuinely conditional input (the 0-or-1 table)."""
+        bot = Null("b")
+        table = ConditionalTable.create(
+            "C",
+            [((1,), Eq(bot, 1)), ((0,), Eq(bot, 0))],
+            global_condition=Or((Eq(bot, 0), Eq(bot, 1))),
+        )
+        ctdb = CTableDatabase([table])
+        result = ctable_evaluate(parse_ra("select[#0 = 1](C)"), ctdb)
+        worlds = result.possible_worlds([0, 1, 2])
+        assert worlds == {frozenset(), frozenset({(1,)})}

@@ -1,0 +1,172 @@
+"""Unit tests for selection predicates (two-valued and three-valued)."""
+
+import pytest
+
+from repro.algebra import Attr, Comparison, Const, PAnd, PNot, POr, PTrue, eq, neq
+from repro.algebra.predicates import attr, const, kleene_and, kleene_not, kleene_or
+from repro.datamodel import Null, RelationSchema
+
+
+SCHEMA = RelationSchema("R", ("a", "b", "c"))
+
+
+class TestTerms:
+    def test_attr_resolution_by_name_and_position(self):
+        assert Attr("b").resolve(SCHEMA) == 1
+        assert Attr(2).resolve(SCHEMA) == 2
+        assert Attr("a").value((10, 20, 30), SCHEMA) == 10
+
+    def test_const_rejects_none(self):
+        with pytest.raises(TypeError):
+            Const(None)
+
+    def test_shorthands(self):
+        assert attr("a") == Attr("a")
+        assert const(5) == Const(5)
+
+
+class TestComparisonTwoValued:
+    def test_equality_between_attribute_and_constant(self):
+        predicate = Comparison(Attr("a"), "=", Const(10))
+        assert predicate.holds((10, 20, 30), SCHEMA)
+        assert not predicate.holds((11, 20, 30), SCHEMA)
+
+    def test_raw_values_coerced_to_constants(self):
+        predicate = Comparison(Attr("a"), "=", 10)
+        assert predicate.holds((10, 0, 0), SCHEMA)
+
+    def test_attribute_to_attribute(self):
+        predicate = Comparison(Attr("a"), "=", Attr("b"))
+        assert predicate.holds((5, 5, 0), SCHEMA)
+        assert not predicate.holds((5, 6, 0), SCHEMA)
+
+    def test_order_comparisons(self):
+        predicate = Comparison(Attr("a"), "<", Attr("b"))
+        assert predicate.holds((1, 2, 0), SCHEMA)
+        assert not predicate.holds((3, 2, 0), SCHEMA)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(Attr("a"), "~", Const(1))
+
+    def test_naive_equality_on_nulls(self):
+        """Under naive evaluation a null equals itself and nothing else."""
+        null = Null("x")
+        same = Comparison(Attr("a"), "=", Attr("b"))
+        assert same.holds((null, null, 0), SCHEMA)
+        assert not same.holds((null, Null("y"), 0), SCHEMA)
+        assert not Comparison(Attr("a"), "=", Const(1)).holds((null, 0, 0), SCHEMA)
+
+    def test_order_comparison_on_null_raises(self):
+        null = Null("x")
+        with pytest.raises(TypeError):
+            Comparison(Attr("a"), "<", Const(1)).holds((null, 0, 0), SCHEMA)
+
+    def test_negate(self):
+        assert Comparison(Attr("a"), "<", Const(1)).negate().op == ">="
+        assert Comparison(Attr("a"), "=", Const(1)).negate().op == "!="
+
+    def test_classification(self):
+        assert Comparison(Attr("a"), "=", Const(1)).is_positive()
+        assert not Comparison(Attr("a"), "!=", Const(1)).is_positive()
+        assert Comparison(Attr("a"), "!=", Const(1)).is_equality_only()
+        assert not Comparison(Attr("a"), "<", Const(1)).is_equality_only()
+
+    def test_metadata(self):
+        predicate = Comparison(Attr("a"), "=", Const(1))
+        assert predicate.attributes() == {"a"}
+        assert predicate.constants() == {1}
+
+
+class TestComparisonThreeValued:
+    def test_null_operand_gives_unknown(self):
+        null = Null("x")
+        predicate = Comparison(Attr("a"), "=", Const(1))
+        assert predicate.holds3((null, 0, 0), SCHEMA) is None
+        assert predicate.holds3((1, 0, 0), SCHEMA) is True
+        assert predicate.holds3((2, 0, 0), SCHEMA) is False
+
+    def test_order_comparison_with_null_is_unknown(self):
+        null = Null("x")
+        predicate = Comparison(Attr("a"), "<", Const(1))
+        assert predicate.holds3((null, 0, 0), SCHEMA) is None
+
+    def test_null_to_null_comparison_is_unknown_in_sql(self):
+        """SQL: NULL = NULL is unknown, even for the 'same' null."""
+        null = Null("x")
+        predicate = Comparison(Attr("a"), "=", Attr("b"))
+        assert predicate.holds3((null, null, 0), SCHEMA) is None
+
+
+class TestConnectives:
+    def test_and_or_not_two_valued(self):
+        p = Comparison(Attr("a"), "=", Const(1))
+        q = Comparison(Attr("b"), "=", Const(2))
+        assert PAnd((p, q)).holds((1, 2, 0), SCHEMA)
+        assert not PAnd((p, q)).holds((1, 3, 0), SCHEMA)
+        assert POr((p, q)).holds((1, 3, 0), SCHEMA)
+        assert not POr((p, q)).holds((0, 3, 0), SCHEMA)
+        assert PNot(p).holds((0, 0, 0), SCHEMA)
+        assert PTrue().holds((0, 0, 0), SCHEMA)
+
+    def test_three_valued_connectives_follow_kleene(self):
+        null = Null("x")
+        p = Comparison(Attr("a"), "=", Const(1))  # unknown on null
+        q = Comparison(Attr("b"), "=", Const(2))
+        row_unknown_true = (null, 2, 0)
+        row_unknown_false = (null, 3, 0)
+        assert PAnd((p, q)).holds3(row_unknown_true, SCHEMA) is None
+        assert PAnd((p, q)).holds3(row_unknown_false, SCHEMA) is False
+        assert POr((p, q)).holds3(row_unknown_true, SCHEMA) is True
+        assert POr((p, q)).holds3(row_unknown_false, SCHEMA) is None
+        assert PNot(p).holds3(row_unknown_true, SCHEMA) is None
+
+    def test_grant_example_tautology_is_unknown(self):
+        """order = 'oid1' OR order <> 'oid1' is unknown on a null (Section 1)."""
+        predicate = POr(
+            (
+                Comparison(Attr("a"), "=", Const("oid1")),
+                Comparison(Attr("a"), "!=", Const("oid1")),
+            )
+        )
+        assert predicate.holds3((Null("o"), 0, 0), SCHEMA) is None
+        assert predicate.holds3(("oid1", 0, 0), SCHEMA) is True
+        assert predicate.holds3(("oid2", 0, 0), SCHEMA) is True
+
+    def test_classification_propagates(self):
+        p = Comparison(Attr("a"), "=", Const(1))
+        assert PAnd((p, p)).is_positive()
+        assert not PNot(p).is_positive()
+        assert POr((p, PNot(p))).is_equality_only()
+
+    def test_attribute_and_constant_collection(self):
+        p = Comparison(Attr("a"), "=", Const(1))
+        q = Comparison(Attr("b"), "=", Const(2))
+        assert PAnd((p, q)).attributes() == {"a", "b"}
+        assert POr((p, q)).constants() == {1, 2}
+
+    def test_operator_sugar(self):
+        p = eq(Attr("a"), 1)
+        q = neq(Attr("b"), 2)
+        assert (p & q).holds((1, 3, 0), SCHEMA)
+        assert (p | q).holds((0, 2, 0), SCHEMA) is False
+        assert (~p).holds((0, 0, 0), SCHEMA)
+
+
+class TestKleeneHelpers:
+    def test_kleene_and(self):
+        assert kleene_and([True, True]) is True
+        assert kleene_and([True, None]) is None
+        assert kleene_and([False, None]) is False
+        assert kleene_and([]) is True
+
+    def test_kleene_or(self):
+        assert kleene_or([False, False]) is False
+        assert kleene_or([False, None]) is None
+        assert kleene_or([True, None]) is True
+        assert kleene_or([]) is False
+
+    def test_kleene_not(self):
+        assert kleene_not(True) is False
+        assert kleene_not(False) is True
+        assert kleene_not(None) is None

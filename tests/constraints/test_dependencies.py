@@ -1,0 +1,159 @@
+"""Unit tests for functional dependencies over incomplete relations."""
+
+import pytest
+
+from repro.constraints import ConstraintSet, FunctionalDependency, key
+from repro.datamodel import Database, Null, Relation
+from repro.semantics import cwa_worlds, default_domain
+
+
+def fd(lhs, rhs):
+    return FunctionalDependency("R", lhs, rhs)
+
+
+def db(rows, attributes=("a", "b", "c")):
+    return Database.from_relations([Relation.create("R", rows, attributes=attributes)])
+
+
+def certain_by_enumeration(dependency, database):
+    return all(dependency.satisfied_naively(world) for world in cwa_worlds(database))
+
+
+def possible_by_enumeration(dependency, database):
+    return any(dependency.satisfied_naively(world) for world in cwa_worlds(database))
+
+
+class TestConstruction:
+    def test_str(self):
+        dependency = fd(("a",), ("b", "c"))
+        assert "R" in str(dependency) and "→" in str(dependency)
+
+    def test_rhs_required(self):
+        with pytest.raises(ValueError):
+            fd(("a",), ())
+
+    def test_key_helper(self):
+        constraint = key("R", ("a",), ("a", "b", "c"))
+        assert constraint.lhs == ("a",)
+        assert set(constraint.rhs) == {"b", "c"}
+        with pytest.raises(ValueError):
+            key("R", ("a", "b"), ("a", "b"))
+
+
+class TestCompleteRelations:
+    def test_satisfied(self):
+        database = db([(1, 2, 3), (2, 2, 4)])
+        assert fd(("a",), ("b",)).satisfied_naively(database)
+        assert fd(("a",), ("b",)).satisfied_certainly(database)
+        assert fd(("a",), ("b",)).satisfied_possibly(database)
+
+    def test_violated(self):
+        database = db([(1, 2, 3), (1, 5, 3)])
+        dependency = fd(("a",), ("b",))
+        assert not dependency.satisfied_naively(database)
+        assert not dependency.satisfied_certainly(database)
+        assert not dependency.satisfied_possibly(database)
+        assert len(dependency.violating_pairs(database)) == 1
+
+    def test_positional_attributes(self):
+        database = db([(1, 2, 3), (1, 2, 9)])
+        assert FunctionalDependency("R", (0,), (1,)).satisfied_naively(database)
+        assert not FunctionalDependency("R", (0,), (2,)).satisfied_naively(database)
+
+    def test_empty_lhs_means_constancy(self):
+        constant_column = db([(1, 7, 3), (2, 7, 4)])
+        varying_column = db([(1, 7, 3), (2, 8, 4)])
+        dependency = fd((), ("b",))
+        assert dependency.satisfied_naively(constant_column)
+        assert not dependency.satisfied_naively(varying_column)
+
+
+class TestIncompleteRelations:
+    def test_null_breaks_certainty_but_not_possibility(self):
+        database = db([(1, 2, 3), (1, Null("x"), 4)])
+        dependency = fd(("a",), ("b",))
+        # Naive equality sees ⊥ ≠ 2, so naive checking reports a violation ...
+        assert not dependency.satisfied_naively(database)
+        # ... and indeed the FD fails in the worlds where ⊥ ≠ 2 ...
+        assert not dependency.satisfied_certainly(database)
+        # ... but the world ⊥ = 2 satisfies it, so it is possibly satisfied.
+        assert dependency.satisfied_possibly(database)
+
+    def test_nulls_on_the_left_hand_side(self):
+        database = db([(Null("x"), 2, 3), (1, 5, 4)])
+        dependency = fd(("a",), ("b",))
+        # ⊥ = 1 creates a violation, ⊥ ≠ 1 avoids it
+        assert not dependency.satisfied_certainly(database)
+        assert dependency.satisfied_possibly(database)
+
+    def test_forced_violation_is_not_even_possible(self):
+        database = db([(1, 2, 3), (1, 4, Null("x"))])
+        dependency = fd(("a",), ("b",))
+        assert not dependency.satisfied_possibly(database)
+
+    def test_same_null_on_both_sides_is_certainly_fine(self):
+        shared = Null("s")
+        database = db([(1, shared, 3), (1, shared, 4)])
+        dependency = fd(("a",), ("b",))
+        assert dependency.satisfied_certainly(database)
+
+    def test_rhs_forced_equal_by_lhs_unification(self):
+        """If unifying the LHS forces the RHS values together, no world violates."""
+        x = Null("x")
+        database = db([(x, x, 1), (2, 2, 1)], attributes=("a", "b", "c"))
+        dependency = FunctionalDependency("R", ("a",), ("b",))
+        # LHS unify forces x = 2, which also makes the b-values equal.
+        assert dependency.satisfied_certainly(database)
+
+    def test_shared_null_pulled_in_two_directions(self):
+        """A single marked null cannot satisfy two incompatible equalities."""
+        x = Null("x")
+        database = db(
+            [(1, x, 0), (1, 2, 0), (5, x, 0), (5, 3, 0)], attributes=("a", "b", "c")
+        )
+        dependency = fd(("a",), ("b",))
+        # satisfying both pairs needs x = 2 and x = 3 simultaneously
+        assert not dependency.satisfied_possibly(database)
+        assert not dependency.satisfied_certainly(database)
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            [(1, 2, 3), (1, Null("x"), 4)],
+            [(Null("x"), 2, 3), (1, 5, 4)],
+            [(1, 2, 3), (1, 4, 5)],
+            [(1, Null("x"), 3), (1, Null("y"), 4)],
+            [(Null("x"), Null("x"), 1), (2, 3, 1)],
+        ],
+    )
+    def test_certain_and_possible_match_world_enumeration(self, rows):
+        database = db(rows)
+        dependency = fd(("a",), ("b",))
+        assert dependency.satisfied_certainly(database) == certain_by_enumeration(
+            dependency, database
+        )
+        assert dependency.satisfied_possibly(database) == possible_by_enumeration(
+            dependency, database
+        )
+
+
+class TestConstraintSet:
+    def test_bulk_checks_and_report(self):
+        database = db([(1, 2, 3), (1, Null("x"), 4), (5, 6, 7), (5, 8, 7)])
+        constraints = ConstraintSet([fd(("a",), ("b",)), fd(("a",), ("c",))])
+        constraints.add(fd(("c",), ("a",)))
+        assert len(constraints) == 3
+        assert not constraints.satisfied_certainly(database)
+        report = dict(constraints.report(database))
+        assert report[fd(("a",), ("b",))] == "violated"  # (5,6,7) vs (5,8,7)
+        # a→c: tuples (1,2,3),(1,⊥,4) agree on a but differ on c (two constants).
+        assert report[fd(("a",), ("c",))] == "violated"
+
+    def test_report_levels(self):
+        database = db([(1, 2, 3), (1, Null("x"), 3), (7, 8, 9)])
+        constraints = ConstraintSet([fd(("a",), ("b",)), fd(("a",), ("c",))])
+        report = dict(constraints.report(database))
+        assert report[fd(("a",), ("b",))] == "possible"
+        assert report[fd(("a",), ("c",))] == "certain"
+        assert constraints.satisfied_possibly(database)
+        assert not constraints.satisfied_certainly(database)

@@ -1,0 +1,116 @@
+"""Unit tests for certainO / certainK (Section 5.3) and the intersection critique."""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.core import (
+    CWA_ORDERING,
+    OWA_ORDERING,
+    certain_answer_object,
+    certain_knowledge_formula,
+    intersection_object,
+    is_certain_knowledge,
+    is_certain_object,
+    is_lower_bound,
+    knowledge_includes,
+    theory_of,
+)
+from repro.datamodel import Database, Null, Relation
+from repro.logic import atom, delta_cwa, delta_owa, exists, var
+from repro.semantics import cwa_worlds, default_domain
+
+
+@pytest.fixture
+def paper_r():
+    """R = {(1,2), (2,⊥)} from Section 6."""
+    return Database.from_dict({"R": [(1, 2), (2, Null("x"))]})
+
+
+def answer_databases(query, database):
+    """Q(D') for every CWA world D', wrapped back into one-relation databases."""
+    return [
+        Database.from_relations([query.evaluate(world).rename("__answer__")])
+        for world in cwa_worlds(database)
+    ]
+
+
+class TestCertainObject:
+    def test_naive_answer_is_owa_glb(self, paper_r):
+        query = parse_ra("R")
+        answers = answer_databases(query, paper_r)
+        naive_object = Database.from_relations(
+            [certain_answer_object(query, paper_r).rename("__answer__")]
+        )
+        intersection = intersection_object(answers)
+        assert is_certain_object(naive_object, answers, OWA_ORDERING, competitors=[intersection])
+
+    def test_naive_answer_is_cwa_glb(self, paper_r):
+        query = parse_ra("R")
+        answers = answer_databases(query, paper_r)
+        naive_object = Database.from_relations(
+            [certain_answer_object(query, paper_r).rename("__answer__")]
+        )
+        assert is_certain_object(naive_object, answers, CWA_ORDERING, competitors=[])
+
+    def test_intersection_is_not_even_a_cwa_lower_bound(self, paper_r):
+        """The paper's critique: {(1,2)} is not ⊑_cwa below any Q(R'), R' ∈ [[R]]_cwa."""
+        query = parse_ra("R")
+        answers = answer_databases(query, paper_r)
+        intersection = intersection_object(answers)
+        assert intersection is not None
+        assert not is_lower_bound(intersection, answers, CWA_ORDERING)
+        assert not any(CWA_ORDERING(intersection, answer) for answer in answers)
+
+    def test_intersection_is_an_owa_lower_bound_but_not_greatest(self, paper_r):
+        query = parse_ra("R")
+        answers = answer_databases(query, paper_r)
+        intersection = intersection_object(answers)
+        naive_object = Database.from_relations(
+            [certain_answer_object(query, paper_r).rename("__answer__")]
+        )
+        assert is_lower_bound(intersection, answers, OWA_ORDERING)
+        assert not is_certain_object(
+            intersection, answers, OWA_ORDERING, competitors=[naive_object]
+        )
+
+    def test_intersection_object_requires_common_schema(self):
+        left = Database.from_dict({"R": [(1,)]})
+        right = Database.from_dict({"S": [(1,)]})
+        with pytest.raises(ValueError):
+            intersection_object([left, right])
+        assert intersection_object([]) is None
+
+    def test_certain_object_of_singleton_is_itself(self, paper_r):
+        assert is_certain_object(paper_r, [paper_r], CWA_ORDERING, competitors=[])
+
+
+class TestCertainKnowledge:
+    def test_certain_knowledge_of_semantics_is_delta(self, paper_r):
+        for semantics, delta_fn in (("owa", delta_owa), ("cwa", delta_cwa)):
+            formula = certain_knowledge_formula(paper_r, semantics)
+            assert str(formula) == str(delta_fn(paper_r))
+
+    def test_delta_holds_in_every_represented_world(self, paper_r):
+        formula = certain_knowledge_formula(paper_r, "cwa")
+        worlds = list(cwa_worlds(paper_r))
+        assert knowledge_includes(formula, worlds)
+
+    def test_is_certain_knowledge_against_weaker_competitors(self, paper_r):
+        formula = certain_knowledge_formula(paper_r, "cwa")
+        worlds = list(cwa_worlds(paper_r))
+        # A weaker formula that is also true everywhere must be implied on the pool.
+        weaker = exists(var("x"), atom("R", 1, var("x")))
+        candidates = worlds + [Database.from_dict({"R": [(9, 9)]})]
+        assert is_certain_knowledge(formula, worlds, candidates, competitors=[weaker])
+
+    def test_is_certain_knowledge_rejects_unsound_formula(self, paper_r):
+        unsound = exists(var("x"), atom("R", 3, var("x")))
+        worlds = list(cwa_worlds(paper_r))
+        assert not is_certain_knowledge(unsound, worlds, worlds)
+
+    def test_theory_of(self, paper_r):
+        worlds = list(cwa_worlds(paper_r))
+        true_everywhere = exists(var("x"), atom("R", 1, var("x")))
+        false_somewhere = exists(var("x"), atom("R", 3, var("x")))
+        theory = theory_of(worlds, [true_everywhere, false_somewhere])
+        assert theory == [true_everywhere]

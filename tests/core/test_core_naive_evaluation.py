@@ -1,0 +1,147 @@
+"""Unit tests for naive-evaluation applicability and the semantic criteria."""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.core import (
+    is_generic_on,
+    is_monotone_on,
+    is_preserved_under_homomorphisms,
+    naive_evaluation_applies,
+)
+from repro.datamodel import Database, Null, Relation
+from repro.homomorphisms import all_homomorphisms
+from repro.logic import FOQuery, Implies, Not, atom, conj, exists, forall, ra_to_calculus, var
+from repro.workloads import random_database
+
+
+X, Y = var("x"), var("y")
+
+
+class TestSyntacticApplicability:
+    def test_positive_ra_applies_under_both_semantics(self):
+        query = parse_ra("project[#0](select[#1 = 'a'](R))")
+        assert naive_evaluation_applies(query, "owa").applies
+        assert naive_evaluation_applies(query, "cwa").applies
+
+    def test_division_applies_only_under_cwa(self):
+        query = parse_ra("divide(R, S)")
+        assert naive_evaluation_applies(query, "cwa").applies
+        assert not naive_evaluation_applies(query, "owa").applies
+
+    def test_difference_never_guaranteed(self):
+        query = parse_ra("diff(R, S)")
+        assert not naive_evaluation_applies(query, "cwa").applies
+        assert not naive_evaluation_applies(query, "owa").applies
+
+    def test_fo_queries(self):
+        ucq = FOQuery(exists((X, Y), atom("R", X, Y)))
+        guarded = FOQuery(forall((X, Y), Implies(atom("R", X, Y), atom("S", X))))
+        negated = FOQuery(Not(exists((X, Y), atom("R", X, Y))))
+        assert naive_evaluation_applies(ucq, "owa").applies
+        assert naive_evaluation_applies(ucq, "cwa").applies
+        assert naive_evaluation_applies(guarded, "cwa").applies
+        assert not naive_evaluation_applies(guarded, "owa").applies
+        assert not naive_evaluation_applies(negated, "cwa").applies
+
+    def test_verdict_carries_reason_and_fragment(self):
+        verdict = naive_evaluation_applies(parse_ra("divide(R, S)"), "cwa")
+        assert verdict.fragment == "ra_cwa"
+        assert "CWA" in verdict.reason
+        assert bool(verdict) is True
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            naive_evaluation_applies(parse_ra("R"), "nonsense")
+        with pytest.raises(TypeError):
+            naive_evaluation_applies("not a query", "cwa")  # type: ignore[arg-type]
+
+
+class TestMonotonicity:
+    def _ordered_pairs(self):
+        smaller = Database.from_dict({"R": [(1, Null("x"))], "S": [(Null("x"),)]})
+        larger = Database.from_dict({"R": [(1, 5)], "S": [(5,)]})
+        even_larger = larger.add_facts([("R", (7, 7))])
+        return [(smaller, larger), (larger, even_larger), (smaller, even_larger)]
+
+    def test_positive_query_is_monotone_owa(self):
+        query = parse_ra("project[#0](R)")
+        assert is_monotone_on(query, self._ordered_pairs(), input_semantics="owa")
+
+    def test_difference_not_monotone_owa(self):
+        query = parse_ra("diff(project[#0](R), S)")
+        smaller = Database.from_relations(
+            [
+                Relation.create("R", [(1, 2)]),
+                Relation.create("S", [], arity=1),
+            ]
+        )
+        larger = smaller.add_facts([("S", (1,))])
+        assert not is_monotone_on(query, [(smaller, larger)], input_semantics="owa")
+
+    def test_unordered_pairs_are_skipped(self):
+        query = parse_ra("R")
+        left = Database.from_dict({"R": [(1, 2)], "S": [(1,)]})
+        right = Database.from_dict({"R": [(3, 4)], "S": [(2,)]})
+        assert is_monotone_on(query, [(left, right)], input_semantics="owa")
+
+
+class TestPreservation:
+    def _hom_pairs(self, strong_onto=False):
+        pairs = []
+        for seed in range(4):
+            source = random_database(num_nulls=2, rows_per_relation=3, seed=seed)
+            target = random_database(num_nulls=0, rows_per_relation=3, seed=seed + 10)
+            for hom in all_homomorphisms(source, target, strong_onto=strong_onto, limit=3):
+                pairs.append((source, target, hom))
+            pairs.append((source, source.map_values(lambda v: v), _identity_hom()))
+        return pairs
+
+    def test_ucq_preserved_under_homomorphisms(self):
+        query = FOQuery(exists((X, Y), conj(atom("R0", X, Y), atom("R1", Y, X))))
+        assert is_preserved_under_homomorphisms(query, self._hom_pairs())
+
+    def test_negated_query_not_preserved(self):
+        query = FOQuery(Not(exists((X, Y), atom("R0", X, Y))))
+        source = Database.from_relations(
+            [
+                Relation.create("R0", [], arity=2),
+                Relation.create("R1", [(1, 1)]),
+            ]
+        )
+        target = source.add_facts([("R0", (1, 1))])
+        pairs = [(source, target, _identity_hom())]
+        assert not is_preserved_under_homomorphisms(query, pairs)
+
+    def test_boolean_query_required(self):
+        query = FOQuery(atom("R0", X, Y), (X, Y))
+        with pytest.raises(ValueError):
+            is_preserved_under_homomorphisms(query, [])
+
+
+class TestGenericity:
+    def test_relational_query_is_generic(self):
+        db = random_database(num_nulls=1, seed=5)
+        query = parse_ra("project[#0](R0)")
+
+        def swap(value):
+            mapping = {"a0": "a1", "a1": "a0"}
+            return mapping.get(value, value)
+
+        assert is_generic_on(query, db, [swap])
+
+    def test_constant_mentioning_query_is_not_generic_for_that_constant(self):
+        db = Database.from_dict({"R0": [("a0", "a1")]})
+        query = parse_ra("select[#0 = 'a0'](R0)")
+
+        def swap(value):
+            mapping = {"a0": "a1", "a1": "a0"}
+            return mapping.get(value, value)
+
+        assert not is_generic_on(query, db, [swap])
+
+
+def _identity_hom():
+    from repro.homomorphisms import Homomorphism
+
+    return Homomorphism({})

@@ -1,0 +1,97 @@
+"""Unit tests for consistent query answering over repairs."""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.constraints import FunctionalDependency
+from repro.cqa import (
+    consistent_answers,
+    consistent_boolean,
+    possible_answers_over_repairs,
+    repair_semantics,
+)
+from repro.datamodel import Database, Relation
+
+
+@pytest.fixture
+def person_key():
+    return FunctionalDependency("Person", ("name",), ("city",))
+
+
+@pytest.fixture
+def inconsistent_db():
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Person",
+                [("ann", "paris"), ("ann", "rome"), ("bob", "oslo")],
+                attributes=("name", "city"),
+            )
+        ]
+    )
+
+
+def _names_query(db):
+    return parse_ra("project[#0](Person)").evaluate(db)
+
+
+def _full_query(db):
+    return parse_ra("Person").evaluate(db)
+
+
+class TestRepairSemantics:
+    def test_repair_semantics_is_the_set_of_repairs(self, inconsistent_db, person_key):
+        worlds = repair_semantics(inconsistent_db, person_key)
+        assert len(worlds) == 2
+        assert all(world.size() == 2 for world in worlds)
+
+    def test_consistent_database_has_one_world(self, person_key):
+        clean = Database.from_relations(
+            [Relation.create("Person", [("ann", "paris")], attributes=("name", "city"))]
+        )
+        assert repair_semantics(clean, person_key) == [clean]
+
+
+class TestConsistentAnswers:
+    def test_name_projection_is_consistently_answerable(self, inconsistent_db, person_key):
+        answer = consistent_answers(_names_query, inconsistent_db, person_key)
+        assert answer.rows == {("ann",), ("bob",)}
+
+    def test_conflicting_tuples_are_not_consistent_answers(self, inconsistent_db, person_key):
+        answer = consistent_answers(_full_query, inconsistent_db, person_key)
+        assert answer.rows == {("bob", "oslo")}
+
+    def test_possible_answers_keep_both_alternatives(self, inconsistent_db, person_key):
+        answer = possible_answers_over_repairs(_full_query, inconsistent_db, person_key)
+        assert answer.rows == {("ann", "paris"), ("ann", "rome"), ("bob", "oslo")}
+
+    def test_consistent_answers_on_a_consistent_database_are_plain_answers(self, person_key):
+        clean = Database.from_relations(
+            [
+                Relation.create(
+                    "Person", [("ann", "paris"), ("bob", "oslo")], attributes=("name", "city")
+                )
+            ]
+        )
+        assert consistent_answers(_full_query, clean, person_key).rows == _full_query(clean).rows
+
+    def test_consistent_answers_are_contained_in_every_repair_answer(
+        self, inconsistent_db, person_key
+    ):
+        consistent = consistent_answers(_full_query, inconsistent_db, person_key).rows
+        for repair in repair_semantics(inconsistent_db, person_key):
+            assert consistent <= _full_query(repair).rows
+
+    def test_boolean_queries(self, inconsistent_db, person_key):
+        ann_exists = lambda db: ("ann",) in parse_ra("project[#0](Person)").evaluate(db).rows
+        ann_in_paris = lambda db: ("ann", "paris") in db.relation("Person").rows
+        assert consistent_boolean(ann_exists, inconsistent_db, person_key)
+        assert not consistent_boolean(ann_in_paris, inconsistent_db, person_key)
+
+    def test_empty_answer_schema_is_preserved(self, person_key):
+        clean = Database.from_relations(
+            [Relation.create("Person", [], attributes=("name", "city"))]
+        )
+        answer = consistent_answers(_full_query, clean, person_key)
+        assert len(answer) == 0
+        assert answer.arity == 2

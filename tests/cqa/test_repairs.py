@@ -1,0 +1,141 @@
+"""Unit tests for conflict detection and subset repairs."""
+
+import pytest
+
+from repro.constraints import ConstraintSet, FunctionalDependency, key
+from repro.cqa import (
+    conflict_graph,
+    conflicting_facts,
+    count_repairs,
+    is_consistent,
+    repairs,
+)
+from repro.datamodel import Database, Null, Relation
+
+
+@pytest.fixture
+def person_key():
+    """Key constraint: a person lives in a single city."""
+    return FunctionalDependency("Person", ("name",), ("city",))
+
+
+@pytest.fixture
+def inconsistent_db():
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Person",
+                [("ann", "paris"), ("ann", "rome"), ("bob", "oslo")],
+                attributes=("name", "city"),
+            )
+        ]
+    )
+
+
+class TestConflictDetection:
+    def test_conflicts_found(self, inconsistent_db, person_key):
+        conflicts = conflicting_facts(inconsistent_db, person_key)
+        assert len(conflicts) == 1
+        first, second = conflicts[0].facts()
+        assert {first[1], second[1]} == {("ann", "paris"), ("ann", "rome")}
+
+    def test_consistent_database_has_no_conflicts(self, person_key):
+        clean = Database.from_relations(
+            [Relation.create("Person", [("ann", "paris"), ("bob", "oslo")], attributes=("name", "city"))]
+        )
+        assert is_consistent(clean, person_key)
+        assert conflict_graph(clean, person_key) == {}
+
+    def test_constraint_set_and_single_fd_are_both_accepted(self, inconsistent_db, person_key):
+        as_set = ConstraintSet([person_key])
+        assert len(conflicting_facts(inconsistent_db, as_set)) == 1
+        assert len(conflicting_facts(inconsistent_db, [person_key])) == 1
+
+    def test_invalid_violation_mode(self, inconsistent_db, person_key):
+        with pytest.raises(ValueError):
+            conflicting_facts(inconsistent_db, person_key, violation="open")
+
+    def test_certain_violation_mode_ignores_null_conflicts(self, person_key):
+        maybe = Database.from_relations(
+            [
+                Relation.create(
+                    "Person",
+                    [("ann", "paris"), ("ann", Null("c"))],
+                    attributes=("name", "city"),
+                )
+            ]
+        )
+        # Naively the two tuples disagree on city; but the null may well be
+        # 'paris', so the violation is not certain.
+        assert len(conflicting_facts(maybe, person_key, violation="naive")) == 1
+        assert conflicting_facts(maybe, person_key, violation="certain") == []
+
+    def test_certain_violation_mode_keeps_constant_conflicts(self, inconsistent_db, person_key):
+        assert len(conflicting_facts(inconsistent_db, person_key, violation="certain")) == 1
+
+
+class TestRepairs:
+    def test_consistent_database_is_its_own_repair(self, person_key):
+        clean = Database.from_relations(
+            [Relation.create("Person", [("ann", "paris")], attributes=("name", "city"))]
+        )
+        assert repairs(clean, person_key) == [clean]
+
+    def test_two_repairs_for_one_key_conflict(self, inconsistent_db, person_key):
+        result = repairs(inconsistent_db, person_key)
+        assert len(result) == 2
+        cities = {
+            tuple(sorted(row[1] for row in repair.relation("Person"))) for repair in result
+        }
+        assert cities == {("oslo", "paris"), ("oslo", "rome")}
+
+    def test_safe_facts_appear_in_every_repair(self, inconsistent_db, person_key):
+        for repair in repairs(inconsistent_db, person_key):
+            assert ("bob", "oslo") in repair.relation("Person").rows
+
+    def test_every_repair_is_consistent_and_maximal(self, inconsistent_db, person_key):
+        all_repairs = repairs(inconsistent_db, person_key)
+        all_facts = set(inconsistent_db.facts())
+        for repair in all_repairs:
+            assert is_consistent(repair, person_key)
+            missing = all_facts - set(repair.facts())
+            for fact in missing:
+                extended = repair.add_facts([fact])
+                assert not is_consistent(extended, person_key), "repair is not maximal"
+
+    def test_repair_count_is_exponential_in_independent_conflicts(self, person_key):
+        rows = []
+        for i in range(4):
+            rows.append((f"p{i}", "cityA"))
+            rows.append((f"p{i}", "cityB"))
+        db = Database.from_relations(
+            [Relation.create("Person", rows, attributes=("name", "city"))]
+        )
+        assert count_repairs(db, person_key) == 2 ** 4
+
+    def test_three_way_conflict_yields_three_repairs(self, person_key):
+        db = Database.from_relations(
+            [
+                Relation.create(
+                    "Person",
+                    [("ann", "paris"), ("ann", "rome"), ("ann", "oslo")],
+                    attributes=("name", "city"),
+                )
+            ]
+        )
+        result = repairs(db, person_key)
+        assert len(result) == 3
+        assert all(len(r.relation("Person")) == 1 for r in result)
+
+    def test_multiple_relations_and_key_helper(self):
+        emp_key = key("Emp", ("id",), ("id", "dept"))
+        db = Database.from_relations(
+            [
+                Relation.create("Emp", [(1, "hr"), (1, "it"), (2, "hr")], attributes=("id", "dept")),
+                Relation.create("Dept", [("hr",), ("it",)], attributes=("dept",)),
+            ]
+        )
+        result = repairs(db, emp_key)
+        assert len(result) == 2
+        for repair in result:
+            assert len(repair.relation("Dept")) == 2

@@ -1,0 +1,163 @@
+"""Unit tests for incomplete database instances."""
+
+import pytest
+
+from repro.datamodel import Database, DatabaseSchema, Null, Relation
+from repro.datamodel.database import facts_with_nulls
+
+
+@pytest.fixture
+def orders_db():
+    return Database.from_dict(
+        {
+            "Order": [("oid1", "pr1"), ("oid2", "pr2")],
+            "Pay": [("pid1", Null("o"), 100)],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict_infers_schema(self, orders_db):
+        assert orders_db.schema.arity("Order") == 2
+        assert orders_db.schema.arity("Pay") == 3
+
+    def test_from_relations(self):
+        db = Database.from_relations([Relation.create("R", [(1,)])])
+        assert db.relation("R").rows == frozenset({(1,)})
+
+    def test_missing_relations_default_to_empty(self):
+        schema = DatabaseSchema.from_arities({"R": 1, "S": 2})
+        db = Database(schema, {"R": [(1,)]})
+        assert len(db.relation("S")) == 0
+
+    def test_unknown_relation_in_data_rejected(self):
+        schema = DatabaseSchema.from_arities({"R": 1})
+        with pytest.raises(KeyError):
+            Database(schema, {"Z": [(1,)]})
+
+    def test_from_facts(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        db = Database.from_facts(schema, [("R", (1, 2)), ("R", (3, 4))])
+        assert db.size() == 2
+
+    def test_from_facts_unknown_relation(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(KeyError):
+            Database.from_facts(schema, [("S", (1, 2))])
+
+    def test_empty(self):
+        schema = DatabaseSchema.from_arities({"R": 1})
+        assert Database.empty(schema).size() == 0
+
+    def test_arity_mismatch_rejected(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(ValueError):
+            Database(schema, {"R": Relation.create("R", [(1,)])})
+
+
+class TestAccessors:
+    def test_relation_lookup(self, orders_db):
+        assert len(orders_db["Order"]) == 2
+        with pytest.raises(KeyError):
+            orders_db.relation("Nope")
+
+    def test_contains(self, orders_db):
+        assert "Pay" in orders_db
+        assert "Nope" not in orders_db
+
+    def test_facts(self, orders_db):
+        facts = orders_db.facts()
+        assert ("Order", ("oid1", "pr1")) in facts
+        assert len(facts) == 3
+
+    def test_size_and_len(self, orders_db):
+        assert orders_db.size() == 3
+        assert len(orders_db) == 3
+
+    def test_iteration_yields_relations(self, orders_db):
+        names = [rel.name for rel in orders_db]
+        assert names == ["Order", "Pay"]
+
+    def test_to_table(self, orders_db):
+        assert "Order:" in orders_db.to_table()
+
+
+class TestNullsAndCompleteness:
+    def test_nulls_and_constants(self, orders_db):
+        assert {n.name for n in orders_db.nulls()} == {"o"}
+        assert "oid1" in orders_db.constants()
+
+    def test_is_complete(self, orders_db):
+        assert not orders_db.is_complete()
+        assert orders_db.complete_part().is_complete()
+
+    def test_is_codd_single_occurrence(self, orders_db):
+        assert orders_db.is_codd()
+
+    def test_is_codd_shared_null(self):
+        shared = Null("x")
+        db = Database.from_dict({"R": [(shared,)], "S": [(shared, 1)]})
+        assert not db.is_codd()
+
+    def test_complete_part(self, orders_db):
+        cmpl = orders_db.complete_part()
+        assert cmpl.size() == 2
+        assert len(cmpl["Pay"]) == 0
+
+    def test_facts_with_nulls(self, orders_db):
+        facts = facts_with_nulls(orders_db)
+        assert len(facts) == 1
+        assert facts[0][0] == "Pay"
+
+    def test_active_domain(self, orders_db):
+        adom = orders_db.active_domain()
+        assert "oid1" in adom
+        assert Null("o") in adom
+
+
+class TestTransformations:
+    def test_map_values(self, orders_db):
+        replaced = orders_db.map_values(lambda v: "X" if isinstance(v, Null) else v)
+        assert replaced.is_complete()
+
+    def test_map_relations_must_preserve_names(self, orders_db):
+        with pytest.raises(ValueError):
+            orders_db.map_relations(lambda rel: rel.rename("Other"))
+
+    def test_with_relation(self, orders_db):
+        new_rel = Relation.create("Order", [("oid9", "pr9")])
+        updated = orders_db.with_relation(new_rel)
+        assert updated["Order"].rows == frozenset({("oid9", "pr9")})
+        with pytest.raises(KeyError):
+            orders_db.with_relation(Relation.create("Missing", [(1,)]))
+
+    def test_add_facts(self, orders_db):
+        bigger = orders_db.add_facts([("Order", ("oid3", "pr3"))])
+        assert bigger.size() == 4
+        with pytest.raises(KeyError):
+            orders_db.add_facts([("Missing", (1,))])
+
+    def test_union(self, orders_db):
+        other = Database(orders_db.schema, {"Order": [("oid5", "pr5")]})
+        merged = orders_db.union(other)
+        assert merged.size() == 4
+
+    def test_union_schema_mismatch(self, orders_db):
+        other = Database.from_dict({"Z": [(1,)]})
+        with pytest.raises(ValueError):
+            orders_db.union(other)
+
+    def test_contains_database(self, orders_db):
+        smaller = Database(orders_db.schema, {"Order": [("oid1", "pr1")]})
+        assert orders_db.contains_database(smaller)
+        assert not smaller.contains_database(orders_db)
+
+    def test_equality_and_hash(self, orders_db):
+        clone = Database.from_dict(
+            {
+                "Order": [("oid1", "pr1"), ("oid2", "pr2")],
+                "Pay": [("pid1", Null("o"), 100)],
+            }
+        )
+        assert clone == orders_db
+        assert hash(clone) == hash(orders_db)

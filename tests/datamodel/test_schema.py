@@ -1,0 +1,110 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.datamodel import DatabaseSchema, RelationSchema
+
+
+class TestRelationSchema:
+    def test_named_attributes(self):
+        schema = RelationSchema("Order", ("o_id", "product"))
+        assert schema.arity == 2
+        assert schema.attributes == ("o_id", "product")
+
+    def test_with_arity_generates_positional_names(self):
+        schema = RelationSchema.with_arity("R", 3)
+        assert schema.attributes == ("#0", "#1", "#2")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ("a",))
+
+    def test_index_of_by_name_and_position(self):
+        schema = RelationSchema("R", ("a", "b", "c"))
+        assert schema.index_of("b") == 1
+        assert schema.index_of(2) == 2
+
+    def test_index_of_unknown_attribute(self):
+        schema = RelationSchema("R", ("a",))
+        with pytest.raises(KeyError):
+            schema.index_of("z")
+        with pytest.raises(KeyError):
+            schema.index_of(5)
+
+    def test_rename_keeps_attributes(self):
+        schema = RelationSchema("R", ("a", "b")).rename("S")
+        assert schema.name == "S"
+        assert schema.attributes == ("a", "b")
+
+    def test_project_reorders_attributes(self):
+        schema = RelationSchema("R", ("a", "b", "c")).project(["c", "a"])
+        assert schema.attributes == ("c", "a")
+
+    def test_zero_arity_schema(self):
+        schema = RelationSchema.with_arity("B", 0)
+        assert schema.arity == 0
+
+    def test_iteration_and_str(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert list(schema) == ["a", "b"]
+        assert str(schema) == "R(a, b)"
+
+
+class TestDatabaseSchema:
+    def test_from_arities(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 1})
+        assert schema["R"].arity == 2
+        assert schema.arity("S") == 1
+        assert set(schema.names()) == {"R", "S"}
+
+    def test_from_attributes(self):
+        schema = DatabaseSchema.from_attributes({"Order": ("o_id", "product")})
+        assert schema["Order"].attributes == ("o_id", "product")
+
+    def test_unknown_relation_raises(self):
+        schema = DatabaseSchema.from_arities({"R": 1})
+        with pytest.raises(KeyError):
+            schema["Missing"]
+
+    def test_conflicting_redeclaration_rejected(self):
+        schema = DatabaseSchema.from_arities({"R": 1})
+        with pytest.raises(ValueError):
+            schema.add(RelationSchema.with_arity("R", 2))
+
+    def test_identical_redeclaration_is_noop(self):
+        schema = DatabaseSchema.from_arities({"R": 1})
+        schema.add(RelationSchema.with_arity("R", 1))
+        assert len(schema) == 1
+
+    def test_contains_and_len(self):
+        schema = DatabaseSchema.from_arities({"R": 1, "S": 2})
+        assert "R" in schema
+        assert "T" not in schema
+        assert len(schema) == 2
+
+    def test_equality_and_hash(self):
+        first = DatabaseSchema.from_arities({"R": 2})
+        second = DatabaseSchema.from_arities({"R": 2})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_restrict(self):
+        schema = DatabaseSchema.from_arities({"R": 1, "S": 2, "T": 3})
+        restricted = schema.restrict(["R", "T"])
+        assert set(restricted.names()) == {"R", "T"}
+
+    def test_merge(self):
+        left = DatabaseSchema.from_arities({"R": 1})
+        right = DatabaseSchema.from_arities({"S": 2})
+        merged = left.merge(right)
+        assert set(merged.names()) == {"R", "S"}
+
+    def test_merge_conflict(self):
+        left = DatabaseSchema.from_arities({"R": 1})
+        right = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(ValueError):
+            left.merge(right)

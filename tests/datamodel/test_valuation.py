@@ -1,0 +1,138 @@
+"""Unit tests for valuations of nulls."""
+
+import pytest
+
+from repro.datamodel import (
+    Database,
+    Null,
+    Relation,
+    Valuation,
+    count_valuations,
+    enumerate_valuations,
+    fresh_valuation,
+)
+
+
+class TestValuationBasics:
+    def test_maps_nulls_and_fixes_constants(self):
+        v = Valuation({Null("x"): 1})
+        assert v(Null("x")) == 1
+        assert v("a") == "a"
+        assert v(5) == 5
+
+    def test_uncovered_null_left_alone(self):
+        v = Valuation({Null("x"): 1})
+        assert v(Null("y")) == Null("y")
+
+    def test_keys_must_be_nulls(self):
+        with pytest.raises(TypeError):
+            Valuation({"x": 1})  # type: ignore[dict-item]
+
+    def test_values_must_be_constants(self):
+        with pytest.raises(TypeError):
+            Valuation({Null("x"): Null("y")})
+        with pytest.raises(TypeError):
+            Valuation({Null("x"): None})
+
+    def test_mapping_protocol(self):
+        v = Valuation({Null("x"): 1, Null("y"): 2})
+        assert len(v) == 2
+        assert Null("x") in v
+        assert v[Null("y")] == 2
+        assert v.get(Null("z")) is None
+        assert set(v.domain()) == {Null("x"), Null("y")}
+        assert v.image() == {1, 2}
+        assert v.as_dict() == {Null("x"): 1, Null("y"): 2}
+
+    def test_equality_and_hash(self):
+        assert Valuation({Null("x"): 1}) == Valuation({Null("x"): 1})
+        assert hash(Valuation({Null("x"): 1})) == hash(Valuation({Null("x"): 1}))
+
+    def test_identity(self):
+        v = Valuation.identity()
+        assert len(v) == 0
+        assert v(Null("x")) == Null("x")
+
+
+class TestApplication:
+    def test_apply_row(self):
+        v = Valuation({Null("x"): 1})
+        assert v.apply_row((Null("x"), "a", Null("x"))) == (1, "a", 1)
+
+    def test_apply_relation_and_database(self):
+        null = Null("x")
+        db = Database.from_dict({"R": [(null, 2)], "S": [(null,)]})
+        v = Valuation({null: 7})
+        applied = v.apply(db)
+        assert applied["R"].rows == frozenset({(7, 2)})
+        assert applied["S"].rows == frozenset({(7,)})
+        assert applied.is_complete()
+
+    def test_same_null_gets_same_value_everywhere(self):
+        null = Null("x")
+        rel = Relation.create("R", [(null, null)])
+        applied = Valuation({null: 3}).apply_relation(rel)
+        assert applied.rows == frozenset({(3, 3)})
+
+    def test_is_total_for(self):
+        db = Database.from_dict({"R": [(Null("x"), Null("y"))]})
+        assert not Valuation({Null("x"): 1}).is_total_for(db)
+        assert Valuation({Null("x"): 1, Null("y"): 2}).is_total_for(db)
+
+
+class TestCombination:
+    def test_extend(self):
+        v = Valuation({Null("x"): 1}).extend({Null("y"): 2})
+        assert v[Null("y")] == 2
+        assert v[Null("x")] == 1
+
+    def test_extend_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Valuation({Null("x"): 1}).extend({Null("x"): 2})
+
+    def test_extend_same_value_allowed(self):
+        v = Valuation({Null("x"): 1}).extend({Null("x"): 1})
+        assert v[Null("x")] == 1
+
+    def test_restrict(self):
+        v = Valuation({Null("x"): 1, Null("y"): 2}).restrict([Null("x")])
+        assert Null("x") in v
+        assert Null("y") not in v
+
+
+class TestFreshValuation:
+    def test_maps_all_nulls_to_distinct_new_constants(self):
+        db = Database.from_dict({"R": [(Null("x"), Null("y")), ("a", 1)]})
+        v = fresh_valuation(db, avoid=["f0"])
+        assert v.is_total_for(db)
+        images = list(v.image())
+        assert len(set(images)) == 2
+        assert "f0" not in images
+        assert not (set(images) & db.constants())
+
+
+class TestEnumeration:
+    def test_counts(self):
+        nulls = [Null("x"), Null("y")]
+        assert count_valuations(nulls, [1, 2, 3]) == 9
+        assert count_valuations([], [1, 2]) == 1
+
+    def test_enumerates_all_combinations(self):
+        nulls = [Null("x"), Null("y")]
+        valuations = list(enumerate_valuations(nulls, [0, 1]))
+        assert len(valuations) == 4
+        images = {(v[Null("x")], v[Null("y")]) for v in valuations}
+        assert images == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_no_nulls_yields_identity(self):
+        valuations = list(enumerate_valuations([], [1, 2]))
+        assert valuations == [Valuation({})]
+
+    def test_empty_domain_with_nulls_yields_nothing(self):
+        assert list(enumerate_valuations([Null("x")], [])) == []
+
+    def test_enumeration_is_deterministic(self):
+        nulls = [Null("b"), Null("a")]
+        first = [v.as_dict() for v in enumerate_valuations(nulls, [1, 2])]
+        second = [v.as_dict() for v in enumerate_valuations(nulls, [1, 2])]
+        assert first == second

@@ -1,0 +1,104 @@
+"""Unit tests for constants, marked nulls and constant pools."""
+
+import pytest
+
+from repro.datamodel import ConstantPool, Null, is_constant, is_null
+from repro.datamodel.values import check_value, constants_in, nulls_in
+
+
+class TestNull:
+    def test_nulls_with_same_name_are_equal(self):
+        assert Null("x") == Null("x")
+        assert hash(Null("x")) == hash(Null("x"))
+
+    def test_nulls_with_different_names_differ(self):
+        assert Null("x") != Null("y")
+
+    def test_null_never_equals_a_constant(self):
+        assert Null("x") != "x"
+        assert Null("1") != 1
+
+    def test_fresh_nulls_are_pairwise_distinct(self):
+        fresh = [Null.fresh() for _ in range(50)]
+        assert len(set(fresh)) == 50
+
+    def test_anonymous_nulls_get_generated_names(self):
+        assert Null().name != Null().name
+
+    def test_name_must_be_a_nonempty_string(self):
+        with pytest.raises(TypeError):
+            Null("")
+        with pytest.raises(TypeError):
+            Null(3)  # type: ignore[arg-type]
+
+    def test_is_null_property_and_repr(self):
+        null = Null("x")
+        assert null.is_null
+        assert "x" in repr(null)
+        assert str(null).startswith("⊥")
+
+    def test_nulls_usable_in_sets_and_dicts(self):
+        mapping = {Null("a"): 1, Null("b"): 2}
+        assert mapping[Null("a")] == 1
+        assert Null("b") in mapping
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert is_null(Null("x"))
+        assert not is_null("x")
+        assert not is_null(0)
+
+    def test_is_constant_accepts_ordinary_values(self):
+        assert is_constant("a")
+        assert is_constant(17)
+        assert is_constant((1, 2))
+
+    def test_is_constant_rejects_null_and_none(self):
+        assert not is_constant(Null("x"))
+        assert not is_constant(None)
+
+    def test_check_value_rejects_none(self):
+        with pytest.raises(TypeError):
+            check_value(None)
+
+    def test_check_value_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            check_value([1, 2])
+
+    def test_check_value_passes_through(self):
+        assert check_value("a") == "a"
+        null = Null("x")
+        assert check_value(null) is null
+
+    def test_nulls_in_and_constants_in(self):
+        values = [1, Null("x"), "a", Null("x"), Null("y")]
+        assert list(constants_in(values)) == [1, "a"]
+        assert [n.name for n in nulls_in(values)] == ["x", "x", "y"]
+
+
+class TestConstantPool:
+    def test_fresh_constants_avoid_forbidden(self):
+        pool = ConstantPool(forbidden=["c0", "c1"])
+        first = pool.fresh()
+        assert first not in ("c0", "c1")
+
+    def test_fresh_constants_never_repeat(self):
+        pool = ConstantPool()
+        taken = pool.take(20)
+        assert len(set(taken)) == 20
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            ConstantPool().take(-1)
+
+    def test_forbid_extends_the_exclusion_set(self):
+        pool = ConstantPool(prefix="x")
+        pool.forbid(["x0", "x1"])
+        assert pool.fresh() == "x2"
+
+    def test_iteration_yields_fresh_values(self):
+        pool = ConstantPool()
+        iterator = iter(pool)
+        values = [next(iterator) for _ in range(5)]
+        assert len(set(values)) == 5

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion and prints its tour.
+
+The examples double as end-to-end integration tests of the public API; a
+broken import or API drift shows up here before a user hits it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+#: A string each example must print, as a sanity check that it really ran.
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "certain answers",
+    "unpaid_orders.py": "oid",
+    "data_exchange.py": "Chase",
+    "division_cwa.py": "division",
+    "ctables_demo.py": "condition",
+    "graph_queries.py": "Certain answers",
+    "consistent_answers.py": "repairs",
+    "views_integration.py": "Certainly employees",
+}
+
+
+def test_every_example_has_an_expected_snippet_registered():
+    assert set(EXAMPLES) == set(EXPECTED_SNIPPETS)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_successfully(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    expected = EXPECTED_SNIPPETS.get(script, "")
+    assert expected.lower() in completed.stdout.lower()

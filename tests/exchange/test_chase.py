@@ -1,0 +1,155 @@
+"""Unit tests for the chase (oblivious and restricted)."""
+
+import pytest
+
+from repro.datamodel import Database, DatabaseSchema, Null
+from repro.exchange import (
+    MappingAtom,
+    SchemaMapping,
+    TGD,
+    canonical_solution,
+    chase,
+    core_solution,
+    order_preferences_mapping,
+)
+from repro.homomorphisms import exists_homomorphism
+from repro.logic import Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def paper_mapping():
+    return order_preferences_mapping()
+
+
+@pytest.fixture
+def paper_source(paper_mapping):
+    return Database(paper_mapping.source_schema, {"Order": [("oid1", "pr1"), ("oid2", "pr2")]})
+
+
+class TestPaperExample:
+    def test_two_triggers_two_nulls(self, paper_mapping, paper_source):
+        result = chase(paper_mapping, paper_source)
+        assert result.triggers_fired == 2
+        assert result.nulls_introduced == 2
+        assert result.target.size() == 4
+
+    def test_nulls_shared_between_cust_and_pref(self, paper_mapping, paper_source):
+        target = canonical_solution(paper_mapping, paper_source)
+        cust_nulls = target["Cust"].nulls()
+        pref_nulls = target["Pref"].nulls()
+        assert cust_nulls == pref_nulls
+        assert len(cust_nulls) == 2
+        # the result is a genuinely naive (non-Codd) instance: each null occurs twice
+        assert not target.is_codd()
+
+    def test_products_preserved(self, paper_mapping, paper_source):
+        target = canonical_solution(paper_mapping, paper_source)
+        products = {row[1] for row in target["Pref"]}
+        assert products == {"pr1", "pr2"}
+
+    def test_different_orders_get_different_nulls(self, paper_mapping, paper_source):
+        target = canonical_solution(paper_mapping, paper_source)
+        pref_rows = sorted(target["Pref"].rows, key=lambda row: str(row[1]))
+        assert pref_rows[0][0] != pref_rows[1][0]
+
+
+class TestChaseMechanics:
+    def test_body_variables_must_match_consistently(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"Loop": 1})
+        rule = TGD([MappingAtom("E", (X, X))], [MappingAtom("Loop", (X,))], name="loops")
+        mapping = SchemaMapping(source_schema, target_schema, [rule])
+        source = Database(source_schema, {"E": [(1, 1), (1, 2), (3, 3)]})
+        target = canonical_solution(mapping, source)
+        assert target["Loop"].rows == frozenset({(1,), (3,)})
+
+    def test_constants_in_body_and_head(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2})
+        rule = TGD([MappingAtom("E", ("a", X))], [MappingAtom("P", (X, "marked"))])
+        mapping = SchemaMapping(source_schema, target_schema, [rule])
+        source = Database(source_schema, {"E": [("a", 1), ("b", 2)]})
+        target = canonical_solution(mapping, source)
+        assert target["P"].rows == frozenset({(1, "marked")})
+
+    def test_multiple_tgds(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2, "V": 1})
+        rules = [
+            TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (X, Y))], name="copy"),
+            TGD([MappingAtom("E", (X, Y))], [MappingAtom("V", (X,))], name="src"),
+        ]
+        mapping = SchemaMapping(source_schema, target_schema, rules)
+        source = Database(source_schema, {"E": [(1, 2)]})
+        target = canonical_solution(mapping, source)
+        assert target["P"].rows == frozenset({(1, 2)})
+        assert target["V"].rows == frozenset({(1,)})
+
+    def test_source_nulls_are_copied(self):
+        """Incomplete sources chase into incomplete targets (nulls propagate)."""
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2})
+        rule = TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (Y, X))])
+        mapping = SchemaMapping(source_schema, target_schema, [rule])
+        null = Null("src")
+        source = Database(source_schema, {"E": [(1, null)]})
+        target = canonical_solution(mapping, source)
+        assert target["P"].rows == frozenset({(null, 1)})
+
+    def test_missing_source_relation_rejected(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2})
+        rule = TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (X, Y))])
+        mapping = SchemaMapping(source_schema, target_schema, [rule])
+        other_source = Database.from_dict({"Z": [(1, 2)]})
+        with pytest.raises(ValueError):
+            chase(mapping, other_source)
+
+    def test_empty_source_gives_empty_target(self, paper_mapping):
+        source = Database.empty(paper_mapping.source_schema)
+        result = chase(paper_mapping, source)
+        assert result.target.size() == 0
+        assert result.triggers_fired == 0
+
+
+class TestRestrictedChaseAndCore:
+    def _copy_mapping(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2})
+        rule = TGD(
+            [MappingAtom("E", (X, Y))],
+            [MappingAtom("P", (X, Z)), MappingAtom("P", (Z, Y))],
+            name="path2",
+        )
+        return SchemaMapping(source_schema, target_schema, [rule])
+
+    def test_oblivious_chase_fires_every_trigger(self):
+        mapping = self._copy_mapping()
+        source = Database(mapping.source_schema, {"E": [(1, 2), (1, 2)]})
+        result = chase(mapping, source, oblivious=True)
+        assert result.triggers_fired == 1  # (1,2) appears once under set semantics
+
+    def test_restricted_chase_skips_satisfied_heads(self):
+        source_schema = DatabaseSchema.from_arities({"E": 2})
+        target_schema = DatabaseSchema.from_arities({"P": 2})
+        # Two rules generating the same shape of target facts.
+        rules = [
+            TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (X, Z))], name="first"),
+            TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (X, Z))], name="second"),
+        ]
+        mapping = SchemaMapping(source_schema, target_schema, rules)
+        source = Database(source_schema, {"E": [(1, 2)]})
+        oblivious = chase(mapping, source, oblivious=True)
+        restricted = chase(mapping, source, oblivious=False)
+        assert oblivious.target.size() == 2
+        assert restricted.target.size() == 1
+
+    def test_core_solution_is_homomorphically_equivalent(self, paper_mapping, paper_source):
+        canonical = canonical_solution(paper_mapping, paper_source)
+        core = core_solution(paper_mapping, paper_source)
+        assert exists_homomorphism(canonical, core)
+        assert exists_homomorphism(core, canonical)
+        assert core.size() <= canonical.size()

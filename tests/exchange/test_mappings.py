@@ -1,0 +1,78 @@
+"""Unit tests for schema mappings (st-tgds)."""
+
+import pytest
+
+from repro.datamodel import DatabaseSchema
+from repro.exchange import MappingAtom, SchemaMapping, TGD, order_preferences_mapping
+from repro.logic import Variable
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestMappingAtom:
+    def test_variables_and_arity(self):
+        atom = MappingAtom("R", (X, "const", Y))
+        assert atom.arity == 3
+        assert atom.variables() == {X, Y}
+        assert "R(" in str(atom)
+
+
+class TestTGD:
+    def test_existential_variables(self):
+        rule = TGD(
+            body=[MappingAtom("E", (X, Y))],
+            head=[MappingAtom("P", (X, Z)), MappingAtom("P", (Z, Y))],
+        )
+        assert rule.body_variables() == {X, Y}
+        assert rule.head_variables() == {X, Y, Z}
+        assert rule.existential_variables() == {Z}
+
+    def test_full_tgd_has_no_existentials(self):
+        rule = TGD(body=[MappingAtom("E", (X, Y))], head=[MappingAtom("P", (X, Y))])
+        assert rule.existential_variables() == set()
+
+    def test_empty_body_or_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD(body=[], head=[MappingAtom("P", (X,))])
+        with pytest.raises(ValueError):
+            TGD(body=[MappingAtom("E", (X, Y))], head=[])
+
+    def test_str_shows_existentials(self):
+        rule = TGD(
+            body=[MappingAtom("Order", (X, Y))],
+            head=[MappingAtom("Cust", (Z,)), MappingAtom("Pref", (Z, Y))],
+        )
+        assert "∃" in str(rule)
+        assert "→" in str(rule)
+
+
+class TestSchemaMapping:
+    def test_paper_example_mapping(self):
+        mapping = order_preferences_mapping()
+        assert len(mapping) == 1
+        rule = mapping.tgds[0]
+        assert rule.existential_variables() == {Variable("x")}
+        assert "Order" in mapping.source_schema
+        assert "Cust" in mapping.target_schema and "Pref" in mapping.target_schema
+
+    def test_validation_of_relations(self):
+        source = DatabaseSchema.from_arities({"E": 2})
+        target = DatabaseSchema.from_arities({"P": 2})
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [TGD([MappingAtom("Missing", (X, Y))], [MappingAtom("P", (X, Y))])])
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [TGD([MappingAtom("E", (X, Y))], [MappingAtom("Missing", (X, Y))])])
+
+    def test_validation_of_arities(self):
+        source = DatabaseSchema.from_arities({"E": 2})
+        target = DatabaseSchema.from_arities({"P": 2})
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [TGD([MappingAtom("E", (X,))], [MappingAtom("P", (X, Y))])])
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [TGD([MappingAtom("E", (X, Y))], [MappingAtom("P", (X,))])])
+
+    def test_iteration_and_str(self):
+        mapping = order_preferences_mapping()
+        assert len(list(mapping)) == 1
+        assert "Cust" in str(mapping)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the experiment suite (paper worked examples)."""
+
+import pytest
+
+from repro.datamodel import Database, Null, Relation
+
+
+@pytest.fixture
+def paper_orders_db():
+    """The Section 1 unpaid-orders database.
+
+    Order = {(oid1, pr1), (oid2, pr2)}, Pay = {(pid1, ⊥, 100)}.
+    """
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Orders", [("oid1", "pr1"), ("oid2", "pr2")], attributes=("o_id", "product")
+            ),
+            Relation.create(
+                "Pay", [("pid1", Null("pay_order"), 100)], attributes=("p_id", "ord", "amount")
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_r_minus_s_db():
+    """R = {1, 2}, S = {⊥} — the running difference example of Sections 1–2."""
+    return Database.from_relations(
+        [
+            Relation.create("R", [(1,), (2,)], attributes=("A",)),
+            Relation.create("S", [(Null("s"),)], attributes=("A",)),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_section2_r():
+    """The naive table R of Section 2: {(⊥, 1, ⊥'), (2, ⊥', ⊥)}."""
+    bot, bot_prime = Null("bot"), Null("bot_prime")
+    return Database.from_dict({"R": [(bot, 1, bot_prime), (2, bot_prime, bot)]})
+
+
+@pytest.fixture
+def paper_section6_r():
+    """R = {(1, 2), (2, ⊥)} used in the Section 6 intersection critique."""
+    return Database.from_dict({"R": [(1, 2), (2, Null("x"))]})

@@ -1,0 +1,92 @@
+"""E4 — Section 1, the schema-mapping example and marked nulls.
+
+Paper claim: the rule ``Order(i, p) → Cust(x), Pref(x, p)`` generates, from
+Order(oid1, pr1), the facts Cust(⊥) and Pref(⊥, pr1), and from
+Order(oid2, pr2) the facts Cust(⊥') and Pref(⊥', pr2).  The same null must
+be reused within one trigger (⊥ appears in both Cust and Pref), while
+different triggers use different nulls — this is exactly what *marked
+(naive) nulls* provide and what SQL's unmarked nulls cannot express.
+"""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database
+from repro.exchange import (
+    canonical_solution,
+    certain_answers_exchange,
+    chase,
+    order_preferences_mapping,
+)
+
+
+@pytest.fixture
+def mapping():
+    return order_preferences_mapping()
+
+
+@pytest.fixture
+def source(mapping):
+    return Database(mapping.source_schema, {"Order": [("oid1", "pr1"), ("oid2", "pr2")]})
+
+
+class TestChaseReproducesTheExample:
+    def test_generated_facts(self, mapping, source):
+        target = canonical_solution(mapping, source)
+        assert len(target["Cust"]) == 2
+        assert len(target["Pref"]) == 2
+        assert {row[1] for row in target["Pref"]} == {"pr1", "pr2"}
+
+    def test_null_shared_within_a_trigger(self, mapping, source):
+        target = canonical_solution(mapping, source)
+        cust_nulls = {row[0] for row in target["Cust"]}
+        for null, product in target["Pref"]:
+            assert null in cust_nulls
+
+    def test_different_triggers_use_different_nulls(self, mapping, source):
+        target = canonical_solution(mapping, source)
+        pref_nulls = [row[0] for row in target["Pref"]]
+        assert len(set(pref_nulls)) == 2
+
+    def test_result_is_naive_not_codd(self, mapping, source):
+        """Each null occurs twice (Cust and Pref): the instance is not a Codd table."""
+        target = canonical_solution(mapping, source)
+        assert not target.is_codd()
+        occurrences = {}
+        for rel in target:
+            for null, count in rel.null_occurrences().items():
+                occurrences[null] = occurrences.get(null, 0) + count
+        assert all(count == 2 for count in occurrences.values())
+
+    def test_chase_statistics(self, mapping, source):
+        result = chase(mapping, source)
+        assert result.triggers_fired == 2
+        assert result.nulls_introduced == 2
+
+
+class TestCertainAnswersOverTheExchangedData:
+    def test_preferred_products_are_certain(self, mapping, source):
+        query = parse_ra("project[product](Pref)")
+        answers = certain_answers_exchange(mapping, source, query)
+        assert answers.rows == frozenset({("pr1",), ("pr2",)})
+
+    def test_join_through_the_shared_null_is_certain(self, mapping, source):
+        """Every customer listed in Cust certainly has a preference (join on ⊥)."""
+        query = parse_ra("project[product](join(Cust, Pref))")
+        answers = certain_answers_exchange(mapping, source, query)
+        assert answers.rows == frozenset({("pr1",), ("pr2",)})
+
+    def test_customer_identities_are_not_certain(self, mapping, source):
+        query = parse_ra("project[c_id](Cust)")
+        answers = certain_answers_exchange(mapping, source, query)
+        assert answers.rows == frozenset()
+
+    def test_scaling_one_null_per_order(self, mapping):
+        for size in (1, 4, 9):
+            source = Database(
+                mapping.source_schema,
+                {"Order": [(f"o{i}", f"p{i}") for i in range(size)]},
+            )
+            result = chase(mapping, source)
+            assert result.nulls_introduced == size
+            assert result.target.size() == 2 * size

@@ -1,0 +1,45 @@
+"""E5 — Section 2, the OWA/CWA semantics membership example.
+
+Paper claim: for the naive table R = {(⊥,1,⊥'), (2,⊥',⊥)}, the relation
+R1 = {(3,1,4), (2,4,3)} belongs to both [[R]]_cwa and [[R]]_owa (it is
+obtained by the valuation ⊥→3, ⊥'→4), and R2 = {(3,1,4), (2,4,3), (5,6,7)}
+is in [[R]]_owa only (it also adds the tuple (5,6,7)).
+"""
+
+from repro.datamodel import Database, Null, Valuation
+from repro.semantics import in_cwa, in_owa, in_wcwa
+
+
+R1 = Database.from_dict({"R": [(3, 1, 4), (2, 4, 3)]})
+R2 = Database.from_dict({"R": [(3, 1, 4), (2, 4, 3), (5, 6, 7)]})
+
+
+class TestPaperExample:
+    def test_r1_obtained_by_the_paper_valuation(self, paper_section2_r):
+        valuation = Valuation({Null("bot"): 3, Null("bot_prime"): 4})
+        assert valuation.apply(paper_section2_r) == R1
+
+    def test_r1_in_cwa_and_owa(self, paper_section2_r):
+        assert in_cwa(paper_section2_r, R1)
+        assert in_owa(paper_section2_r, R1)
+
+    def test_r2_in_owa_only(self, paper_section2_r):
+        assert in_owa(paper_section2_r, R2)
+        assert not in_cwa(paper_section2_r, R2)
+
+    def test_r2_not_in_wcwa_either(self, paper_section2_r):
+        """R2's extra tuple introduces new domain values, so even weak CWA rejects it."""
+        assert not in_wcwa(paper_section2_r, R2)
+
+    def test_shared_nulls_constrain_membership(self, paper_section2_r):
+        """⊥ and ⊥' each occur twice; inconsistent replacements are not represented."""
+        inconsistent = Database.from_dict({"R": [(3, 1, 4), (2, 5, 3)]})
+        # second tuple uses 5 where ⊥' = 4 was already forced by the first tuple
+        assert not in_cwa(paper_section2_r, inconsistent)
+        assert not in_owa(paper_section2_r, inconsistent)
+
+    def test_nulls_may_collapse_to_the_same_constant(self, paper_section2_r):
+        """⊥ and ⊥' may be replaced by the same constant — 'no restrictions'."""
+        collapsed = Valuation({Null("bot"): 9, Null("bot_prime"): 9}).apply(paper_section2_r)
+        assert in_cwa(paper_section2_r, collapsed)
+        assert in_owa(paper_section2_r, collapsed)

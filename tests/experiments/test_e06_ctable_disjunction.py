@@ -1,0 +1,67 @@
+"""E6 — Section 2, conditional tables can encode disjunction.
+
+Paper claim: the conditional table with rows (1 | ⊥=1), (0 | ⊥=0) and
+global condition (⊥=0) ∨ (⊥=1) has ``[[C]]_cwa = {{0}, {1}}`` — "conditional
+tables thus can encode disjunctions: C says that either 0 or 1 is in the
+database."
+"""
+
+from repro.datamodel import ConditionalTable, Eq, Null, Or, TRUE, Valuation
+
+
+def paper_table():
+    bot = Null("bot")
+    return bot, ConditionalTable.create(
+        "C",
+        [((1,), Eq(bot, 1)), ((0,), Eq(bot, 0))],
+        global_condition=Or((Eq(bot, 0), Eq(bot, 1))),
+    )
+
+
+class TestDisjunctionEncoding:
+    def test_possible_worlds_are_exactly_zero_or_one(self):
+        _, table = paper_table()
+        worlds = table.possible_worlds(domain=[0, 1, 2, 3, 4])
+        assert worlds == {frozenset({(0,)}), frozenset({(1,)})}
+
+    def test_only_two_valuations_satisfy_the_global_condition(self):
+        bot, table = paper_table()
+        satisfying = [
+            value for value in range(5) if table.instantiate(Valuation({bot: value})) is not None
+        ]
+        assert satisfying == [0, 1]
+
+    def test_each_admissible_valuation_yields_a_singleton(self):
+        bot, table = paper_table()
+        zero_world = table.instantiate(Valuation({bot: 0}))
+        one_world = table.instantiate(Valuation({bot: 1}))
+        assert zero_world is not None and zero_world.rows == frozenset({(0,)})
+        assert one_world is not None and one_world.rows == frozenset({(1,)})
+
+    def test_no_certain_row_but_both_possible(self):
+        _, table = paper_table()
+        domain = [0, 1, 2]
+        assert table.certain_rows(domain) == set()
+        assert table.possible_rows(domain) == {(0,), (1,)}
+
+    def test_naive_tables_cannot_express_this(self):
+        """A naive table's CWA worlds always include a 'fresh constant' world,
+        so no naive table over {0, 1} has exactly the two worlds {{0}, {1}}."""
+        from repro.datamodel import Database, Relation
+        from repro.semantics import cwa_worlds, default_domain
+
+        # One-row naive table with a null: worlds include values other than 0/1.
+        naive = Database.from_relations([Relation.create("C", [(Null("n"),)])])
+        domain = default_domain(naive, extra_constants=1, constants=[0, 1])
+        worlds = {frozenset(world["C"].rows) for world in cwa_worlds(naive, domain)}
+        assert frozenset({(0,)}) in worlds and frozenset({(1,)}) in worlds
+        assert len(worlds) > 2  # the fresh-constant world is unavoidable
+
+    def test_without_the_global_condition_more_worlds_appear(self):
+        bot = Null("bot")
+        unconstrained = ConditionalTable.create(
+            "C", [((1,), Eq(bot, 1)), ((0,), Eq(bot, 0))], global_condition=TRUE
+        )
+        worlds = unconstrained.possible_worlds(domain=[0, 1, 2])
+        assert frozenset() in worlds  # ⊥ = 2 produces the empty world
+        assert worlds == {frozenset(), frozenset({(0,)}), frozenset({(1,)})}

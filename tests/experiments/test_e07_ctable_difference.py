@@ -1,0 +1,69 @@
+"""E7 — Section 2, the conditional table representing R − S (strong representation).
+
+Paper claim: for D with R = {1, 2} and S = {⊥}, the query Q = R − S has
+``Q([[D]]_cwa) = {{1,2}, {1}, {2}}`` (depending on whether ⊥ becomes 1, 2
+or another constant), and this answer space is captured *exactly* by the
+conditional table ::
+
+        condition
+    1   ⊥' = 1 ∨ ⊥' = 2     (rendered in the paper; equivalently 1 ≠ ⊥)
+    2   ⊥' ≠ 1              (equivalently 2 ≠ ⊥)
+
+— conditional tables are a strong representation system for full
+relational algebra under CWA.
+"""
+
+from repro.algebra import CTableDatabase, ctable_evaluate, parse_ra
+from repro.datamodel import ConditionalTable, Eq, Neq, Null, TRUE
+from repro.semantics import answer_space, default_domain
+
+
+QUERY = parse_ra("diff(R, S)")
+
+
+class TestAnswerSpace:
+    def test_paper_answer_space(self, paper_r_minus_s_db):
+        space = answer_space(QUERY.evaluate, paper_r_minus_s_db, semantics="cwa")
+        assert space == {
+            frozenset({(1,), (2,)}),
+            frozenset({(1,)}),
+            frozenset({(2,)}),
+        }
+
+    def test_empty_answer_never_occurs(self, paper_r_minus_s_db):
+        """|R| > |S| means the difference is never empty — visible in the space."""
+        space = answer_space(QUERY.evaluate, paper_r_minus_s_db, semantics="cwa")
+        assert frozenset() not in space
+
+
+class TestConditionalTableCapturesItExactly:
+    def test_algebra_produced_table_is_strongly_representing(self, paper_r_minus_s_db):
+        domain = default_domain(paper_r_minus_s_db)
+        ctable = ctable_evaluate(QUERY, CTableDatabase.from_database(paper_r_minus_s_db))
+        assert ctable.possible_worlds(domain) == answer_space(
+            QUERY.evaluate, paper_r_minus_s_db, semantics="cwa", domain=domain
+        )
+
+    def test_hand_written_paper_table_is_equivalent(self, paper_r_minus_s_db):
+        """The paper's table (conditions on ⊥' ranging over values of S's null)."""
+        bot = Null("s")  # the null of S in the fixture
+        paper_answer = ConditionalTable.create(
+            "Answer",
+            [((1,), Neq(1, bot)), ((2,), Neq(2, bot))],
+            global_condition=TRUE,
+        )
+        domain = default_domain(paper_r_minus_s_db)
+        produced = ctable_evaluate(QUERY, CTableDatabase.from_database(paper_r_minus_s_db))
+        assert paper_answer.possible_worlds(domain) == produced.possible_worlds(domain)
+
+    def test_certainty_read_off_the_table(self, paper_r_minus_s_db):
+        domain = default_domain(paper_r_minus_s_db)
+        ctable = ctable_evaluate(QUERY, CTableDatabase.from_database(paper_r_minus_s_db))
+        assert ctable.certain_rows(domain) == set()
+        assert ctable.possible_rows(domain) == {(1,), (2,)}
+
+    def test_paper_remark_answer_is_hard_to_read_for_humans(self, paper_r_minus_s_db):
+        """'One problem with such an answer is that it is hardly meaningful to
+        humans' — operationally: no row of the answer table is unconditional."""
+        ctable = ctable_evaluate(QUERY, CTableDatabase.from_database(paper_r_minus_s_db))
+        assert all(row.condition is not TRUE for row in ctable)

@@ -1,0 +1,102 @@
+"""E12 — Section 5.2, homomorphism characterisations of the information orderings.
+
+Paper claims:
+
+* ``D ⊑_owa D'``  iff there is a homomorphism ``h : D → D'``;
+* ``D ⊑_cwa D'``  iff there is a strong onto homomorphism ``h : D → D'``;
+* the weaker CWA of Reiter (tuples may be added as long as no new
+  active-domain elements appear) corresponds to onto homomorphisms;
+* the ordering is defined from the semantics by ``x ⊑ y ⇔ [[y]] ⊆ [[x]]``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import cwa_leq, owa_leq, semantic_leq, wcwa_leq
+from repro.datamodel import Database, Null, Valuation
+from repro.homomorphisms import (
+    exists_homomorphism,
+    exists_onto_homomorphism,
+    exists_strong_onto_homomorphism,
+)
+from repro.semantics import cwa_worlds, default_domain, in_cwa, in_owa, in_wcwa
+from repro.workloads import random_database
+
+
+def instance_pool():
+    """A small zoo of hand-built instances over one binary relation."""
+    x, y = Null("px"), Null("py")
+    return [
+        Database.from_dict({"R": [(1, x)]}),
+        Database.from_dict({"R": [(1, 2)]}),
+        Database.from_dict({"R": [(1, 2), (2, 3)]}),
+        Database.from_dict({"R": [(1, x), (x, y)]}),
+        Database.from_dict({"R": [(1, 1)]}),
+        Database.from_dict({"R": [(x, y)]}),
+    ]
+
+
+class TestHomCharacterisations:
+    def test_orderings_are_literally_hom_existence(self):
+        for left, right in itertools.product(instance_pool(), repeat=2):
+            assert owa_leq(left, right) == exists_homomorphism(left, right)
+            assert cwa_leq(left, right) == exists_strong_onto_homomorphism(left, right)
+            assert wcwa_leq(left, right) == exists_onto_homomorphism(left, right)
+
+    def test_cwa_implies_wcwa_implies_owa(self):
+        for left, right in itertools.product(instance_pool(), repeat=2):
+            if cwa_leq(left, right):
+                assert wcwa_leq(left, right)
+            if wcwa_leq(left, right):
+                assert owa_leq(left, right)
+
+    def test_orderings_are_preorders(self):
+        pool = instance_pool()
+        for ordering_fn in (owa_leq, cwa_leq, wcwa_leq):
+            for db in pool:
+                assert ordering_fn(db, db)
+            for a, b, c in itertools.product(pool, repeat=3):
+                if ordering_fn(a, b) and ordering_fn(b, c):
+                    assert ordering_fn(a, c)
+
+
+class TestSemanticDefinition:
+    def test_ordering_matches_world_inclusion_under_cwa(self):
+        """x ⊑_cwa y ⇔ [[y]]_cwa ⊆ [[x]]_cwa over a shared finite domain."""
+        pool = instance_pool()[:5]
+        all_constants = set()
+        for db in pool:
+            all_constants |= db.constants()
+        shared_domain = sorted(all_constants) + ["f1", "f2"]
+
+        def worlds_of(db):
+            return cwa_worlds(db, domain=shared_domain)
+
+        for left, right in itertools.product(pool, repeat=2):
+            assert cwa_leq(left, right) == semantic_leq(left, right, worlds_of)
+
+    def test_condition2_of_section5(self):
+        """c ∈ [[x]] implies x ⊑ c, for every semantics and random instance."""
+        for seed in range(3):
+            db = random_database(num_nulls=2, rows_per_relation=3, seed=seed)
+            for world in cwa_worlds(db):
+                assert in_cwa(db, world) and cwa_leq(db, world)
+                assert in_owa(db, world) and owa_leq(db, world)
+                assert in_wcwa(db, world) and wcwa_leq(db, world)
+
+
+class TestMoreInformativeMeansFewerWorlds:
+    def test_applying_a_valuation_increases_information(self):
+        for seed in range(3):
+            db = random_database(num_nulls=2, rows_per_relation=3, seed=seed)
+            valuation = Valuation({null: f"v{i}" for i, null in enumerate(sorted(db.nulls(), key=lambda n: n.name))})
+            more = valuation.apply(db)
+            assert owa_leq(db, more)
+            assert cwa_leq(db, more)
+
+    def test_adding_facts_increases_owa_but_not_cwa_information(self):
+        db = Database.from_dict({"R": [(1, Null("x"))]})
+        bigger = db.add_facts([("R", (5, 6))])
+        assert owa_leq(db, bigger)
+        assert not cwa_leq(db, bigger)

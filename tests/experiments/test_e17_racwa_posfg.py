@@ -1,0 +1,86 @@
+"""E17 — Section 6.2, RA_cwa = Pos∀G.
+
+Paper claim: the algebraic class ``RA_cwa`` (base relations closed under
+σ, π, ×, ∪ and division ``Q ÷ Q'`` with ``Q'`` in RA(Δ,π,×,∪)) coincides
+with the logical class Pos∀G (positive formulas with universal guards).
+
+We verify the executable half of the equivalence: every ``RA_cwa`` query
+translates into a formula that (a) evaluates identically on complete
+databases, (b) lies syntactically in the Pos∀G class when the divisor is a
+base relation, and (c) retains the semantic property that matters —
+preservation under strong onto homomorphisms — for all generated queries.
+"""
+
+import pytest
+
+from repro.algebra import classify, Fragment, divide, is_ra_cwa, parse_ra, project, relation
+from repro.algebra.ast import Delta, Product, Projection
+from repro.core import is_preserved_under_homomorphisms
+from repro.datamodel import Database, Relation
+from repro.homomorphisms import all_homomorphisms
+from repro.logic import Exists, FOQuery, classify_formula, FormulaFragment, is_pos_forall_guarded, ra_to_calculus
+from repro.semantics import cwa_worlds
+from repro.workloads import enrolment, random_database, random_ra_cwa_query
+
+
+def complete_enrolment(seed=0):
+    return enrolment(num_students=5, num_courses=3, null_fraction=0.0, seed=seed)
+
+
+class TestTranslationAgreesSemantically:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_ra_cwa_queries(self, seed):
+        database = complete_enrolment(seed)
+        query = random_ra_cwa_query(database.schema, "Enroll", "Courses", seed=seed)
+        translated = ra_to_calculus(query, database.schema)
+        assert frozenset(translated.evaluate(database).rows) == frozenset(query.evaluate(database).rows)
+
+    def test_division_with_delta_fragment_divisor(self):
+        database = Database.from_dict(
+            {"R": [("a", 1, 1), ("a", 2, 2), ("b", 1, 1)], "S": [(1,), (2,)]}
+        )
+        divisor = Projection(Product(relation("S"), Delta()), (0,))
+        query = divide(relation("R").project([0, 1]), divisor)
+        assert is_ra_cwa(query)
+        translated = ra_to_calculus(query, database.schema)
+        assert frozenset(translated.evaluate(database).rows) == frozenset(query.evaluate(database).rows)
+
+
+class TestSyntacticCorrespondence:
+    def test_base_relation_divisor_gives_pos_forall_guarded(self):
+        schema = complete_enrolment().schema
+        query = parse_ra("divide(Enroll, Courses)")
+        assert classify(query) is Fragment.RA_CWA
+        formula = ra_to_calculus(query, schema).formula
+        assert is_pos_forall_guarded(formula)
+        assert classify_formula(formula) is FormulaFragment.POS_FORALL_GUARDED
+
+    def test_positive_ra_stays_below_pos_forall_guarded(self):
+        schema = complete_enrolment().schema
+        query = parse_ra("project[student](Enroll)")
+        formula = ra_to_calculus(query, schema).formula
+        assert classify_formula(formula) in (
+            FormulaFragment.CQ,
+            FormulaFragment.UCQ,
+        )
+
+    def test_full_ra_leaves_the_class(self):
+        schema = complete_enrolment().schema
+        query = parse_ra("diff(project[course](Enroll), Courses)")
+        formula = ra_to_calculus(query, schema).formula
+        assert not is_pos_forall_guarded(formula)
+
+
+class TestSemanticHallmarkPreservation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_translated_ra_cwa_queries_preserved_under_strong_onto_homs(self, seed):
+        incomplete = enrolment(num_students=3, num_courses=2, null_fraction=0.4, seed=seed)
+        query = random_ra_cwa_query(incomplete.schema, "Enroll", "Courses", seed=seed)
+        translated = ra_to_calculus(query, incomplete.schema)
+        boolean = FOQuery(Exists(list(translated.head), translated.formula)) if translated.head else translated
+        pairs = []
+        for world in list(cwa_worlds(incomplete))[:4]:
+            for hom in all_homomorphisms(incomplete, world, strong_onto=True, limit=1):
+                pairs.append((incomplete, world, hom))
+        assert pairs
+        assert is_preserved_under_homomorphisms(boolean, pairs, strong_onto=True)

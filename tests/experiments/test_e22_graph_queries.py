@@ -1,0 +1,113 @@
+"""E22 — Section 7 ("Beyond relations"): certain answers over incomplete graphs.
+
+The paper argues that the framework of Sections 5–6 is model-independent:
+any data model with objects, complete objects and a semantics of
+incompleteness supports the same notions of certainty, and naive evaluation
+works whenever queries are monotone and generic.  This experiment carries
+that claim to edge-labelled graphs (the setting of the paper's reference
+[14]):
+
+* regular path queries and conjunctive graph patterns are monotone and
+  generic, so naive evaluation + null filtering equals the certain answers
+  (the graph analogue of eq. (4)/(9));
+* the relational encoding of graphs makes the homomorphism-based orderings
+  of Section 5.2 directly applicable.
+"""
+
+import pytest
+
+from repro.core import cwa_leq, owa_leq
+from repro.datamodel import Null, Valuation
+from repro.graphs import (
+    EdgeAtom,
+    GraphPattern,
+    IncompleteGraph,
+    certain_answers_pattern,
+    certain_answers_rpq,
+    naive_certain_answers_pattern,
+    naive_certain_answers_rpq,
+    parse_rpq,
+)
+from repro.logic import var
+from repro.workloads import random_labelled_graph, social_network_graph
+
+
+@pytest.fixture
+def employment_graph():
+    """The graph analogue of the Section 1 unpaid-orders example."""
+    return IncompleteGraph(
+        edges=[
+            ("ann", "knows", "bob"),
+            ("bob", "knows", "carl"),
+            ("ann", "worksFor", "acme"),
+            ("bob", "worksFor", Null("e1")),
+            ("carl", "worksFor", Null("e1")),
+        ]
+    )
+
+
+class TestNaiveEvaluationWorksForRPQs:
+    @pytest.mark.parametrize("text", ["knows", "knows . knows", "knows* . worksFor", "knows | worksFor"])
+    def test_naive_equals_enumeration(self, employment_graph, text):
+        query = parse_rpq(text)
+        naive = naive_certain_answers_rpq(query, employment_graph)
+        brute = certain_answers_rpq(query, employment_graph, semantics="cwa")
+        assert naive.rows == brute.rows
+
+    def test_colleague_certainty_through_shared_null(self, employment_graph):
+        """bob and carl certainly share an employer (same marked null) — the
+        pattern query sees it, even though the employer's identity is unknown."""
+        x, y, e = var("x"), var("y"), var("e")
+        same_employer = GraphPattern(
+            [EdgeAtom(x, "worksFor", e), EdgeAtom(y, "worksFor", e)], output=(x, y)
+        )
+        certain = naive_certain_answers_pattern(same_employer, employment_graph).rows
+        assert ("bob", "carl") in certain
+        assert certain == certain_answers_pattern(same_employer, employment_graph).rows
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        graph = random_labelled_graph(num_nodes=5, num_edges=7, seed=seed)
+        query = parse_rpq("a* . b")
+        assert (
+            naive_certain_answers_rpq(query, graph).rows
+            == certain_answers_rpq(query, graph, semantics="cwa").rows
+        )
+
+
+class TestNaiveEvaluationWorksForPatterns:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_social_networks(self, seed):
+        graph = social_network_graph(num_people=4, seed=seed)
+        x, y, z = var("x"), var("y"), var("z")
+        pattern = GraphPattern(
+            [EdgeAtom(x, "knows", y), EdgeAtom(y, "worksFor", z)], output=(x, z)
+        )
+        assert (
+            naive_certain_answers_pattern(pattern, graph).rows
+            == certain_answers_pattern(pattern, graph, semantics="cwa").rows
+        )
+
+
+class TestOrderingsThroughTheRelationalEncoding:
+    def test_valuation_image_is_more_informative(self, employment_graph):
+        valuation = Valuation({Null("e1"): "initech"})
+        world = employment_graph.apply_valuation(valuation)
+        assert owa_leq(employment_graph.to_database(), world.to_database())
+        assert cwa_leq(employment_graph.to_database(), world.to_database())
+
+    def test_owa_extension_is_not_cwa_above(self, employment_graph):
+        valuation = Valuation({Null("e1"): "initech"})
+        world = employment_graph.apply_valuation(valuation).add_edges(
+            [("dave", "knows", "ann")]
+        )
+        assert owa_leq(employment_graph.to_database(), world.to_database())
+        assert not cwa_leq(employment_graph.to_database(), world.to_database())
+
+    def test_monotonicity_of_rpq_answers_along_the_ordering(self, employment_graph):
+        query = parse_rpq("knows . worksFor")
+        valuation = Valuation({Null("e1"): "initech"})
+        world = employment_graph.apply_valuation(valuation)
+        naive_on_incomplete = naive_certain_answers_rpq(query, employment_graph).rows
+        on_world = query.evaluate(world).rows
+        assert naive_on_incomplete <= on_world

@@ -1,0 +1,69 @@
+"""E23 — Section 7 ("Applications"): consistent query answering as certain answers.
+
+The paper lists consistency management among the applications whose query
+answering semantics *is* certain answers (reference [15]).  The experiment
+checks that instantiating the paper's semantics function with "the set of
+subset repairs" reproduces the classical consistent-answer behaviour:
+
+* tuples touched by a key violation are not consistent answers, while the
+  projection that avoids the disputed attribute still is (the analogue of
+  "some answers can be trusted");
+* the number of repairs grows exponentially with the number of independent
+  conflicts — the same complexity cliff the paper describes for
+  world-enumeration over nulls (benchmarked in bench_e23_cqa.py);
+* consistent answers coincide with plain answers exactly when the database
+  is consistent.
+"""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.constraints import FunctionalDependency
+from repro.cqa import consistent_answers, count_repairs, is_consistent, repairs
+from repro.datamodel import Database, Relation
+
+
+def _payments_db(num_conflicts):
+    """Payments with conflicting amounts for the first ``num_conflicts`` ids."""
+    rows = []
+    for i in range(num_conflicts):
+        rows.append((f"pid{i}", 100))
+        rows.append((f"pid{i}", 200))
+    rows.append(("pid_clean", 50))
+    return Database.from_relations(
+        [Relation.create("Pay", rows, attributes=("p_id", "amount"))]
+    )
+
+
+PAY_KEY = FunctionalDependency("Pay", ("p_id",), ("amount",))
+
+
+class TestConsistentAnswerBehaviour:
+    def test_disputed_amounts_are_not_consistent(self):
+        db = _payments_db(1)
+        answer = consistent_answers(lambda d: parse_ra("Pay").evaluate(d), db, PAY_KEY)
+        assert answer.rows == {("pid_clean", 50)}
+
+    def test_payment_ids_remain_consistent_answers(self):
+        db = _payments_db(1)
+        answer = consistent_answers(
+            lambda d: parse_ra("project[#0](Pay)").evaluate(d), db, PAY_KEY
+        )
+        assert answer.rows == {("pid0",), ("pid_clean",)}
+
+    def test_consistent_database_gives_plain_answers(self):
+        db = _payments_db(0)
+        assert is_consistent(db, PAY_KEY)
+        answer = consistent_answers(lambda d: parse_ra("Pay").evaluate(d), db, PAY_KEY)
+        assert answer.rows == db.relation("Pay").rows
+
+
+class TestComplexityShape:
+    @pytest.mark.parametrize("conflicts,expected", [(0, 1), (1, 2), (2, 4), (3, 8)])
+    def test_repair_count_doubles_per_independent_conflict(self, conflicts, expected):
+        assert count_repairs(_payments_db(conflicts), PAY_KEY) == expected
+
+    def test_every_repair_loses_exactly_one_side_of_each_conflict(self):
+        db = _payments_db(2)
+        for repair in repairs(db, PAY_KEY):
+            assert len(repair.relation("Pay")) == 3  # one row per conflicting id + the clean row

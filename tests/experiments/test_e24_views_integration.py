@@ -1,0 +1,109 @@
+"""E24 — Section 7 ("Applications"): answering queries using views.
+
+The paper names data integration (references [1, 39, 43]) as the place
+where incompleteness "inevitably arises", with marked nulls as the right
+model and certain answers as the standard semantics.  This experiment
+replays that story in the local-as-view setting:
+
+* the inverse-rules canonical instance is built by the same chase that
+  executes schema mappings, and its unknown values are shared marked nulls;
+* naive evaluation of positive queries over the canonical instance is sound
+  (every reported tuple holds in every base database consistent with the
+  views) — verified against randomly generated base databases;
+* for queries with negation naive evaluation over the canonical instance is
+  *not* certain — the "known not to work" usage the paper warns about.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database, DatabaseSchema
+from repro.exchange import MappingAtom
+from repro.logic import var
+from repro.views import ViewCollection, ViewDefinition, canonical_instance, certain_answers_views
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+BASE = DatabaseSchema.from_attributes(
+    {"Emp": ("name", "dept"), "Dept": ("dept", "city")}
+)
+
+
+def _views():
+    return ViewCollection(
+        BASE,
+        [
+            ViewDefinition(
+                "EmpCity", (X, Z), [MappingAtom("Emp", (X, Y)), MappingAtom("Dept", (Y, Z))]
+            ),
+            ViewDefinition("Emps", (X,), [MappingAtom("Emp", (X, Y))]),
+        ],
+    )
+
+
+def _random_base(seed):
+    rng = random.Random(seed)
+    people = [f"p{i}" for i in range(4)]
+    depts = ["it", "hr", "pr"]
+    cities = ["oslo", "rome"]
+    emp = [(p, rng.choice(depts)) for p in people]
+    dept = [(d, rng.choice(cities)) for d in depts]
+    return Database(BASE, {"Emp": emp, "Dept": dept})
+
+
+POSITIVE_QUERIES = [
+    "project[#0](Emp)",
+    "project[#0](select[#1 = #2](product(Emp, Dept)))",
+    "project[#0](select[#1 = #2 and #3 = 'oslo'](product(Emp, Dept)))",
+]
+
+
+class TestSoundnessOfViewBasedCertainAnswers:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("text", POSITIVE_QUERIES)
+    def test_certain_answers_hold_in_the_hidden_base(self, seed, text):
+        views = _views()
+        base = _random_base(seed)
+        extensions = views.materialize(base)
+        query = parse_ra(text)
+        certain = certain_answers_views(query, views, extensions).rows
+        assert certain <= query.evaluate(base).rows
+
+    def test_marked_nulls_are_shared_within_a_view_tuple(self):
+        views = _views()
+        extensions = Database(
+            views.view_schema(), {"EmpCity": [("ann", "oslo")], "Emps": []}
+        )
+        instance = canonical_instance(views, extensions)
+        emp_dept = next(iter(instance.relation("Emp"))).__getitem__(1)
+        dept_dept = next(iter(instance.relation("Dept"))).__getitem__(0)
+        assert emp_dept == dept_dept, "the unknown department must be one shared marked null"
+
+
+class TestNegationIsNotCertainOverViews:
+    def test_difference_query_overclaims(self):
+        """'Employees not working in a department located in oslo' cannot be
+        certain from the views alone, yet naive evaluation reports them."""
+        views = _views()
+        # The hidden base database: cleo does work in a department in oslo.
+        base = Database(
+            BASE,
+            {"Emp": [("cleo", "it")], "Dept": [("it", "oslo")]},
+        )
+        # Sound (but incomplete) view extensions: the sources only report
+        # that cleo is an employee, not where the departments are located.
+        extensions = Database(
+            views.view_schema(), {"Emps": [("cleo",)], "EmpCity": []}
+        )
+        for view in views:
+            assert extensions.relation(view.name).rows <= view.evaluate(base).rows
+        in_oslo = "project[#0](select[#1 = #2 and #3 = 'oslo'](product(Emp, Dept)))"
+        query = parse_ra(f"diff(project[#0](Emp), {in_oslo})")
+        naive = certain_answers_views(query, views, extensions).rows
+        truth = query.evaluate(base).rows
+        # In the real base database nobody avoids oslo, but the naive
+        # view-based answer claims cleo does: a false positive.
+        assert truth == set()
+        assert naive == {("cleo",)}

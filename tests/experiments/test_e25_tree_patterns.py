@@ -1,0 +1,122 @@
+"""E25 — Section 7 ("Beyond relations"): certain answers over incomplete data trees.
+
+The paper observes that XML incompleteness was mostly handled by reducing
+to relations and that the general framework should apply to trees once the
+right preservation properties are identified.  For data trees whose
+*structure* is complete and whose *data values* may be marked nulls, tree
+patterns (child/descendant edges, label tests, data-value variables) are
+monotone and generic in the data values, so naive evaluation computes
+certain answers — the tree analogue of the paper's eq. (4).  This
+experiment verifies that claim, including the shared-null behaviour that
+motivates marked nulls in the first place.
+"""
+
+import random
+
+import pytest
+
+from repro.datamodel import Null
+from repro.logic import var
+from repro.trees import (
+    DataTree,
+    PatternNode,
+    TreePattern,
+    certain_answers_tree_pattern,
+    naive_certain_answers_tree_pattern,
+)
+
+X, Y = var("x"), var("y")
+
+
+def _order_tree(num_orders, null_fraction, seed):
+    rng = random.Random(seed)
+    orders = []
+    payers = ["ann", "bob", "cat"]
+    for i in range(num_orders):
+        payer = Null(f"p{i}") if rng.random() < null_fraction else rng.choice(payers)
+        orders.append(
+            DataTree(
+                "order",
+                children=[DataTree("id", value=f"oid{i}"), DataTree("payer", value=payer)],
+            )
+        )
+    return DataTree("orders", children=orders)
+
+
+PAYER_PATTERN = TreePattern(
+    PatternNode(
+        "order",
+        children=[("child", PatternNode("id", value=X)), ("child", PatternNode("payer", value=Y))],
+    ),
+    output=(X, Y),
+)
+
+PAID_PATTERN = TreePattern(
+    PatternNode("order", children=[("child", PatternNode("id", value=X)), ("child", PatternNode("payer"))]),
+    output=(X,),
+)
+
+
+class TestNaiveEvaluationWorksForTreePatterns:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_naive_equals_enumeration(self, seed):
+        tree = _order_tree(num_orders=3, null_fraction=0.5, seed=seed)
+        for pattern in (PAYER_PATTERN, PAID_PATTERN):
+            naive = naive_certain_answers_tree_pattern(pattern, tree)
+            brute = certain_answers_tree_pattern(pattern, tree)
+            assert naive.rows == brute.rows
+
+    def test_unknown_payer_is_dropped_but_order_is_kept(self):
+        tree = DataTree(
+            "orders",
+            children=[
+                DataTree(
+                    "order",
+                    children=[DataTree("id", value="oid1"), DataTree("payer", value=Null("p"))],
+                )
+            ],
+        )
+        assert naive_certain_answers_tree_pattern(PAYER_PATTERN, tree).rows == frozenset()
+        assert naive_certain_answers_tree_pattern(PAID_PATTERN, tree).rows == {("oid1",)}
+
+    def test_shared_null_supports_certain_joins(self):
+        """Two orders paid by the same (unknown) customer are certainly co-paid."""
+        shared = Null("payer")
+        tree = DataTree(
+            "orders",
+            children=[
+                DataTree("order", children=[DataTree("id", value="oid1"), DataTree("payer", value=shared)]),
+                DataTree("order", children=[DataTree("id", value="oid2"), DataTree("payer", value=shared)]),
+            ],
+        )
+        same_payer = TreePattern(
+            PatternNode(
+                "orders",
+                children=[
+                    (
+                        "child",
+                        PatternNode(
+                            "order",
+                            children=[
+                                ("child", PatternNode("id", value="oid1")),
+                                ("child", PatternNode("payer", value=Y)),
+                            ],
+                        ),
+                    ),
+                    (
+                        "child",
+                        PatternNode(
+                            "order",
+                            children=[
+                                ("child", PatternNode("id", value=X)),
+                                ("child", PatternNode("payer", value=Y)),
+                            ],
+                        ),
+                    ),
+                ],
+            ),
+            output=(X,),
+        )
+        certain = naive_certain_answers_tree_pattern(same_payer, tree).rows
+        assert certain == {("oid1",), ("oid2",)}
+        assert certain == certain_answers_tree_pattern(same_payer, tree).rows

@@ -1,0 +1,120 @@
+"""Unit tests for conjunctive regular path queries (CRPQs)."""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.graphs import (
+    ConjunctiveRPQ,
+    IncompleteGraph,
+    PathAtom,
+    certain_answers_crpq,
+    naive_certain_answers_crpq,
+    parse_rpq,
+)
+from repro.logic import var
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def transport():
+    """Cities connected by train/bus edges, with one unknown hub."""
+    hub = Null("hub")
+    return IncompleteGraph(
+        edges=[
+            ("oslo", "train", "gothenburg"),
+            ("gothenburg", "train", "copenhagen"),
+            ("copenhagen", "bus", "berlin"),
+            ("oslo", "bus", hub),
+            (hub, "train", "berlin"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_atoms_accept_text_or_rpq_objects(self):
+        atom = PathAtom(X, "train+", Y)
+        assert atom.rpq.labels() == {"train"}
+        atom2 = PathAtom(X, parse_rpq("bus"), Y)
+        assert atom2.rpq.labels() == {"bus"}
+        with pytest.raises(TypeError):
+            PathAtom(X, 42, Y)
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            ConjunctiveRPQ([], output=())
+        with pytest.raises(ValueError):
+            ConjunctiveRPQ([PathAtom(X, "train", Y)], output=(Z,))
+
+    def test_str_and_variables(self):
+        query = ConjunctiveRPQ([PathAtom(X, "train", Y)], output=(X,))
+        assert "─[train]→" in str(query)
+        assert query.variables() == {X, Y}
+        assert not query.is_boolean()
+
+
+class TestEvaluation:
+    def test_single_atom_is_an_rpq(self, transport):
+        query = ConjunctiveRPQ([PathAtom(X, "train . train", Y)], output=(X, Y))
+        assert query.evaluate(transport).rows == parse_rpq("train . train").evaluate(transport).rows
+
+    def test_join_over_shared_variable(self, transport):
+        """Cities reachable from oslo by train* and then one bus hop."""
+        query = ConjunctiveRPQ(
+            [PathAtom("oslo", "train*", Y), PathAtom(Y, "bus", Z)], output=(Z,)
+        )
+        # Naive evaluation traverses the unknown hub like any other node.
+        assert query.evaluate(transport).rows == {("berlin",), (Null("hub"),)}
+        assert naive_certain_answers_crpq(query, transport).rows == {("berlin",)}
+
+    def test_constant_endpoints(self, transport):
+        reaches_berlin = ConjunctiveRPQ(
+            [PathAtom("oslo", "(train | bus)+", "berlin")]
+        )
+        assert reaches_berlin.evaluate_boolean(transport)
+        no_route = ConjunctiveRPQ([PathAtom("berlin", "train+", "oslo")])
+        assert not no_route.evaluate_boolean(transport)
+
+    def test_multiple_atoms_must_all_hold(self, transport):
+        query = ConjunctiveRPQ(
+            [PathAtom(X, "train", Y), PathAtom(X, "bus", Z)], output=(X,)
+        )
+        # Only oslo has both an outgoing train and an outgoing bus edge.
+        assert query.evaluate(transport).rows == {("oslo",)}
+
+    def test_boolean_query_row(self, transport):
+        query = ConjunctiveRPQ([PathAtom(X, "train", Y)])
+        assert query.evaluate(transport).rows == {("true",)}
+
+
+class TestCertainAnswers:
+    def test_path_through_unknown_hub_is_certain(self, transport):
+        """oslo certainly reaches berlin via bus then train, whatever the hub is."""
+        query = ConjunctiveRPQ([PathAtom(X, "bus . train", Y)], output=(X, Y))
+        naive = naive_certain_answers_crpq(query, transport)
+        brute = certain_answers_crpq(query, transport, semantics="cwa")
+        assert ("oslo", "berlin") in naive.rows
+        assert naive.rows == brute.rows
+
+    def test_answers_mentioning_the_hub_are_dropped(self, transport):
+        query = ConjunctiveRPQ([PathAtom("oslo", "bus", Y)], output=(Y,))
+        naive_all = query.evaluate(transport).rows
+        certain = naive_certain_answers_crpq(query, transport).rows
+        assert (Null("hub"),) in naive_all
+        assert certain == frozenset()
+
+    def test_invalid_semantics_rejected(self, transport):
+        query = ConjunctiveRPQ([PathAtom(X, "train", Y)], output=(X,))
+        with pytest.raises(ValueError):
+            certain_answers_crpq(query, transport, semantics="open")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_naive_matches_enumeration_on_random_graphs(self, seed):
+        from repro.workloads import random_labelled_graph
+
+        graph = random_labelled_graph(num_nodes=5, num_edges=7, seed=seed)
+        query = ConjunctiveRPQ([PathAtom(X, "a+", Y), PathAtom(Y, "b", Z)], output=(X, Z))
+        assert (
+            naive_certain_answers_crpq(query, graph).rows
+            == certain_answers_crpq(query, graph, semantics="cwa").rows
+        )

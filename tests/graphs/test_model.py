@@ -1,0 +1,143 @@
+"""Unit tests for the incomplete-graph data model."""
+
+import pytest
+
+from repro.datamodel import Database, Null, Valuation
+from repro.graphs import IncompleteGraph, graph_from_database, graph_to_database
+from repro.homomorphisms import exists_homomorphism
+
+
+@pytest.fixture
+def sample_graph():
+    return IncompleteGraph(
+        edges=[
+            ("a", "knows", "b"),
+            ("b", "knows", Null("x")),
+            (Null("x"), "worksFor", Null("y")),
+        ],
+        nodes=["isolated"],
+    )
+
+
+class TestConstruction:
+    def test_nodes_are_collected_from_edges_and_explicit_list(self, sample_graph):
+        assert "a" in sample_graph.nodes()
+        assert "isolated" in sample_graph.nodes()
+        assert Null("x") in sample_graph.nodes()
+        assert sample_graph.num_nodes() == 5
+
+    def test_edge_must_be_a_triple(self):
+        with pytest.raises(ValueError):
+            IncompleteGraph(edges=[("a", "b")])
+
+    def test_none_is_rejected_as_a_value(self):
+        with pytest.raises(TypeError):
+            IncompleteGraph(edges=[("a", None, "b")])
+
+    def test_duplicate_edges_are_collapsed(self):
+        graph = IncompleteGraph(edges=[("a", "r", "b"), ("a", "r", "b")])
+        assert graph.num_edges() == 1
+
+    def test_empty_graph_is_falsy(self):
+        assert not IncompleteGraph()
+        assert IncompleteGraph(nodes=["a"])
+
+
+class TestAccessors:
+    def test_labels(self, sample_graph):
+        assert sample_graph.labels() == {"knows", "worksFor"}
+
+    def test_nulls_and_constants(self, sample_graph):
+        assert {n.name for n in sample_graph.nulls()} == {"x", "y"}
+        assert "a" in sample_graph.constants()
+        assert "knows" in sample_graph.constants()
+
+    def test_is_complete(self, sample_graph):
+        assert not sample_graph.is_complete()
+        assert IncompleteGraph(edges=[("a", "r", "b")]).is_complete()
+
+    def test_successors_map(self, sample_graph):
+        successors = sample_graph.successors()
+        assert ("knows", "b") in successors["a"]
+        assert successors["isolated"] == []
+
+    def test_membership_and_iteration(self, sample_graph):
+        assert ("a", "knows", "b") in sample_graph
+        assert len(list(sample_graph)) == sample_graph.num_edges()
+
+    def test_equality_and_hash(self):
+        g1 = IncompleteGraph(edges=[("a", "r", "b")])
+        g2 = IncompleteGraph(edges=[("a", "r", "b")])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != IncompleteGraph(edges=[("a", "r", "c")])
+
+    def test_to_text_mentions_isolated_nodes(self, sample_graph):
+        text = sample_graph.to_text()
+        assert "isolated" in text
+        assert "-knows->" in text
+
+
+class TestTransformations:
+    def test_apply_valuation_replaces_nulls(self, sample_graph):
+        valuation = Valuation({Null("x"): "c", Null("y"): "acme"})
+        world = sample_graph.apply_valuation(valuation)
+        assert world.is_complete()
+        assert ("b", "knows", "c") in world.edges()
+        assert ("c", "worksFor", "acme") in world.edges()
+
+    def test_valuation_respects_shared_nulls(self):
+        graph = IncompleteGraph(edges=[("a", "r", Null("x")), (Null("x"), "r", "b")])
+        world = graph.apply_valuation(Valuation({Null("x"): "m"}))
+        assert world.edges() == frozenset({("a", "r", "m"), ("m", "r", "b")})
+
+    def test_add_edges_and_union(self):
+        g1 = IncompleteGraph(edges=[("a", "r", "b")])
+        g2 = g1.add_edges([("b", "r", "c")])
+        assert g2.num_edges() == 2
+        g3 = g1.union(IncompleteGraph(edges=[("c", "s", "d")], nodes=["lone"]))
+        assert g3.num_edges() == 2
+        assert "lone" in g3.nodes()
+
+    def test_subgraph(self, sample_graph):
+        sub = sample_graph.subgraph({"a", "b"})
+        assert sub.edges() == frozenset({("a", "knows", "b")})
+        assert sub.nodes() == frozenset({"a", "b"})
+
+    def test_contains_graph(self, sample_graph):
+        sub = sample_graph.subgraph({"a", "b"})
+        assert sample_graph.contains_graph(sub)
+        assert not sub.contains_graph(sample_graph)
+
+
+class TestRelationalEncoding:
+    def test_round_trip(self, sample_graph):
+        database = graph_to_database(sample_graph)
+        assert graph_from_database(database) == sample_graph
+
+    def test_encoding_exposes_node_and_edge_relations(self, sample_graph):
+        database = sample_graph.to_database()
+        assert database.relation("Edge").arity == 3
+        assert database.relation("Node").arity == 1
+        assert database.relation("Edge").rows == sample_graph.edges()
+
+    def test_encoding_preserves_nulls(self, sample_graph):
+        database = sample_graph.to_database()
+        assert database.nulls() == sample_graph.nulls()
+
+    def test_decoding_requires_edge_relation(self):
+        database = Database.from_dict({"R": [(1, 2)]})
+        with pytest.raises(KeyError):
+            graph_from_database(database)
+
+    def test_homomorphism_machinery_applies_through_encoding(self):
+        # The graph with the null maps into its instantiation but not back.
+        with_null = IncompleteGraph(edges=[("a", "r", Null("x"))]).to_database()
+        instantiated = IncompleteGraph(edges=[("a", "r", "b")]).to_database()
+        assert exists_homomorphism(with_null, instantiated)
+        assert not exists_homomorphism(instantiated, with_null)
+
+    def test_empty_graph_encodes_to_empty_relations(self):
+        database = IncompleteGraph().to_database()
+        assert len(database.relation("Edge")) == 0
+        assert len(database.relation("Node")) == 0

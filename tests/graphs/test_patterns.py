@@ -1,0 +1,128 @@
+"""Unit tests for conjunctive graph patterns."""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.graphs import (
+    EdgeAtom,
+    GraphPattern,
+    IncompleteGraph,
+    certain_answers_pattern,
+    naive_certain_answers_pattern,
+)
+from repro.logic import var
+
+
+@pytest.fixture
+def social():
+    return IncompleteGraph(
+        edges=[
+            ("ann", "knows", "bob"),
+            ("bob", "knows", "cat"),
+            ("ann", "worksFor", "acme"),
+            ("bob", "worksFor", Null("e")),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_requires_at_least_one_atom(self):
+        with pytest.raises(ValueError):
+            GraphPattern([], output=())
+
+    def test_output_variables_must_occur_in_the_body(self):
+        x, y = var("x"), var("y")
+        with pytest.raises(ValueError):
+            GraphPattern([EdgeAtom(x, "knows", x)], output=(y,))
+
+    def test_variables_and_str(self):
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "knows", y)], output=(x,))
+        assert pattern.variables() == {x, y}
+        assert "knows" in str(pattern)
+        assert not pattern.is_boolean()
+        assert GraphPattern([EdgeAtom(x, "knows", y)]).is_boolean()
+
+
+class TestEvaluation:
+    def test_single_atom(self, social):
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "knows", y)], output=(x, y))
+        assert pattern.evaluate(social).rows == {("ann", "bob"), ("bob", "cat")}
+
+    def test_join_on_shared_variable(self, social):
+        x, y, z = var("x"), var("y"), var("z")
+        pattern = GraphPattern(
+            [EdgeAtom(x, "knows", y), EdgeAtom(y, "knows", z)], output=(x, z)
+        )
+        assert pattern.evaluate(social).rows == {("ann", "cat")}
+
+    def test_constant_in_atom(self, social):
+        x = var("x")
+        pattern = GraphPattern([EdgeAtom(x, "worksFor", "acme")], output=(x,))
+        assert pattern.evaluate(social).rows == {("ann",)}
+
+    def test_variable_label(self, social):
+        x, l = var("x"), var("l")
+        pattern = GraphPattern([EdgeAtom("ann", l, x)], output=(l, x))
+        assert pattern.evaluate(social).rows == {("knows", "bob"), ("worksFor", "acme")}
+
+    def test_boolean_pattern(self, social):
+        x, y = var("x"), var("y")
+        present = GraphPattern([EdgeAtom(x, "worksFor", y)])
+        absent = GraphPattern([EdgeAtom(x, "dislikes", y)])
+        assert present.evaluate_boolean(social)
+        assert not absent.evaluate_boolean(social)
+
+    def test_same_variable_twice_forces_equality(self):
+        x = var("x")
+        graph = IncompleteGraph(edges=[("a", "r", "a"), ("a", "r", "b")])
+        loops = GraphPattern([EdgeAtom(x, "r", x)], output=(x,))
+        assert loops.evaluate(graph).rows == {("a",)}
+
+
+class TestCertainAnswers:
+    def test_naive_certain_drops_null_rows(self, social):
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "worksFor", y)], output=(x, y))
+        naive = pattern.evaluate(social).rows
+        certain = naive_certain_answers_pattern(pattern, social).rows
+        assert ("bob", Null("e")) in naive
+        assert certain == {("ann", "acme")}
+
+    def test_naive_matches_enumeration(self, social):
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "worksFor", y)], output=(x, y))
+        assert (
+            naive_certain_answers_pattern(pattern, social).rows
+            == certain_answers_pattern(pattern, social, semantics="cwa").rows
+        )
+
+    def test_projected_variable_over_null_edge_is_certain(self, social):
+        # "bob works for someone" is certain even though the employer is unknown.
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "worksFor", y)], output=(x,))
+        certain = naive_certain_answers_pattern(pattern, social).rows
+        assert certain == {("ann",), ("bob",)}
+        assert certain == certain_answers_pattern(pattern, social).rows
+
+    def test_shared_null_join_is_certain(self):
+        x, z = var("x"), var("z")
+        graph = IncompleteGraph(edges=[("a", "r", Null("m")), (Null("m"), "r", "c")])
+        pattern = GraphPattern([EdgeAtom(x, "r", var("y")), EdgeAtom(var("y"), "r", z)], output=(x, z))
+        assert naive_certain_answers_pattern(pattern, graph).rows == {("a", "c")}
+        assert certain_answers_pattern(pattern, graph).rows == {("a", "c")}
+
+    def test_unshared_nulls_do_not_join_certainly(self):
+        x, z = var("x"), var("z")
+        graph = IncompleteGraph(edges=[("a", "r", Null("m")), (Null("n"), "r", "c")])
+        pattern = GraphPattern([EdgeAtom(x, "r", var("y")), EdgeAtom(var("y"), "r", z)], output=(x, z))
+        # Naive evaluation does not join distinct nulls, matching the certain answer.
+        assert naive_certain_answers_pattern(pattern, graph).rows == frozenset()
+        assert certain_answers_pattern(pattern, graph).rows == set()
+
+    def test_invalid_semantics_rejected(self, social):
+        x, y = var("x"), var("y")
+        pattern = GraphPattern([EdgeAtom(x, "knows", y)], output=(x, y))
+        with pytest.raises(ValueError):
+            certain_answers_pattern(pattern, social, semantics="open")

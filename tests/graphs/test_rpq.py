@@ -1,0 +1,171 @@
+"""Unit tests for regular path queries: parsing, evaluation, certain answers."""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.graphs import (
+    Alt,
+    Concat,
+    IncompleteGraph,
+    Label,
+    Opt,
+    Plus,
+    RegularPathQuery,
+    RPQParseError,
+    Star,
+    certain_answers_rpq,
+    naive_certain_answers_rpq,
+    parse_rpq,
+)
+
+
+@pytest.fixture
+def chain():
+    return IncompleteGraph(edges=[("a", "r", "b"), ("b", "r", "c"), ("c", "s", "d")])
+
+
+class TestParser:
+    def test_single_label(self):
+        query = parse_rpq("knows")
+        assert isinstance(query.expression, Label)
+        assert query.labels() == {"knows"}
+
+    def test_concatenation_with_dot_slash_and_juxtaposition(self):
+        for text in ("a . b", "a / b", "a b"):
+            query = parse_rpq(text)
+            assert isinstance(query.expression, Concat), text
+
+    def test_alternation_and_star(self):
+        query = parse_rpq("a | b*")
+        assert isinstance(query.expression, Alt)
+        assert isinstance(query.expression.right, Star)
+
+    def test_plus_and_optional(self):
+        query = parse_rpq("a+ . b?")
+        assert isinstance(query.expression, Concat)
+        assert isinstance(query.expression.left, Plus)
+        assert isinstance(query.expression.right, Opt)
+
+    def test_parentheses_group(self):
+        query = parse_rpq("(a | b) . c")
+        assert isinstance(query.expression, Concat)
+        assert isinstance(query.expression.left, Alt)
+
+    def test_quoted_labels(self):
+        query = parse_rpq("'works for' . knows")
+        assert "works for" in query.labels()
+
+    def test_errors(self):
+        with pytest.raises(RPQParseError):
+            parse_rpq("")
+        with pytest.raises(RPQParseError):
+            parse_rpq("(a . b")
+        with pytest.raises(RPQParseError):
+            parse_rpq("a | | b")
+        with pytest.raises(RPQParseError):
+            parse_rpq("'unterminated")
+
+    def test_operator_overloads_build_the_same_queries(self):
+        built = RegularPathQuery(Concat(Label("a"), Star(Label("b"))))
+        parsed = parse_rpq("a . b*")
+        graph = IncompleteGraph(edges=[("x", "a", "y"), ("y", "b", "z")])
+        assert built.evaluate(graph).rows == parsed.evaluate(graph).rows
+
+
+class TestEvaluation:
+    def test_single_step(self, chain):
+        assert parse_rpq("r").evaluate(chain).rows == {("a", "b"), ("b", "c")}
+
+    def test_concatenation(self, chain):
+        assert parse_rpq("r . r").evaluate(chain).rows == {("a", "c")}
+        assert parse_rpq("r . s").evaluate(chain).rows == {("b", "d")}
+
+    def test_alternation(self, chain):
+        assert parse_rpq("r | s").evaluate(chain).rows == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_star_includes_empty_path(self, chain):
+        answers = parse_rpq("r*").evaluate(chain).rows
+        for node in chain.nodes():
+            assert (node, node) in answers
+        assert ("a", "c") in answers
+
+    def test_plus_excludes_empty_path(self, chain):
+        answers = parse_rpq("r+").evaluate(chain).rows
+        assert ("a", "a") not in answers
+        assert ("a", "c") in answers
+
+    def test_optional(self, chain):
+        answers = parse_rpq("r . s?").evaluate(chain).rows
+        assert ("b", "c") in answers  # s skipped
+        assert ("b", "d") in answers  # s taken
+
+    def test_cycle_termination(self):
+        graph = IncompleteGraph(edges=[("a", "r", "b"), ("b", "r", "a")])
+        answers = parse_rpq("r*").evaluate(graph).rows
+        assert answers == {("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")}
+
+    def test_boolean_evaluation(self, chain):
+        assert parse_rpq("r . r").evaluate_boolean(chain)
+        assert not parse_rpq("s . s").evaluate_boolean(chain)
+
+    def test_no_matching_label(self, chain):
+        assert parse_rpq("missing").evaluate(chain).rows == frozenset()
+
+    def test_answer_schema(self, chain):
+        answer = parse_rpq("r").evaluate(chain)
+        assert answer.attributes == ("source", "target")
+
+
+class TestNaiveEvaluationOverNulls:
+    def test_null_node_is_traversed(self):
+        graph = IncompleteGraph(edges=[("a", "r", Null("x")), (Null("x"), "r", "b")])
+        assert ("a", "b") in parse_rpq("r . r").evaluate(graph).rows
+
+    def test_null_label_does_not_match_a_constant_label(self):
+        graph = IncompleteGraph(edges=[("a", Null("l"), "b")])
+        assert parse_rpq("r").evaluate(graph).rows == frozenset()
+
+    def test_naive_certain_drops_null_endpoints(self):
+        graph = IncompleteGraph(edges=[("a", "r", Null("x")), (Null("x"), "r", "b")])
+        naive = parse_rpq("r").evaluate(graph).rows
+        certain = naive_certain_answers_rpq(parse_rpq("r"), graph).rows
+        assert ("a", Null("x")) in naive
+        assert all(not isinstance(v, Null) for row in certain for v in row)
+
+
+class TestCertainAnswers:
+    def test_naive_equals_enumeration_on_shared_null(self):
+        graph = IncompleteGraph(edges=[("a", "r", Null("x")), (Null("x"), "r", "b")])
+        query = parse_rpq("r . r")
+        naive = naive_certain_answers_rpq(query, graph)
+        brute = certain_answers_rpq(query, graph, semantics="cwa")
+        assert naive.rows == brute.rows == frozenset({("a", "b")})
+
+    def test_owa_and_cwa_enumeration_agree_for_rpqs(self):
+        graph = IncompleteGraph(edges=[("a", "r", Null("x")), ("a", "r", "b")])
+        query = parse_rpq("r")
+        assert (
+            certain_answers_rpq(query, graph, semantics="owa").rows
+            == certain_answers_rpq(query, graph, semantics="cwa").rows
+        )
+
+    def test_uncertain_answer_is_not_reported(self):
+        # The edge to the unknown node may or may not coincide with b.
+        graph = IncompleteGraph(edges=[("a", "r", Null("x"))], nodes=["b"])
+        query = parse_rpq("r")
+        assert naive_certain_answers_rpq(query, graph).rows == frozenset()
+        assert certain_answers_rpq(query, graph).rows == frozenset()
+
+    def test_invalid_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            certain_answers_rpq(parse_rpq("r"), IncompleteGraph(), semantics="open")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_naive_matches_enumeration_on_random_graphs(self, seed):
+        from repro.workloads import random_labelled_graph
+
+        graph = random_labelled_graph(num_nodes=5, num_edges=8, seed=seed)
+        query = parse_rpq("a . b | a")
+        naive = naive_certain_answers_rpq(query, graph)
+        brute = certain_answers_rpq(query, graph, semantics="cwa")
+        assert naive.rows == brute.rows

@@ -1,0 +1,154 @@
+"""Unit tests for homomorphism search between incomplete instances."""
+
+import pytest
+
+from repro.datamodel import Database, Null
+from repro.homomorphisms import (
+    Homomorphism,
+    all_homomorphisms,
+    exists_homomorphism,
+    exists_onto_homomorphism,
+    exists_strong_onto_homomorphism,
+    find_homomorphism,
+    hom_equivalent,
+    is_homomorphism,
+)
+
+
+@pytest.fixture
+def source_with_nulls():
+    return Database.from_dict({"R": [(1, Null("x")), (Null("x"), 2)]})
+
+
+class TestHomomorphismObject:
+    def test_fixes_constants(self):
+        hom = Homomorphism({Null("x"): 5})
+        assert hom("a") == "a"
+        assert hom(Null("x")) == 5
+        assert hom(Null("y")) == Null("y")
+
+    def test_apply_row_and_database(self, source_with_nulls):
+        hom = Homomorphism({Null("x"): 7})
+        assert hom.apply_row((1, Null("x"))) == (1, 7)
+        image = hom.apply(source_with_nulls)
+        assert image["R"].rows == frozenset({(1, 7), (7, 2)})
+
+    def test_is_valuation(self):
+        assert Homomorphism({Null("x"): 5}).is_valuation()
+        assert not Homomorphism({Null("x"): Null("y")}).is_valuation()
+
+    def test_compose(self):
+        first = Homomorphism({Null("x"): Null("y")})
+        second = Homomorphism({Null("y"): 3})
+        composed = first.compose(second)
+        assert composed(Null("x")) == 3
+        assert composed(Null("y")) == 3
+
+    def test_mapping_protocol(self):
+        hom = Homomorphism({Null("x"): 5})
+        assert Null("x") in hom
+        assert hom[Null("x")] == 5
+        assert len(hom) == 1
+        assert hom == Homomorphism({Null("x"): 5})
+        assert hash(hom) == hash(Homomorphism({Null("x"): 5}))
+
+
+class TestExistence:
+    def test_hom_to_superset_instance(self, source_with_nulls):
+        target = Database.from_dict({"R": [(1, 5), (5, 2), (9, 9)]})
+        hom = find_homomorphism(source_with_nulls, target)
+        assert hom is not None
+        assert hom[Null("x")] == 5
+
+    def test_no_hom_when_constants_block(self, source_with_nulls):
+        target = Database.from_dict({"R": [(3, 5), (5, 2)]})
+        assert find_homomorphism(source_with_nulls, target) is None
+
+    def test_shared_null_must_be_mapped_consistently(self):
+        source = Database.from_dict({"R": [(1, Null("x"))], "S": [(Null("x"), 2)]})
+        good = Database.from_dict({"R": [(1, 5)], "S": [(5, 2)]})
+        bad = Database.from_dict({"R": [(1, 5)], "S": [(6, 2)]})
+        assert exists_homomorphism(source, good)
+        assert not exists_homomorphism(source, bad)
+
+    def test_nulls_can_map_to_nulls(self):
+        source = Database.from_dict({"R": [(Null("x"),)]})
+        target = Database.from_dict({"R": [(Null("y"),)]})
+        assert exists_homomorphism(source, target)
+
+    def test_schema_mismatch_gives_no_hom(self):
+        source = Database.from_dict({"R": [(1,)]})
+        target = Database.from_dict({"S": [(1,)]})
+        assert find_homomorphism(source, target) is None
+        assert all_homomorphisms(source, target) == []
+
+    def test_empty_source_maps_anywhere(self):
+        source = Database.from_dict({"R": []} if False else {"R": [(1,)]}).complete_part()
+        source = Database(source.schema, {"R": []})
+        target = Database(source.schema, {"R": [(1,)]})
+        assert exists_homomorphism(source, target)
+
+    def test_identity_hom_always_exists(self, source_with_nulls):
+        assert exists_homomorphism(source_with_nulls, source_with_nulls)
+
+    def test_all_homomorphisms_enumerates_distinct_maps(self):
+        source = Database.from_dict({"R": [(Null("x"),)]})
+        target = Database.from_dict({"R": [(1,), (2,)]})
+        homs = all_homomorphisms(source, target)
+        assert {h[Null("x")] for h in homs} == {1, 2}
+
+    def test_all_homomorphisms_limit(self):
+        source = Database.from_dict({"R": [(Null("x"),)]})
+        target = Database.from_dict({"R": [(1,), (2,), (3,)]})
+        assert len(all_homomorphisms(source, target, limit=2)) == 2
+
+
+class TestOntoVariants:
+    def test_strong_onto_requires_covering_all_facts(self):
+        source = Database.from_dict({"R": [(Null("x"),)]})
+        exact = Database.from_dict({"R": [(1,)]})
+        bigger = Database.from_dict({"R": [(1,), (2,)]})
+        assert exists_strong_onto_homomorphism(source, exact)
+        assert not exists_strong_onto_homomorphism(source, bigger)
+        assert exists_homomorphism(source, bigger)
+
+    def test_strong_onto_allows_collapsing(self):
+        source = Database.from_dict({"R": [(Null("x"),), (Null("y"),)]})
+        target = Database.from_dict({"R": [(1,)]})
+        assert exists_strong_onto_homomorphism(source, target)
+
+    def test_onto_on_active_domain(self):
+        source = Database.from_dict({"R": [(1, Null("x"))]})
+        same_adom = Database.from_dict({"R": [(1, 1)]})
+        new_value = Database.from_dict({"R": [(1, 1), (7, 7)]})
+        assert exists_onto_homomorphism(source, same_adom)
+        # The null can only map to 1 (so that R(1, x) lands in the target),
+        # leaving the new active-domain element 7 uncovered.
+        assert not exists_onto_homomorphism(source, new_value)
+        assert exists_homomorphism(source, new_value)
+
+    def test_onto_weaker_than_strong_onto(self):
+        source = Database.from_dict({"R": [(1, Null("x"))]})
+        target = Database.from_dict({"R": [(1, 1), (1, 1)]}).union(
+            Database.from_dict({"R": [(1, 1)]})
+        )
+        # target has a single fact (1,1): both onto and strong onto hold.
+        assert exists_onto_homomorphism(source, target)
+        assert exists_strong_onto_homomorphism(source, target)
+        # adding a fact over the same active domain keeps onto but breaks strong onto.
+        extended = target.add_facts([("R", (1, 1))])
+        assert exists_onto_homomorphism(source, extended)
+
+
+class TestHelpers:
+    def test_is_homomorphism_checks_mapping(self, source_with_nulls):
+        target = Database.from_dict({"R": [(1, 5), (5, 2)]})
+        assert is_homomorphism({Null("x"): 5}, source_with_nulls, target)
+        assert not is_homomorphism({Null("x"): 6}, source_with_nulls, target)
+
+    def test_hom_equivalent(self):
+        left = Database.from_dict({"R": [(Null("x"), 1)]})
+        right = Database.from_dict({"R": [(Null("y"), 1)]})
+        assert hom_equivalent(left, right)
+        other = Database.from_dict({"R": [(2, 1)]})
+        assert not hom_equivalent(left, other)

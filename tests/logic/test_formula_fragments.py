@@ -1,0 +1,145 @@
+"""Unit tests for the FO fragment classifiers (CQ, UCQ, Pos, Pos∀G)."""
+
+from repro.logic import (
+    FormulaFragment,
+    FOQuery,
+    Implies,
+    Not,
+    atom,
+    classify_formula,
+    classify_query,
+    conj,
+    disj,
+    equals,
+    exists,
+    forall,
+    is_conjunctive,
+    is_existential_positive,
+    is_pos_forall_guarded,
+    is_positive,
+    is_ucq,
+    var,
+    variables,
+)
+
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestConjunctive:
+    def test_basic_cq(self):
+        formula = exists((X, Y), conj(atom("R", X, Y), atom("S", Y)))
+        assert is_conjunctive(formula)
+        assert is_ucq(formula)
+        assert is_positive(formula)
+        assert is_pos_forall_guarded(formula)
+
+    def test_equalities_allowed(self):
+        formula = exists(X, conj(atom("R", X, X), equals(X, 1)))
+        assert is_conjunctive(formula)
+
+    def test_disjunction_not_cq(self):
+        formula = disj(atom("R", X, X), atom("S", X))
+        assert not is_conjunctive(formula)
+        assert is_ucq(formula)
+
+    def test_negation_not_cq(self):
+        assert not is_conjunctive(Not(atom("R", X, X)))
+
+    def test_universal_not_cq(self):
+        assert not is_conjunctive(forall(X, atom("R", X, X)))
+
+
+class TestUCQ:
+    def test_union_of_cqs(self):
+        formula = disj(
+            exists(X, atom("R", X, X)),
+            exists((X, Y), conj(atom("R", X, Y), atom("S", Y))),
+        )
+        assert is_ucq(formula)
+        assert is_existential_positive(formula)
+
+    def test_negation_rejected(self):
+        assert not is_ucq(Not(atom("R", X, X)))
+
+    def test_universal_rejected(self):
+        assert not is_ucq(forall(X, atom("R", X, X)))
+
+    def test_implication_rejected(self):
+        assert not is_ucq(Implies(atom("R", X, X), atom("S", X)))
+
+
+class TestPositive:
+    def test_unguarded_universal_is_positive(self):
+        formula = forall(X, disj(atom("R", X, X), atom("S", X)))
+        assert is_positive(formula)
+        assert not is_pos_forall_guarded(formula)
+
+    def test_negation_not_positive(self):
+        assert not is_positive(Not(atom("R", X, X)))
+
+    def test_implication_not_positive(self):
+        assert not is_positive(Implies(atom("R", X, X), atom("S", X)))
+
+
+class TestPosForallGuarded:
+    def test_guarded_universal(self):
+        formula = forall((X, Y), Implies(atom("R", X, Y), atom("S", X)))
+        assert is_pos_forall_guarded(formula)
+        assert not is_ucq(formula)
+
+    def test_paper_cwa_delta_shape(self):
+        """∃x (R(1,x) ∧ ∀y,z (R(y,z) → (y=1 ∧ z=x) ∨ ...)) is Pos∀G (Section 4)."""
+        closure = forall(
+            (Y, Z),
+            Implies(
+                atom("R", Y, Z),
+                disj(conj(equals(Y, 1), equals(Z, X)), conj(equals(Y, X), equals(Z, 2))),
+            ),
+        )
+        formula = exists(X, conj(atom("R", 1, X), atom("R", X, 2), closure))
+        assert is_pos_forall_guarded(formula)
+
+    def test_guard_must_be_an_atom(self):
+        formula = forall(X, Implies(conj(atom("R", X, X), atom("S", X)), atom("S", X)))
+        assert not is_pos_forall_guarded(formula)
+
+    def test_guard_variables_must_match_quantified(self):
+        formula = forall(X, Implies(atom("R", X, Y), atom("S", X)))
+        assert not is_pos_forall_guarded(formula)
+
+    def test_guard_variables_must_be_distinct(self):
+        formula = forall(X, Implies(atom("R", X, X), atom("S", X)))
+        assert not is_pos_forall_guarded(formula)
+
+    def test_guard_with_constants_rejected(self):
+        formula = forall(X, Implies(atom("R", X, 1), atom("S", X)))
+        assert not is_pos_forall_guarded(formula)
+
+    def test_negation_inside_consequent_rejected(self):
+        formula = forall((X, Y), Implies(atom("R", X, Y), Not(atom("S", X))))
+        assert not is_pos_forall_guarded(formula)
+
+    def test_nested_guarded_universals(self):
+        inner = forall((Y,), Implies(atom("S", Y), atom("T", X, Y)))
+        formula = forall((X,), Implies(atom("U", X), inner))
+        assert is_pos_forall_guarded(formula)
+
+
+class TestClassifier:
+    def test_levels(self):
+        cq = exists(X, atom("R", X, X))
+        ucq = disj(cq, exists(X, atom("S", X)))
+        guarded = forall((X, Y), Implies(atom("R", X, Y), atom("S", X)))
+        positive = forall(X, atom("S", X))
+        full = Not(atom("S", X))
+        assert classify_formula(cq) is FormulaFragment.CQ
+        assert classify_formula(ucq) is FormulaFragment.UCQ
+        assert classify_formula(guarded) is FormulaFragment.POS_FORALL_GUARDED
+        assert classify_formula(positive) is FormulaFragment.POSITIVE
+        assert classify_formula(full) is FormulaFragment.FO
+
+    def test_classify_query_unwraps(self):
+        query = FOQuery(exists(X, atom("R", X, X)))
+        assert classify_query(query) is FormulaFragment.CQ
+        assert classify_query(query.formula) is FormulaFragment.CQ

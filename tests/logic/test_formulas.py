@@ -1,0 +1,165 @@
+"""Unit tests for first-order formulas and their active-domain evaluation."""
+
+import pytest
+
+from repro.datamodel import Database, Null
+from repro.logic import (
+    And,
+    Bottom,
+    Equality,
+    Exists,
+    FOQuery,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    Top,
+    Variable,
+    atom,
+    conj,
+    disj,
+    equals,
+    exists,
+    forall,
+    var,
+    variables,
+)
+
+
+@pytest.fixture
+def edge_db():
+    return Database.from_dict({"E": [(1, 2), (2, 3), (3, 1)]})
+
+
+class TestTermsAndConstruction:
+    def test_variables_helper(self):
+        xs = variables("x y z")
+        assert xs == (Variable("x"), Variable("y"), Variable("z"))
+
+    def test_atom_shorthand(self):
+        formula = atom("E", var("x"), 3)
+        assert formula.name == "E"
+        assert formula.free_variables() == {var("x")}
+        assert formula.constants() == {3}
+
+    def test_conj_disj_helpers(self):
+        assert isinstance(conj(), Top)
+        assert isinstance(disj(), Bottom)
+        single = atom("E", var("x"), var("y"))
+        assert conj(single) is single
+        assert isinstance(conj(single, single), And)
+        assert isinstance(disj(single, single), Or)
+
+    def test_quantifier_validation(self):
+        body = atom("E", var("x"), var("y"))
+        with pytest.raises(ValueError):
+            Exists((), body)
+        with pytest.raises(ValueError):
+            Exists((var("x"), var("x")), body)
+
+    def test_free_variables_of_quantified_formula(self):
+        formula = exists(var("x"), atom("E", var("x"), var("y")))
+        assert formula.free_variables() == {var("y")}
+
+    def test_relation_names(self):
+        formula = conj(atom("E", var("x"), var("y")), atom("V", var("x")))
+        assert formula.relation_names() == {"E", "V"}
+
+    def test_walk(self):
+        formula = exists(var("x"), conj(atom("E", var("x"), var("x")), Top()))
+        kinds = [type(node).__name__ for node in formula.walk()]
+        assert "Exists" in kinds and "RelationAtom" in kinds and "Top" in kinds
+
+
+class TestEvaluation:
+    def test_atom_and_equality(self, edge_db):
+        x, y = var("x"), var("y")
+        formula = atom("E", x, y)
+        assert formula.holds(edge_db, {x: 1, y: 2})
+        assert not formula.holds(edge_db, {x: 2, y: 1})
+        assert equals(x, x).holds(edge_db, {x: 1})
+        assert not equals(x, y).holds(edge_db, {x: 1, y: 2})
+
+    def test_unbound_variable_raises(self, edge_db):
+        with pytest.raises(KeyError):
+            atom("E", var("x"), var("y")).holds(edge_db, {var("x"): 1})
+
+    def test_connectives(self, edge_db):
+        x = var("x")
+        in_e = exists(var("y"), atom("E", x, var("y")))
+        assert And((in_e, Top())).holds(edge_db, {x: 1})
+        assert Or((Bottom(), in_e)).holds(edge_db, {x: 1})
+        assert Not(Bottom()).holds(edge_db)
+        assert Implies(Bottom(), Top()).holds(edge_db)
+        assert not Implies(Top(), Bottom()).holds(edge_db)
+
+    def test_exists(self, edge_db):
+        formula = exists(variables("x y"), conj(atom("E", var("x"), var("y")), equals(var("x"), 2)))
+        assert formula.holds(edge_db)
+
+    def test_forall(self, edge_db):
+        # every node with an outgoing edge: true in the 3-cycle
+        x, y = var("x"), var("y")
+        has_out = Implies(exists(y, atom("E", x, y)), exists(y, atom("E", y, x)))
+        assert forall(x, has_out).holds(edge_db)
+
+    def test_forall_falsified(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        x, y = var("x"), var("y")
+        all_have_outgoing = forall(x, exists(y, atom("E", x, y)))
+        assert not all_have_outgoing.holds(db)
+
+    def test_active_domain_includes_formula_constants(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        # 99 is not in the active domain, but the formula mentions it, so the
+        # quantifier can pick it up and the equality below is satisfiable.
+        formula = exists(var("x"), equals(var("x"), 99))
+        assert formula.holds(db)
+
+    def test_naive_satisfaction_on_nulls(self):
+        null = Null("n")
+        db = Database.from_dict({"E": [(1, null), (null, 2)]})
+        x = var("x")
+        formula = exists(x, conj(atom("E", 1, x), atom("E", x, 2)))
+        assert formula.holds(db)
+        other = exists(x, conj(atom("E", 1, x), atom("E", x, 3)))
+        assert not other.holds(db)
+
+
+class TestFOQuery:
+    def test_query_evaluation(self, edge_db):
+        x, y = var("x"), var("y")
+        query = FOQuery(exists(y, atom("E", x, y)), (x,))
+        assert query.evaluate(edge_db).rows == frozenset({(1,), (2,), (3,)})
+
+    def test_binary_head(self, edge_db):
+        x, y, z = var("x"), var("y"), var("z")
+        two_step = FOQuery(exists(z, conj(atom("E", x, z), atom("E", z, y))), (x, y))
+        assert (1, 3) in two_step.evaluate(edge_db).rows
+
+    def test_boolean_query(self, edge_db):
+        query = FOQuery(exists(variables("x y"), atom("E", var("x"), var("y"))))
+        assert query.boolean(edge_db)
+        assert query.evaluate(edge_db).rows == frozenset({()})
+        empty = FOQuery(Bottom())
+        assert not empty.boolean(edge_db)
+
+    def test_head_must_cover_free_variables(self):
+        x, y = var("x"), var("y")
+        with pytest.raises(ValueError):
+            FOQuery(atom("E", x, y), (x,))
+        with pytest.raises(ValueError):
+            FOQuery(atom("E", x, y), (x, y, y))
+
+    def test_output_schema_uses_variable_names(self):
+        x, y = var("x"), var("y")
+        query = FOQuery(atom("E", x, y), (x, y), name="Pairs")
+        schema = query.output_schema()
+        assert schema.name == "Pairs"
+        assert schema.attributes == ("x", "y")
+
+    def test_str(self, edge_db):
+        x, y = var("x"), var("y")
+        query = FOQuery(atom("E", x, y), (x, y))
+        assert "E(x, y)" in str(query)

@@ -1,0 +1,117 @@
+"""Unit tests for the relational algebra → calculus translation."""
+
+import pytest
+
+from repro.algebra import divide, parse_ra, project, relation
+from repro.algebra.ast import Delta
+from repro.datamodel import Database, Relation
+from repro.logic import (
+    FormulaFragment,
+    TranslationError,
+    classify_formula,
+    is_pos_forall_guarded,
+    is_ucq,
+    ra_to_calculus,
+)
+from repro.workloads import random_database, random_positive_query
+
+
+@pytest.fixture
+def company_db():
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Emp",
+                [("alice", "hr"), ("bob", "it"), ("carol", "it")],
+                attributes=("name", "dept"),
+            ),
+            Relation.create("Dept", [("hr",), ("it",)], attributes=("dept",)),
+            Relation.create("Managers", [("alice",), ("dave",)], attributes=("name",)),
+        ]
+    )
+
+
+def assert_same_answers(expression, database):
+    query = ra_to_calculus(expression, database.schema)
+    assert frozenset(query.evaluate(database).rows) == frozenset(expression.evaluate(database).rows)
+
+
+class TestSemanticEquivalence:
+    def test_base_relation(self, company_db):
+        assert_same_answers(parse_ra("Emp"), company_db)
+
+    def test_selection_and_projection(self, company_db):
+        assert_same_answers(parse_ra("project[name](select[dept = 'it'](Emp))"), company_db)
+
+    def test_union_and_product(self, company_db):
+        assert_same_answers(parse_ra("union(project[name](Emp), Managers)"), company_db)
+        assert_same_answers(parse_ra("product(Dept, Managers)"), company_db)
+
+    def test_natural_join(self, company_db):
+        assert_same_answers(parse_ra("join(Emp, Dept)"), company_db)
+
+    def test_difference(self, company_db):
+        assert_same_answers(parse_ra("diff(project[name](Emp), Managers)"), company_db)
+
+    def test_intersection(self, company_db):
+        assert_same_answers(parse_ra("intersect(project[name](Emp), Managers)"), company_db)
+
+    def test_division(self):
+        db = Database.from_relations(
+            [
+                Relation.create(
+                    "Enroll",
+                    [("alice", "db"), ("alice", "os"), ("bob", "db"), ("carol", "os")],
+                    attributes=("student", "course"),
+                ),
+                Relation.create("Courses", [("db",), ("os",)], attributes=("course",)),
+            ]
+        )
+        assert_same_answers(divide(relation("Enroll"), relation("Courses")), db)
+
+    def test_delta_and_adom(self, company_db):
+        assert_same_answers(Delta(), company_db)
+        assert_same_answers(parse_ra("adom"), company_db)
+
+    def test_selection_with_disjunction(self, company_db):
+        assert_same_answers(parse_ra("select[dept = 'it' or dept = 'hr'](Emp)"), company_db)
+
+    def test_random_positive_queries(self):
+        for seed in range(6):
+            db = random_database(num_nulls=0, seed=seed, rows_per_relation=4)
+            query = random_positive_query(db.schema, seed=seed)
+            assert_same_answers(query, db)
+
+
+class TestFragmentPreservation:
+    def test_positive_ra_translates_to_ucq(self, company_db):
+        query = ra_to_calculus(parse_ra("union(project[name](Emp), Managers)"), company_db.schema)
+        assert is_ucq(query.formula)
+
+    def test_division_by_base_relation_translates_to_pos_forall_guarded(self):
+        schema = Database.from_relations(
+            [
+                Relation.create("Enroll", [("a", "b")], attributes=("student", "course")),
+                Relation.create("Courses", [("b",)], attributes=("course",)),
+            ]
+        ).schema
+        query = ra_to_calculus(divide(relation("Enroll"), relation("Courses")), schema)
+        assert is_pos_forall_guarded(query.formula)
+        assert classify_formula(query.formula) is FormulaFragment.POS_FORALL_GUARDED
+
+    def test_difference_leaves_safe_fragments(self, company_db):
+        query = ra_to_calculus(parse_ra("diff(project[name](Emp), Managers)"), company_db.schema)
+        assert not is_ucq(query.formula)
+        assert not is_pos_forall_guarded(query.formula)
+        assert classify_formula(query.formula) is FormulaFragment.FO
+
+
+class TestErrors:
+    def test_order_comparison_rejected(self, company_db):
+        with pytest.raises(TranslationError):
+            ra_to_calculus(parse_ra("select[name < 'm'](Emp)"), company_db.schema)
+
+    def test_head_arity_matches_output(self, company_db):
+        query = ra_to_calculus(parse_ra("project[name](Emp)"), company_db.schema)
+        assert query.arity == 1
+        assert query.output_schema().arity == 1

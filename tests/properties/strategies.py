@@ -1,0 +1,51 @@
+"""Hypothesis strategies for generating incomplete databases, valuations and queries."""
+
+from hypothesis import strategies as st
+
+from repro.datamodel import Database, Null, Relation, Valuation
+
+CONSTANTS = ["a", "b", "c", 1, 2]
+NULL_NAMES = ["n1", "n2", "n3"]
+
+
+def values(allow_nulls=True):
+    """A strategy for single values: small constants and a few shared marked nulls."""
+    constant = st.sampled_from(CONSTANTS)
+    if not allow_nulls:
+        return constant
+    null = st.sampled_from(NULL_NAMES).map(Null)
+    return st.one_of(constant, null)
+
+
+def rows(arity, allow_nulls=True):
+    """A strategy for tuples of the given arity."""
+    return st.tuples(*[values(allow_nulls) for _ in range(arity)])
+
+
+def relations(name="R", arity=2, max_rows=4, allow_nulls=True):
+    """A strategy for relations with up to ``max_rows`` tuples."""
+    return st.lists(rows(arity, allow_nulls), min_size=0, max_size=max_rows).map(
+        lambda rs: Relation.create(name, rs, arity=arity)
+    )
+
+
+def databases(allow_nulls=True, max_rows=3):
+    """A strategy for two-relation databases R/2 and S/1."""
+    return st.builds(
+        lambda r_rows, s_rows: Database.from_relations(
+            [
+                Relation.create("R", r_rows, arity=2),
+                Relation.create("S", s_rows, arity=1),
+            ]
+        ),
+        st.lists(rows(2, allow_nulls), min_size=0, max_size=max_rows),
+        st.lists(rows(1, allow_nulls), min_size=0, max_size=max_rows),
+    )
+
+
+def valuations():
+    """A strategy for total valuations of the shared null names."""
+    return st.builds(
+        lambda assignment: Valuation({Null(name): value for name, value in assignment.items()}),
+        st.fixed_dictionaries({name: st.sampled_from(CONSTANTS) for name in NULL_NAMES}),
+    )

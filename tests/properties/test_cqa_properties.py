@@ -1,0 +1,65 @@
+"""Property-based tests for repairs and consistent answers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import parse_ra
+from repro.constraints import FunctionalDependency
+from repro.cqa import consistent_answers, is_consistent, repairs
+from repro.datamodel import Database, Relation
+
+KEY = FunctionalDependency("Person", ("name",), ("city",))
+NAMES = ["ann", "bob", "cat"]
+CITIES = ["paris", "rome", "oslo"]
+
+
+def person_databases():
+    row = st.tuples(st.sampled_from(NAMES), st.sampled_from(CITIES))
+    return st.lists(row, min_size=0, max_size=6).map(
+        lambda rows: Database.from_relations(
+            [Relation.create("Person", rows, attributes=("name", "city"))]
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(person_databases())
+def test_every_repair_is_consistent(db):
+    for repair in repairs(db, KEY):
+        assert is_consistent(repair, KEY)
+
+
+@settings(max_examples=50, deadline=None)
+@given(person_databases())
+def test_every_repair_is_maximal(db):
+    all_facts = set(db.facts())
+    for repair in repairs(db, KEY):
+        kept = set(repair.facts())
+        assert kept <= all_facts
+        for fact in all_facts - kept:
+            assert not is_consistent(repair.add_facts([fact]), KEY)
+
+
+@settings(max_examples=50, deadline=None)
+@given(person_databases())
+def test_repairs_of_consistent_databases_are_trivial(db):
+    if is_consistent(db, KEY):
+        assert repairs(db, KEY) == [db]
+
+
+@settings(max_examples=50, deadline=None)
+@given(person_databases())
+def test_consistent_answers_are_sound(db):
+    query = lambda d: parse_ra("Person").evaluate(d)
+    consistent = consistent_answers(query, db, KEY).rows
+    for repair in repairs(db, KEY):
+        assert consistent <= query(repair).rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(person_databases())
+def test_name_projection_survives_repairing(db):
+    """Every person name occurs in every repair (repairs only choose among cities)."""
+    query = lambda d: parse_ra("project[#0](Person)").evaluate(d)
+    consistent = consistent_answers(query, db, KEY).rows
+    assert consistent == query(db).rows

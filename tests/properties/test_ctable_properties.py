@@ -1,0 +1,67 @@
+"""Property-based tests for the c-table algebra (strong representation invariant)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Attr,
+    Comparison,
+    CTableDatabase,
+    Difference,
+    Intersection,
+    Projection,
+    RelationRef,
+    Selection,
+    Union_,
+    ctable_evaluate,
+)
+from repro.semantics import answer_space, default_domain
+
+from .strategies import databases
+
+
+def ctable_queries():
+    """Queries covering every operator the Imieliński–Lipski algebra implements."""
+    r, s = RelationRef("R"), RelationRef("S")
+    pool = [
+        Projection(r, (0,)),
+        Selection(r, Comparison(Attr(0), "=", "a")),
+        Selection(r, Comparison(Attr(0), "=", Attr(1))),
+        Union_(Projection(r, (0,)), s),
+        Difference(Projection(r, (0,)), s),
+        Difference(s, Projection(r, (1,))),
+        Intersection(Projection(r, (0,)), s),
+    ]
+    return st.sampled_from(pool)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=2), ctable_queries())
+def test_ctable_algebra_is_a_strong_representation_system(database, query):
+    """[[Q̂(T)]]_cwa = Q([[T]]_cwa) for every generated database and operator mix."""
+    domain = default_domain(database)
+    ctable = ctable_evaluate(query, CTableDatabase.from_database(database))
+    from_ctable = ctable.possible_worlds(domain)
+    from_worlds = answer_space(query.evaluate, database, semantics="cwa", domain=domain)
+    assert from_ctable == from_worlds
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=2), ctable_queries())
+def test_certain_rows_of_the_answer_table_match_intersection(database, query):
+    """Reading certainty off the c-table equals the intersection over worlds."""
+    domain = default_domain(database)
+    ctable = ctable_evaluate(query, CTableDatabase.from_database(database))
+    space = answer_space(query.evaluate, database, semantics="cwa", domain=domain)
+    intersection = set.intersection(*(set(world) for world in space)) if space else set()
+    assert ctable.certain_rows(domain) == intersection
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=2), ctable_queries())
+def test_possible_rows_match_union_over_worlds(database, query):
+    domain = default_domain(database)
+    ctable = ctable_evaluate(query, CTableDatabase.from_database(database))
+    space = answer_space(query.evaluate, database, semantics="cwa", domain=domain)
+    union = set().union(*space) if space else set()
+    assert ctable.possible_rows(domain) == union

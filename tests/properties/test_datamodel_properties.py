@@ -1,0 +1,76 @@
+"""Property-based tests for the data-model substrate (valuations, semantics conditions)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cwa_leq, owa_leq
+from repro.datamodel import Null, Valuation
+from repro.semantics import in_cwa, in_owa
+
+from .strategies import databases, valuations
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), valuations())
+def test_applying_a_total_valuation_yields_a_complete_database(database, valuation):
+    world = valuation.apply(database)
+    assert world.is_complete()
+    assert world.size() <= database.size()
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), valuations())
+def test_valuation_image_is_in_both_semantics(database, valuation):
+    """Condition at the heart of the semantics: v(D) ∈ [[D]]_cwa ⊆ [[D]]_owa."""
+    world = valuation.apply(database)
+    assert in_cwa(database, world)
+    assert in_owa(database, world)
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), valuations())
+def test_represented_worlds_are_more_informative(database, valuation):
+    """Section 5.1 condition 2: c ∈ [[x]] implies x ⊑ c, for OWA and CWA."""
+    world = valuation.apply(database)
+    assert cwa_leq(database, world)
+    assert owa_leq(database, world)
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(allow_nulls=False))
+def test_complete_databases_represent_themselves(database):
+    """Section 5.1 condition 1: c ∈ [[c]]."""
+    assert in_cwa(database, database)
+    assert in_owa(database, database)
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), valuations(), valuations())
+def test_valuation_application_is_idempotent_once_complete(database, first, second):
+    world = first.apply(database)
+    assert second.apply(world) == world
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases())
+def test_complete_part_is_below_the_database(database):
+    """Dropping null tuples can only lose information (OWA ordering)."""
+    assert owa_leq(database.complete_part(), database)
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases(), valuations())
+def test_valuation_commutes_with_complete_part_containment(database, valuation):
+    """v(D_cmpl) ⊆ v(D) as sets of facts."""
+    applied_then_restricted = valuation.apply(database.complete_part())
+    applied = valuation.apply(database)
+    assert applied.contains_database(applied_then_restricted)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases())
+def test_nulls_and_constants_partition_the_active_domain(database):
+    nulls = database.nulls()
+    constants = database.constants()
+    assert nulls.isdisjoint(constants)
+    assert nulls | constants == database.active_domain()

@@ -1,0 +1,80 @@
+"""Property-based tests for incomplete graphs and graph queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import Null, Valuation
+from repro.graphs import IncompleteGraph, graph_from_database, naive_certain_answers_rpq, parse_rpq
+from repro.datamodel.values import is_null
+
+NODE_VALUES = ["a", "b", "c"]
+NULL_NAMES = ["x", "y"]
+LABELS = ["r", "s"]
+
+
+def node_values():
+    return st.one_of(st.sampled_from(NODE_VALUES), st.sampled_from(NULL_NAMES).map(Null))
+
+
+def edges():
+    return st.tuples(node_values(), st.sampled_from(LABELS), node_values())
+
+
+def graphs():
+    return st.lists(edges(), min_size=0, max_size=6).map(lambda e: IncompleteGraph(edges=e))
+
+
+def valuations():
+    return st.fixed_dictionaries({name: st.sampled_from(NODE_VALUES) for name in NULL_NAMES}).map(
+        lambda mapping: Valuation({Null(k): v for k, v in mapping.items()})
+    )
+
+
+QUERIES = [parse_rpq(text) for text in ("r", "r . s", "r*", "(r | s)+")]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_relational_encoding_round_trips(graph):
+    assert graph_from_database(graph.to_database()) == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), valuations())
+def test_valuation_commutes_with_encoding(graph, valuation):
+    via_graph = graph.apply_valuation(valuation).to_database()
+    via_database = valuation.apply(graph.to_database())
+    assert via_graph.relation("Edge").rows == via_database.relation("Edge").rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), valuations())
+def test_valuation_image_is_complete_and_no_larger(graph, valuation):
+    world = graph.apply_valuation(valuation)
+    assert world.is_complete()
+    assert world.num_edges() <= graph.num_edges()
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), valuations(), st.sampled_from(QUERIES))
+def test_naive_certain_answers_hold_in_every_valuation_image(graph, valuation, query):
+    """Soundness of the naive shortcut: certain answers survive every valuation."""
+    certain = naive_certain_answers_rpq(query, graph).rows
+    world_answers = query.evaluate(graph.apply_valuation(valuation)).rows
+    assert certain <= world_answers
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.lists(edges(), min_size=0, max_size=3), st.sampled_from(QUERIES))
+def test_rpq_answers_are_monotone_under_edge_addition(graph, extra, query):
+    """RPQs are monotone: adding edges never removes an answer pair."""
+    extended = graph.add_edges(extra)
+    assert query.evaluate(graph).rows <= query.evaluate(extended).rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_naive_certain_answers_mention_no_nulls(graph):
+    for query in QUERIES:
+        rows = naive_certain_answers_rpq(query, graph).rows
+        assert all(not is_null(value) for row in rows for value in row)

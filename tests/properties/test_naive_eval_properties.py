@@ -1,0 +1,84 @@
+"""Property-based tests for naive evaluation (eq. (4)) on random positive queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Attr,
+    Comparison,
+    Projection,
+    RelationRef,
+    Selection,
+    Union_,
+    is_positive,
+    naive_certain_answers,
+    parse_ra,
+)
+from repro.core import certain_answers_intersection
+from repro.datamodel import Database
+
+from .strategies import databases
+
+
+def positive_queries():
+    """A small strategy of structurally distinct positive queries over R/2, S/1."""
+    r, s = RelationRef("R"), RelationRef("S")
+    pool = [
+        r,
+        s,
+        Projection(r, (0,)),
+        Projection(r, (1,)),
+        Selection(r, Comparison(Attr(0), "=", "a")),
+        Selection(r, Comparison(Attr(0), "=", Attr(1))),
+        Union_(Projection(r, (0,)), s),
+        Union_(Projection(r, (1,)), s),
+        Projection(Selection(r, Comparison(Attr(1), "=", "b")), (0,)),
+    ]
+    return st.sampled_from(pool)
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases(max_rows=3), positive_queries())
+def test_naive_evaluation_computes_certain_answers_cwa(database, query):
+    """Q(D)_cmpl = certain_cwa(Q, D) for every generated positive query."""
+    assert is_positive(query)
+    naive = naive_certain_answers(query, database)
+    exact = certain_answers_intersection(query, database, semantics="cwa")
+    assert naive.rows == exact.rows
+
+
+@settings(max_examples=25, deadline=None)
+@given(databases(max_rows=2), positive_queries())
+def test_naive_evaluation_computes_certain_answers_owa(database, query):
+    """The OWA variant of eq. (4), with a bounded fact extension (monotone queries)."""
+    naive = naive_certain_answers(query, database)
+    exact = certain_answers_intersection(
+        query, database, semantics="owa", max_extra_facts=1
+    )
+    assert naive.rows == exact.rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases(max_rows=3), positive_queries())
+def test_certain_answers_are_a_subset_of_the_naive_answer(database, query):
+    """Even before filtering, every certain answer appears in the naive answer."""
+    naive_all = query.evaluate(database)
+    exact = certain_answers_intersection(query, database, semantics="cwa")
+    assert exact.rows <= naive_all.rows | exact.rows  # certain tuples are null-free
+    assert exact.rows <= set(naive_all.rows) | {
+        row for row in exact.rows
+    }  # and contained in the naive rows
+    assert exact.rows <= naive_all.rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases(max_rows=3), positive_queries())
+def test_positive_queries_monotone_under_valuations(database, query):
+    """Q(D) ⊑_owa Q(v(D)): answers only gain information as nulls are resolved."""
+    from repro.core import relation_leq
+    from repro.datamodel import Valuation
+
+    valuation = Valuation({null: "z" for null in database.nulls()})
+    before = query.evaluate(database)
+    after = query.evaluate(valuation.apply(database))
+    assert relation_leq(before, after, semantics="owa")

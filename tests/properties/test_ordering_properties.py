@@ -1,0 +1,71 @@
+"""Property-based tests for information orderings and homomorphisms."""
+
+from hypothesis import given, settings
+
+from repro.core import cwa_leq, owa_leq, wcwa_leq
+from repro.datamodel import Valuation
+from repro.homomorphisms import (
+    Homomorphism,
+    exists_homomorphism,
+    find_homomorphism,
+)
+
+from .strategies import databases, valuations
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases())
+def test_orderings_are_reflexive(database):
+    assert owa_leq(database, database)
+    assert cwa_leq(database, database)
+    assert wcwa_leq(database, database)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=2), valuations(), valuations())
+def test_orderings_compose_along_valuations(database, first, second):
+    """D ⊑ v(D) and chains of valuations stay above the original (transitivity witness)."""
+    middle = first.apply(database)
+    top = second.apply(middle)
+    assert owa_leq(database, middle) and owa_leq(middle, top) and owa_leq(database, top)
+    assert cwa_leq(database, middle) and cwa_leq(middle, top) and cwa_leq(database, top)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=3))
+def test_cwa_implies_wcwa_implies_owa(database):
+    """Checked against the database's own valuation images and fact extensions."""
+    candidates = [
+        Valuation({null: "a" for null in database.nulls()}).apply(database),
+        Valuation({null: "b" for null in database.nulls()}).apply(database),
+    ]
+    candidates.append(candidates[0].add_facts([("S", ("a",))]))
+    for candidate in candidates:
+        if cwa_leq(database, candidate):
+            assert wcwa_leq(database, candidate)
+        if wcwa_leq(database, candidate):
+            assert owa_leq(database, candidate)
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=3), valuations())
+def test_found_homomorphisms_are_actual_homomorphisms(database, valuation):
+    """Whenever the search finds h : D → v(D), its image is contained in v(D)."""
+    target = valuation.apply(database)
+    hom = find_homomorphism(database, target)
+    assert hom is not None
+    assert target.contains_database(hom.apply(database))
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases(max_rows=2), databases(max_rows=2))
+def test_homomorphisms_compose(first, second):
+    """If D₁ → D₂ and D₂ → D₃ exist then D₁ → D₃ exists (via composition)."""
+    intermediate = Valuation({null: "a" for null in first.nulls()}).apply(first)
+    hom1 = find_homomorphism(first, intermediate)
+    hom2 = find_homomorphism(intermediate, second)
+    if hom1 is None or hom2 is None:
+        return
+    composed = Homomorphism({null: hom2(hom1(null)) for null in first.nulls()})
+    assert second.contains_database(composed.apply(first))
+    assert exists_homomorphism(first, second)

@@ -1,0 +1,81 @@
+"""Property-based tests for incomplete data trees and tree patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import Null, Valuation
+from repro.datamodel.values import is_null
+from repro.logic import var
+from repro.trees import DataTree, PatternNode, TreePattern, naive_certain_answers_tree_pattern
+
+X = var("x")
+
+VALUES = ["a", "b", 1]
+NULL_NAMES = ["n1", "n2"]
+LABELS = ["item", "name", "price"]
+
+
+def leaf_values():
+    return st.one_of(
+        st.none(), st.sampled_from(VALUES), st.sampled_from(NULL_NAMES).map(Null)
+    )
+
+
+def trees(depth=2):
+    leaves = st.builds(DataTree, st.sampled_from(LABELS), leaf_values())
+    if depth == 0:
+        return leaves
+    return st.builds(
+        DataTree,
+        st.sampled_from(LABELS),
+        leaf_values(),
+        st.lists(trees(depth - 1), min_size=0, max_size=3),
+    )
+
+
+def valuations():
+    return st.fixed_dictionaries({name: st.sampled_from(VALUES) for name in NULL_NAMES}).map(
+        lambda mapping: Valuation({Null(k): v for k, v in mapping.items()})
+    )
+
+
+PATTERNS = [
+    TreePattern(PatternNode("item", children=[("child", PatternNode("name", value=X))]), output=(X,)),
+    TreePattern(PatternNode("item", children=[("descendant", PatternNode(None, value=X))]), output=(X,)),
+    TreePattern(PatternNode(None, value=X), output=(X,)),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees(), valuations())
+def test_valuation_image_is_complete_and_preserves_structure(tree, valuation):
+    world = tree.apply_valuation(valuation)
+    assert world.is_complete()
+    assert world.size() == tree.size()
+    assert world.labels() == tree.labels()
+    assert world.depth() == tree.depth()
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees(), valuations())
+def test_naive_certain_answers_survive_every_valuation(tree, valuation):
+    world = tree.apply_valuation(valuation)
+    for pattern in PATTERNS:
+        certain = naive_certain_answers_tree_pattern(pattern, tree).rows
+        assert certain <= pattern.evaluate(world).rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees())
+def test_naive_certain_answers_mention_no_nulls(tree):
+    for pattern in PATTERNS:
+        rows = naive_certain_answers_tree_pattern(pattern, tree).rows
+        assert all(not is_null(value) for row in rows for value in row)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees())
+def test_equality_is_reflexive_and_valuation_is_idempotent_on_complete_trees(tree):
+    assert tree == tree
+    if tree.is_complete():
+        assert tree.apply_valuation(Valuation({})) == tree

@@ -1,0 +1,78 @@
+"""Property-based tests for view-based certain answers (LAV integration)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database, DatabaseSchema
+from repro.exchange import MappingAtom
+from repro.logic import var
+from repro.views import ViewCollection, ViewDefinition, canonical_instance, certain_answers_views
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+BASE = DatabaseSchema.from_attributes({"Emp": ("name", "dept"), "Dept": ("dept", "city")})
+
+VIEWS = ViewCollection(
+    BASE,
+    [
+        ViewDefinition("EmpCity", (X, Z), [MappingAtom("Emp", (X, Y)), MappingAtom("Dept", (Y, Z))]),
+        ViewDefinition("Emps", (X,), [MappingAtom("Emp", (X, Y))]),
+    ],
+)
+
+QUERIES = [
+    parse_ra("project[#0](Emp)"),
+    parse_ra("project[#1](Dept)"),
+    parse_ra("project[#0](select[#1 = #2](product(Emp, Dept)))"),
+]
+
+NAMES = ["ann", "bob"]
+DEPTS = ["it", "hr"]
+CITIES = ["oslo", "rome"]
+
+
+def base_databases():
+    emp_row = st.tuples(st.sampled_from(NAMES), st.sampled_from(DEPTS))
+    dept_row = st.tuples(st.sampled_from(DEPTS), st.sampled_from(CITIES))
+    return st.builds(
+        lambda emp, dept: Database(BASE, {"Emp": emp, "Dept": dept}),
+        st.lists(emp_row, min_size=0, max_size=4),
+        st.lists(dept_row, min_size=0, max_size=3),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(base_databases())
+def test_view_based_certain_answers_are_sound(base):
+    """Whatever the hidden base database is, the view-based certain answers hold in it."""
+    extensions = VIEWS.materialize(base)
+    for query in QUERIES:
+        certain = certain_answers_views(query, VIEWS, extensions).rows
+        assert certain <= query.evaluate(base).rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(base_databases(), st.integers(min_value=0, max_value=3))
+def test_soundness_survives_dropping_view_tuples(base, drop):
+    """Sound views may under-report; certain answers must stay sound."""
+    extensions = VIEWS.materialize(base)
+    emp_city = sorted(extensions.relation("EmpCity").rows, key=str)
+    reduced = Database(
+        VIEWS.view_schema(),
+        {"EmpCity": emp_city[drop:], "Emps": extensions.relation("Emps").rows},
+    )
+    for query in QUERIES:
+        certain = certain_answers_views(query, VIEWS, reduced).rows
+        assert certain <= query.evaluate(base).rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(base_databases())
+def test_canonical_instance_maps_homomorphically_into_the_base(base):
+    """The canonical instance is a universal description of the possible bases."""
+    from repro.homomorphisms import exists_homomorphism
+
+    extensions = VIEWS.materialize(base)
+    instance = canonical_instance(VIEWS, extensions)
+    assert exists_homomorphism(instance, base)

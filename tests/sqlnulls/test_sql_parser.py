@@ -1,0 +1,140 @@
+"""Unit tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.sqlnulls import (
+    ColumnRef,
+    ExistsSubquery,
+    InSubquery,
+    IsNull,
+    Literal,
+    SQLAnd,
+    SQLComparison,
+    SQLNot,
+    SQLOr,
+    SQLParseError,
+    SelectQuery,
+    parse_sql,
+)
+
+
+class TestBasicQueries:
+    def test_select_star(self):
+        query = parse_sql("SELECT * FROM Orders")
+        assert query.columns == "*"
+        assert query.tables[0].name == "Orders"
+        assert query.where is None
+
+    def test_select_columns(self):
+        query = parse_sql("SELECT o_id, product FROM Orders")
+        assert [c.name for c in query.columns] == ["o_id", "product"]
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM R").distinct
+        assert not parse_sql("SELECT a FROM R").distinct
+
+    def test_qualified_columns_and_aliases(self):
+        query = parse_sql("SELECT p.o_id FROM Orders AS p")
+        assert query.columns[0] == ColumnRef("o_id", table="p")
+        assert query.tables[0].alias == "p"
+        query2 = parse_sql("SELECT o.a FROM Orders o")
+        assert query2.tables[0].alias == "o"
+
+    def test_multiple_tables(self):
+        query = parse_sql("SELECT * FROM R, S, T")
+        assert [t.name for t in query.tables] == ["R", "S", "T"]
+
+    def test_case_insensitive_keywords(self):
+        query = parse_sql("select a from R where a = 1")
+        assert isinstance(query, SelectQuery)
+        assert isinstance(query.where, SQLComparison)
+
+
+class TestConditions:
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            query = parse_sql(f"SELECT a FROM R WHERE a {op} 3")
+            assert query.where.op == op
+        assert parse_sql("SELECT a FROM R WHERE a != 3").where.op == "<>"
+
+    def test_literals(self):
+        query = parse_sql("SELECT a FROM R WHERE a = 'it''s'")
+        assert query.where.right == Literal("it's")
+        assert parse_sql("SELECT a FROM R WHERE a = 2.5").where.right == Literal(2.5)
+        assert parse_sql("SELECT a FROM R WHERE a = -3").where.right == Literal(-3)
+
+    def test_null_literal(self):
+        query = parse_sql("SELECT a FROM R WHERE a = NULL")
+        assert isinstance(query.where.right.value, Null)
+
+    def test_and_or_not_structure(self):
+        query = parse_sql("SELECT a FROM R WHERE a = 1 AND b = 2 OR NOT c = 3")
+        assert isinstance(query.where, SQLOr)
+        assert isinstance(query.where.operands[0], SQLAnd)
+        assert isinstance(query.where.operands[1], SQLNot)
+
+    def test_parentheses(self):
+        query = parse_sql("SELECT a FROM R WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(query.where, SQLAnd)
+        assert isinstance(query.where.operands[1], SQLOr)
+
+    def test_is_null(self):
+        query = parse_sql("SELECT a FROM R WHERE a IS NULL")
+        assert query.where == IsNull(ColumnRef("a"), negated=False)
+        query2 = parse_sql("SELECT a FROM R WHERE a IS NOT NULL")
+        assert query2.where == IsNull(ColumnRef("a"), negated=True)
+
+    def test_in_and_not_in(self):
+        query = parse_sql("SELECT a FROM R WHERE a IN (SELECT b FROM S)")
+        assert isinstance(query.where, InSubquery)
+        assert not query.where.negated
+        query2 = parse_sql("SELECT a FROM R WHERE a NOT IN (SELECT b FROM S)")
+        assert query2.where.negated
+
+    def test_exists_and_not_exists(self):
+        query = parse_sql("SELECT a FROM R WHERE EXISTS (SELECT b FROM S)")
+        assert isinstance(query.where, ExistsSubquery)
+        assert not query.where.negated
+        query2 = parse_sql("SELECT a FROM R WHERE NOT EXISTS (SELECT b FROM S WHERE S.b = R.a)")
+        assert query2.where.negated
+
+    def test_nested_subqueries(self):
+        query = parse_sql(
+            "SELECT a FROM R WHERE a IN (SELECT b FROM S WHERE b NOT IN (SELECT c FROM T))"
+        )
+        inner = query.where.subquery.where
+        assert isinstance(inner, InSubquery)
+        assert inner.negated
+
+    def test_paper_queries_parse(self):
+        parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+        parse_sql("SELECT p_id FROM Pay WHERE ord = 'oid1' OR ord <> 'oid1'")
+        parse_sql("SELECT R.A FROM R WHERE R.A NOT IN (SELECT S.A FROM S)")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a")
+
+    def test_trailing_input(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a FROM R extra garbage =")
+
+    def test_bad_characters(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a FROM R WHERE a = @")
+
+    def test_keyword_as_scalar(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a FROM R WHERE a = SELECT")
+
+    def test_unterminated_condition(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT a FROM R WHERE a =")
+
+    def test_str_round_trip_mentions_structure(self):
+        query = parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+        text = str(query)
+        assert "NOT IN" in text and "SELECT" in text

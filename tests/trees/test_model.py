@@ -1,0 +1,107 @@
+"""Unit tests for the incomplete data-tree model."""
+
+import pytest
+
+from repro.datamodel import Null, Valuation
+from repro.trees import DataTree, tree_from_nested
+
+
+@pytest.fixture
+def order_tree():
+    return DataTree(
+        "orders",
+        children=[
+            DataTree(
+                "order",
+                children=[DataTree("id", value="oid1"), DataTree("payer", value=Null("p"))],
+            ),
+            DataTree(
+                "order",
+                children=[DataTree("id", value="oid2"), DataTree("payer", value="ann")],
+            ),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_label_must_be_a_string(self):
+        with pytest.raises(TypeError):
+            DataTree(123)
+        with pytest.raises(TypeError):
+            DataTree("")
+
+    def test_children_must_be_trees(self):
+        with pytest.raises(TypeError):
+            DataTree("a", children=["not a tree"])
+
+    def test_none_value_means_no_data(self):
+        node = DataTree("a")
+        assert node.value is None
+        assert node.values() == []
+
+    def test_nested_builder(self):
+        tree = tree_from_nested(("order", None, [("id", "oid1"), "note"]))
+        assert tree.size() == 3
+        assert tree.labels() == {"order", "id", "note"}
+        with pytest.raises(ValueError):
+            tree_from_nested(42)
+
+    def test_nested_builder_accepts_existing_trees(self):
+        inner = DataTree("x", value=1)
+        assert tree_from_nested(inner) is inner
+
+
+class TestMeasurements:
+    def test_size_and_depth(self, order_tree):
+        assert order_tree.size() == 7
+        assert order_tree.depth() == 3
+        assert DataTree("leaf").depth() == 1
+
+    def test_nodes_and_descendants(self, order_tree):
+        assert len(list(order_tree.nodes())) == 7
+        assert len(list(order_tree.descendants())) == 6
+
+    def test_labels_values_nulls_constants(self, order_tree):
+        assert order_tree.labels() == {"orders", "order", "id", "payer"}
+        assert {n.name for n in order_tree.nulls()} == {"p"}
+        assert order_tree.constants() == {"oid1", "oid2", "ann"}
+        assert not order_tree.is_complete()
+
+    def test_to_text(self, order_tree):
+        text = order_tree.to_text()
+        assert "orders" in text
+        assert "id = oid1" in text
+
+
+class TestEqualityIsUnordered:
+    def test_permuted_children_are_equal(self):
+        left = DataTree("r", children=[DataTree("a", value=1), DataTree("b", value=2)])
+        right = DataTree("r", children=[DataTree("b", value=2), DataTree("a", value=1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_values_are_not_equal(self):
+        assert DataTree("a", value=1) != DataTree("a", value=2)
+        assert DataTree("a") != DataTree("b")
+
+    def test_different_child_counts_are_not_equal(self):
+        assert DataTree("r", children=[DataTree("a")]) != DataTree("r")
+
+
+class TestValuations:
+    def test_apply_valuation(self, order_tree):
+        world = order_tree.apply_valuation(Valuation({Null("p"): "bob"}))
+        assert world.is_complete()
+        assert "bob" in world.constants()
+        assert order_tree.nulls(), "the original tree is unchanged"
+
+    def test_map_values_only_touches_data(self, order_tree):
+        upper = order_tree.map_values(lambda v: str(v).upper() if not isinstance(v, Null) else v)
+        assert "OID1" in upper.constants()
+        assert upper.labels() == order_tree.labels()
+
+    def test_with_children(self):
+        node = DataTree("a", value=1)
+        extended = node.with_children([DataTree("b")])
+        assert extended.size() == 2
+        assert node.size() == 1

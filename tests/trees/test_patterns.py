@@ -1,0 +1,204 @@
+"""Unit tests for tree patterns and their certain answers."""
+
+import pytest
+
+from repro.datamodel import Null
+from repro.logic import var
+from repro.trees import (
+    DataTree,
+    PatternNode,
+    TreePattern,
+    certain_answers_tree_pattern,
+    naive_certain_answers_tree_pattern,
+)
+
+X, Y = var("x"), var("y")
+
+
+@pytest.fixture
+def catalog():
+    return DataTree(
+        "catalog",
+        children=[
+            DataTree(
+                "book",
+                children=[
+                    DataTree("title", value="logic"),
+                    DataTree("author", value="ann"),
+                    DataTree("year", value=2001),
+                ],
+            ),
+            DataTree(
+                "book",
+                children=[
+                    DataTree("title", value="nulls"),
+                    DataTree("author", value=Null("a")),
+                ],
+            ),
+        ],
+    )
+
+
+class TestPatternConstruction:
+    def test_edge_types_validated(self):
+        with pytest.raises(ValueError):
+            PatternNode("a", children=[("sibling", PatternNode("b"))])
+        with pytest.raises(TypeError):
+            PatternNode("a", children=[("child", "not a pattern")])
+
+    def test_output_variables_must_occur(self):
+        with pytest.raises(ValueError):
+            TreePattern(PatternNode("a", value=X), output=(Y,))
+
+    def test_str_rendering(self):
+        pattern = PatternNode(
+            "book",
+            children=[("child", PatternNode("title", value="logic")), ("descendant", PatternNode(None, value=X))],
+        )
+        text = str(pattern)
+        assert "book" in text and "//" in text and "*" in text
+
+    def test_variables(self):
+        pattern = PatternNode("book", children=[("child", PatternNode("title", value=X))])
+        assert pattern.variables() == {X}
+
+
+class TestMatching:
+    def test_child_edge(self, catalog):
+        pattern = TreePattern(
+            PatternNode("book", children=[("child", PatternNode("title", value=X))]),
+            output=(X,),
+        )
+        assert pattern.evaluate(catalog).rows == {("logic",), ("nulls",)}
+
+    def test_descendant_edge(self, catalog):
+        pattern = TreePattern(
+            PatternNode("catalog", children=[("descendant", PatternNode("title", value=X))]),
+            output=(X,),
+        )
+        assert pattern.evaluate(catalog).rows == {("logic",), ("nulls",)}
+
+    def test_child_edge_does_not_skip_levels(self, catalog):
+        pattern = TreePattern(
+            PatternNode("catalog", children=[("child", PatternNode("title", value=X))]),
+            output=(X,),
+        )
+        assert pattern.evaluate(catalog).rows == frozenset()
+
+    def test_wildcard_label(self, catalog):
+        pattern = TreePattern(
+            PatternNode("book", children=[("child", PatternNode(None, value=X))]),
+            output=(X,),
+        )
+        assert ("ann",) in pattern.evaluate(catalog).rows
+        assert (2001,) in pattern.evaluate(catalog).rows
+
+    def test_constant_value_constraint(self, catalog):
+        pattern = TreePattern(
+            PatternNode(
+                "book",
+                children=[
+                    ("child", PatternNode("title", value="logic")),
+                    ("child", PatternNode("author", value=X)),
+                ],
+            ),
+            output=(X,),
+        )
+        assert pattern.evaluate(catalog).rows == {("ann",)}
+
+    def test_value_constraint_requires_a_data_value(self):
+        tree = DataTree("a", children=[DataTree("b")])
+        pattern = TreePattern(PatternNode("b", value=X), output=(X,))
+        assert pattern.evaluate(tree).rows == frozenset()
+
+    def test_repeated_variable_forces_equal_values(self):
+        tree = DataTree(
+            "r",
+            children=[
+                DataTree("p", children=[DataTree("a", value=1), DataTree("b", value=1)]),
+                DataTree("p", children=[DataTree("a", value=1), DataTree("b", value=2)]),
+            ],
+        )
+        pattern = TreePattern(
+            PatternNode(
+                "p",
+                children=[("child", PatternNode("a", value=X)), ("child", PatternNode("b", value=X))],
+            ),
+            output=(X,),
+        )
+        assert pattern.evaluate(tree).rows == {(1,)}
+
+    def test_anchored_pattern_only_matches_the_root(self, catalog):
+        anchored = TreePattern(PatternNode("book"), anchored=True)
+        floating = TreePattern(PatternNode("book"))
+        assert not anchored.evaluate_boolean(catalog)
+        assert floating.evaluate_boolean(catalog)
+
+    def test_boolean_pattern(self, catalog):
+        assert TreePattern(PatternNode("year")).evaluate_boolean(catalog)
+        assert not TreePattern(PatternNode("isbn")).evaluate_boolean(catalog)
+
+
+class TestCertainAnswers:
+    def test_null_valued_answers_are_not_certain(self, catalog):
+        pattern = TreePattern(
+            PatternNode("book", children=[("child", PatternNode("author", value=X))]),
+            output=(X,),
+        )
+        naive = pattern.evaluate(catalog).rows
+        certain = naive_certain_answers_tree_pattern(pattern, catalog).rows
+        assert (Null("a"),) in naive
+        assert certain == {("ann",)}
+
+    def test_naive_matches_enumeration(self, catalog):
+        pattern = TreePattern(
+            PatternNode("book", children=[("child", PatternNode("author", value=X))]),
+            output=(X,),
+        )
+        assert (
+            naive_certain_answers_tree_pattern(pattern, catalog).rows
+            == certain_answers_tree_pattern(pattern, catalog).rows
+        )
+
+    def test_shared_null_equality_is_certain(self):
+        tree = DataTree(
+            "r",
+            children=[
+                DataTree("p", value="left", children=[DataTree("v", value=Null("s"))]),
+                DataTree("p", value="right", children=[DataTree("v", value=Null("s"))]),
+            ],
+        )
+        pattern = TreePattern(
+            PatternNode(
+                "r",
+                children=[
+                    ("child", PatternNode("p", value=X, children=[("child", PatternNode("v", value=Y))])),
+                    ("child", PatternNode("p", value="right", children=[("child", PatternNode("v", value=Y))])),
+                ],
+            ),
+            output=(X,),
+        )
+        certain = naive_certain_answers_tree_pattern(pattern, tree).rows
+        assert ("left",) in certain
+        assert certain == certain_answers_tree_pattern(pattern, tree).rows
+
+    def test_distinct_nulls_do_not_certainly_agree(self):
+        tree = DataTree(
+            "r",
+            children=[
+                DataTree("p", value="left", children=[DataTree("v", value=Null("s1"))]),
+                DataTree("p", value="right", children=[DataTree("v", value=Null("s2"))]),
+            ],
+        )
+        pattern = TreePattern(
+            PatternNode(
+                "r",
+                children=[
+                    ("child", PatternNode("p", value="left", children=[("child", PatternNode("v", value=Y))])),
+                    ("child", PatternNode("p", value="right", children=[("child", PatternNode("v", value=Y))])),
+                ],
+            ),
+        )
+        assert pattern.is_boolean()
+        assert naive_certain_answers_tree_pattern(pattern, tree).rows == frozenset()
+        assert certain_answers_tree_pattern(pattern, tree).rows == set()

@@ -1,0 +1,118 @@
+"""Unit tests for view-based certain answers (LAV integration)."""
+
+import pytest
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database, DatabaseSchema
+from repro.exchange import MappingAtom
+from repro.logic import var
+from repro.views import (
+    ViewCollection,
+    ViewDefinition,
+    canonical_instance,
+    certain_answers_views,
+    inverse_mapping,
+)
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+BASE = DatabaseSchema.from_attributes(
+    {"Emp": ("name", "dept"), "Dept": ("dept", "city")}
+)
+
+
+@pytest.fixture
+def views():
+    return ViewCollection(
+        BASE,
+        [
+            # Exposes who works in some department located in which city,
+            # hiding the department itself.
+            ViewDefinition("EmpCity", (X, Z), [MappingAtom("Emp", (X, Y)), MappingAtom("Dept", (Y, Z))]),
+            # Exposes the list of employees.
+            ViewDefinition("Emps", (X,), [MappingAtom("Emp", (X, Y))]),
+        ],
+    )
+
+
+@pytest.fixture
+def extensions(views):
+    return Database(
+        views.view_schema(),
+        {
+            "EmpCity": [("ann", "oslo"), ("bob", "rome")],
+            "Emps": [("ann",), ("bob",), ("cleo",)],
+        },
+    )
+
+
+class TestInverseMapping:
+    def test_one_rule_per_view(self, views):
+        mapping = inverse_mapping(views)
+        assert len(mapping) == 2
+        assert {tgd.body[0].relation for tgd in mapping} == {"EmpCity", "Emps"}
+
+    def test_existential_variables_become_nulls(self, views, extensions):
+        instance = canonical_instance(views, extensions)
+        # Each EmpCity tuple creates an unknown department; each Emps tuple
+        # creates an unknown department too.
+        assert len(instance.nulls()) == 2 + 3
+        assert len(instance.relation("Emp")) == 5
+        assert len(instance.relation("Dept")) == 2
+
+    def test_shared_null_links_emp_and_dept(self, views, extensions):
+        instance = canonical_instance(views, extensions)
+        emp_rows = instance.relation("Emp").rows
+        dept_rows = instance.relation("Dept").rows
+        ann_depts = {dept for name, dept in emp_rows if name == "ann"}
+        oslo_depts = {dept for dept, city in dept_rows if city == "oslo"}
+        assert ann_depts & oslo_depts, "ann's unknown department must be the one located in oslo"
+
+    def test_missing_view_extension_is_rejected(self, views):
+        partial = Database.from_dict({"EmpCity": [("ann", "oslo")]})
+        with pytest.raises(ValueError):
+            canonical_instance(views, partial)
+
+
+class TestCertainAnswers:
+    def test_positive_query_over_hidden_relation(self, views, extensions):
+        # Who works in a department located in oslo?  Certain: ann (through
+        # the marked null shared between the reconstructed Emp and Dept facts).
+        query = parse_ra("project[#0](select[#1 = #2 and #3 = 'oslo'](product(Emp, Dept)))")
+        answer = certain_answers_views(query, views, extensions)
+        assert answer.rows == {("ann",)}
+
+    def test_all_employees_are_certain(self, views, extensions):
+        query = parse_ra("project[#0](Emp)")
+        answer = certain_answers_views(query, views, extensions)
+        assert answer.rows == {("ann",), ("bob",), ("cleo",)}
+
+    def test_departments_are_unknown_so_not_certain(self, views, extensions):
+        query = parse_ra("project[#1](Emp)")
+        answer = certain_answers_views(query, views, extensions)
+        assert answer.rows == set()
+
+    def test_keep_nulls_returns_the_object_answer(self, views, extensions):
+        query = parse_ra("project[#1](Emp)")
+        answer = certain_answers_views(query, views, extensions, keep_nulls=True)
+        assert len(answer) == 5
+        assert all(len(row) == 1 for row in answer.rows)
+
+    def test_callable_queries_are_accepted(self, views, extensions):
+        answer = certain_answers_views(
+            lambda db: db.relation("Dept").complete_part(), views, extensions
+        )
+        assert answer.rows == set()
+
+    def test_soundness_against_a_real_base_database(self, views):
+        base = Database(
+            BASE,
+            {
+                "Emp": [("ann", "it"), ("bob", "hr"), ("cleo", "it")],
+                "Dept": [("it", "oslo"), ("hr", "rome")],
+            },
+        )
+        extensions = views.materialize(base)
+        query = parse_ra("project[#0](select[#1 = #2 and #3 = 'oslo'](product(Emp, Dept)))")
+        certain = certain_answers_views(query, views, extensions).rows
+        assert certain <= query.evaluate(base).rows

@@ -1,0 +1,93 @@
+"""Unit tests for conjunctive-query view definitions and their materialization."""
+
+import pytest
+
+from repro.datamodel import Database, DatabaseSchema, Null, Relation
+from repro.exchange import MappingAtom
+from repro.logic import var
+from repro.views import ViewCollection, ViewDefinition
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+BASE = DatabaseSchema.from_attributes(
+    {"Emp": ("name", "dept"), "Dept": ("dept", "city")}
+)
+
+
+def _emp_view():
+    return ViewDefinition("EmpCity", (X, Z), [MappingAtom("Emp", (X, Y)), MappingAtom("Dept", (Y, Z))])
+
+
+def _dept_view():
+    return ViewDefinition("Depts", (Y,), [MappingAtom("Dept", (Y, Z))])
+
+
+@pytest.fixture
+def base_db():
+    return Database(
+        BASE,
+        {
+            "Emp": [("ann", "it"), ("bob", "hr")],
+            "Dept": [("it", "oslo"), ("hr", "rome")],
+        },
+    )
+
+
+class TestViewDefinition:
+    def test_arity_and_variables(self):
+        view = _emp_view()
+        assert view.arity == 2
+        assert view.existential_variables() == {Y}
+        assert view.body_variables() == {X, Y, Z}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewDefinition("V", (X,), [])
+        with pytest.raises(ValueError):
+            ViewDefinition("", (X,), [MappingAtom("Emp", (X, Y))])
+        with pytest.raises(ValueError):
+            ViewDefinition("V", (Z,), [MappingAtom("Emp", (X, Y))])
+        with pytest.raises(TypeError):
+            ViewDefinition("V", ("not a variable",), [MappingAtom("Emp", (X, Y))])
+
+    def test_str(self):
+        assert "EmpCity(x, z) :- Emp(x, y) ∧ Dept(y, z)" == str(_emp_view())
+
+    def test_evaluate_joins_the_body(self, base_db):
+        assert _emp_view().evaluate(base_db).rows == {("ann", "oslo"), ("bob", "rome")}
+
+    def test_evaluate_with_constant_in_body(self, base_db):
+        view = ViewDefinition("ItStaff", (X,), [MappingAtom("Emp", (X, "it"))])
+        assert view.evaluate(base_db).rows == {("ann",)}
+
+    def test_evaluate_is_naive_over_nulls(self):
+        db = Database(BASE, {"Emp": [("ann", Null("d"))], "Dept": [(Null("d"), "oslo")]})
+        assert _emp_view().evaluate(db).rows == {("ann", "oslo")}
+
+
+class TestViewCollection:
+    def test_schema_and_lookup(self):
+        collection = ViewCollection(BASE, [_emp_view(), _dept_view()])
+        assert collection.view_schema().names() == ["EmpCity", "Depts"]
+        assert collection.view("Depts").arity == 1
+        with pytest.raises(KeyError):
+            collection.view("Nope")
+        assert len(collection) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewCollection(BASE, [])
+        with pytest.raises(ValueError):
+            ViewCollection(BASE, [_emp_view(), _emp_view()])
+        with pytest.raises(ValueError):
+            ViewCollection(BASE, [ViewDefinition("Emp", (X,), [MappingAtom("Emp", (X, Y))])])
+        with pytest.raises(ValueError):
+            ViewCollection(BASE, [ViewDefinition("V", (X,), [MappingAtom("Unknown", (X,))])])
+        with pytest.raises(ValueError):
+            ViewCollection(BASE, [ViewDefinition("V", (X,), [MappingAtom("Emp", (X, Y, Z))])])
+
+    def test_materialize(self, base_db):
+        collection = ViewCollection(BASE, [_emp_view(), _dept_view()])
+        materialized = collection.materialize(base_db)
+        assert materialized.relation("EmpCity").rows == {("ann", "oslo"), ("bob", "rome")}
+        assert materialized.relation("Depts").rows == {("it",), ("hr",)}

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic workload generators."""
+
+from repro.algebra import is_positive, is_ra_cwa, uses_difference, uses_division
+from repro.datamodel import Database
+from repro.exchange import chase
+from repro.workloads import (
+    chain_mapping,
+    enrolment,
+    order_preferences_source,
+    orders_payments,
+    random_database,
+    random_full_ra_query,
+    random_graph_source,
+    random_positive_query,
+    random_ra_cwa_query,
+)
+
+
+class TestScenarioGenerators:
+    def test_orders_payments_shape(self):
+        db = orders_payments(num_orders=7, num_payments=5, null_fraction=0.5, seed=3)
+        assert len(db["Orders"]) == 7
+        assert len(db["Pay"]) == 5
+        assert db["Orders"].is_complete()
+
+    def test_orders_payments_null_fraction_extremes(self):
+        no_nulls = orders_payments(null_fraction=0.0, seed=1)
+        all_nulls = orders_payments(num_payments=5, null_fraction=1.0, seed=1)
+        assert no_nulls.is_complete()
+        assert len(all_nulls.nulls()) == 5
+
+    def test_orders_payments_deterministic(self):
+        assert orders_payments(seed=4) == orders_payments(seed=4)
+        assert orders_payments(seed=4) != orders_payments(seed=5)
+
+    def test_enrolment_shape(self):
+        db = enrolment(num_students=5, num_courses=3, seed=2)
+        assert len(db["Courses"]) == 3
+        assert db["Enroll"].arity == 2
+        assert {"Enroll", "Courses"} == set(db.schema.names())
+
+    def test_enrolment_deterministic(self):
+        assert enrolment(seed=7) == enrolment(seed=7)
+
+    def test_random_database_null_count(self):
+        for seed in range(5):
+            db = random_database(num_nulls=3, seed=seed)
+            assert len(db.nulls()) == 3
+        complete = random_database(num_nulls=0, seed=1)
+        assert complete.is_complete()
+
+    def test_random_database_structure(self):
+        db = random_database(num_relations=3, arity=2, rows_per_relation=4, seed=0)
+        assert len(db.schema) == 3
+        assert all(rel.arity == 2 for rel in db)
+
+
+class TestQueryGenerators:
+    def test_random_positive_queries_are_positive(self):
+        db = random_database(seed=0)
+        for seed in range(10):
+            query = random_positive_query(db.schema, seed=seed)
+            assert is_positive(query)
+            # they must also evaluate without error
+            query.evaluate(db)
+
+    def test_random_ra_cwa_queries_use_division(self):
+        db = enrolment(seed=0)
+        for seed in range(5):
+            query = random_ra_cwa_query(db.schema, "Enroll", "Courses", seed=seed)
+            assert is_ra_cwa(query)
+            assert uses_division(query)
+            query.evaluate(db)
+
+    def test_random_full_ra_queries_use_difference(self):
+        db = random_database(seed=0)
+        for seed in range(5):
+            query = random_full_ra_query(db.schema, seed=seed)
+            assert uses_difference(query)
+            query.evaluate(db)
+
+    def test_query_generators_deterministic(self):
+        db = random_database(seed=0)
+        assert random_positive_query(db.schema, seed=3) == random_positive_query(db.schema, seed=3)
+
+
+class TestExchangeWorkloads:
+    def test_order_preferences_source(self):
+        source = order_preferences_source(num_orders=6, seed=1)
+        assert len(source["Order"]) == 6
+        assert source.is_complete()
+
+    def test_chain_mapping_null_count_scales_with_length(self):
+        source = random_graph_source(num_nodes=4, num_edges=5, seed=0)
+        short = chase(chain_mapping(2), source)
+        long = chase(chain_mapping(4), source)
+        assert short.nulls_introduced == 5
+        assert long.nulls_introduced == 15
+        assert long.target.size() > short.target.size()
+
+    def test_random_graph_source_size(self):
+        source = random_graph_source(num_nodes=5, num_edges=7, seed=2)
+        assert len(source["E"]) == 7

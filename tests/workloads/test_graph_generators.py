@@ -1,0 +1,46 @@
+"""Unit tests for the graph workload generators."""
+
+from repro.datamodel import Null
+from repro.workloads import random_labelled_graph, social_network_graph
+
+
+class TestRandomLabelledGraph:
+    def test_deterministic_for_a_seed(self):
+        assert random_labelled_graph(seed=7) == random_labelled_graph(seed=7)
+        assert random_labelled_graph(seed=7) != random_labelled_graph(seed=8)
+
+    def test_respects_size_parameters(self):
+        graph = random_labelled_graph(num_nodes=5, num_edges=9, seed=1)
+        assert graph.num_edges() <= 9
+        constant_nodes = {n for n in graph.nodes() if not isinstance(n, Null)}
+        assert len(constant_nodes) >= 5
+
+    def test_null_fractions_control_incompleteness(self):
+        complete = random_labelled_graph(null_node_fraction=0.0, null_label_fraction=0.0, seed=2)
+        assert complete.is_complete()
+        incomplete = random_labelled_graph(null_node_fraction=0.5, null_label_fraction=0.5, seed=2)
+        assert not incomplete.is_complete()
+
+    def test_labels_come_from_the_requested_alphabet(self):
+        graph = random_labelled_graph(labels=("x", "y"), null_label_fraction=0.0, seed=3)
+        assert graph.labels() <= {"x", "y"}
+
+
+class TestSocialNetworkGraph:
+    def test_every_person_knows_someone_and_works_somewhere(self):
+        graph = social_network_graph(num_people=5, seed=0)
+        people = {f"p{i}" for i in range(5)}
+        knows_sources = {s for s, label, _t in graph.edges() if label == "knows"}
+        works_sources = {s for s, label, _t in graph.edges() if label == "worksFor"}
+        assert people <= knows_sources
+        assert people <= works_sources
+
+    def test_unknown_employers_are_marked_nulls(self):
+        graph = social_network_graph(num_people=6, unknown_employer_fraction=1.0, seed=1)
+        employers = {t for _s, label, t in graph.edges() if label == "worksFor"}
+        assert all(isinstance(e, Null) for e in employers)
+        known = social_network_graph(num_people=6, unknown_employer_fraction=0.0, seed=1)
+        assert known.is_complete()
+
+    def test_deterministic_for_a_seed(self):
+        assert social_network_graph(seed=4) == social_network_graph(seed=4)
