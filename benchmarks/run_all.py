@@ -1,0 +1,389 @@
+#!/usr/bin/env python
+"""Run every benchmark family and emit a single ``BENCH_results.json``.
+
+Unlike the pytest-benchmark modules (``bench_e*.py``), which measure with
+statistical rigour but take minutes and scatter their output, this runner
+times one representative operation per benchmark family at its largest
+default size and writes a single machine-readable JSON file so future PRs
+have a perf trajectory to compare against.
+
+For the join-heavy families (e01, e12, e18) it also measures the *seed*
+execution paths — the tree-walking interpreter (``engine="interpreter"``)
+and the unindexed homomorphism search (``use_index=False``) — and reports
+the speedup of the physical evaluation engine over them.
+
+Usage::
+
+    python benchmarks/run_all.py                # all families
+    python benchmarks/run_all.py --quick        # e01/e12/e18 + speedups only
+    python benchmarks/run_all.py --check        # exit 1 unless join-heavy
+                                                # speedups are all >= 3x
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.algebra import parse_ra  # noqa: E402
+from repro.engine import clear_plan_cache  # noqa: E402
+
+JOIN_HEAVY_THRESHOLD = 3.0
+
+
+def measure(fn: Callable[[], Any], target_seconds: float = 0.05, repeats: int = 7) -> Dict[str, Any]:
+    """Best per-call seconds of ``fn`` (timeit convention) plus result size."""
+    result = fn()  # warm-up (also warms plan/index caches, deliberately)
+    single = max(1e-7, _time_once(fn))
+    number = max(1, int(target_seconds / single))
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            result = fn()
+        samples.append((time.perf_counter() - start) / number)
+    seconds = min(samples)
+    record: Dict[str, Any] = {"seconds": seconds, "calls_per_sec": 1.0 / seconds}
+    try:
+        rows = len(result)
+    except TypeError:
+        rows = None
+    if rows is not None:
+        record["rows"] = rows
+        record["rows_per_sec"] = rows / seconds if seconds > 0 else None
+    return record
+
+
+def _time_once(fn: Callable[[], Any]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Benchmark families.  Each scenario function returns {op name: record};
+# op pairs named "engine:X" / "seed:X" contribute a speedup entry.
+# ----------------------------------------------------------------------
+def scenario_e01() -> Dict[str, Any]:
+    """Unpaid orders (Section 1): difference of projections, largest size."""
+    from repro.core import sound_certain_answers
+    from repro.workloads import orders_payments
+
+    database = orders_payments(num_orders=40, num_payments=8, null_fraction=0.4, seed=7)
+    query = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
+    return {
+        "engine:query": measure(lambda: query.evaluate(database, engine="plan")),
+        "seed:query": measure(lambda: query.evaluate(database, engine="interpreter")),
+        "sound_evaluation": measure(lambda: sound_certain_answers(query, database)),
+    }
+
+
+def scenario_e12() -> Dict[str, Any]:
+    """Information-ordering checks by homomorphism search, largest size."""
+    from repro.datamodel import Valuation
+    from repro.homomorphisms.finder import find_homomorphism
+    from repro.workloads import random_database
+
+    source = random_database(num_relations=2, arity=2, rows_per_relation=16, num_nulls=3, seed=5)
+    valuation = Valuation(
+        {n: f"v{i}" for i, n in enumerate(sorted(source.nulls(), key=lambda n: n.name))}
+    )
+    target = valuation.apply(source)
+    return {
+        "engine:owa_check": measure(lambda: find_homomorphism(source, target, use_index=True)),
+        "seed:owa_check": measure(lambda: find_homomorphism(source, target, use_index=False)),
+        "engine:cwa_check": measure(
+            lambda: find_homomorphism(source, target, strong_onto=True, use_index=True)
+        ),
+        "seed:cwa_check": measure(
+            lambda: find_homomorphism(source, target, strong_onto=True, use_index=False)
+        ),
+    }
+
+
+def scenario_e18() -> Dict[str, Any]:
+    """Complexity-shape positive queries at the largest size sweep value."""
+    from repro.workloads import random_database
+
+    database = random_database(
+        num_relations=2, arity=2, rows_per_relation=40, num_nulls=2, seed=21
+    )
+    positive = parse_ra("project[#0](select[#1 = #2](product(R0, project[#0](R1))))")
+    join_plan = parse_ra("project[a](join(rename[A(a, b)](R0), rename[B(b, c)](R1)))")
+    return {
+        "engine:product_selection": measure(lambda: positive.evaluate(database, engine="plan")),
+        "seed:product_selection": measure(
+            lambda: positive.evaluate(database, engine="interpreter")
+        ),
+        "engine:natural_join": measure(lambda: join_plan.evaluate(database, engine="plan")),
+        "seed:natural_join": measure(lambda: join_plan.evaluate(database, engine="interpreter")),
+    }
+
+
+def scenario_e02() -> Dict[str, Any]:
+    from repro.datamodel import Database, Null, Relation
+    from repro.semantics import certain_boolean
+
+    query = parse_ra("diff(R, S)")
+    database = Database.from_relations(
+        [
+            Relation.create("R", [(i,) for i in range(200)], attributes=("A",)),
+            Relation.create("S", [(Null("s0"),)], attributes=("A",)),
+        ]
+    )
+    return {
+        "naive_difference": measure(lambda: query.evaluate(database)),
+        "certain_nonempty_enumeration": measure(
+            lambda: certain_boolean(lambda w: bool(query.evaluate(w)), database, "cwa")
+        ),
+    }
+
+
+def scenario_e04() -> Dict[str, Any]:
+    from repro.exchange import chase, order_preferences_mapping
+    from repro.workloads import chain_mapping, order_preferences_source, random_graph_source
+
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=60, seed=0)
+    chain = chain_mapping(length=3)
+    graph = random_graph_source(num_nodes=8, num_edges=20, seed=0)
+    return {
+        "chase_order_preferences": measure(lambda: chase(mapping, source)),
+        "chase_chain_mapping": measure(lambda: chase(chain, graph)),
+    }
+
+
+def scenario_e07() -> Dict[str, Any]:
+    from repro.algebra import CTableDatabase, ctable_evaluate
+    from repro.datamodel import Database, Null, Relation
+    from repro.semantics import answer_space, default_domain
+
+    query = parse_ra("diff(R, S)")
+    database = Database.from_relations(
+        [
+            Relation.create("R", [(i,) for i in range(8)], attributes=("A",)),
+            Relation.create("S", [(Null(f"s{i}"),) for i in range(3)], attributes=("A",)),
+        ]
+    )
+    ctdb = CTableDatabase.from_database(database)
+    domain = default_domain(database)
+    return {
+        "ctable_algebra": measure(lambda: ctable_evaluate(query, ctdb)),
+        "world_enumeration": measure(
+            lambda: answer_space(query.evaluate, database, "cwa", domain)
+        ),
+    }
+
+
+def scenario_e08() -> Dict[str, Any]:
+    from repro.algebra import naive_certain_answers
+    from repro.core import certain_answers_intersection
+    from repro.workloads import random_database
+
+    query = parse_ra("project[#0](select[#1 = #2](product(R0, project[#0](R1))))")
+    database = random_database(num_relations=2, arity=2, rows_per_relation=6, num_nulls=3, seed=11)
+    return {
+        "naive_join_query": measure(lambda: naive_certain_answers(query, database)),
+        "enumeration_join_query": measure(
+            lambda: certain_answers_intersection(query, database, "cwa")
+        ),
+    }
+
+
+def scenario_e16() -> Dict[str, Any]:
+    from repro.algebra import naive_certain_answers
+    from repro.workloads import enrolment
+
+    query = parse_ra("divide(Enroll, Courses)")
+    database = enrolment(
+        num_students=40, num_courses=3, enrol_probability=0.8, null_fraction=0.1, seed=4
+    )
+    return {"naive_division": measure(lambda: naive_certain_answers(query, database))}
+
+
+def scenario_e20() -> Dict[str, Any]:
+    from repro.core import sound_certain_answers
+    from repro.workloads import orders_payments
+
+    query = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
+    database = orders_payments(num_orders=80, num_payments=40, null_fraction=0.3, seed=13)
+    return {"sound_evaluation": measure(lambda: sound_certain_answers(query, database))}
+
+
+def scenario_e21() -> Dict[str, Any]:
+    from repro.exchange import certain_answers_exchange, order_preferences_mapping
+    from repro.workloads import order_preferences_source
+
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=160, seed=0)
+    query = parse_ra("project[product](Pref)")
+    return {
+        "exchange_certain_answers": measure(
+            lambda: certain_answers_exchange(mapping, source, query)
+        )
+    }
+
+
+def scenario_e22() -> Dict[str, Any]:
+    from repro.datamodel import Null
+    from repro.graphs import IncompleteGraph, naive_certain_answers_rpq, parse_rpq
+
+    query = parse_rpq("a* . b")
+    nodes = [f"v{i}" for i in range(5)]
+    edges = [(node, "a", nodes[(i + 1) % 5]) for i, node in enumerate(nodes)]
+    edges.append((nodes[0], "b", nodes[2]))
+    for j in range(3):
+        unknown = Null(f"u{j}")
+        edges.append((nodes[j % 5], "a", unknown))
+        edges.append((unknown, "b", nodes[(j + 2) % 5]))
+    graph = IncompleteGraph(edges=edges)
+    return {"naive_rpq": measure(lambda: naive_certain_answers_rpq(query, graph))}
+
+
+def scenario_e23() -> Dict[str, Any]:
+    from repro.constraints import FunctionalDependency
+    from repro.cqa import consistent_answers
+    from repro.datamodel import Database, Relation
+
+    key = FunctionalDependency("Pay", ("p_id",), ("amount",))
+    id_query = parse_ra("project[#0](Pay)")
+    rows = []
+    for i in range(4):
+        rows.append((f"pid{i}", 100))
+        rows.append((f"pid{i}", 200))
+    rows.extend((f"clean{i}", 10 * i) for i in range(10))
+    database = Database.from_relations(
+        [Relation.create("Pay", rows, attributes=("p_id", "amount"))]
+    )
+    return {
+        "consistent_answers_projection": measure(
+            lambda: consistent_answers(lambda d: id_query.evaluate(d), database, key)
+        )
+    }
+
+
+def scenario_e24() -> Dict[str, Any]:
+    from repro.datamodel import Database, DatabaseSchema
+    from repro.exchange import MappingAtom
+    from repro.logic import var
+    from repro.views import ViewCollection, ViewDefinition, certain_answers_views
+
+    x, y, z = var("x"), var("y"), var("z")
+    base = DatabaseSchema.from_attributes({"Emp": ("name", "dept"), "Dept": ("dept", "city")})
+    views = ViewCollection(
+        base,
+        [
+            ViewDefinition("EmpCity", (x, z), [MappingAtom("Emp", (x, y)), MappingAtom("Dept", (y, z))]),
+            ViewDefinition("Emps", (x,), [MappingAtom("Emp", (x, y))]),
+        ],
+    )
+    query = parse_ra("project[#0](select[#1 = #2 and #3 = 'city0'](product(Emp, Dept)))")
+    size = 90
+    extensions = Database(
+        views.view_schema(),
+        {
+            "EmpCity": [(f"p{i}", f"city{i % 3}") for i in range(size)],
+            "Emps": [(f"p{i}",) for i in range(size)] + [(f"q{i}",) for i in range(size // 2)],
+        },
+    )
+    return {
+        "view_certain_answers": measure(lambda: certain_answers_views(query, views, extensions))
+    }
+
+
+QUICK_SCENARIOS = {"e01": scenario_e01, "e12": scenario_e12, "e18": scenario_e18}
+FULL_SCENARIOS = {
+    **QUICK_SCENARIOS,
+    "e02": scenario_e02,
+    "e04": scenario_e04,
+    "e07": scenario_e07,
+    "e08": scenario_e08,
+    "e16": scenario_e16,
+    "e20": scenario_e20,
+    "e21": scenario_e21,
+    "e22": scenario_e22,
+    "e23": scenario_e23,
+    "e24": scenario_e24,
+}
+JOIN_HEAVY = ("e01", "e12", "e18")
+
+
+def compute_speedups(ops: Dict[str, Any]) -> Dict[str, float]:
+    speedups = {}
+    for name, record in ops.items():
+        if not name.startswith("engine:"):
+            continue
+        op = name.split(":", 1)[1]
+        seed = ops.get(f"seed:{op}")
+        if seed:
+            speedups[op] = seed["seconds"] / record["seconds"]
+    return speedups
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="join-heavy families + speedups only")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 unless all join-heavy speedups are >= {JOIN_HEAVY_THRESHOLD}x",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_results.json"),
+        help="path of the JSON report (default: benchmarks/BENCH_results.json)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = QUICK_SCENARIOS if args.quick else FULL_SCENARIOS
+    results: Dict[str, Any] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for name in sorted(scenarios):
+        clear_plan_cache()
+        print(f"[{name}] running ...", flush=True)
+        ops = scenarios[name]()
+        results[name] = {"ops": ops}
+        family_speedups = compute_speedups(ops)
+        if family_speedups:
+            speedups[name] = family_speedups
+            for op, factor in sorted(family_speedups.items()):
+                print(f"  {op}: engine {factor:.1f}x faster than seed path")
+
+    join_heavy_min = min(
+        (factor for name in JOIN_HEAVY for factor in speedups.get(name, {}).values()),
+        default=None,
+    )
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+            "join_heavy_threshold": JOIN_HEAVY_THRESHOLD,
+        },
+        "benchmarks": results,
+        "speedups": speedups,
+        "join_heavy_min_speedup": join_heavy_min,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {args.output}")
+    if join_heavy_min is not None:
+        print(f"minimum join-heavy speedup: {join_heavy_min:.1f}x (threshold {JOIN_HEAVY_THRESHOLD}x)")
+    if args.check:
+        if join_heavy_min is None or join_heavy_min < JOIN_HEAVY_THRESHOLD:
+            print("FAIL: join-heavy speedup below threshold", file=sys.stderr)
+            return 1
+        print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,8 +43,40 @@ class RAExpression:
         """The schema of the result when evaluated over ``schema``."""
         raise NotImplementedError
 
-    def evaluate(self, database: Database) -> Relation:
-        """Evaluate the expression (standard / naive semantics)."""
+    def evaluate(self, database: Database, engine: Optional[str] = None) -> Relation:
+        """Evaluate the expression (standard / naive semantics).
+
+        ``engine`` selects the execution path:
+
+        * ``"plan"`` (the default) — compile the expression into an
+          optimized physical plan (:mod:`repro.engine`) with selection
+          pushdown, hash joins and common-subexpression memoization;
+        * ``"interpreter"`` — the original tree-walking interpreter, kept
+          as a differential-testing oracle.
+
+        When ``engine`` is ``None`` the module default applies (see
+        :func:`repro.engine.set_default_engine`; overridable with the
+        ``REPRO_ENGINE`` environment variable).
+        """
+        from .. import engine as _engine
+
+        mode = engine if engine is not None else _engine.get_default_engine()
+        if mode == "interpreter":
+            return self._interpret(database)
+        if mode == "plan":
+            return _engine.execute(self, database)
+        raise ValueError(f"unknown engine {mode!r}; expected 'plan' or 'interpreter'")
+
+    def _interpret(self, database: Database) -> Relation:
+        """Tree-walking evaluation of this node (the seed interpreter).
+
+        Subclasses outside this module that were written against the seed
+        API override ``evaluate`` directly; honor that override so such
+        nodes keep working when nested inside other expressions (the
+        engine treats them as opaque and interprets them).
+        """
+        if type(self).evaluate is not RAExpression.evaluate:
+            return type(self).evaluate(self, database)
         raise NotImplementedError
 
     def relation_names(self) -> Set[str]:
@@ -127,7 +159,7 @@ class RelationRef(RAExpression):
     def output_schema(self, schema: DatabaseSchema) -> RelationSchema:
         return schema[self.name]
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         return database.relation(self.name)
 
     def __str__(self) -> str:
@@ -146,7 +178,7 @@ class ConstantRelation(RAExpression):
     def output_schema(self, schema: DatabaseSchema) -> RelationSchema:
         return self.relation.schema
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         return self.relation
 
     def __str__(self) -> str:
@@ -163,7 +195,7 @@ class Delta(RAExpression):
     def output_schema(self, schema: DatabaseSchema) -> RelationSchema:
         return RelationSchema("Δ", ("#0", "#1"))
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         return Relation(
             self.output_schema(database.schema),
             ((value, value) for value in database.active_domain()),
@@ -183,7 +215,7 @@ class ActiveDomain(RAExpression):
     def output_schema(self, schema: DatabaseSchema) -> RelationSchema:
         return RelationSchema("adom", ("#0",))
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         return Relation(
             self.output_schema(database.schema),
             ((value,) for value in database.active_domain()),
@@ -209,8 +241,8 @@ class Selection(RAExpression):
     def output_schema(self, schema: DatabaseSchema) -> RelationSchema:
         return self.child.output_schema(schema)
 
-    def evaluate(self, database: Database) -> Relation:
-        relation = self.child.evaluate(database)
+    def _interpret(self, database: Database) -> Relation:
+        relation = self.child._interpret(database)
         return Relation(
             relation.schema,
             (row for row in relation if self.predicate.holds(row, relation.schema)),
@@ -243,8 +275,8 @@ class Projection(RAExpression):
             names.append(name)
         return RelationSchema(child_schema.name, tuple(names))
 
-    def evaluate(self, database: Database) -> Relation:
-        relation = self.child.evaluate(database)
+    def _interpret(self, database: Database) -> Relation:
+        relation = self.child._interpret(database)
         positions = [relation.schema.index_of(a) for a in self.attributes]
         out_schema = self.output_schema(database.schema)
         return Relation(out_schema, (tuple(row[p] for p in positions) for row in relation))
@@ -273,8 +305,8 @@ class Rename(RAExpression):
             raise ValueError("rename must preserve the arity")
         return RelationSchema(self.name, self.attributes)
 
-    def evaluate(self, database: Database) -> Relation:
-        relation = self.child.evaluate(database)
+    def _interpret(self, database: Database) -> Relation:
+        relation = self.child._interpret(database)
         return Relation(self.output_schema(database.schema), relation.rows)
 
     def __str__(self) -> str:
@@ -301,9 +333,9 @@ class Product(RAExpression):
         right = self.right.output_schema(schema)
         return RelationSchema(left.name, _merge_attribute_names(left, right))
 
-    def evaluate(self, database: Database) -> Relation:
-        left = self.left.evaluate(database)
-        right = self.right.evaluate(database)
+    def _interpret(self, database: Database) -> Relation:
+        left = self.left._interpret(database)
+        right = self.right._interpret(database)
         out_schema = self.output_schema(database.schema)
         return Relation(
             out_schema,
@@ -344,10 +376,10 @@ class NaturalJoin(RAExpression):
         names = left.attributes + tuple(right.attributes[i] for i in right_keep)
         return RelationSchema(left.name, names)
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         left_schema, right_schema, join_pairs, right_keep = self._join_plan(database.schema)
-        left = self.left.evaluate(database)
-        right = self.right.evaluate(database)
+        left = self.left._interpret(database)
+        right = self.right._interpret(database)
         out_schema = self.output_schema(database.schema)
 
         # Hash join on the shared attributes.
@@ -392,9 +424,9 @@ class _SetOperation(RAExpression):
     def _combine(self, left_rows: frozenset, right_rows: frozenset) -> Iterable[Tuple[Any, ...]]:
         raise NotImplementedError
 
-    def evaluate(self, database: Database) -> Relation:
-        left = self.left.evaluate(database)
-        right = self.right.evaluate(database)
+    def _interpret(self, database: Database) -> Relation:
+        left = self.left._interpret(database)
+        right = self.right._interpret(database)
         out_schema = self.output_schema(database.schema)
         return Relation(out_schema, self._combine(left.rows, right.rows))
 
@@ -477,10 +509,10 @@ class Division(RAExpression):
         left, _, keep_positions, _ = self._division_plan(schema)
         return RelationSchema(left.name, tuple(left.attributes[i] for i in keep_positions))
 
-    def evaluate(self, database: Database) -> Relation:
+    def _interpret(self, database: Database) -> Relation:
         left_schema, _, keep_positions, divisor_positions = self._division_plan(database.schema)
-        left = self.left.evaluate(database)
-        right = self.right.evaluate(database)
+        left = self.left._interpret(database)
+        right = self.right._interpret(database)
         out_schema = self.output_schema(database.schema)
 
         divisor_rows = set(right.rows)

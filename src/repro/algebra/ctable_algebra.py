@@ -289,9 +289,31 @@ def _natural_join(
     right_keep = [i for i, name in enumerate(right_schema.attributes) if name not in left_schema.attributes]
     out_schema = expression.output_schema(schema)
 
+    # Hash-partition the right rows by their join-key values.  A pair whose
+    # keys are all constants but differ can only produce an equality
+    # condition that simplifies to false, so it is skipped wholesale; only
+    # rows with a null in some join column must be paired with everything
+    # (the null may still equal any value under some valuation).  Row order
+    # of the output matches the nested-loop formulation.
+    keyed: Dict[Tuple[Any, ...], List[int]] = {}
+    null_key_indices: List[int] = []
+    right_rows = list(right)
+    for position, r_row in enumerate(right_rows):
+        key = tuple(r_row.values[j] for _, j in join_pairs)
+        if any(is_null(v) for v in key):
+            null_key_indices.append(position)
+        else:
+            keyed.setdefault(key, []).append(position)
+
     rows = []
     for l_row in left:
-        for r_row in right:
+        l_key = tuple(l_row.values[i] for i, _ in join_pairs)
+        if join_pairs and not any(is_null(v) for v in l_key):
+            candidates = sorted(keyed.get(l_key, []) + null_key_indices)
+        else:
+            candidates = range(len(right_rows))
+        for position in candidates:
+            r_row = right_rows[position]
             equalities = conjunction(
                 Eq(l_row.values[i], r_row.values[j]) for i, j in join_pairs
             )
@@ -320,15 +342,50 @@ def _membership_condition(values: Tuple[Any, ...], table: ConditionalTable) -> C
     )
 
 
+class _MembershipIndex:
+    """Hash index over a c-table for building membership conditions.
+
+    Rows whose values are all constants are keyed by their value tuple; a
+    constant probe tuple can only equal those rows that match exactly plus
+    the rows mentioning a null somewhere (which may coincide with anything
+    under some valuation).  Every other pairing would contribute a
+    ``false`` disjunct, so skipping it leaves the condition unchanged.
+    """
+
+    __slots__ = ("rows", "keyed", "null_rows")
+
+    def __init__(self, table: ConditionalTable) -> None:
+        self.rows: List[ConditionalRow] = list(table)
+        self.keyed: Dict[Tuple[Any, ...], List[int]] = {}
+        self.null_rows: List[int] = []
+        for position, row in enumerate(self.rows):
+            if any(is_null(v) for v in row.values):
+                self.null_rows.append(position)
+            else:
+                self.keyed.setdefault(row.values, []).append(position)
+
+    def condition(self, values: Tuple[Any, ...]) -> Condition:
+        """Same condition as :func:`_membership_condition` against the table."""
+        if any(is_null(v) for v in values):
+            relevant: Iterable[int] = range(len(self.rows))
+        else:
+            relevant = sorted(self.keyed.get(tuple(values), []) + self.null_rows)
+        return disjunction(
+            conjunction((self.rows[i].condition, row_equality(values, self.rows[i].values)))
+            for i in relevant
+        )
+
+
 def _intersection(
     expression: Intersection, database: CTableDatabase, schema: DatabaseSchema
 ) -> ConditionalTable:
     left = _evaluate(expression.left, database, schema)
     right = _evaluate(expression.right, database, schema)
     out_schema = expression.output_schema(schema)
+    membership = _MembershipIndex(right)
     rows = []
     for row in left:
-        condition = conjunction((row.condition, _membership_condition(row.values, right)))
+        condition = conjunction((row.condition, membership.condition(row.values)))
         if isinstance(condition, FalseCondition):
             continue
         rows.append(ConditionalRow(row.values, condition))
@@ -342,9 +399,10 @@ def _difference(
     left = _evaluate(expression.left, database, schema)
     right = _evaluate(expression.right, database, schema)
     out_schema = expression.output_schema(schema)
+    membership = _MembershipIndex(right)
     rows = []
     for row in left:
-        not_in_right = Not(_membership_condition(row.values, right)).simplify()
+        not_in_right = Not(membership.condition(row.values)).simplify()
         condition = conjunction((row.condition, not_in_right))
         if isinstance(condition, FalseCondition):
             continue

@@ -71,26 +71,34 @@ def _enumeration_domain(
     )
 
 
-def certain_answers_naive(query: Query, database: Database) -> Relation:
+def certain_answers_naive(
+    query: Query, database: Database, engine: Optional[str] = None
+) -> Relation:
     """``Q(D)_cmpl``: naive evaluation, then drop tuples containing nulls.
 
     Correct (equal to the classical certain answers) for UCQs under OWA and
     CWA, and sound for the larger ``RA_cwa``/Pos∀G class under CWA.
+    ``engine`` selects the execution path (see
+    :meth:`repro.algebra.ast.RAExpression.evaluate`).
     """
-    return evaluate_query(query, database).complete_part()
+    return evaluate_query(query, database, engine=engine).complete_part()
 
 
-def certain_answer_object(query: Query, database: Database) -> Relation:
+def certain_answer_object(
+    query: Query, database: Database, engine: Optional[str] = None
+) -> Relation:
     """``certainO(Q, D) = Q(D)``: the naive answer viewed as an object (eq. (9)).
 
     Unlike :func:`certain_answers_naive` the result may contain nulls —
     dropping them loses information (the paper's Section 6 example)."""
-    return evaluate_query(query, database)
+    return evaluate_query(query, database, engine=engine)
 
 
-def certain_answer_knowledge(query: Query, database: Database, semantics: str = "cwa") -> Formula:
+def certain_answer_knowledge(
+    query: Query, database: Database, semantics: str = "cwa", engine: Optional[str] = None
+) -> Formula:
     """``certainK(Q, D) = δ_{Q(D)}``: the knowledge-level certain answer (eq. (10))."""
-    answer = evaluate_query(query, database)
+    answer = evaluate_query(query, database, engine=engine)
     return delta_formula(Database.from_relations([answer.rename("Answer")]), semantics=semantics)
 
 
@@ -101,10 +109,11 @@ def certain_answers_intersection(
     domain: Optional[Sequence[Any]] = None,
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
+    engine: Optional[str] = None,
 ) -> Relation:
     """The classical intersection-based certain answers, by world enumeration."""
     return certain_answers_enumeration(
-        lambda world: evaluate_query(query, world),
+        lambda world: evaluate_query(query, world, engine=engine),
         database,
         semantics=semantics,
         domain=_enumeration_domain(query, database, domain, extra_constants),
@@ -120,10 +129,11 @@ def possible_answers(
     domain: Optional[Sequence[Any]] = None,
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
+    engine: Optional[str] = None,
 ) -> Relation:
     """Tuples appearing in the answer over at least one enumerated world."""
     return possible_answers_enumeration(
-        lambda world: evaluate_query(query, world),
+        lambda world: evaluate_query(query, world, engine=engine),
         database,
         semantics=semantics,
         domain=_enumeration_domain(query, database, domain, extra_constants),
@@ -140,6 +150,7 @@ def certain_answers(
     domain: Optional[Sequence[Any]] = None,
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
+    engine: Optional[str] = None,
 ) -> Relation:
     """Certain answers with automatic method selection.
 
@@ -149,9 +160,13 @@ def certain_answers(
         ``'auto'`` (naive when the fragment guarantees it, enumeration
         otherwise), ``'naive'`` (force naive evaluation) or
         ``'enumeration'`` (force possible-world enumeration).
+    engine:
+        Execution path for relational-algebra evaluation: ``'plan'`` (the
+        optimizing engine, the default) or ``'interpreter'`` (the seed
+        tree-walking oracle).
     """
     if method == "naive":
-        return certain_answers_naive(query, database)
+        return certain_answers_naive(query, database, engine=engine)
     if method == "enumeration":
         return certain_answers_intersection(
             query,
@@ -160,13 +175,14 @@ def certain_answers(
             domain=domain,
             extra_constants=extra_constants,
             max_extra_facts=max_extra_facts,
+            engine=engine,
         )
     if method != "auto":
         raise ValueError(f"unknown method {method!r}; expected 'auto', 'naive' or 'enumeration'")
 
     verdict = naive_evaluation_applies(query, semantics=semantics)
     if verdict.applies:
-        return certain_answers_naive(query, database)
+        return certain_answers_naive(query, database, engine=engine)
     return certain_answers_intersection(
         query,
         database,
@@ -174,6 +190,7 @@ def certain_answers(
         domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
+        engine=engine,
     )
 
 

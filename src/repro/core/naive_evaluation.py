@@ -93,10 +93,15 @@ def naive_evaluation_applies(query: Query, semantics: str = "cwa") -> Applicabil
 # ----------------------------------------------------------------------
 # Empirical checks of the semantic criteria
 # ----------------------------------------------------------------------
-def evaluate_query(query: Query, database: Database) -> Relation:
-    """Evaluate either kind of query object on a database."""
+def evaluate_query(query: Query, database: Database, engine: Optional[str] = None) -> Relation:
+    """Evaluate either kind of query object on a database.
+
+    ``engine`` selects the execution path for relational-algebra queries
+    (``"plan"`` — the optimizing engine, the default — or
+    ``"interpreter"``); it is ignored for calculus queries.
+    """
     if isinstance(query, RAExpression):
-        return query.evaluate(database)
+        return query.evaluate(database, engine=engine)
     if isinstance(query, FOQuery):
         return query.evaluate(database)
     raise TypeError(f"unsupported query type {type(query).__name__}")

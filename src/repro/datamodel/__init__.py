@@ -39,7 +39,16 @@ from .valuation import (
     enumerate_valuations,
     fresh_valuation,
 )
-from .values import ConstantPool, Null, constants_in, is_constant, is_null, nulls_in
+from .values import (
+    ConstantPool,
+    Null,
+    constants_in,
+    intern_null,
+    intern_value,
+    is_constant,
+    is_null,
+    nulls_in,
+)
 
 __all__ = [
     "And",
@@ -71,6 +80,8 @@ __all__ = [
     "enumerate_valuations",
     "facts_with_nulls",
     "fresh_valuation",
+    "intern_null",
+    "intern_value",
     "is_constant",
     "is_null",
     "nulls_in",

@@ -48,7 +48,7 @@ class Database:
     [('R', (1, Null('x'))), ('S', (2,))]
     """
 
-    __slots__ = ("_schema", "_relations", "_hash")
+    __slots__ = ("_schema", "_relations", "_hash", "_analysis_cache")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class Database:
             raise KeyError(f"relations not declared in the schema: {unknown}")
         self._relations = rels
         self._hash: Optional[int] = None
+        self._analysis_cache: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -129,6 +130,17 @@ class Database:
         for name in self._schema.names():
             result.extend((name, row) for row in self._relations[name])
         return result
+
+    def analysis_cache(self) -> Dict[str, Any]:
+        """A per-instance scratch cache for derived, immutable artifacts.
+
+        Databases are immutable, so analyses that depend only on the
+        instance (sorted fact lists, search orderings, ...) can be computed
+        once and reused across calls.  Callers own their key namespace.
+        """
+        if self._analysis_cache is None:
+            self._analysis_cache = {}
+        return self._analysis_cache
 
     def size(self) -> int:
         """Total number of tuples across all relations."""

@@ -30,13 +30,13 @@ from typing import (
 )
 
 from .schema import RelationSchema
-from .values import Null, check_value, is_null
+from .values import Null, check_value, intern_value, is_null
 
 Row = Tuple[Any, ...]
 
 
 def _freeze_row(row: Sequence[Any], arity: int, relation_name: str) -> Row:
-    values = tuple(check_value(v) for v in row)
+    values = tuple(intern_value(check_value(v)) for v in row)
     if len(values) != arity:
         raise ValueError(
             f"tuple {values!r} has arity {len(values)}, "
@@ -70,7 +70,7 @@ class Relation:
     ['x']
     """
 
-    __slots__ = ("_schema", "_rows", "_hash")
+    __slots__ = ("_schema", "_rows", "_hash", "_indexes")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
         if not isinstance(schema, RelationSchema):
@@ -80,6 +80,7 @@ class Relation:
             _freeze_row(row, schema.arity, schema.name) for row in rows
         )
         self._hash: Optional[int] = None
+        self._indexes: Optional[Dict[Tuple[int, ...], Dict[Row, List[Row]]]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -116,6 +117,22 @@ class Relation:
     def empty(cls, schema: RelationSchema) -> "Relation":
         """The empty relation over ``schema``."""
         return cls(schema, ())
+
+    @classmethod
+    def _from_trusted(cls, schema: RelationSchema, rows: Iterable[Row]) -> "Relation":
+        """Internal fast constructor for rows that are already validated.
+
+        The evaluation engine produces rows by recombining values that came
+        out of existing relations, so re-running ``check_value``/interning on
+        every value would only burn time.  ``rows`` must contain tuples of
+        the right arity with storable (hashable, non-``None``) values.
+        """
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._hash = None
+        relation._indexes = None
+        return relation
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -218,6 +235,28 @@ class Relation:
     def complete_part(self) -> "Relation":
         """The tuples without nulls (``R_cmpl`` in the paper)."""
         return Relation(self._schema, (row for row in self._rows if not any(is_null(v) for v in row)))
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def index_on(self, positions: Sequence[int]) -> Dict[Row, List[Row]]:
+        """A hash index of the rows keyed by the values at ``positions``.
+
+        The index maps each key tuple to the list of rows carrying it and is
+        cached on the relation (relations are immutable), so repeated joins
+        and homomorphism searches against the same relation reuse it.
+        """
+        key_positions = tuple(positions)
+        if self._indexes is None:
+            self._indexes = {}
+        index = self._indexes.get(key_positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                key = tuple(row[p] for p in key_positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[key_positions] = index
+        return index
 
     # ------------------------------------------------------------------
     # bulk transformations

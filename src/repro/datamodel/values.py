@@ -20,7 +20,9 @@ several tuples and relations and still denote a single unknown value.
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
+import weakref
 from typing import Any, Iterable, Iterator, Optional
 
 
@@ -46,7 +48,7 @@ class Null:
     True
     """
 
-    __slots__ = ("_name",)
+    __slots__ = ("_name", "_hash", "__weakref__")
 
     _counter = itertools.count(1)
     _counter_lock = threading.Lock()
@@ -57,6 +59,7 @@ class Null:
         if not isinstance(name, str) or not name:
             raise TypeError("a null's name must be a non-empty string")
         self._name = name
+        self._hash = hash(("repro.Null", name))
 
     @classmethod
     def _fresh_index(cls) -> int:
@@ -89,7 +92,7 @@ class Null:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(("repro.Null", self._name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Null({self._name!r})"
@@ -148,6 +151,40 @@ def constants_in(values: Iterable[Any]) -> Iterator[Any]:
     for value in values:
         if not isinstance(value, Null):
             yield value
+
+
+# ----------------------------------------------------------------------
+# Value interning
+# ----------------------------------------------------------------------
+# Relations store the same constants and nulls many times over (every fact
+# of every intermediate result).  Interning canonicalises them so that the
+# hash-based operators of the evaluation engine compare values by identity
+# on the fast path of ``==``/dict lookups and share storage:
+#
+# * strings go through :func:`sys.intern`;
+# * nulls are pooled by name (weakly, so transient fresh nulls can be
+#   collected) — two ``Null("x")`` objects become one canonical object;
+# * every other constant (ints, tuples, ...) is returned unchanged.
+_NULL_POOL: "weakref.WeakValueDictionary[str, Null]" = weakref.WeakValueDictionary()
+_NULL_POOL_LOCK = threading.Lock()
+
+
+def intern_null(null: Null) -> Null:
+    """The canonical :class:`Null` object for ``null``'s name."""
+    canonical = _NULL_POOL.get(null._name)
+    if canonical is not None:
+        return canonical
+    with _NULL_POOL_LOCK:
+        return _NULL_POOL.setdefault(null._name, null)
+
+
+def intern_value(value: Any) -> Any:
+    """Canonicalise a storable value (see module notes on interning)."""
+    if type(value) is str:
+        return sys.intern(value)
+    if isinstance(value, Null):
+        return intern_null(value)
+    return value
 
 
 class ConstantPool:

@@ -1,0 +1,54 @@
+"""The physical evaluation engine for the incomplete-information algebra.
+
+:func:`repro.algebra.ast.RAExpression.evaluate` routes through this
+package by default: expressions are compiled into optimized physical
+plans (selection pushdown, hash joins ordered by cardinality estimate,
+hash-based set operations, grouped hash division, common-subexpression
+memoization) instead of being walked node by node.  The original
+interpreter remains available as ``engine="interpreter"`` and serves as
+the differential-testing oracle.
+
+See ``docs/engine.md`` for the plan lifecycle, the operator inventory and
+how to add an operator.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .logical import LogicalNode, explain, optimize
+from .planner import clear_plan_cache, compile_plan, execute
+
+_ENGINES = ("plan", "interpreter")
+_default_engine = os.environ.get("REPRO_ENGINE", "plan")
+if _default_engine not in _ENGINES:
+    raise ValueError(
+        f"REPRO_ENGINE must be one of {_ENGINES}, got {_default_engine!r}"
+    )
+
+
+def get_default_engine() -> str:
+    """The engine used when ``evaluate`` is called without ``engine=``."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine; returns the previous default."""
+    global _default_engine
+    if name not in _ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {_ENGINES}")
+    previous = _default_engine
+    _default_engine = name
+    return previous
+
+
+__all__ = [
+    "LogicalNode",
+    "clear_plan_cache",
+    "compile_plan",
+    "execute",
+    "explain",
+    "get_default_engine",
+    "optimize",
+    "set_default_engine",
+]

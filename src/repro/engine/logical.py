@@ -1,0 +1,512 @@
+"""Logical plans and the logical optimizer.
+
+The optimizer turns an :class:`~repro.algebra.ast.RAExpression` into a
+*logical plan*: a tree of small, hashable nodes in which
+
+* every attribute reference has been resolved to a position, so no
+  per-row name lookups survive into execution;
+* conjunctive selections have been split and pushed towards the leaves
+  (only equality-only predicates travel — order comparisons can raise on
+  nulls, so they stay exactly where the interpreter would evaluate them);
+* chains of Cartesian products and the equality selections above them are
+  collapsed into a single n-ary :class:`LMultiJoin`, which the planner
+  later orders by cardinality estimate and executes with hash joins;
+* natural joins and divisions carry their positional plans
+  (:class:`LEquiJoin`, :class:`LDivision`) computed once at optimization
+  time;
+* renames disappear (they only affect the output schema, which the
+  executor takes from the original expression).
+
+Logical nodes are frozen dataclasses, so structurally identical subplans
+compare and hash equal — the executor uses this for common-subexpression
+memoization.
+
+Every rewrite preserves the positional layout of each node's output, which
+is what makes it safe to precompute positions against the original
+expression's schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Set, Tuple
+
+from ..algebra.ast import (
+    ActiveDomain,
+    ConstantRelation,
+    Delta,
+    Difference,
+    Division,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union_,
+)
+from ..algebra.predicates import (
+    Attr,
+    Comparison,
+    PAnd,
+    PNot,
+    POr,
+    Predicate,
+    PTrue,
+)
+from ..datamodel import Relation
+from ..datamodel.schema import DatabaseSchema, RelationSchema
+
+
+class LogicalNode:
+    """Base class of logical-plan nodes."""
+
+    arity: int
+
+    def children(self) -> Tuple["LogicalNode", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class LScan(LogicalNode):
+    """Scan of a base relation."""
+
+    name: str
+    arity: int
+
+    def __str__(self) -> str:
+        return f"scan({self.name})"
+
+
+@dataclass(frozen=True)
+class LConst(LogicalNode):
+    """Scan of a literal relation embedded in the query."""
+
+    relation: Relation
+    arity: int
+
+    def __str__(self) -> str:
+        return f"const({self.relation.name})"
+
+
+@dataclass(frozen=True)
+class LDelta(LogicalNode):
+    """The diagonal Δ over the active domain."""
+
+    arity: int = 2
+
+    def __str__(self) -> str:
+        return "Δ"
+
+
+@dataclass(frozen=True)
+class LAdom(LogicalNode):
+    """The unary active-domain relation."""
+
+    arity: int = 1
+
+    def __str__(self) -> str:
+        return "adom"
+
+
+@dataclass(frozen=True)
+class LFilter(LogicalNode):
+    """``σ_predicate`` with a position-resolved predicate."""
+
+    child: LogicalNode
+    predicate: Predicate
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"filter[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True)
+class LProject(LogicalNode):
+    """``π_positions`` (may repeat and reorder columns; output is a set)."""
+
+    child: LogicalNode
+    positions: Tuple[int, ...]
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"project[{', '.join(map(str, self.positions))}]({self.child})"
+
+
+@dataclass(frozen=True)
+class LEquiJoin(LogicalNode):
+    """Hash join on position pairs; keeps left columns plus ``right_keep``."""
+
+    left: LogicalNode
+    right: LogicalNode
+    pairs: Tuple[Tuple[int, int], ...]
+    right_keep: Tuple[int, ...]
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{i}={j}" for i, j in self.pairs)
+        return f"hashjoin[{pairs}]({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LMultiJoin(LogicalNode):
+    """An n-ary join: factors, equality pairs and residual predicates.
+
+    The output layout is the concatenation of the factors in declaration
+    order; ``pairs`` are equalities between *global* positions of that
+    layout (each pair spans two distinct factors), and ``residual`` holds
+    pushed-down predicates that are not simple cross-factor equalities.
+    The planner picks the actual join order by cardinality estimate and
+    restores the declared layout with a final permutation.
+    """
+
+    factors: Tuple[LogicalNode, ...]
+    pairs: Tuple[Tuple[int, int], ...]
+    residual: Tuple[Predicate, ...]
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return self.factors
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{i}={j}" for i, j in self.pairs)
+        inner = ", ".join(str(f) for f in self.factors)
+        suffix = f" where {pairs}" if pairs else ""
+        return f"multijoin({inner}){suffix}"
+
+
+@dataclass(frozen=True)
+class LUnion(LogicalNode):
+    left: LogicalNode
+    right: LogicalNode
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"union({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LDifference(LogicalNode):
+    left: LogicalNode
+    right: LogicalNode
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"diff({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LIntersection(LogicalNode):
+    left: LogicalNode
+    right: LogicalNode
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"intersect({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LDivision(LogicalNode):
+    """Grouped hash division with precomputed keep/divisor positions."""
+
+    left: LogicalNode
+    right: LogicalNode
+    keep: Tuple[int, ...]
+    divisor: Tuple[int, ...]
+    arity: int
+
+    def children(self) -> Tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"divide({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class LOpaque(LogicalNode):
+    """Fallback: evaluate an unsupported subtree with the interpreter."""
+
+    expression: RAExpression
+    arity: int
+
+    def __str__(self) -> str:
+        return f"interpret({self.expression})"
+
+
+# ----------------------------------------------------------------------
+# Predicate utilities (normalization, position maps)
+# ----------------------------------------------------------------------
+def normalize_predicate(predicate: Predicate, schema: RelationSchema) -> Predicate:
+    """Resolve every attribute reference of ``predicate`` to a position."""
+    return map_predicate_positions(predicate, lambda ref: schema.index_of(ref))
+
+
+def map_predicate_positions(
+    predicate: Predicate, mapping: Callable[[object], int]
+) -> Predicate:
+    """Rebuild ``predicate`` with each ``Attr`` ref passed through ``mapping``."""
+    if isinstance(predicate, PTrue):
+        return predicate
+    if isinstance(predicate, Comparison):
+        left = Attr(mapping(predicate.left.ref)) if isinstance(predicate.left, Attr) else predicate.left
+        right = Attr(mapping(predicate.right.ref)) if isinstance(predicate.right, Attr) else predicate.right
+        return Comparison(left, predicate.op, right)
+    if isinstance(predicate, PAnd):
+        return PAnd(tuple(map_predicate_positions(op, mapping) for op in predicate.operands))
+    if isinstance(predicate, POr):
+        return POr(tuple(map_predicate_positions(op, mapping) for op in predicate.operands))
+    if isinstance(predicate, PNot):
+        return PNot(map_predicate_positions(predicate.operand, mapping))
+    raise TypeError(f"unsupported predicate {predicate!r}")
+
+
+def shift_predicate(predicate: Predicate, offset: int) -> Predicate:
+    """Shift every attribute position of a normalized predicate by ``offset``."""
+    if offset == 0:
+        return predicate
+    return map_predicate_positions(predicate, lambda ref: ref + offset)
+
+
+def predicate_positions(predicate: Predicate) -> Set[int]:
+    """The positions referenced by a normalized predicate."""
+    return {ref for ref in predicate.attributes() if isinstance(ref, int)}
+
+
+def split_conjuncts(predicate: Predicate) -> Tuple[Predicate, ...]:
+    """Flatten top-level conjunctions into a tuple of conjuncts."""
+    if isinstance(predicate, PTrue):
+        return ()
+    if isinstance(predicate, PAnd):
+        result: List[Predicate] = []
+        for operand in predicate.operands:
+            result.extend(split_conjuncts(operand))
+        return tuple(result)
+    return (predicate,)
+
+
+def _cross_equality(predicate: Predicate, split: int) -> "Tuple[int, int] | None":
+    """``(i, j)`` when the predicate is ``Attr i = Attr j`` spanning ``split``."""
+    if (
+        isinstance(predicate, Comparison)
+        and predicate.op == "="
+        and isinstance(predicate.left, Attr)
+        and isinstance(predicate.right, Attr)
+    ):
+        i, j = predicate.left.ref, predicate.right.ref
+        if i > j:
+            i, j = j, i
+        if i < split <= j:
+            return (i, j)
+    return None
+
+
+# ----------------------------------------------------------------------
+# The optimizer
+# ----------------------------------------------------------------------
+def optimize(expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:
+    """Compile ``expression`` into an optimized logical plan over ``schema``."""
+    return _build(expression, schema, ())
+
+
+def _wrap_filters(node: LogicalNode, preds: Sequence[Predicate]) -> LogicalNode:
+    for pred in preds:
+        node = LFilter(node, pred, node.arity)
+    return node
+
+
+def _as_multijoin(node: LogicalNode) -> Tuple[Tuple[LogicalNode, ...], Tuple[Tuple[int, int], ...], Tuple[Predicate, ...]]:
+    """View ``node`` as multijoin parts (factors, pairs, residual) for flattening."""
+    if isinstance(node, LMultiJoin):
+        return node.factors, node.pairs, node.residual
+    return (node,), (), ()
+
+
+def _build(
+    expression: RAExpression, schema: DatabaseSchema, preds: Tuple[Predicate, ...]
+) -> LogicalNode:
+    """Build the plan for ``σ_preds(expression)``, pushing predicates down.
+
+    ``preds`` are normalized, equality-only predicates over the positional
+    layout of ``expression``'s output, ordered innermost-first (the order
+    in which the interpreter would have applied them).
+    """
+    if isinstance(expression, Selection):
+        child_schema = expression.child.output_schema(schema)
+        normalized = normalize_predicate(expression.predicate, child_schema)
+        conjuncts = split_conjuncts(normalized)
+        if all(c.is_equality_only() for c in conjuncts):
+            return _build(expression.child, schema, conjuncts + preds)
+        # Order comparisons can raise TypeError on nulls, so they must see
+        # exactly the rows the interpreter would show them: freeze the
+        # subtree (no predicates cross this filter in either direction).
+        inner = _build(expression.child, schema, ())
+        return _wrap_filters(LFilter(inner, normalized, inner.arity), preds)
+
+    if isinstance(expression, Projection):
+        child_schema = expression.child.output_schema(schema)
+        positions = tuple(child_schema.index_of(a) for a in expression.attributes)
+        pushed = tuple(
+            map_predicate_positions(p, lambda ref: positions[ref]) for p in preds
+        )
+        child = _build(expression.child, schema, pushed)
+        return LProject(child, positions, len(positions))
+
+    if isinstance(expression, Rename):
+        # Renaming only changes names, never the layout; positions stay valid.
+        expression.output_schema(schema)  # preserve the interpreter's arity check
+        return _build(expression.child, schema, preds)
+
+    if isinstance(expression, Product):
+        left_arity = expression.left.output_schema(schema).arity
+        right_arity = expression.right.output_schema(schema).arity
+        left_preds: List[Predicate] = []
+        right_preds: List[Predicate] = []
+        pairs: List[Tuple[int, int]] = []
+        residual: List[Predicate] = []
+        for pred in preds:
+            positions = predicate_positions(pred)
+            if positions and max(positions) < left_arity:
+                left_preds.append(pred)
+            elif positions and min(positions) >= left_arity:
+                right_preds.append(shift_predicate(pred, -left_arity))
+            else:
+                pair = _cross_equality(pred, left_arity)
+                if pair is not None:
+                    pairs.append(pair)
+                elif not positions:  # constant predicate (e.g. Const = Const)
+                    left_preds.append(pred)
+                else:
+                    residual.append(pred)
+        left = _build(expression.left, schema, tuple(left_preds))
+        right = _build(expression.right, schema, tuple(right_preds))
+        l_factors, l_pairs, l_residual = _as_multijoin(left)
+        r_factors, r_pairs, r_residual = _as_multijoin(right)
+        shifted_r_pairs = tuple((i + left_arity, j + left_arity) for i, j in r_pairs)
+        shifted_r_residual = tuple(shift_predicate(p, left_arity) for p in r_residual)
+        return LMultiJoin(
+            l_factors + r_factors,
+            l_pairs + shifted_r_pairs + tuple(pairs),
+            l_residual + shifted_r_residual + tuple(residual),
+            left_arity + right_arity,
+        )
+
+    if isinstance(expression, NaturalJoin):
+        left_schema, right_schema, join_pairs, right_keep = expression._join_plan(schema)
+        left_arity = left_schema.arity
+        out_to_right = {left_arity + k: right_pos for k, right_pos in enumerate(right_keep)}
+        left_preds: List[Predicate] = []
+        right_preds: List[Predicate] = []
+        above: List[Predicate] = []
+        for pred in preds:
+            positions = predicate_positions(pred)
+            if not positions or max(positions) < left_arity:
+                left_preds.append(pred)
+            elif min(positions) >= left_arity:
+                right_preds.append(
+                    map_predicate_positions(pred, lambda ref: out_to_right[ref])
+                )
+            else:
+                above.append(pred)
+        left = _build(expression.left, schema, tuple(left_preds))
+        right = _build(expression.right, schema, tuple(right_preds))
+        node = LEquiJoin(
+            left,
+            right,
+            tuple(join_pairs),
+            tuple(right_keep),
+            left_arity + len(right_keep),
+        )
+        return _wrap_filters(node, above)
+
+    if isinstance(expression, Union_):
+        arity = expression.output_schema(schema).arity
+        left = _build(expression.left, schema, preds)
+        right = _build(expression.right, schema, preds)
+        return LUnion(left, right, arity)
+
+    if isinstance(expression, Intersection):
+        arity = expression.output_schema(schema).arity
+        left = _build(expression.left, schema, preds)
+        right = _build(expression.right, schema, preds)
+        return LIntersection(left, right, arity)
+
+    if isinstance(expression, Difference):
+        arity = expression.output_schema(schema).arity
+        left = _build(expression.left, schema, preds)
+        right = _build(expression.right, schema, preds)
+        return LDifference(left, right, arity)
+
+    if isinstance(expression, Division):
+        _, _, keep_positions, divisor_positions = expression._division_plan(schema)
+        pushed = tuple(
+            map_predicate_positions(p, lambda ref: keep_positions[ref]) for p in preds
+        )
+        left = _build(expression.left, schema, pushed)
+        right = _build(expression.right, schema, ())
+        return LDivision(
+            left,
+            right,
+            tuple(keep_positions),
+            tuple(divisor_positions),
+            len(keep_positions),
+        )
+
+    if isinstance(expression, RelationRef):
+        node = LScan(expression.name, schema[expression.name].arity)
+        return _wrap_filters(node, preds)
+
+    if isinstance(expression, ConstantRelation):
+        node = LConst(expression.relation, expression.relation.arity)
+        return _wrap_filters(node, preds)
+
+    if isinstance(expression, Delta):
+        return _wrap_filters(LDelta(), preds)
+
+    if isinstance(expression, ActiveDomain):
+        return _wrap_filters(LAdom(), preds)
+
+    # Unknown node type: fall back to the interpreter for the whole subtree.
+    node = LOpaque(expression, expression.output_schema(schema).arity)
+    return _wrap_filters(node, preds)
+
+
+def explain(node: LogicalNode, indent: int = 0) -> str:
+    """A readable multi-line rendering of a logical plan (for tests/docs)."""
+    pad = "  " * indent
+    label = type(node).__name__[1:].lower()
+    details = ""
+    if isinstance(node, LScan):
+        details = f" {node.name}"
+    elif isinstance(node, LConst):
+        details = f" {node.relation.name}"
+    elif isinstance(node, LFilter):
+        details = f" [{node.predicate}]"
+    elif isinstance(node, LProject):
+        details = f" [{', '.join(map(str, node.positions))}]"
+    elif isinstance(node, (LEquiJoin, LMultiJoin)):
+        pairs = ", ".join(f"{i}={j}" for i, j in node.pairs)
+        details = f" [{pairs}]" if pairs else ""
+    lines = [f"{pad}{label}{details}"]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,382 @@
+"""The planner: plan cache, cardinality estimates, lowering, execution.
+
+Plan lifecycle
+--------------
+1. ``execute(expression, database)`` looks up the expression in the plan
+   cache (keyed by the expression and the database schema — both
+   immutable and hashable).  On a miss it computes the output schema
+   (surfacing exactly the schema errors the interpreter would raise) and
+   runs the logical optimizer (:mod:`repro.engine.logical`).
+2. The logical plan is *lowered* to a tree of physical operators
+   (:mod:`repro.engine.physical`).  Lowering is where cost-based choices
+   happen: multijoins are ordered greedily by cardinality estimate
+   (smallest estimated factor first, preferring factors connected by an
+   equality so a hash join applies), and the declared column layout is
+   restored with a final permutation.  The lowered plan is cached next to
+   the logical plan together with the base-relation sizes it was costed
+   for, so repeated evaluation of the same query on the same (or
+   same-sized) data skips planning entirely.
+3. The physical plan runs against an :class:`ExecutionContext`; every
+   operator memoizes its result under its logical node, giving
+   common-subexpression elimination for structurally repeated subplans.
+4. The resulting row set becomes a :class:`Relation` through the trusted
+   constructor — values are already validated and interned.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..algebra.ast import RAExpression
+from ..datamodel import Database, Relation
+from ..datamodel.schema import DatabaseSchema, RelationSchema
+from .logical import (
+    LAdom,
+    LConst,
+    LDelta,
+    LDifference,
+    LDivision,
+    LEquiJoin,
+    LFilter,
+    LIntersection,
+    LMultiJoin,
+    LOpaque,
+    LProject,
+    LScan,
+    LUnion,
+    LogicalNode,
+    optimize,
+)
+from .physical import (
+    AdomScan,
+    ConstScan,
+    DeltaScan,
+    ExecutionContext,
+    Filter,
+    HashDifference,
+    HashDivision,
+    HashIntersection,
+    HashJoin,
+    HashUnion,
+    Interpret,
+    NestedProduct,
+    PhysicalOperator,
+    Project,
+    Scan,
+    compile_predicate,
+)
+
+_PLAN_CACHE_LIMIT = 256
+
+
+class _CacheEntry:
+    __slots__ = ("logical", "out_schema", "sizes", "physical")
+
+    def __init__(self, logical: LogicalNode, out_schema: RelationSchema) -> None:
+        self.logical = logical
+        self.out_schema = out_schema
+        self.sizes: Optional[Tuple[int, ...]] = None
+        self.physical: Optional[PhysicalOperator] = None
+
+
+_PLAN_CACHE: "OrderedDict[Tuple[RAExpression, DatabaseSchema], _CacheEntry]" = OrderedDict()
+_cache_epoch = 0
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (mainly for tests and benchmarks).
+
+    Also invalidates the per-expression fast-path entries by bumping the
+    cache epoch.
+    """
+    global _cache_epoch
+    _PLAN_CACHE.clear()
+    _cache_epoch += 1
+
+
+def compile_plan(expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:
+    """The optimized logical plan for ``expression`` over ``schema``."""
+    return _cache_entry(expression, schema).logical
+
+
+def _cache_entry(expression: RAExpression, schema: DatabaseSchema) -> _CacheEntry:
+    key = (expression, schema)
+    entry = _PLAN_CACHE.get(key)
+    if entry is None:
+        out_schema = expression.output_schema(schema)
+        entry = _CacheEntry(optimize(expression, schema), out_schema)
+        _PLAN_CACHE[key] = entry
+        if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
+    return entry
+
+
+def execute(expression: RAExpression, database: Database) -> Relation:
+    """Evaluate ``expression`` on ``database`` through the physical engine."""
+    schema = database.schema
+    # Fast path: the last few (schema, plan) entries are pinned onto the
+    # expression object itself, so steady-state evaluation skips hashing
+    # the whole expression tree and schema on every call.
+    cached = getattr(expression, "_plan_entries", None)
+    entries = None
+    if cached is not None and cached[0] == _cache_epoch:
+        entries = cached[1]
+    entry = None
+    if entries is not None:
+        for cached_schema, cached_entry in entries:
+            if cached_schema is schema or cached_schema == schema:
+                entry = cached_entry
+                break
+    if entry is None:
+        entry = _cache_entry(expression, schema)
+        if entries is None:
+            entries = []
+            try:
+                object.__setattr__(expression, "_plan_entries", (_cache_epoch, entries))
+            except (AttributeError, TypeError):  # __slots__-restricted subclass
+                entries = None
+        if entries is not None:
+            entries.append((schema, entry))
+            if len(entries) > 4:
+                del entries[0]
+    sizes = tuple(len(relation) for relation in database.relations())
+    if entry.physical is None or entry.sizes != sizes:
+        entry.physical = lower(entry.logical, database)
+        entry.sizes = sizes
+    ctx = ExecutionContext(database)
+    rows = entry.physical.rows(ctx)
+    return Relation._from_trusted(entry.out_schema, frozenset(rows))
+
+
+# ----------------------------------------------------------------------
+# Cardinality estimation
+# ----------------------------------------------------------------------
+def estimate(node: LogicalNode, database: Database) -> float:
+    """A coarse cardinality estimate used only to order joins."""
+    if isinstance(node, LScan):
+        return float(len(database.relation(node.name)))
+    if isinstance(node, LConst):
+        return float(len(node.relation))
+    if isinstance(node, (LDelta, LAdom)):
+        return float(max(1, database.size()))
+    if isinstance(node, LFilter):
+        return max(1.0, 0.25 * estimate(node.child, database))
+    if isinstance(node, LProject):
+        return estimate(node.child, database)
+    if isinstance(node, LEquiJoin):
+        left = estimate(node.left, database)
+        right = estimate(node.right, database)
+        return max(1.0, 0.1 * left * right) if node.pairs else left * right
+    if isinstance(node, LMultiJoin):
+        result = 1.0
+        for factor in node.factors:
+            result *= estimate(factor, database)
+        return max(1.0, result * (0.1 ** len(node.pairs)))
+    if isinstance(node, LUnion):
+        return estimate(node.left, database) + estimate(node.right, database)
+    if isinstance(node, LDifference):
+        return estimate(node.left, database)
+    if isinstance(node, LIntersection):
+        return min(estimate(node.left, database), estimate(node.right, database))
+    if isinstance(node, LDivision):
+        return max(1.0, estimate(node.left, database) / max(1.0, estimate(node.right, database)))
+    if isinstance(node, LOpaque):
+        return float(max(1, database.size()))
+    raise TypeError(f"unsupported logical node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+def lower(node: LogicalNode, database: Database) -> PhysicalOperator:
+    """Lower a logical plan to physical operators, choosing join orders.
+
+    Structurally equal logical subplans lower to the *same* physical
+    operator instance, so common subexpressions are detected here, once per
+    plan, and the runtime memo works with cheap integer keys: an operator
+    reached through two parents computes its rows on the first visit and
+    serves the cached set on the second.
+    """
+    return _Lowering(database).lower(node)
+
+
+class _Lowering:
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.shared: Dict[LogicalNode, PhysicalOperator] = {}
+        self.next_key = 0
+
+    def key(self) -> int:
+        self.next_key += 1
+        return self.next_key
+
+    def lower(self, node: LogicalNode) -> PhysicalOperator:
+        op = self.shared.get(node)
+        if op is None:
+            op = self._lower(node)
+            self.shared[node] = op
+        return op
+
+    def _lower(self, node: LogicalNode) -> PhysicalOperator:
+        if isinstance(node, LScan):
+            return Scan(node.name, key=self.key())
+        if isinstance(node, LConst):
+            return ConstScan(node.relation, key=self.key())
+        if isinstance(node, LDelta):
+            return DeltaScan(key=self.key())
+        if isinstance(node, LAdom):
+            return AdomScan(key=self.key())
+        if isinstance(node, LFilter):
+            return Filter(self.lower(node.child), compile_predicate(node.predicate), key=self.key())
+        if isinstance(node, LProject):
+            return Project(self.lower(node.child), node.positions, key=self.key())
+        if isinstance(node, LEquiJoin):
+            left_keys = tuple(i for i, _ in node.pairs)
+            right_keys = tuple(j for _, j in node.pairs)
+            return HashJoin(
+                self.lower(node.left),
+                self.lower(node.right),
+                left_keys,
+                right_keys,
+                node.right_keep,
+                key=self.key(),
+            )
+        if isinstance(node, LMultiJoin):
+            return self._lower_multijoin(node)
+        if isinstance(node, LUnion):
+            return HashUnion(self.lower(node.left), self.lower(node.right), key=self.key())
+        if isinstance(node, LDifference):
+            return HashDifference(self.lower(node.left), self.lower(node.right), key=self.key())
+        if isinstance(node, LIntersection):
+            return HashIntersection(self.lower(node.left), self.lower(node.right), key=self.key())
+        if isinstance(node, LDivision):
+            return HashDivision(
+                self.lower(node.left),
+                self.lower(node.right),
+                node.keep,
+                node.divisor,
+                key=self.key(),
+            )
+        if isinstance(node, LOpaque):
+            return Interpret(node.expression, key=self.key())
+        raise TypeError(f"unsupported logical node {node!r}")
+
+
+    def _lower_multijoin(self, node: LMultiJoin) -> PhysicalOperator:
+        """Order the factors of a multijoin greedily and emit hash joins.
+
+        Start from the smallest estimated factor, then repeatedly attach
+        the smallest factor connected to the placed set by an equality pair
+        (hash join); when no factor is connected, fall back to the smallest
+        overall (Cartesian product).  A final permutation restores the
+        declared layout and the residual predicates run on top of it.
+        """
+        factors = node.factors
+        count = len(factors)
+        database = self.database
+        ops = [self.lower(factor) for factor in factors]
+        if count == 1:
+            result: PhysicalOperator = ops[0]
+            for pred in node.residual:
+                result = Filter(result, compile_predicate(pred), key=self.key())
+            return result
+
+        arities = [factor.arity for factor in factors]
+        offsets: List[int] = []
+        total = 0
+        for arity in arities:
+            offsets.append(total)
+            total += arity
+
+        def locate(global_pos: int) -> Tuple[int, int]:
+            for index in range(count - 1, -1, -1):
+                if global_pos >= offsets[index]:
+                    return index, global_pos - offsets[index]
+            raise IndexError(global_pos)
+
+        estimates = [estimate(factor, database) for factor in factors]
+        pending: List[Tuple[int, int]] = list(node.pairs)
+
+        start = min(range(count), key=lambda k: estimates[k])
+        placed = {start}
+        # global position -> position in the current intermediate layout
+        pos_map: Dict[int, int] = {offsets[start] + p: p for p in range(arities[start])}
+        width = arities[start]
+        current = ops[start]
+        remaining = [k for k in range(count) if k != start]
+
+        while remaining:
+            connected: Set[int] = set()
+            for i, j in pending:
+                fi, _ = locate(i)
+                fj, _ = locate(j)
+                if (fi in placed) != (fj in placed):
+                    connected.add(fj if fi in placed else fi)
+            candidates = [k for k in remaining if k in connected] or remaining
+            pick = min(candidates, key=lambda k: estimates[k])
+
+            applicable: List[Tuple[int, int]] = []
+            rest: List[Tuple[int, int]] = []
+            for i, j in pending:
+                fi, _ = locate(i)
+                fj, _ = locate(j)
+                if {fi, fj} <= placed | {pick} and pick in (fi, fj) and fi != fj:
+                    applicable.append((i, j))
+                else:
+                    rest.append((i, j))
+            pending = rest
+
+            if applicable:
+                left_keys = []
+                right_keys = []
+                for i, j in applicable:
+                    fi, pi = locate(i)
+                    if fi == pick:  # orient the pair: placed side left, new factor right
+                        i, j = j, i
+                        fi, pi = locate(i)
+                    _, pj = locate(j)
+                    left_keys.append(pos_map[i])
+                    right_keys.append(pj)
+                current = HashJoin(
+                    current,
+                    ops[pick],
+                    tuple(left_keys),
+                    tuple(right_keys),
+                    tuple(range(arities[pick])),
+                    key=self.key(),
+                )
+            else:
+                current = NestedProduct(current, ops[pick], key=self.key())
+
+            for p in range(arities[pick]):
+                pos_map[offsets[pick] + p] = width + p
+            width += arities[pick]
+            placed.add(pick)
+            remaining.remove(pick)
+
+            # Equalities whose endpoints are now both placed but were not
+            # usable as a join key (e.g. transitive pairs) become filters.
+            still_pending: List[Tuple[int, int]] = []
+            for i, j in pending:
+                fi, _ = locate(i)
+                fj, _ = locate(j)
+                if fi in placed and fj in placed:
+                    li, lj = pos_map[i], pos_map[j]
+                    current = Filter(
+                        current,
+                        lambda row, a=li, b=lj: row[a] == row[b],
+                        key=self.key(),
+                    )
+                else:
+                    still_pending.append((i, j))
+            pending = still_pending
+
+        permutation = tuple(pos_map[g] for g in range(total))
+        if permutation != tuple(range(total)):
+            current = Project(current, permutation, key=self.key())
+        for pred in node.residual:
+            current = Filter(current, compile_predicate(pred), key=self.key())
+        return current

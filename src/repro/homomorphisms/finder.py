@@ -125,36 +125,161 @@ class _Unbound:
 _UNBOUND = _Unbound()
 
 
+def _source_search_info(source: Database):
+    """Target-independent search preprocessing, cached on the instance.
+
+    Returns ``(sorted_facts, ground_facts, fact_info)`` where
+    ``sorted_facts`` is the most-constrained-first fact list,
+    ``ground_facts`` are the facts without nulls and ``fact_info`` holds
+    ``(name, row, constant positions, null positions)`` for the facts
+    that do mention nulls.
+    """
+    cache = source.analysis_cache()
+    info = cache.get("hom_search")
+    if info is None:
+        facts = source.facts()
+
+        # Most-constrained-first: process facts with many constants /
+        # frequently occurring nulls early to prune the search.
+        def fact_key(fact: Fact) -> Tuple[int, int]:
+            _, row = fact
+            constants = sum(1 for v in row if not is_null(v))
+            return (-constants, len(row))
+
+        facts.sort(key=fact_key)
+        ground = [fact for fact in facts if not any(is_null(v) for v in fact[1])]
+        fact_info = [
+            (
+                name,
+                row,
+                tuple(i for i, v in enumerate(row) if not is_null(v)),
+                tuple(i for i, v in enumerate(row) if is_null(v)),
+            )
+            for name, row in facts
+            if any(is_null(v) for v in row)
+        ]
+        info = (facts, ground, fact_info)
+        cache["hom_search"] = info
+    return info
+
+
 def _iter_homomorphisms(
     source: Database,
     target: Database,
+    use_index: bool = True,
 ) -> Iterator[Dict[Null, Any]]:
     """Enumerate all homomorphism assignments from ``source`` to ``target``.
 
     The enumeration yields raw ``{null: target value}`` dictionaries; nulls
     of the source that occur in no fact are left unassigned (any extension
     is a homomorphism).
+
+    With ``use_index`` (the default) the candidate target rows for each
+    source fact are pruned through the target relations' positional hash
+    indexes on the fact's constant positions; ``use_index=False`` keeps the
+    seed's full-scan behaviour (used as a benchmark baseline).
     """
+    sorted_facts, ground_facts, fact_info = _source_search_info(source)
+
+    if use_index:
+        # A fact without nulls never constrains the assignment: it is
+        # satisfied iff the identical row exists in the target.  Check all
+        # of them once, up front; only null-carrying facts are searched.
+        for name, row in ground_facts:
+            if name not in target or row not in target.relation(name).rows:
+                return
+        source_facts = [info[:2] for info in fact_info]
+    else:
+        source_facts = sorted_facts
+        fact_info = [
+            (
+                name,
+                row,
+                tuple(i for i, v in enumerate(row) if not is_null(v)),
+                tuple(i for i, v in enumerate(row) if is_null(v)),
+            )
+            for name, row in source_facts
+        ]
+
     target_facts = _facts_by_relation(target)
-    source_facts: List[Fact] = source.facts()
 
-    # Most-constrained-first: process facts with many constants / already
-    # frequently occurring nulls early to prune the search.
-    def fact_key(fact: Fact) -> Tuple[int, int]:
-        _, row = fact
-        constants = sum(1 for v in row if not is_null(v))
-        return (-constants, len(row))
+    # Static pruning: candidate target rows must agree with the source fact
+    # on its constant positions (constants map to themselves), served from
+    # the target relation's cached positional hash index.
+    static_candidates: List[List[Tuple[Any, ...]]] = []
+    for name, row, constant_positions, _ in fact_info:
+        if not use_index or not constant_positions:
+            static_candidates.append(target_facts.get(name, []))
+        elif name not in target:
+            static_candidates.append([])
+        else:
+            index = target.relation(name).index_on(constant_positions)
+            static_candidates.append(index.get(tuple(row[i] for i in constant_positions), []))
 
-    source_facts.sort(key=fact_key)
+    def candidates(index: int, assignment: Dict[Null, Any]) -> List[Tuple[Any, ...]]:
+        _, row, _, null_positions = fact_info[index]
+        if not use_index or not null_positions or not assignment:
+            return static_candidates[index]
+        # Dynamic pruning: narrow the constant-indexed candidate list by
+        # the nulls the assignment has already bound.  A linear filter over
+        # the (already pruned) static list avoids materializing an index
+        # per bound-position combination, which could otherwise grow
+        # exponentially with fact arity.
+        bound = [(i, assignment[row[i]]) for i in null_positions if row[i] in assignment]
+        if not bound:
+            return static_candidates[index]
+        return [
+            candidate
+            for candidate in static_candidates[index]
+            if all(candidate[i] == value for i, value in bound)
+        ]
+
+    def match_nulls(
+        row: Row, target_row: Row, null_positions: Tuple[int, ...], assignment: Dict[Null, Any]
+    ) -> Optional[Dict[Null, Any]]:
+        # Constant positions were already enforced by the index key, so
+        # only the null positions need checking.
+        extension: Dict[Null, Any] = {}
+        for i in null_positions:
+            null = row[i]
+            value = target_row[i]
+            bound = assignment.get(null)
+            if bound is None:
+                bound = extension.get(null)
+                if bound is None:
+                    extension[null] = value
+                    continue
+            if bound != value:
+                return None
+        return extension
+
+    target_rows = {
+        name: (target.relation(name).rows if name in target else frozenset())
+        for name in {info[0] for info in fact_info}
+    }
 
     def backtrack(index: int, assignment: Dict[Null, Any]) -> Iterator[Dict[Null, Any]]:
         if index == len(source_facts):
             yield dict(assignment)
             return
-        name, row = source_facts[index]
-        candidates = target_facts.get(name, [])
-        for target_row in candidates:
-            extension = _match_row(row, target_row, assignment)
+        _, row, constant_positions, null_positions = fact_info[index]
+        if use_index:
+            # Fast path: every null of this fact is already bound, so the
+            # image row is fully determined — one membership test decides.
+            all_bound = all(row[i] in assignment for i in null_positions)
+            if all_bound:
+                substituted = list(row)
+                for i in null_positions:
+                    substituted[i] = assignment[row[i]]
+                if tuple(substituted) in target_rows[fact_info[index][0]]:
+                    yield from backtrack(index + 1, assignment)
+                return
+        indexed = use_index and bool(constant_positions)
+        for target_row in candidates(index, assignment):
+            if indexed:
+                extension = match_nulls(row, target_row, null_positions, assignment)
+            else:
+                extension = _match_row(row, target_row, assignment)
             if extension is None:
                 continue
             assignment.update(extension)
@@ -168,9 +293,24 @@ def _iter_homomorphisms(
 def _covers_all_target_facts(
     mapping: Dict[Null, Any], source: Database, target: Database
 ) -> bool:
+    get = mapping.get
+    for relation in source.relations():
+        image = {
+            tuple(get(v, v) if isinstance(v, Null) else v for v in row)
+            for row in relation.rows
+        }
+        if image != target.relation(relation.name).rows:
+            return False
+    return True
+
+
+def _covers_all_target_facts_seed(
+    mapping: Dict[Null, Any], source: Database, target: Database
+) -> bool:
+    """The seed's cover check (materializes the image database); kept for
+    the ``use_index=False`` baseline so benchmarks measure the seed path."""
     hom = Homomorphism(mapping)
-    image = hom.apply(source)
-    return image == target
+    return hom.apply(source) == target
 
 
 def _is_onto_adom(mapping: Dict[Null, Any], source: Database, target: Database) -> bool:
@@ -184,6 +324,7 @@ def find_homomorphism(
     target: Database,
     onto: bool = False,
     strong_onto: bool = False,
+    use_index: bool = True,
 ) -> Optional[Homomorphism]:
     """Find a homomorphism from ``source`` to ``target`` or ``None``.
 
@@ -197,8 +338,9 @@ def find_homomorphism(
     """
     if source.schema != target.schema:
         return None
-    for mapping in _iter_homomorphisms(source, target):
-        if strong_onto and not _covers_all_target_facts(mapping, source, target):
+    covers = _covers_all_target_facts if use_index else _covers_all_target_facts_seed
+    for mapping in _iter_homomorphisms(source, target, use_index=use_index):
+        if strong_onto and not covers(mapping, source, target):
             continue
         if onto and not _is_onto_adom(mapping, source, target):
             continue
@@ -212,14 +354,16 @@ def all_homomorphisms(
     onto: bool = False,
     strong_onto: bool = False,
     limit: Optional[int] = None,
+    use_index: bool = True,
 ) -> List[Homomorphism]:
     """All homomorphisms from ``source`` to ``target`` (up to ``limit``)."""
     if source.schema != target.schema:
         return []
     result: List[Homomorphism] = []
     seen: Set[Homomorphism] = set()
-    for mapping in _iter_homomorphisms(source, target):
-        if strong_onto and not _covers_all_target_facts(mapping, source, target):
+    covers = _covers_all_target_facts if use_index else _covers_all_target_facts_seed
+    for mapping in _iter_homomorphisms(source, target, use_index=use_index):
+        if strong_onto and not covers(mapping, source, target):
             continue
         if onto and not _is_onto_adom(mapping, source, target):
             continue

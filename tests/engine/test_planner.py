@@ -1,0 +1,249 @@
+"""Unit tests for the physical evaluation engine: plans, operators, caches."""
+
+import pytest
+
+from repro.algebra.ast import (
+    ActiveDomain,
+    ConstantRelation,
+    Delta,
+    Division,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Union_,
+    difference,
+    join,
+    product,
+    project,
+    relation,
+    rename,
+    select,
+    union,
+)
+from repro.algebra.predicates import Attr, Comparison, PAnd, eq
+from repro.datamodel import Database, Null, Relation
+from repro.datamodel.values import intern_null, intern_value
+from repro.engine import (
+    clear_plan_cache,
+    compile_plan,
+    execute,
+    explain,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.engine.logical import (
+    LDifference,
+    LFilter,
+    LMultiJoin,
+    LProject,
+    LScan,
+    optimize,
+)
+from repro.engine.physical import ExecutionContext, compile_predicate
+from repro.engine.planner import lower
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "R": [(1, 2), (2, 3), (3, 3), (Null("x"), 2)],
+            "S": [(2, "a"), (3, "b")],
+            "T": [(2,), (5,)],
+        }
+    )
+
+
+class TestLogicalOptimizer:
+    def test_selection_pushdown_through_product(self, db):
+        # σ_{0=c}(R × S) pushes the predicate onto the R side.
+        query = select(product(relation("R"), relation("S")), eq(Attr(0), 1))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LMultiJoin)
+        assert isinstance(plan.factors[0], LFilter)
+        assert isinstance(plan.factors[0].child, LScan)
+        assert plan.factors[0].child.name == "R"
+        assert isinstance(plan.factors[1], LScan)
+
+    def test_cross_equality_becomes_join_pair(self, db):
+        query = select(
+            product(relation("R"), relation("S")), Comparison(Attr(1), "=", Attr(2))
+        )
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LMultiJoin)
+        assert plan.pairs == ((1, 2),)
+        assert plan.residual == ()
+
+    def test_nested_products_flatten(self, db):
+        query = select(
+            product(relation("R"), product(relation("S"), relation("T"))),
+            PAnd((Comparison(Attr(1), "=", Attr(2)), Comparison(Attr(3), "=", Attr(4)))),
+        )
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LMultiJoin)
+        assert len(plan.factors) == 3
+        assert set(plan.pairs) == {(1, 2), (3, 4)}
+
+    def test_projection_resolves_names_to_positions(self, db):
+        query = project(relation("S"), ("#1", "#0"))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LProject)
+        assert plan.positions == (1, 0)
+
+    def test_rename_disappears_from_plan(self, db):
+        query = rename(relation("R"), "Other", ("a", "b"))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LScan)
+
+    def test_selection_pushes_through_union_and_difference(self, db):
+        query = select(difference(relation("R"), relation("R")), eq(Attr(0), 1))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LDifference)
+        assert isinstance(plan.left, LFilter)
+        assert isinstance(plan.right, LFilter)
+
+    def test_order_comparisons_are_not_pushed(self, db):
+        # σ_{#0<5}(R × S): the order comparison must stay above the product,
+        # exactly where the interpreter evaluates it.
+        query = select(product(relation("T"), relation("S")), Comparison(Attr(0), "<", 5))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LFilter)
+
+    def test_explain_renders_tree(self, db):
+        text = explain(compile_plan(join(relation("R"), relation("R")), db.schema))
+        assert "equijoin" in text
+        assert "scan R" in text
+
+
+class TestExecution:
+    def test_common_subexpression_runs_once(self, db):
+        # R ∪ R: both sides are the same logical node; lowering shares the
+        # physical operator, so the scan happens once and is memoized.
+        query = union(relation("R"), relation("R"))
+        plan = optimize(query, db.schema)
+        op = lower(plan, db)
+        assert op.left is op.right
+
+    def test_join_output_layout_matches_interpreter(self, db):
+        # Multijoin ordering permutes factors; the final projection must
+        # restore the declared column order.
+        big = Relation.create("Big", [(i, i + 1) for i in range(20)])
+        database = Database.from_relations(
+            [big, Relation.create("Small", [(1, 2)]), Relation.create("Mid", [(i, 1) for i in range(5)])]
+        )
+        query = select(
+            product(relation("Big"), product(relation("Mid"), relation("Small"))),
+            PAnd((Comparison(Attr(0), "=", Attr(3)), Comparison(Attr(2), "=", Attr(4)))),
+        )
+        assert query.evaluate(database, engine="plan") == query.evaluate(
+            database, engine="interpreter"
+        )
+
+    def test_division_positional_and_named(self, db):
+        enrolled = Relation.create(
+            "Enroll", [("s1", "c1"), ("s1", "c2"), ("s2", "c1")], attributes=("student", "course")
+        )
+        courses = Relation.create("Courses", [("c1",), ("c2",)], attributes=("course",))
+        database = Database.from_relations([enrolled, courses])
+        query = Division(relation("Enroll"), relation("Courses"))
+        assert query.evaluate(database, engine="plan") == query.evaluate(
+            database, engine="interpreter"
+        )
+        assert query.evaluate(database).rows == {("s1",)}
+
+    def test_delta_and_adom(self, db):
+        for query in (Delta(), ActiveDomain()):
+            assert query.evaluate(db, engine="plan") == query.evaluate(db, engine="interpreter")
+
+    def test_schema_errors_match_interpreter(self, db):
+        query = union(relation("R"), relation("T"))  # arity mismatch
+        with pytest.raises(ValueError):
+            query.evaluate(db, engine="plan")
+        with pytest.raises(ValueError):
+            query.evaluate(db, engine="interpreter")
+
+    def test_order_comparison_on_null_raises_like_interpreter(self, db):
+        query = select(relation("R"), Comparison(Attr(0), "<", 5))
+        with pytest.raises(TypeError):
+            query.evaluate(db, engine="plan")
+        with pytest.raises(TypeError):
+            query.evaluate(db, engine="interpreter")
+
+    def test_plan_cache_reused_and_clearable(self, db):
+        query = project(relation("R"), (0,))
+        first = execute(query, db)
+        entry = query._plan_entries
+        second = execute(query, db)
+        assert query._plan_entries is entry
+        assert first == second
+        clear_plan_cache()
+        assert execute(query, db) == first
+
+    def test_unknown_engine_rejected(self, db):
+        with pytest.raises(ValueError):
+            relation("R").evaluate(db, engine="quantum")
+
+    def test_seed_style_subclass_still_works_nested(self, db):
+        # Subclasses written against the seed API override evaluate()
+        # directly; the engine must treat them as opaque and the
+        # interpreter must honor the override when they are nested.
+        from repro.algebra.ast import RAExpression
+        from repro.datamodel.schema import RelationSchema
+
+        class LegacyOp(RAExpression):
+            def children(self):
+                return ()
+
+            def output_schema(self, schema):
+                return RelationSchema("Legacy", ("#0",))
+
+            def evaluate(self, database):  # seed signature, no engine kwarg
+                return Relation(RelationSchema("Legacy", ("#0",)), [(1,), (2,)])
+
+        nested = Projection(LegacyOp(), (0,))
+        for engine in ("plan", "interpreter"):
+            assert nested.evaluate(db, engine=engine).rows == {(1,), (2,)}
+
+    def test_default_engine_switch(self, db):
+        previous = set_default_engine("interpreter")
+        try:
+            assert get_default_engine() == "interpreter"
+            assert relation("R").evaluate(db) == db.relation("R")
+        finally:
+            set_default_engine(previous)
+
+
+class TestPredicateCompilation:
+    def test_equality_and_connectives(self, db):
+        schema = db.schema["R"]
+        for predicate in (
+            eq(Attr(0), 1),
+            Comparison(Attr(0), "=", Attr(1)),
+            Comparison(Attr(0), "!=", 2),
+            PAnd((eq(Attr(0), 1), eq(Attr(1), 2))),
+            eq(Attr(0), 1) | eq(Attr(1), 3),
+            ~eq(Attr(0), 1),
+        ):
+            compiled = compile_predicate(predicate)
+            for row in db.relation("R"):
+                assert compiled(row) == predicate.holds(row, schema)
+
+
+class TestDatamodelSupport:
+    def test_index_on_groups_rows(self, db):
+        index = db.relation("R").index_on((1,))
+        assert set(index[(2,)]) == {(1, 2), (Null("x"), 2)}
+        # cached: same object on repeat call
+        assert db.relation("R").index_on((1,)) is index
+
+    def test_interning_canonicalises(self):
+        assert intern_value("abc") is intern_value("abc")
+        assert intern_null(Null("same")) is intern_null(Null("same"))
+        assert intern_value(42) == 42
+
+    def test_trusted_constructor_round_trip(self, db):
+        source = db.relation("R")
+        copy = Relation._from_trusted(source.schema, source.rows)
+        assert copy == source
