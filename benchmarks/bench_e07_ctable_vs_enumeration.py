@@ -4,7 +4,15 @@ Regenerates the Section 2 strong-representation discussion as a cost series:
 building the answer *conditional table* for ``R − S`` stays polynomial in
 the data, while materialising ``Q([[D]]_cwa)`` by enumerating valuations
 grows with (domain size)^(number of nulls).
+
+Also measures the planned c-table path (hash-consed condition kernel +
+physical operators, ``engine="plan"``) against the seed interpreter on a
+dense join — the workload whose per-row-pair condition construction the
+kernel exists to amortize.  ``run_all.py --quick --check`` gates the same
+workload at >= 3x.
 """
+
+import random
 
 import pytest
 
@@ -16,6 +24,9 @@ QUERY = parse_ra("diff(R, S)")
 
 CASES = [(4, 1), (6, 2), (8, 3)]  # (|R|, number of nulls in S)
 
+DENSE_QUERY = parse_ra("project[a, c](join(R, S))")
+DENSE_CASES = [(40, 6, 0.15), (60, 8, 0.2)]  # (rows per side, join values, null fraction)
+
 
 def _db(r_size, s_nulls):
     return Database.from_relations(
@@ -23,6 +34,26 @@ def _db(r_size, s_nulls):
             Relation.create("R", [(i,) for i in range(r_size)], attributes=("A",)),
             Relation.create("S", [(Null(f"s{i}"),) for i in range(s_nulls)], attributes=("A",)),
         ]
+    )
+
+
+def _dense_ctdb(n, vals, null_fraction, seed=7):
+    rng = random.Random(seed)
+    rows_r = [
+        (f"a{i}", Null(f"x{i % 6}") if rng.random() < null_fraction else rng.randrange(vals))
+        for i in range(n)
+    ]
+    rows_s = [
+        (Null(f"y{i % 6}") if rng.random() < null_fraction else rng.randrange(vals), f"c{i}")
+        for i in range(n)
+    ]
+    return CTableDatabase.from_database(
+        Database.from_relations(
+            [
+                Relation.create("R", rows_r, attributes=("a", "b")),
+                Relation.create("S", rows_s, attributes=("b", "c")),
+            ]
+        )
     )
 
 
@@ -41,6 +72,35 @@ def test_world_enumeration(benchmark, r_size, s_nulls):
     domain = default_domain(database)
     benchmark.group = f"e07 |R|={r_size} nulls={s_nulls}"
     benchmark(answer_space, QUERY.evaluate, database, "cwa", domain)
+
+
+@pytest.mark.parametrize("engine", ["plan", "interpreter"])
+@pytest.mark.parametrize("n,vals,null_fraction", DENSE_CASES)
+def test_ctable_dense_join(benchmark, engine, n, vals, null_fraction):
+    ctdb = _dense_ctdb(n, vals, null_fraction)
+    benchmark.group = f"e07 dense join n={n} vals={vals} nulls={null_fraction}"
+    result = benchmark(ctable_evaluate, DENSE_QUERY, ctdb, engine)
+    assert len(result) > n  # dense: strictly more join pairs than rows per side
+
+
+def test_dense_join_engines_agree():
+    """Both engines represent the same worlds on a small dense instance."""
+    ctdb = CTableDatabase.from_database(
+        Database.from_relations(
+            [
+                Relation.create(
+                    "R", [("a0", 0), ("a1", 1), ("a2", Null("x")), ("a3", 0)], attributes=("a", "b")
+                ),
+                Relation.create(
+                    "S", [(0, "c0"), (1, "c1"), (Null("y"), "c2"), (0, "c3")], attributes=("b", "c")
+                ),
+            ]
+        )
+    )
+    planned = ctable_evaluate(DENSE_QUERY, ctdb, engine="plan")
+    interpreted = ctable_evaluate(DENSE_QUERY, ctdb, engine="interpreter")
+    domain = [0, 1, "w0", "w1"]
+    assert planned.possible_worlds(domain) == interpreted.possible_worlds(domain)
 
 
 def test_report_table(benchmark, report):

@@ -15,9 +15,20 @@ the speedup of the physical evaluation engine over them.
 Usage::
 
     python benchmarks/run_all.py                # all families
-    python benchmarks/run_all.py --quick        # e01/e12/e18 + speedups only
-    python benchmarks/run_all.py --check        # exit 1 unless join-heavy
-                                                # speedups are all >= 3x
+    python benchmarks/run_all.py --quick        # gated families + speedups only
+    python benchmarks/run_all.py --check        # exit 1 unless join-heavy and
+                                                # c-table speedups are all >= 3x
+    python benchmarks/run_all.py --compare      # exit 1 if any op regressed
+                                                # >20% vs the committed snapshot
+
+``--compare`` diffs the fresh run against an earlier report (default: the
+committed ``BENCH_results.json``).  To stay meaningful across machines of
+different absolute speed, per-op ratios are normalized by the median ratio
+over all shared ops before the 20% threshold is applied — a uniformly
+slower machine shifts every ratio equally and trips nothing, while a
+single op regressing relative to the rest does.  Families flagged on the
+first pass are re-measured once before failing, so a transient load spike
+during one stretch of the run does not produce a false regression.
 """
 
 from __future__ import annotations
@@ -32,10 +43,25 @@ from typing import Any, Callable, Dict, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
+
+def _pin_hash_seed() -> None:
+    """Re-exec with ``PYTHONHASHSEED=0`` when hashing is randomized.
+
+    Hash randomization changes set/dict iteration order per process, which
+    swings search-order-sensitive ops (the e12 homomorphism checks) by
+    2-3x between otherwise identical runs — far beyond the --compare
+    threshold.  Called only from the script entry point so importing this
+    module never replaces the host process.
+    """
+    if os.environ.get("PYTHONHASHSEED") in (None, "random"):
+        env = dict(os.environ, PYTHONHASHSEED="0")
+        os.execve(sys.executable, [sys.executable, os.path.abspath(__file__)] + sys.argv[1:], env)
+
 from repro.algebra import parse_ra  # noqa: E402
 from repro.engine import clear_plan_cache  # noqa: E402
 
 JOIN_HEAVY_THRESHOLD = 3.0
+COMPARE_THRESHOLD = 0.20  # fail --compare on >20% normalized slowdown per op
 
 
 def measure(fn: Callable[[], Any], target_seconds: float = 0.05, repeats: int = 7) -> Dict[str, Any]:
@@ -161,9 +187,14 @@ def scenario_e04() -> Dict[str, Any]:
 
 
 def scenario_e07() -> Dict[str, Any]:
+    """C-table algebra: planned kernel path vs seed interpreter, plus enumeration."""
     from repro.algebra import CTableDatabase, ctable_evaluate
     from repro.datamodel import Database, Null, Relation
     from repro.semantics import answer_space, default_domain
+
+    # The dense-join workload is owned by the pytest benchmark module so the
+    # CI speedup gate and the statistics measure the same thing.
+    from bench_e07_ctable_vs_enumeration import DENSE_CASES, DENSE_QUERY, _dense_ctdb
 
     query = parse_ra("diff(R, S)")
     database = Database.from_relations(
@@ -174,7 +205,15 @@ def scenario_e07() -> Dict[str, Any]:
     )
     ctdb = CTableDatabase.from_database(database)
     domain = default_domain(database)
+
+    dense = _dense_ctdb(*DENSE_CASES[-1])  # largest dense-join case
     return {
+        "engine:ctable_dense_join": measure(
+            lambda: ctable_evaluate(DENSE_QUERY, dense, engine="plan")
+        ),
+        "seed:ctable_dense_join": measure(
+            lambda: ctable_evaluate(DENSE_QUERY, dense, engine="interpreter")
+        ),
         "ctable_algebra": measure(lambda: ctable_evaluate(query, ctdb)),
         "world_enumeration": measure(
             lambda: answer_space(query.evaluate, database, "cwa", domain)
@@ -298,12 +337,16 @@ def scenario_e24() -> Dict[str, Any]:
     }
 
 
-QUICK_SCENARIOS = {"e01": scenario_e01, "e12": scenario_e12, "e18": scenario_e18}
+QUICK_SCENARIOS = {
+    "e01": scenario_e01,
+    "e07": scenario_e07,
+    "e12": scenario_e12,
+    "e18": scenario_e18,
+}
 FULL_SCENARIOS = {
     **QUICK_SCENARIOS,
     "e02": scenario_e02,
     "e04": scenario_e04,
-    "e07": scenario_e07,
     "e08": scenario_e08,
     "e16": scenario_e16,
     "e20": scenario_e20,
@@ -313,6 +356,8 @@ FULL_SCENARIOS = {
     "e24": scenario_e24,
 }
 JOIN_HEAVY = ("e01", "e12", "e18")
+# Families whose engine:/seed: speedups are gated by --check (>= threshold).
+GATED = JOIN_HEAVY + ("e07",)
 
 
 def compute_speedups(ops: Dict[str, Any]) -> Dict[str, float]:
@@ -327,13 +372,72 @@ def compute_speedups(ops: Dict[str, Any]) -> Dict[str, float]:
     return speedups
 
 
+def compare_against_baseline(
+    results: Dict[str, Any], baseline_path: str, threshold: float = COMPARE_THRESHOLD
+) -> Optional[list]:
+    """Diff the fresh ``results`` against a committed report.
+
+    Ratios (fresh seconds / baseline seconds) are computed per op shared by
+    the two runs, then normalized by their median so a uniformly faster or
+    slower machine does not drown the signal.  An op counts as a regression
+    only when **both** its raw and normalized ratios exceed
+    ``1 + threshold``: the normalized ratio absorbs whole-machine drift,
+    while the raw ratio keeps an untouched op from being flagged just
+    because the median moved (e.g. a PR that legitimately speeds up most
+    other ops).  Returns the list of regressed ``family/op`` names, or
+    ``None`` when the baseline is unreadable or shares no ops.
+    """
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"--compare: cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        return None
+    old_benchmarks = baseline.get("benchmarks", {})
+    ratios: Dict[str, float] = {}
+    for family, payload in results.items():
+        old_ops = old_benchmarks.get(family, {}).get("ops", {})
+        for op, record in payload["ops"].items():
+            old = old_ops.get(op)
+            if not old or not old.get("seconds"):
+                continue
+            ratios[f"{family}/{op}"] = record["seconds"] / old["seconds"]
+    if not ratios:
+        print("--compare: no shared ops between fresh run and baseline", file=sys.stderr)
+        return None
+    ordered = sorted(ratios.values())
+    median = ordered[len(ordered) // 2]
+    print(f"\ncompare vs {baseline_path} (median machine drift {median:.2f}x):")
+    regressions = []
+    for name in sorted(ratios):
+        raw = ratios[name]
+        normalized = raw / median if median > 0 else raw
+        flag = ""
+        if normalized > 1.0 + threshold and raw > 1.0 + threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append(name)
+        print(f"  {name}: {raw:.2f}x raw, {normalized:.2f}x normalized{flag}")
+    return regressions
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="join-heavy families + speedups only")
+    parser.add_argument("--quick", action="store_true", help="gated families + speedups only")
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"exit 1 unless all join-heavy speedups are >= {JOIN_HEAVY_THRESHOLD}x",
+        help=f"exit 1 unless all gated (join-heavy + c-table) speedups are >= {JOIN_HEAVY_THRESHOLD}x",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help=f"diff against --baseline and exit 1 on any op >{COMPARE_THRESHOLD:.0%} "
+        "slower after normalizing for machine drift",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_results.json"),
+        help="baseline report for --compare (default: the committed BENCH_results.json)",
     )
     parser.add_argument(
         "--output",
@@ -356,8 +460,46 @@ def main(argv: Optional[list] = None) -> int:
             for op, factor in sorted(family_speedups.items()):
                 print(f"  {op}: engine {factor:.1f}x faster than seed path")
 
+    regressions = 0
+    compare_broken = False
+    if args.compare:
+        # Compare before overwriting: the baseline may be the output path.
+        regressed = compare_against_baseline(results, args.baseline)
+        if regressed:
+            # A transient load spike can slow one stretch of the run without
+            # touching the rest (so median normalization misses it).  A real
+            # regression reproduces; a spike does not: re-measure only the
+            # flagged families once and re-compare.
+            families = sorted({name.split("/", 1)[0] for name in regressed})
+            print(f"\nre-measuring {', '.join(families)} to rule out transient load ...")
+            for name in families:
+                clear_plan_cache()
+                results[name] = {"ops": scenarios[name]()}
+                family_speedups = compute_speedups(results[name]["ops"])
+                if family_speedups:
+                    speedups[name] = family_speedups
+            second = compare_against_baseline(results, args.baseline)
+            if second is None:
+                regressed = None
+            else:
+                # Only the re-measured families can fail this pass: the new
+                # measurements shift the median, and a family that was never
+                # flagged (hence never re-measured) must not fail because of
+                # that shift alone.
+                regressed = [
+                    name for name in second if name.split("/", 1)[0] in families
+                ]
+        if regressed is None:
+            compare_broken = True
+        else:
+            regressions = len(regressed)
+
     join_heavy_min = min(
         (factor for name in JOIN_HEAVY for factor in speedups.get(name, {}).values()),
+        default=None,
+    )
+    gated_min = min(
+        (factor for name in GATED for factor in speedups.get(name, {}).values()),
         default=None,
     )
     report = {
@@ -371,19 +513,31 @@ def main(argv: Optional[list] = None) -> int:
         "benchmarks": results,
         "speedups": speedups,
         "join_heavy_min_speedup": join_heavy_min,
+        "gated_min_speedup": gated_min,
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"\nwrote {args.output}")
     if join_heavy_min is not None:
         print(f"minimum join-heavy speedup: {join_heavy_min:.1f}x (threshold {JOIN_HEAVY_THRESHOLD}x)")
+    if gated_min is not None:
+        print(f"minimum gated speedup: {gated_min:.1f}x (threshold {JOIN_HEAVY_THRESHOLD}x)")
+    failed = False
     if args.check:
-        if join_heavy_min is None or join_heavy_min < JOIN_HEAVY_THRESHOLD:
-            print("FAIL: join-heavy speedup below threshold", file=sys.stderr)
-            return 1
-        print("PASS")
-    return 0
+        if gated_min is None or gated_min < JOIN_HEAVY_THRESHOLD:
+            print("FAIL: gated speedup below threshold", file=sys.stderr)
+            failed = True
+        else:
+            print("PASS")
+    if args.compare and compare_broken:
+        print("FAIL: --compare could not be performed (see message above)", file=sys.stderr)
+        failed = True
+    if args.compare and regressions:
+        print(f"FAIL: {regressions} op(s) regressed vs baseline", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
+    _pin_hash_seed()
     sys.exit(main())

@@ -22,6 +22,7 @@ benchmarks show the complexity gap between the two.
 
 from __future__ import annotations
 
+from heapq import merge as _heapq_merge
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..datamodel import (
@@ -148,6 +149,21 @@ class CTableDatabase:
         return worlds
 
 
+def _merge_sorted(a: Sequence[int], b: Sequence[int]) -> Iterable[int]:
+    """Lazily merge two ascending index sequences.
+
+    Replaces the per-probe ``sorted(list_a + list_b)`` rebuild in the join
+    and membership hot paths: both inputs are built in ascending position
+    order, so a linear merge preserves the nested-loop output order without
+    allocating and re-sorting a fresh list per row.
+    """
+    if not a:
+        return b
+    if not b:
+        return a
+    return _heapq_merge(a, b)
+
+
 # ----------------------------------------------------------------------
 # Predicate → condition translation
 # ----------------------------------------------------------------------
@@ -190,16 +206,39 @@ def predicate_condition(predicate: Predicate, row: Sequence[Any], schema: Relati
 # ----------------------------------------------------------------------
 # The algebra
 # ----------------------------------------------------------------------
-def ctable_evaluate(expression: RAExpression, database: CTableDatabase) -> ConditionalTable:
+def ctable_evaluate(
+    expression: RAExpression, database: CTableDatabase, engine: Optional[str] = None
+) -> ConditionalTable:
     """Evaluate an RA expression over a c-table database, producing a c-table.
 
     The result's global condition is the conjunction of the global
     conditions of the base tables, so ``result.possible_worlds(domain)``
     ranges over exactly the worlds admitted by the input database.
+
+    ``engine`` selects the execution path, mirroring
+    :meth:`RAExpression.evaluate`:
+
+    * ``"plan"`` (the default) — compile through the physical planner
+      (:mod:`repro.engine.ctable`): selection pushdown and
+      cardinality-ordered multijoins over conditional rows, with every
+      condition composed through the hash-consed kernel;
+    * ``"interpreter"`` — the original tree-walking algebra below, kept
+      as the differential-testing oracle.
+
+    Both paths represent the same set of possible worlds; the planned
+    path may return syntactically different (but equivalent) conditions
+    and row order.
     """
-    schema = database.schema
-    result = _evaluate(expression, database, schema)
-    return result.with_global(database.global_condition()).simplified()
+    from .. import engine as _engine
+
+    mode = engine if engine is not None else _engine.get_default_engine()
+    if mode == "interpreter":
+        schema = database.schema
+        result = _evaluate(expression, database, schema)
+        return result.with_global(database.global_condition()).simplified()
+    if mode == "plan":
+        return _engine.execute_ctable(expression, database)
+    raise ValueError(f"unknown engine {mode!r}; expected 'plan' or 'interpreter'")
 
 
 def _evaluate(
@@ -309,7 +348,7 @@ def _natural_join(
     for l_row in left:
         l_key = tuple(l_row.values[i] for i, _ in join_pairs)
         if join_pairs and not any(is_null(v) for v in l_key):
-            candidates = sorted(keyed.get(l_key, []) + null_key_indices)
+            candidates = _merge_sorted(keyed.get(l_key, ()), null_key_indices)
         else:
             candidates = range(len(right_rows))
         for position in candidates:
@@ -369,7 +408,7 @@ class _MembershipIndex:
         if any(is_null(v) for v in values):
             relevant: Iterable[int] = range(len(self.rows))
         else:
-            relevant = sorted(self.keyed.get(tuple(values), []) + self.null_rows)
+            relevant = _merge_sorted(self.keyed.get(tuple(values), ()), self.null_rows)
         return disjunction(
             conjunction((self.rows[i].condition, row_equality(values, self.rows[i].values)))
             for i in relevant

@@ -1,0 +1,368 @@
+"""A hash-consed kernel for c-table conditions.
+
+The Imieliński–Lipski algebra (:mod:`repro.algebra.ctable_algebra`)
+builds Boolean conditions row pair by row pair; dense joins construct the
+same equalities, conjunctions and negations over and over, and the seed
+implementation re-runs :meth:`Condition.simplify` on every composition.
+This module makes the condition DAG cheap to build and reuse — the same
+treatment probabilistic-database engines give their lineage formulas:
+
+* **Interning (hash-consing).**  :func:`intern_condition` maps every
+  condition to a canonical, simplified instance; structurally equal
+  conditions become the *same* object, so composition memo tables can be
+  keyed by identity instead of re-hashing whole subtrees.
+* **Memoized connectives.**  :func:`kernel_and` / :func:`kernel_or`
+  memoize pairwise composition under ``(id(a), id(b))``; :func:`kernel_not`
+  caches the negation on the node itself.  Flattening, ``true``/``false``
+  elimination and duplicate removal happen at construction, so the result
+  of a kernel constructor never needs a separate ``simplify()`` pass.
+* **Cached nulls.**  :func:`kernel_nulls` computes the set of nulls
+  mentioned by a condition once per canonical node (shared frozensets,
+  no repeated set unions).
+* **Unsatisfiability check.**  A union-find over the equality atoms of a
+  conjunction detects conditions like ``x = 1 ∧ x = 2`` or
+  ``x = y ∧ y = 1 ∧ x ≠ 1`` at construction time, collapsing them to
+  ``FALSE`` before they are expanded further (e.g. before a membership
+  disjunction is built on top of them).
+
+The kernel produces plain :class:`~repro.datamodel.conditional.Condition`
+nodes, so everything downstream (``evaluate``, ``substitute``,
+``possible_worlds``, structural equality) keeps working; it only
+guarantees that what it returns is already simplified and canonical.
+
+Canonical nodes are held strongly by the intern table, which keeps the
+identity keys of the memo tables stable; :func:`clear_condition_kernel`
+drops every table at once (mainly for tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from .conditional import (
+    FALSE,
+    TRUE,
+    And,
+    Condition,
+    Eq,
+    FalseCondition,
+    Not,
+    Or,
+    TrueCondition,
+)
+from .values import intern_value, is_null
+
+# canonical structural key -> canonical node (strong refs: identity keys in
+# the memo tables below stay valid exactly as long as these entries live)
+_INTERN: Dict[Tuple[Any, ...], Condition] = {}
+# (id(a), id(b)) -> (a, b, result); the operands are stored in the value so
+# their ids cannot be recycled while the entry exists
+_AND2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
+_OR2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
+
+# attribute names used for per-node caches (set with object.__setattr__
+# because condition dataclasses are frozen)
+_MARK = "_kernel_canonical"
+_NULLS = "_kernel_nulls"
+_NEG = "_kernel_negation"
+
+_EMPTY_NULLS: FrozenSet[Any] = frozenset()
+
+# Epoch of the intern tables.  Canonical marks and negation caches record
+# the epoch they were written under; clearing bumps it, so nodes surviving
+# from an earlier generation re-intern instead of short-circuiting on a
+# stale mark (which would silently break "structurally equal conditions
+# are the same object" across a clear).
+_EPOCH = 0
+
+
+def clear_condition_kernel() -> None:
+    """Drop the intern table and every memo table (tests/benchmarks)."""
+    global _EPOCH
+    _EPOCH += 1
+    _INTERN.clear()
+    _AND2.clear()
+    _OR2.clear()
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Sizes of the kernel tables (for tests and diagnostics)."""
+    return {"interned": len(_INTERN), "and_memo": len(_AND2), "or_memo": len(_OR2)}
+
+
+def _canonize(key: Tuple[Any, ...], node: Condition) -> Condition:
+    existing = _INTERN.get(key)
+    if existing is not None:
+        return existing
+    object.__setattr__(node, _MARK, _EPOCH)
+    _INTERN[key] = node
+    return node
+
+
+# ----------------------------------------------------------------------
+# Constructors: always return canonical, simplified nodes
+# ----------------------------------------------------------------------
+def kernel_eq(left: Any, right: Any) -> Condition:
+    """Canonical ``left = right``, constant-folded."""
+    left = intern_value(left)
+    right = intern_value(right)
+    left_null = is_null(left)
+    right_null = is_null(right)
+    if not left_null and not right_null:
+        return TRUE if left == right else FALSE
+    if left_null and right_null and left == right:
+        return TRUE
+    key = ("eq", left, right)
+    existing = _INTERN.get(key)
+    if existing is not None:
+        return existing
+    return _canonize(key, Eq(left, right))
+
+
+def kernel_not(operand: Condition) -> Condition:
+    """Canonical negation (double negation and constants eliminated)."""
+    if operand is TRUE:
+        return FALSE
+    if operand is FALSE:
+        return TRUE
+    operand = intern_condition(operand)
+    cached = getattr(operand, _NEG, None)
+    if cached is not None and cached[0] == _EPOCH:
+        return cached[1]
+    if isinstance(operand, TrueCondition):
+        result: Condition = FALSE
+    elif isinstance(operand, FalseCondition):
+        result = TRUE
+    elif isinstance(operand, Not):
+        result = operand.operand  # already canonical
+    else:
+        result = _canonize(("not", id(operand)), Not(operand))
+    object.__setattr__(operand, _NEG, (_EPOCH, result))
+    return result
+
+
+def kernel_conjunction(operands: Iterable[Condition]) -> Condition:
+    """Canonical conjunction: flattened, deduplicated, unsat-checked."""
+    flat: List[Condition] = []
+    seen: set = set()
+    for op in operands:
+        op = intern_condition(op)
+        if isinstance(op, FalseCondition):
+            return FALSE
+        if isinstance(op, TrueCondition):
+            continue
+        if isinstance(op, And):
+            members: Tuple[Condition, ...] = op.operands
+        else:
+            members = (op,)
+        for member in members:
+            marker = id(member)
+            if marker not in seen:
+                seen.add(marker)
+                flat.append(member)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    if _equalities_unsatisfiable(flat):
+        return FALSE
+    key = ("and", tuple(id(op) for op in flat))
+    existing = _INTERN.get(key)
+    if existing is not None:
+        return existing
+    return _canonize(key, And(tuple(flat)))
+
+
+def kernel_disjunction(operands: Iterable[Condition]) -> Condition:
+    """Canonical disjunction: flattened, deduplicated, constants removed."""
+    flat: List[Condition] = []
+    seen: set = set()
+    for op in operands:
+        op = intern_condition(op)
+        if isinstance(op, TrueCondition):
+            return TRUE
+        if isinstance(op, FalseCondition):
+            continue
+        if isinstance(op, Or):
+            members: Tuple[Condition, ...] = op.operands
+        else:
+            members = (op,)
+        for member in members:
+            marker = id(member)
+            if marker not in seen:
+                seen.add(marker)
+                flat.append(member)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    key = ("or", tuple(id(op) for op in flat))
+    existing = _INTERN.get(key)
+    if existing is not None:
+        return existing
+    return _canonize(key, Or(tuple(flat)))
+
+
+def kernel_and(a: Condition, b: Condition) -> Condition:
+    """Memoized binary conjunction of canonical conditions."""
+    if a is TRUE:
+        return intern_condition(b)
+    if b is TRUE:
+        return intern_condition(a)
+    if a is FALSE or b is FALSE:
+        return FALSE
+    key = (id(a), id(b))
+    hit = _AND2.get(key)
+    if hit is not None:
+        return hit[2]
+    result = kernel_conjunction((a, b))
+    _AND2[key] = (a, b, result)
+    return result
+
+
+def kernel_or(a: Condition, b: Condition) -> Condition:
+    """Memoized binary disjunction of canonical conditions."""
+    if a is FALSE:
+        return intern_condition(b)
+    if b is FALSE:
+        return intern_condition(a)
+    if a is TRUE or b is TRUE:
+        return TRUE
+    key = (id(a), id(b))
+    hit = _OR2.get(key)
+    if hit is not None:
+        return hit[2]
+    result = kernel_disjunction((a, b))
+    _OR2[key] = (a, b, result)
+    return result
+
+
+def kernel_row_equality(left: Sequence[Any], right: Sequence[Any]) -> Condition:
+    """Canonical component-wise equality of two rows."""
+    if len(left) != len(right):
+        raise ValueError("rows must have the same length")
+    return kernel_conjunction(kernel_eq(a, b) for a, b in zip(left, right))
+
+
+# ----------------------------------------------------------------------
+# Interning of externally built conditions
+# ----------------------------------------------------------------------
+def intern_condition(condition: Condition) -> Condition:
+    """The canonical, simplified form of an arbitrary condition.
+
+    Idempotent and cheap on already-canonical nodes (a marker attribute
+    recording the current table epoch short-circuits); on foreign
+    conditions — including survivors of :func:`clear_condition_kernel`,
+    whose marks are from an older epoch — it rebuilds bottom-up through
+    the kernel constructors, which is where simplification happens.
+    """
+    if condition is TRUE or condition is FALSE:
+        return condition
+    if getattr(condition, _MARK, None) == _EPOCH:
+        return condition
+    if isinstance(condition, TrueCondition):
+        return TRUE
+    if isinstance(condition, FalseCondition):
+        return FALSE
+    if isinstance(condition, Eq):
+        return kernel_eq(condition.left, condition.right)
+    if isinstance(condition, Not):
+        return kernel_not(intern_condition(condition.operand))
+    if isinstance(condition, And):
+        return kernel_conjunction(intern_condition(op) for op in condition.operands)
+    if isinstance(condition, Or):
+        return kernel_disjunction(intern_condition(op) for op in condition.operands)
+    raise TypeError(f"unsupported condition {condition!r}")
+
+
+# ----------------------------------------------------------------------
+# Cached nulls
+# ----------------------------------------------------------------------
+def kernel_nulls(condition: Condition) -> FrozenSet[Any]:
+    """The nulls mentioned by ``condition``, cached on the canonical node."""
+    cached = getattr(condition, _NULLS, None)
+    if cached is not None:
+        return cached
+    if isinstance(condition, (TrueCondition, FalseCondition)):
+        result = _EMPTY_NULLS
+    elif isinstance(condition, Eq):
+        left_null = is_null(condition.left)
+        right_null = is_null(condition.right)
+        if left_null and right_null:
+            result = frozenset((condition.left, condition.right))
+        elif left_null:
+            result = frozenset((condition.left,))
+        elif right_null:
+            result = frozenset((condition.right,))
+        else:
+            result = _EMPTY_NULLS
+    elif isinstance(condition, Not):
+        result = kernel_nulls(condition.operand)
+    elif isinstance(condition, (And, Or)):
+        parts = [kernel_nulls(op) for op in condition.operands]
+        nonempty = [p for p in parts if p]
+        if not nonempty:
+            result = _EMPTY_NULLS
+        elif len(nonempty) == 1:
+            result = nonempty[0]
+        else:
+            result = frozenset().union(*nonempty)
+    else:
+        raise TypeError(f"unsupported condition {condition!r}")
+    object.__setattr__(condition, _NULLS, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Union-find unsatisfiability check for equality conjunctions
+# ----------------------------------------------------------------------
+def _equalities_unsatisfiable(operands: Sequence[Condition]) -> bool:
+    """``True`` when the ``Eq``/``¬Eq`` atoms among ``operands`` conflict.
+
+    Sound but deliberately incomplete: positive equalities are merged with
+    a union-find whose classes remember at most one constant; a conflict
+    (two distinct constants forced equal, or a disequality inside one
+    class) proves the whole conjunction unsatisfiable.  Atoms nested under
+    ``Or`` are ignored — the check never reports a satisfiable condition
+    as unsatisfiable.
+    """
+    parent: Dict[Any, Any] = {}
+    constant_of: Dict[Any, Any] = {}
+
+    def find(value: Any) -> Any:
+        root = parent.setdefault(value, value)
+        if root == value:
+            if not is_null(value):
+                constant_of.setdefault(value, value)
+            return value
+        # path compression
+        path = []
+        while parent[root] != root:
+            path.append(root)
+            root = parent[root]
+        for node in path:
+            parent[node] = root
+        parent[value] = root
+        return root
+
+    equalities = [op for op in operands if type(op) is Eq]
+    if not equalities:
+        return False
+    for eq in equalities:
+        left_root = find(eq.left)
+        right_root = find(eq.right)
+        if left_root == right_root:
+            continue
+        left_const = constant_of.get(left_root)
+        right_const = constant_of.get(right_root)
+        if left_const is not None and right_const is not None and left_const != right_const:
+            return True
+        parent[left_root] = right_root
+        if right_const is None and left_const is not None:
+            constant_of[right_root] = left_const
+    for op in operands:
+        if type(op) is Not and type(op.operand) is Eq:
+            atom = op.operand
+            if find(atom.left) == find(atom.right):
+                return True
+    return False

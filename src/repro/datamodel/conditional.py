@@ -291,6 +291,14 @@ class ConditionalRow:
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(check_value(v) for v in self.values))
 
+    @staticmethod
+    def _from_trusted(values: Row, condition: Condition) -> "ConditionalRow":
+        """Build a row from an already-validated value tuple (engine internal)."""
+        row = object.__new__(ConditionalRow)
+        object.__setattr__(row, "values", values)
+        object.__setattr__(row, "condition", condition)
+        return row
+
     def nulls(self) -> Set[Null]:
         """Nulls appearing in the tuple or its condition."""
         return {v for v in self.values if is_null(v)} | self.condition.nulls()

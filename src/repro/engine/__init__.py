@@ -8,14 +8,21 @@ memoization) instead of being walked node by node.  The original
 interpreter remains available as ``engine="interpreter"`` and serves as
 the differential-testing oracle.
 
+:func:`repro.algebra.ctable_algebra.ctable_evaluate` shares the same
+logical plans and plan cache through :mod:`repro.engine.ctable`, which
+lowers them to operators over conditional rows whose conditions are
+composed through the hash-consed kernel
+(:mod:`repro.datamodel.condition_kernel`).
+
 See ``docs/engine.md`` for the plan lifecycle, the operator inventory and
-how to add an operator.
+how to add an operator, and ``docs/conditions.md`` for the kernel.
 """
 
 from __future__ import annotations
 
 import os
 
+from .ctable import execute_ctable
 from .logical import LogicalNode, explain, optimize
 from .planner import clear_plan_cache, compile_plan, execute
 
@@ -47,6 +54,7 @@ __all__ = [
     "clear_plan_cache",
     "compile_plan",
     "execute",
+    "execute_ctable",
     "explain",
     "get_default_engine",
     "optimize",

@@ -1,0 +1,662 @@
+"""The planned c-table evaluation path.
+
+``ctable_evaluate(query, ctdb)`` routes through this module by default:
+the query is compiled by the *same* logical optimizer and plan cache as
+complete-relation evaluation (:mod:`repro.engine.logical`,
+:mod:`repro.engine.planner` — selection pushdown, cardinality-ordered
+multijoins, CSE sharing), and the plan is lowered to operators over
+*conditional rows* ``(values, condition)`` instead of plain rows.
+
+The operators mirror the Imieliński–Lipski algebra of
+:mod:`repro.algebra.ctable_algebra` — the tree-walking ``_evaluate``
+there remains the ``engine="interpreter"`` oracle — but compose every
+condition through the hash-consed kernel
+(:mod:`repro.datamodel.condition_kernel`): equalities are constant-folded
+and interned, conjunctions/disjunctions are flattened, deduplicated and
+memoized by node identity, and a union-find check kills unsatisfiable
+equality conjunctions at construction.  Join keys are partitioned into
+constants-vs-null exactly like the interpreter's ``_natural_join``: a
+pair of rows whose all-constant keys differ can only produce a ``false``
+condition, so it is never enumerated.
+
+The planned path may produce a *syntactically* different c-table than the
+interpreter (different row order, differently-shaped conditions); the two
+always represent the same set of possible worlds, which is what the
+differential property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..algebra.ast import RAExpression
+from ..algebra.ctable_algebra import _merge_sorted
+from ..algebra.predicates import _OPERATORS, Attr, Comparison, PAnd, PNot, POr, Predicate, PTrue
+from ..datamodel import ConditionalRow, ConditionalTable
+from ..datamodel.condition_kernel import (
+    intern_condition,
+    kernel_and,
+    kernel_conjunction,
+    kernel_disjunction,
+    kernel_eq,
+    kernel_not,
+    kernel_row_equality,
+)
+from ..datamodel.conditional import FALSE, TRUE, Condition
+from ..datamodel.relations import Relation, Row
+from ..datamodel.schema import DatabaseSchema
+from ..datamodel.values import is_null
+from .logical import (
+    LAdom,
+    LConst,
+    LDelta,
+    LOpaque,
+    LScan,
+)
+from . import planner as _planner
+
+#: A conditional row in flight: ``(values, condition)`` with the condition
+#: already canonical (interned, simplified, never ``FALSE``).
+CRow = Tuple[Row, Condition]
+
+
+class CTableContext:
+    """Per-query execution state: the c-table database, schema, CSE memo."""
+
+    __slots__ = ("database", "schema", "memo", "_adom")
+
+    def __init__(self, database: Any, schema: DatabaseSchema) -> None:
+        self.database = database
+        self.schema = schema
+        self.memo: Dict[Any, List[CRow]] = {}
+        self._adom: Optional[List[Any]] = None
+
+    def active_domain(self) -> List[Any]:
+        if self._adom is None:
+            self._adom = sorted(self.database.active_domain(), key=str)
+        return self._adom
+
+
+class COperator:
+    """Base class of conditional-row operators (memoized like physical ones)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any = None) -> None:
+        self.key = key
+
+    def rows(self, ctx: CTableContext) -> List[CRow]:
+        if self.key is not None:
+            cached = ctx.memo.get(self.key)
+            if cached is not None:
+                return cached
+        result = self._compute(ctx)
+        if self.key is not None:
+            ctx.memo[self.key] = result
+        return result
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        raise NotImplementedError
+
+
+class CScan(COperator):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, key: Any = None) -> None:
+        super().__init__(key)
+        self.name = name
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        rows: List[CRow] = []
+        for row in ctx.database.table(self.name):
+            condition = intern_condition(row.condition)
+            if condition is FALSE:
+                continue
+            rows.append((row.values, condition))
+        return rows
+
+
+class CConstScan(COperator):
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: Relation, key: Any = None) -> None:
+        super().__init__(key)
+        self.relation = relation
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        return [(row, TRUE) for row in self.relation.rows]
+
+
+class CDeltaScan(COperator):
+    __slots__ = ()
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        return [((value, value), TRUE) for value in ctx.active_domain()]
+
+
+class CAdomScan(COperator):
+    __slots__ = ()
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        return [((value,), TRUE) for value in ctx.active_domain()]
+
+
+class CFilter(COperator):
+    """σ over conditional rows: the predicate becomes part of the condition."""
+
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: COperator, predicate: Predicate, key: Any = None) -> None:
+        super().__init__(key)
+        self.child = child
+        self.predicate = predicate
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        predicate = self.predicate
+        rows: List[CRow] = []
+        for values, condition in self.child.rows(ctx):
+            extra = predicate_condition_positional(predicate, values)
+            combined = kernel_and(condition, extra)
+            if combined is FALSE:
+                continue
+            rows.append((values, combined))
+        return rows
+
+
+class CEqFilter(COperator):
+    """Equality of two positions of the same row, as a condition."""
+
+    __slots__ = ("child", "left", "right")
+
+    def __init__(self, child: COperator, left: int, right: int, key: Any = None) -> None:
+        super().__init__(key)
+        self.child = child
+        self.left = left
+        self.right = right
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        left, right = self.left, self.right
+        rows: List[CRow] = []
+        for values, condition in self.child.rows(ctx):
+            combined = kernel_and(condition, kernel_eq(values[left], values[right]))
+            if combined is FALSE:
+                continue
+            rows.append((values, combined))
+        return rows
+
+
+class CProject(COperator):
+    __slots__ = ("child", "positions")
+
+    def __init__(self, child: COperator, positions: Tuple[int, ...], key: Any = None) -> None:
+        super().__init__(key)
+        self.child = child
+        self.positions = positions
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        positions = self.positions
+        return [
+            (tuple(values[p] for p in positions), condition)
+            for values, condition in self.child.rows(ctx)
+        ]
+
+
+class CHashJoin(COperator):
+    """Equi-join over conditional rows with constants-vs-null key partitioning.
+
+    Right rows whose key columns are all constants are hashed by key; rows
+    with a null in some key column may equal anything under some valuation
+    and are paired with every probe.  An all-constant probe key therefore
+    meets only its exact hash bucket plus the null-keyed rows — every other
+    pairing would conjoin an equality that folds to ``false``.
+    """
+
+    __slots__ = ("left", "right", "left_keys", "right_keys", "right_keep")
+
+    def __init__(
+        self,
+        left: COperator,
+        right: COperator,
+        left_keys: Tuple[int, ...],
+        right_keys: Tuple[int, ...],
+        right_keep: Tuple[int, ...],
+        key: Any = None,
+    ) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.right_keep = right_keep
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        left_keys = self.left_keys
+        right_keys = self.right_keys
+        right_keep = self.right_keep
+        right_rows = self.right.rows(ctx)
+        if not right_rows:
+            return []
+
+        keyed: Dict[Row, List[int]] = {}
+        null_key_positions: List[int] = []
+        for position, (values, _) in enumerate(right_rows):
+            key = tuple(values[j] for j in right_keys)
+            if any(is_null(v) for v in key):
+                null_key_positions.append(position)
+            else:
+                keyed.setdefault(key, []).append(position)
+
+        keep_all = right_keep == tuple(range(len(right_rows[0][0])))
+        single_key = left_keys[0] if len(left_keys) == 1 else None
+        single_right = right_keys[0] if len(right_keys) == 1 else None
+        # Dense joins probe the same few key tuples over and over; the
+        # composed "right condition ∧ key equalities" only depends on
+        # (probe key, right row), so it is cached per pair.
+        probe_cache: Dict[Tuple[Row, int], Condition] = {}
+
+        def right_part(l_key: Row, position: int) -> Condition:
+            pair = (l_key, position)
+            cached = probe_cache.get(pair)
+            if cached is None:
+                r_values, r_condition = right_rows[position]
+                if single_right is not None:
+                    equalities = kernel_eq(l_key[0], r_values[single_right])
+                else:
+                    equalities = kernel_conjunction(
+                        kernel_eq(l_key[k], r_values[j]) for k, j in enumerate(right_keys)
+                    )
+                cached = kernel_and(r_condition, equalities)
+                probe_cache[pair] = cached
+            return cached
+
+        rows: List[CRow] = []
+        append = rows.append
+        for l_values, l_condition in self.left.rows(ctx):
+            if single_key is not None:
+                probe = l_values[single_key]
+                l_key: Row = (probe,)
+                constant_probe = not is_null(probe)
+            else:
+                l_key = tuple(l_values[i] for i in left_keys)
+                constant_probe = bool(left_keys) and not any(is_null(v) for v in l_key)
+            if constant_probe:
+                # Exact hash bucket: the key equalities fold to TRUE by
+                # construction, so only the row conditions are conjoined.
+                bucket = keyed.get(l_key)
+                if bucket:
+                    for position in bucket:
+                        r_values, r_condition = right_rows[position]
+                        condition = kernel_and(l_condition, r_condition)
+                        if condition is FALSE:
+                            continue
+                        if keep_all:
+                            values = l_values + r_values
+                        else:
+                            values = l_values + tuple(r_values[p] for p in right_keep)
+                        append((values, condition))
+                candidates: Iterable[int] = null_key_positions
+            else:
+                candidates = range(len(right_rows))
+            for position in candidates:
+                part = right_part(l_key, position)
+                if part is FALSE:
+                    continue
+                condition = kernel_and(l_condition, part)
+                if condition is FALSE:
+                    continue
+                r_values = right_rows[position][0]
+                if keep_all:
+                    values = l_values + r_values
+                else:
+                    values = l_values + tuple(r_values[p] for p in right_keep)
+                append((values, condition))
+        return rows
+
+
+class CProduct(COperator):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: COperator, right: COperator, key: Any = None) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        right_rows = self.right.rows(ctx)
+        rows: List[CRow] = []
+        for l_values, l_condition in self.left.rows(ctx):
+            for r_values, r_condition in right_rows:
+                condition = kernel_and(l_condition, r_condition)
+                if condition is FALSE:
+                    continue
+                rows.append((l_values + r_values, condition))
+        return rows
+
+
+class CUnion(COperator):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: COperator, right: COperator, key: Any = None) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        return list(self.left.rows(ctx)) + list(self.right.rows(ctx))
+
+
+class CMembershipIndex:
+    """Hash index over conditional rows for building membership conditions.
+
+    The kernel-side counterpart of the interpreter's ``_MembershipIndex``:
+    all-constant rows are keyed by their value tuple, so a constant probe
+    only meets its exact matches plus the rows mentioning a null (which may
+    coincide with anything under some valuation).
+    """
+
+    __slots__ = ("rows", "keyed", "null_rows")
+
+    def __init__(self, rows: List[CRow]) -> None:
+        self.rows = rows
+        self.keyed: Dict[Row, List[int]] = {}
+        self.null_rows: List[int] = []
+        for position, (values, _) in enumerate(rows):
+            if any(is_null(v) for v in values):
+                self.null_rows.append(position)
+            else:
+                self.keyed.setdefault(values, []).append(position)
+
+    def condition(self, values: Row) -> Condition:
+        """The condition "``values`` is a tuple of the indexed rows"."""
+        if any(is_null(v) for v in values):
+            relevant: Iterable[int] = range(len(self.rows))
+        else:
+            relevant = _merge_sorted(self.keyed.get(values, ()), self.null_rows)
+        disjuncts: List[Condition] = []
+        for position in relevant:
+            r_values, r_condition = self.rows[position]
+            disjunct = kernel_and(r_condition, kernel_row_equality(values, r_values))
+            if disjunct is TRUE:
+                return TRUE
+            if disjunct is FALSE:
+                continue
+            disjuncts.append(disjunct)
+        return kernel_disjunction(disjuncts)
+
+
+class CIntersection(COperator):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: COperator, right: COperator, key: Any = None) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        membership = CMembershipIndex(self.right.rows(ctx))
+        rows: List[CRow] = []
+        for values, condition in self.left.rows(ctx):
+            combined = kernel_and(condition, membership.condition(values))
+            if combined is FALSE:
+                continue
+            rows.append((values, combined))
+        return rows
+
+
+class CDifference(COperator):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: COperator, right: COperator, key: Any = None) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        membership = CMembershipIndex(self.right.rows(ctx))
+        rows: List[CRow] = []
+        for values, condition in self.left.rows(ctx):
+            combined = kernel_and(condition, kernel_not(membership.condition(values)))
+            if combined is FALSE:
+                continue
+            rows.append((values, combined))
+        return rows
+
+
+class CDivision(COperator):
+    """``R ÷ S`` over conditional rows.
+
+    Inlines the standard rewriting ``π_A(R) − π_A(reorder(π_A(R) × S) − R)``
+    (the same one ``expand_division`` hands the interpreter) with both
+    differences realized as kernel membership conditions, so no
+    intermediate expression tree or c-table is materialized.
+    """
+
+    __slots__ = ("left", "right", "keep", "divisor")
+
+    def __init__(
+        self,
+        left: COperator,
+        right: COperator,
+        keep: Tuple[int, ...],
+        divisor: Tuple[int, ...],
+        key: Any = None,
+    ) -> None:
+        super().__init__(key)
+        self.left = left
+        self.right = right
+        self.keep = keep
+        self.divisor = divisor
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        keep = self.keep
+        divisor = self.divisor
+        left_rows = self.left.rows(ctx)
+        right_rows = self.right.rows(ctx)
+        arity = len(keep) + len(divisor)
+
+        candidates: List[CRow] = [
+            (tuple(values[p] for p in keep), condition) for values, condition in left_rows
+        ]
+        left_membership = CMembershipIndex(left_rows)
+
+        # reorder(candidate × divisor-row) back into R's column layout,
+        # then keep the pairs that may be *missing* from R.
+        missing: List[CRow] = []
+        for c_values, c_condition in candidates:
+            for s_values, s_condition in right_rows:
+                full = [None] * arity
+                for k_index, p in enumerate(keep):
+                    full[p] = c_values[k_index]
+                for d_index, p in enumerate(divisor):
+                    full[p] = s_values[d_index]
+                pair_condition = kernel_and(c_condition, s_condition)
+                if pair_condition is FALSE:
+                    continue
+                absent = kernel_not(left_membership.condition(tuple(full)))
+                miss_condition = kernel_and(pair_condition, absent)
+                if miss_condition is FALSE:
+                    continue
+                missing.append((c_values, miss_condition))
+
+        bad_membership = CMembershipIndex(missing)
+        rows: List[CRow] = []
+        for c_values, c_condition in candidates:
+            combined = kernel_and(c_condition, kernel_not(bad_membership.condition(c_values)))
+            if combined is FALSE:
+                continue
+            rows.append((c_values, combined))
+        return rows
+
+
+class CInterpret(COperator):
+    """Fallback: run an unsupported subtree on the c-table interpreter."""
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: RAExpression, key: Any = None) -> None:
+        super().__init__(key)
+        self.expression = expression
+
+    def _compute(self, ctx: CTableContext) -> List[CRow]:
+        from ..algebra.ctable_algebra import _evaluate
+
+        table = _evaluate(self.expression, ctx.database, ctx.schema)
+        rows: List[CRow] = []
+        for row in table:
+            condition = intern_condition(row.condition)
+            if condition is FALSE:
+                continue
+            rows.append((row.values, condition))
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Predicate → condition translation over position-resolved predicates
+# ----------------------------------------------------------------------
+def predicate_condition_positional(predicate: Predicate, values: Row) -> Condition:
+    """The kernel condition expressing ``predicate`` on a (possibly null) row.
+
+    The positional counterpart of
+    :func:`repro.algebra.ctable_algebra.predicate_condition`: attribute
+    references have already been resolved to positions by the logical
+    optimizer, and the resulting condition is canonical.
+    """
+    if isinstance(predicate, PTrue):
+        return TRUE
+    if isinstance(predicate, Comparison):
+        left = predicate.left
+        right = predicate.right
+        left_value = values[left.ref] if isinstance(left, Attr) else left.value
+        right_value = values[right.ref] if isinstance(right, Attr) else right.value
+        if predicate.op == "=":
+            return kernel_eq(left_value, right_value)
+        if predicate.op == "!=":
+            return kernel_not(kernel_eq(left_value, right_value))
+        if is_null(left_value) or is_null(right_value):
+            raise ValueError(
+                f"order comparison {predicate.op!r} on nulls is not expressible as a "
+                "c-table condition (conditions are equality-based)"
+            )
+        return TRUE if _OPERATORS[predicate.op](left_value, right_value) else FALSE
+    if isinstance(predicate, PAnd):
+        return kernel_conjunction(
+            predicate_condition_positional(op, values) for op in predicate.operands
+        )
+    if isinstance(predicate, POr):
+        return kernel_disjunction(
+            predicate_condition_positional(op, values) for op in predicate.operands
+        )
+    if isinstance(predicate, PNot):
+        return kernel_not(predicate_condition_positional(predicate.operand, values))
+    raise TypeError(f"unsupported predicate {predicate!r}")
+
+
+# ----------------------------------------------------------------------
+# Lowering: reuse the planner's traversal and join ordering
+# ----------------------------------------------------------------------
+class _CTableSizes:
+    """Duck-typed stand-in for a :class:`Database` in cardinality estimates."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, database: Any) -> None:
+        self._tables = {table.name: table for table in database}
+
+    def relation(self, name: str) -> Any:
+        return self._tables[name]
+
+    def size(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+
+class _CTableLowering(_planner._Lowering):
+    """Lower logical plans to conditional-row operators.
+
+    Inherits the traversal, CSE sharing and greedy multijoin ordering of
+    the complete-relation lowering; only the operator factories differ.
+    """
+
+    def make_scan(self, node: LScan) -> COperator:
+        return CScan(node.name, key=self.key())
+
+    def make_const(self, node: LConst) -> COperator:
+        return CConstScan(node.relation, key=self.key())
+
+    def make_delta(self, node: LDelta) -> COperator:
+        return CDeltaScan(key=self.key())
+
+    def make_adom(self, node: LAdom) -> COperator:
+        return CAdomScan(key=self.key())
+
+    def make_filter(self, child: COperator, predicate: Predicate) -> COperator:
+        return CFilter(child, predicate, key=self.key())
+
+    def make_eq_filter(self, child: COperator, left: int, right: int) -> COperator:
+        return CEqFilter(child, left, right, key=self.key())
+
+    def make_project(self, child: COperator, positions: Tuple[int, ...]) -> COperator:
+        return CProject(child, positions, key=self.key())
+
+    def make_join(
+        self,
+        left: COperator,
+        right: COperator,
+        left_keys: Tuple[int, ...],
+        right_keys: Tuple[int, ...],
+        right_keep: Tuple[int, ...],
+    ) -> COperator:
+        return CHashJoin(left, right, left_keys, right_keys, right_keep, key=self.key())
+
+    def make_product(self, left: COperator, right: COperator) -> COperator:
+        return CProduct(left, right, key=self.key())
+
+    def make_union(self, left: COperator, right: COperator) -> COperator:
+        return CUnion(left, right, key=self.key())
+
+    def make_difference(self, left: COperator, right: COperator) -> COperator:
+        return CDifference(left, right, key=self.key())
+
+    def make_intersection(self, left: COperator, right: COperator) -> COperator:
+        return CIntersection(left, right, key=self.key())
+
+    def make_division(
+        self, left: COperator, right: COperator, keep: Tuple[int, ...], divisor: Tuple[int, ...]
+    ) -> COperator:
+        return CDivision(left, right, keep, divisor, key=self.key())
+
+    def make_opaque(self, node: LOpaque) -> COperator:
+        return CInterpret(node.expression, key=self.key())
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def execute_ctable(expression: RAExpression, database: Any) -> ConditionalTable:
+    """Evaluate an RA expression over a :class:`CTableDatabase` via the planner.
+
+    Shares the logical plan cache of :func:`repro.engine.planner.execute`
+    (keyed by ``(expression, schema)``); the c-table lowering is cached
+    beside the complete-relation one, keyed by the base table sizes it was
+    cost-ordered for.  The result carries the conjunction of all base
+    tables' global conditions, exactly like the interpreter path.
+    """
+    schema = database.schema
+    entry = _planner._cache_entry(expression, schema)
+    global_condition = kernel_conjunction(
+        intern_condition(table.global_condition) for table in database
+    )
+    if global_condition is FALSE:
+        # No valuation satisfies the database; skip query evaluation entirely.
+        return ConditionalTable(entry.out_schema, (), FALSE)
+
+    sizes = tuple(len(table) for table in database)
+    if entry.ctable_physical is None or entry.ctable_sizes != sizes:
+        lowering = _CTableLowering(_CTableSizes(database))
+        entry.ctable_physical = lowering.lower(entry.logical)
+        entry.ctable_sizes = sizes
+
+    ctx = CTableContext(database, schema)
+    crows = entry.ctable_physical.rows(ctx)
+    make_row = ConditionalRow._from_trusted
+    rows = [make_row(values, condition) for values, condition in crows]
+    return ConditionalTable(entry.out_schema, rows, global_condition)

@@ -26,7 +26,7 @@ Plan lifecycle
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
@@ -71,13 +71,17 @@ _PLAN_CACHE_LIMIT = 256
 
 
 class _CacheEntry:
-    __slots__ = ("logical", "out_schema", "sizes", "physical")
+    __slots__ = ("logical", "out_schema", "sizes", "physical", "ctable_sizes", "ctable_physical")
 
     def __init__(self, logical: LogicalNode, out_schema: RelationSchema) -> None:
         self.logical = logical
         self.out_schema = out_schema
         self.sizes: Optional[Tuple[int, ...]] = None
         self.physical: Optional[PhysicalOperator] = None
+        # The c-table path (repro.engine.ctable) shares the logical plan and
+        # caches its own lowering beside the complete-relation one.
+        self.ctable_sizes: Optional[Tuple[int, ...]] = None
+        self.ctable_physical: Optional[Any] = None
 
 
 _PLAN_CACHE: "OrderedDict[Tuple[RAExpression, DatabaseSchema], _CacheEntry]" = OrderedDict()
@@ -204,68 +208,131 @@ def lower(node: LogicalNode, database: Database) -> PhysicalOperator:
 
 
 class _Lowering:
+    """Lowering of logical plans to physical operators.
+
+    The traversal, the multijoin ordering and the CSE sharing live here;
+    the construction of each concrete operator is delegated to overridable
+    factory hooks so other executors over the *same* logical plans (the
+    c-table path in :mod:`repro.engine.ctable`) inherit the cost-based
+    join ordering while emitting their own operators.
+    """
+
     def __init__(self, database: Database) -> None:
         self.database = database
-        self.shared: Dict[LogicalNode, PhysicalOperator] = {}
+        self.shared: Dict[LogicalNode, Any] = {}
         self.next_key = 0
 
     def key(self) -> int:
         self.next_key += 1
         return self.next_key
 
-    def lower(self, node: LogicalNode) -> PhysicalOperator:
+    # -- operator factory hooks ----------------------------------------
+    def make_scan(self, node: LScan) -> Any:
+        return Scan(node.name, key=self.key())
+
+    def make_const(self, node: LConst) -> Any:
+        return ConstScan(node.relation, key=self.key())
+
+    def make_delta(self, node: LDelta) -> Any:
+        return DeltaScan(key=self.key())
+
+    def make_adom(self, node: LAdom) -> Any:
+        return AdomScan(key=self.key())
+
+    def make_filter(self, child: Any, predicate: Any) -> Any:
+        return Filter(child, compile_predicate(predicate), key=self.key())
+
+    def make_eq_filter(self, child: Any, left: int, right: int) -> Any:
+        """A filter asserting equality of two positions of the same row."""
+        return Filter(child, lambda row, a=left, b=right: row[a] == row[b], key=self.key())
+
+    def make_project(self, child: Any, positions: Tuple[int, ...]) -> Any:
+        return Project(child, positions, key=self.key())
+
+    def make_join(
+        self,
+        left: Any,
+        right: Any,
+        left_keys: Tuple[int, ...],
+        right_keys: Tuple[int, ...],
+        right_keep: Tuple[int, ...],
+    ) -> Any:
+        return HashJoin(left, right, left_keys, right_keys, right_keep, key=self.key())
+
+    def make_product(self, left: Any, right: Any) -> Any:
+        return NestedProduct(left, right, key=self.key())
+
+    def make_union(self, left: Any, right: Any) -> Any:
+        return HashUnion(left, right, key=self.key())
+
+    def make_difference(self, left: Any, right: Any) -> Any:
+        return HashDifference(left, right, key=self.key())
+
+    def make_intersection(self, left: Any, right: Any) -> Any:
+        return HashIntersection(left, right, key=self.key())
+
+    def make_division(
+        self, left: Any, right: Any, keep: Tuple[int, ...], divisor: Tuple[int, ...]
+    ) -> Any:
+        return HashDivision(left, right, keep, divisor, key=self.key())
+
+    def make_opaque(self, node: LOpaque) -> Any:
+        return Interpret(node.expression, key=self.key())
+
+    def estimate(self, node: LogicalNode) -> float:
+        return estimate(node, self.database)
+
+    # -- traversal -----------------------------------------------------
+    def lower(self, node: LogicalNode) -> Any:
         op = self.shared.get(node)
         if op is None:
             op = self._lower(node)
             self.shared[node] = op
         return op
 
-    def _lower(self, node: LogicalNode) -> PhysicalOperator:
+    def _lower(self, node: LogicalNode) -> Any:
         if isinstance(node, LScan):
-            return Scan(node.name, key=self.key())
+            return self.make_scan(node)
         if isinstance(node, LConst):
-            return ConstScan(node.relation, key=self.key())
+            return self.make_const(node)
         if isinstance(node, LDelta):
-            return DeltaScan(key=self.key())
+            return self.make_delta(node)
         if isinstance(node, LAdom):
-            return AdomScan(key=self.key())
+            return self.make_adom(node)
         if isinstance(node, LFilter):
-            return Filter(self.lower(node.child), compile_predicate(node.predicate), key=self.key())
+            return self.make_filter(self.lower(node.child), node.predicate)
         if isinstance(node, LProject):
-            return Project(self.lower(node.child), node.positions, key=self.key())
+            return self.make_project(self.lower(node.child), node.positions)
         if isinstance(node, LEquiJoin):
             left_keys = tuple(i for i, _ in node.pairs)
             right_keys = tuple(j for _, j in node.pairs)
-            return HashJoin(
+            return self.make_join(
                 self.lower(node.left),
                 self.lower(node.right),
                 left_keys,
                 right_keys,
                 node.right_keep,
-                key=self.key(),
             )
         if isinstance(node, LMultiJoin):
             return self._lower_multijoin(node)
         if isinstance(node, LUnion):
-            return HashUnion(self.lower(node.left), self.lower(node.right), key=self.key())
+            return self.make_union(self.lower(node.left), self.lower(node.right))
         if isinstance(node, LDifference):
-            return HashDifference(self.lower(node.left), self.lower(node.right), key=self.key())
+            return self.make_difference(self.lower(node.left), self.lower(node.right))
         if isinstance(node, LIntersection):
-            return HashIntersection(self.lower(node.left), self.lower(node.right), key=self.key())
+            return self.make_intersection(self.lower(node.left), self.lower(node.right))
         if isinstance(node, LDivision):
-            return HashDivision(
+            return self.make_division(
                 self.lower(node.left),
                 self.lower(node.right),
                 node.keep,
                 node.divisor,
-                key=self.key(),
             )
         if isinstance(node, LOpaque):
-            return Interpret(node.expression, key=self.key())
+            return self.make_opaque(node)
         raise TypeError(f"unsupported logical node {node!r}")
 
-
-    def _lower_multijoin(self, node: LMultiJoin) -> PhysicalOperator:
+    def _lower_multijoin(self, node: LMultiJoin) -> Any:
         """Order the factors of a multijoin greedily and emit hash joins.
 
         Start from the smallest estimated factor, then repeatedly attach
@@ -276,12 +343,11 @@ class _Lowering:
         """
         factors = node.factors
         count = len(factors)
-        database = self.database
         ops = [self.lower(factor) for factor in factors]
         if count == 1:
-            result: PhysicalOperator = ops[0]
+            result: Any = ops[0]
             for pred in node.residual:
-                result = Filter(result, compile_predicate(pred), key=self.key())
+                result = self.make_filter(result, pred)
             return result
 
         arities = [factor.arity for factor in factors]
@@ -297,7 +363,7 @@ class _Lowering:
                     return index, global_pos - offsets[index]
             raise IndexError(global_pos)
 
-        estimates = [estimate(factor, database) for factor in factors]
+        estimates = [self.estimate(factor) for factor in factors]
         pending: List[Tuple[int, int]] = list(node.pairs)
 
         start = min(range(count), key=lambda k: estimates[k])
@@ -340,16 +406,15 @@ class _Lowering:
                     _, pj = locate(j)
                     left_keys.append(pos_map[i])
                     right_keys.append(pj)
-                current = HashJoin(
+                current = self.make_join(
                     current,
                     ops[pick],
                     tuple(left_keys),
                     tuple(right_keys),
                     tuple(range(arities[pick])),
-                    key=self.key(),
                 )
             else:
-                current = NestedProduct(current, ops[pick], key=self.key())
+                current = self.make_product(current, ops[pick])
 
             for p in range(arities[pick]):
                 pos_map[offsets[pick] + p] = width + p
@@ -364,19 +429,14 @@ class _Lowering:
                 fi, _ = locate(i)
                 fj, _ = locate(j)
                 if fi in placed and fj in placed:
-                    li, lj = pos_map[i], pos_map[j]
-                    current = Filter(
-                        current,
-                        lambda row, a=li, b=lj: row[a] == row[b],
-                        key=self.key(),
-                    )
+                    current = self.make_eq_filter(current, pos_map[i], pos_map[j])
                 else:
                     still_pending.append((i, j))
             pending = still_pending
 
         permutation = tuple(pos_map[g] for g in range(total))
         if permutation != tuple(range(total)):
-            current = Project(current, permutation, key=self.key())
+            current = self.make_project(current, permutation)
         for pred in node.residual:
-            current = Filter(current, compile_predicate(pred), key=self.key())
+            current = self.make_filter(current, pred)
         return current

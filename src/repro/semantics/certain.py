@@ -15,14 +15,92 @@ benchmarks.  Its cost is exponential in the number of nulls.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence, Set, Tuple
+import itertools
+import pickle
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
+from ..datamodel.schema import RelationSchema
 from .worlds import cwa_worlds, owa_worlds, worlds
 
 Evaluator = Callable[[Database], Relation]
 """A query, abstractly: a function from complete databases to relations."""
+
+#: Worlds handed to each worker task; large enough to amortize submission
+#: overhead, small enough to keep all workers busy on modest world counts.
+_CHUNK_SIZE = 16
+
+
+def _chunks(iterable: Iterable[Any], size: int) -> Iterable[List[Any]]:
+    iterator = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _can_pickle(value: Any) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 - any pickling failure means "sequential"
+        return False
+    return True
+
+
+def _intersect_chunk(
+    evaluate: Evaluator, chunk: List[Database]
+) -> Tuple[Optional[RelationSchema], Optional[Set[Row]]]:
+    """Worker task: intersect the query answers over a chunk of worlds."""
+    schema: Optional[RelationSchema] = None
+    certain: Optional[Set[Row]] = None
+    for world in chunk:
+        answer = evaluate(world)
+        if schema is None:
+            schema = answer.schema
+        if certain is None:
+            certain = set(answer.rows)
+        else:
+            certain &= answer.rows
+    return schema, certain
+
+
+def _all_hold_chunk(evaluate: Callable[[Database], bool], chunk: List[Database]) -> bool:
+    """Worker task: ``True`` iff the Boolean query holds in every chunk world."""
+    return all(evaluate(world) for world in chunk)
+
+
+def _windowed_chunk_results(
+    pool: ProcessPoolExecutor,
+    task: Callable[..., Any],
+    evaluate: Any,
+    chunks: Iterable[List[Database]],
+    window: int,
+) -> Iterator[Any]:
+    """Run ``task(evaluate, chunk)`` over the pool with bounded in-flight work.
+
+    World enumeration is exponential in the number of nulls, so the chunk
+    stream must never be materialized: at most ``window`` chunks are
+    submitted ahead of the consumer, and abandoning the iterator (early
+    exit) leaves only that window to drain.
+    """
+    window = max(2, window)
+    pending: "deque" = deque()
+    chunk_iter = iter(chunks)
+    exhausted = False
+    while True:
+        while not exhausted and len(pending) < window:
+            chunk = next(chunk_iter, None)
+            if chunk is None:
+                exhausted = True
+                break
+            pending.append(pool.submit(task, evaluate, chunk))
+        if not pending:
+            return
+        yield pending.popleft().result()
 
 
 def certain_answers_enumeration(
@@ -32,6 +110,7 @@ def certain_answers_enumeration(
     domain: Optional[Sequence[Any]] = None,
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
+    workers: Optional[int] = None,
 ) -> Relation:
     """Intersection-based certain answers computed by world enumeration.
 
@@ -45,6 +124,16 @@ def certain_answers_enumeration(
         ``'cwa'`` or ``'owa'``.
     domain, extra_constants, max_extra_facts:
         Passed to the world enumerators; see :mod:`repro.semantics.worlds`.
+    workers:
+        When > 1, fan the per-world query evaluations out over a process
+        pool in chunks — each world is an independent complete database,
+        so this is embarrassingly parallel, and the engine's plan cache
+        amortizes planning per worker.  Requires a picklable ``evaluate``
+        (e.g. the bound ``evaluate`` method of an ``RAExpression``); a
+        non-picklable query falls back to the sequential path.  Chunks
+        are submitted through a bounded window (never materializing the
+        exponential world stream), and an empty running intersection
+        stops the enumeration after at most the in-flight window.
 
     Returns
     -------
@@ -52,24 +141,42 @@ def certain_answers_enumeration(
         The relation of tuples present in the answer over *every*
         enumerated world.  The schema is taken from the first answer.
     """
-    answer_schema = None
-    certain: Optional[Set[Row]] = None
-    for world in worlds(
+    world_iter = worlds(
         database,
         semantics=semantics,
         domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
-    ):
-        answer = evaluate(world)
-        if answer_schema is None:
-            answer_schema = answer.schema
-        if certain is None:
-            certain = set(answer.rows)
-        else:
-            certain &= answer.rows
-        if not certain:
-            break
+    )
+
+    answer_schema = None
+    certain: Optional[Set[Row]] = None
+    if workers is not None and workers > 1 and _can_pickle(evaluate):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_schema, chunk_certain in _windowed_chunk_results(
+                pool, _intersect_chunk, evaluate, _chunks(world_iter, _CHUNK_SIZE), 2 * workers
+            ):
+                if chunk_schema is None or chunk_certain is None:
+                    continue
+                if answer_schema is None:
+                    answer_schema = chunk_schema
+                if certain is None:
+                    certain = chunk_certain
+                else:
+                    certain &= chunk_certain
+                if not certain:
+                    break  # empty intersection can only stay empty
+    else:
+        for world in world_iter:
+            answer = evaluate(world)
+            if answer_schema is None:
+                answer_schema = answer.schema
+            if certain is None:
+                certain = set(answer.rows)
+            else:
+                certain &= answer.rows
+            if not certain:
+                break
     if answer_schema is None or certain is None:
         # No worlds at all only happens for an empty valuation domain;
         # evaluate on the database itself to obtain the answer schema.
@@ -139,15 +246,30 @@ def certain_boolean(
     domain: Optional[Sequence[Any]] = None,
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
+    workers: Optional[int] = None,
 ) -> bool:
-    """Certain answer of a Boolean query: true iff true in every enumerated world."""
-    for world in worlds(
+    """Certain answer of a Boolean query: true iff true in every enumerated world.
+
+    ``workers`` parallelizes the per-world checks over a process pool in
+    chunks, like :func:`certain_answers_enumeration`; early exit then
+    happens per chunk rather than per world.
+    """
+    world_iter = worlds(
         database,
         semantics=semantics,
         domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
-    ):
+    )
+    if workers is not None and workers > 1 and _can_pickle(evaluate):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for result in _windowed_chunk_results(
+                pool, _all_hold_chunk, evaluate, _chunks(world_iter, _CHUNK_SIZE), 2 * workers
+            ):
+                if not result:
+                    return False
+        return True
+    for world in world_iter:
         if not evaluate(world):
             return False
     return True

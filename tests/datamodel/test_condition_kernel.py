@@ -1,0 +1,152 @@
+"""Unit tests for the hash-consed condition kernel."""
+
+import pytest
+
+from repro.datamodel import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Neq,
+    Not,
+    Null,
+    Or,
+    Valuation,
+    clear_condition_kernel,
+    intern_condition,
+    kernel_and,
+    kernel_conjunction,
+    kernel_disjunction,
+    kernel_eq,
+    kernel_not,
+    kernel_nulls,
+    kernel_or,
+    kernel_row_equality,
+    kernel_stats,
+)
+
+x, y, z = Null("x"), Null("y"), Null("z")
+
+
+class TestInterning:
+    def test_structurally_equal_conditions_become_identical(self):
+        assert kernel_eq(x, 1) is kernel_eq(Null("x"), 1)
+        a = kernel_conjunction((kernel_eq(x, 1), kernel_eq(y, 2)))
+        b = kernel_conjunction((kernel_eq(x, 1), kernel_eq(y, 2)))
+        assert a is b
+
+    def test_intern_condition_is_idempotent(self):
+        condition = intern_condition(And((Eq(x, 1), Or((Eq(y, 2), Eq(z, 3))))))
+        assert intern_condition(condition) is condition
+
+    def test_interning_simplifies(self):
+        assert intern_condition(Eq(1, 1)) is TRUE
+        assert intern_condition(Eq(1, 2)) is FALSE
+        assert intern_condition(Eq(x, x)) is TRUE
+        assert intern_condition(Not(Not(Eq(x, 1)))) is kernel_eq(x, 1)
+        assert intern_condition(And((Eq(x, 1), TRUE))) is kernel_eq(x, 1)
+        assert intern_condition(Or((Eq(x, 1), TRUE))) is TRUE
+
+    def test_singletons_are_canonical(self):
+        assert intern_condition(TRUE) is TRUE
+        assert intern_condition(FALSE) is FALSE
+
+    def test_clear_resets_tables(self):
+        kernel_eq(x, "fresh-value")
+        assert kernel_stats()["interned"] > 0
+        clear_condition_kernel()
+        assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+
+    def test_nodes_surviving_a_clear_reintern(self):
+        """A pre-clear canonical node must not satisfy identity checks by a stale mark."""
+        old = kernel_eq(x, 1)
+        old_negation = kernel_not(old)
+        clear_condition_kernel()
+        fresh = kernel_eq(x, 1)
+        assert intern_condition(old) is fresh
+        # composing a survivor with its new-generation twin must still dedup
+        assert kernel_conjunction((old, fresh)) is fresh
+        # and cached negations from the old generation are not reused
+        assert kernel_not(fresh) is not old_negation
+        assert kernel_not(fresh) == old_negation
+
+
+class TestConnectives:
+    def test_and_flattens_and_deduplicates(self):
+        e1, e2 = kernel_eq(x, 1), kernel_eq(y, 2)
+        nested = kernel_and(kernel_and(e1, e2), e1)
+        assert isinstance(nested, And)
+        assert nested.operands == (e1, e2)
+
+    def test_or_flattens_and_deduplicates(self):
+        e1, e2 = kernel_eq(x, 1), kernel_eq(y, 2)
+        nested = kernel_or(kernel_or(e1, e2), e2)
+        assert isinstance(nested, Or)
+        assert nested.operands == (e1, e2)
+
+    def test_connective_constants(self):
+        e = kernel_eq(x, 1)
+        assert kernel_and(TRUE, e) is e
+        assert kernel_and(e, FALSE) is FALSE
+        assert kernel_or(FALSE, e) is e
+        assert kernel_or(e, TRUE) is TRUE
+        assert kernel_conjunction(()) is TRUE
+        assert kernel_disjunction(()) is FALSE
+
+    def test_binary_memo_returns_same_object(self):
+        e1, e2 = kernel_eq(x, 1), kernel_eq(y, 2)
+        assert kernel_and(e1, e2) is kernel_and(e1, e2)
+        assert kernel_or(e1, e2) is kernel_or(e1, e2)
+
+    def test_not_round_trip(self):
+        e = kernel_eq(x, 1)
+        assert kernel_not(kernel_not(e)) is e
+        assert kernel_not(TRUE) is FALSE
+        assert kernel_not(FALSE) is TRUE
+
+    def test_row_equality(self):
+        condition = kernel_row_equality((x, 1), (2, 1))
+        assert condition is kernel_eq(x, 2)
+        with pytest.raises(ValueError):
+            kernel_row_equality((x,), (1, 2))
+
+
+class TestUnsatisfiability:
+    def test_conflicting_constants_collapse_to_false(self):
+        assert kernel_conjunction((kernel_eq(x, 1), kernel_eq(x, 2))) is FALSE
+
+    def test_transitive_conflict(self):
+        assert (
+            kernel_conjunction((kernel_eq(x, y), kernel_eq(y, 1), kernel_eq(x, 2))) is FALSE
+        )
+
+    def test_disequality_in_same_class(self):
+        neq = intern_condition(Neq(x, y))
+        assert kernel_conjunction((kernel_eq(x, z), kernel_eq(z, y), neq)) is FALSE
+
+    def test_satisfiable_conjunction_survives(self):
+        condition = kernel_conjunction((kernel_eq(x, y), kernel_eq(y, 1)))
+        assert condition is not FALSE
+        assert condition.evaluate(Valuation({x: 1, y: 1}))
+        assert not condition.evaluate(Valuation({x: 2, y: 1}))
+
+    def test_atoms_under_or_are_not_consulted(self):
+        # x=1 ∧ (x=2 ∨ y=1) is satisfiable; the union-find must ignore the Or.
+        condition = kernel_conjunction(
+            (kernel_eq(x, 1), kernel_or(kernel_eq(x, 2), kernel_eq(y, 1)))
+        )
+        assert condition is not FALSE
+        assert condition.evaluate(Valuation({x: 1, y: 1}))
+
+
+class TestCachedNulls:
+    def test_nulls_match_seed_and_are_cached(self):
+        condition = kernel_conjunction(
+            (kernel_eq(x, 1), kernel_or(kernel_eq(y, 2), intern_condition(Neq(z, x))))
+        )
+        assert kernel_nulls(condition) == condition.nulls() == {x, y, z}
+        assert kernel_nulls(condition) is kernel_nulls(condition)
+
+    def test_constant_conditions_have_no_nulls(self):
+        assert kernel_nulls(TRUE) == frozenset()
+        assert kernel_nulls(FALSE) == frozenset()

@@ -1,0 +1,93 @@
+"""Tests for the ``workers=`` fan-out of world-enumeration certain answers."""
+
+from repro.algebra import parse_ra
+from repro.datamodel import Database, Null, Relation
+from repro.semantics import certain_answers_enumeration, certain_boolean
+
+QUERY = parse_ra("diff(R, S)")
+PROJECT = parse_ra("project[#0](R)")
+
+
+def _database(num_rows=5, num_nulls=2):
+    return Database.from_relations(
+        [
+            Relation.create(
+                "R",
+                [(i,) for i in range(num_rows)] + [(Null(f"r{i}"),) for i in range(num_nulls)],
+                attributes=("A",),
+            ),
+            Relation.create("S", [(1,), (Null("s0"),)], attributes=("A",)),
+        ]
+    )
+
+
+def _nonempty_database():
+    return Database.from_relations(
+        [
+            Relation.create("R", [(1,), (2,), (Null("x"),)], attributes=("A",)),
+            Relation.create("S", [], attributes=("A",)),
+        ]
+    )
+
+
+class TestParallelCertainAnswers:
+    def test_workers_match_sequential(self):
+        database = _database()
+        sequential = certain_answers_enumeration(QUERY.evaluate, database, "cwa")
+        parallel = certain_answers_enumeration(QUERY.evaluate, database, "cwa", workers=2)
+        assert sequential == parallel
+
+    def test_workers_match_sequential_nonempty_answer(self):
+        database = _nonempty_database()
+        sequential = certain_answers_enumeration(PROJECT.evaluate, database, "cwa")
+        parallel = certain_answers_enumeration(PROJECT.evaluate, database, "cwa", workers=2)
+        assert sequential == parallel
+        assert {(1,), (2,)} <= set(parallel.rows)
+
+    def test_unpicklable_query_falls_back_to_sequential(self):
+        database = _database(num_rows=3, num_nulls=1)
+        unpicklable = lambda world: QUERY.evaluate(world)  # noqa: E731
+        sequential = certain_answers_enumeration(QUERY.evaluate, database, "cwa")
+        fallback = certain_answers_enumeration(unpicklable, database, "cwa", workers=4)
+        assert sequential == fallback
+
+    def test_workers_one_is_sequential(self):
+        database = _database(num_rows=3, num_nulls=1)
+        assert certain_answers_enumeration(
+            QUERY.evaluate, database, "cwa", workers=1
+        ) == certain_answers_enumeration(QUERY.evaluate, database, "cwa")
+
+
+class TestParallelCertainBoolean:
+    def test_boolean_matches_sequential(self):
+        database = _nonempty_database()
+        evaluate = PROJECT.evaluate  # picklable bound method
+
+        def as_bool(world):
+            return bool(evaluate(world))
+
+        # module-locals are not picklable either; exercise the fallback
+        sequential = certain_boolean(as_bool, database, "cwa")
+        parallel = certain_boolean(as_bool, database, "cwa", workers=2)
+        assert sequential == parallel is True
+
+    def test_boolean_parallel_false(self):
+        database = _database(num_rows=2, num_nulls=1)
+        assert (
+            certain_boolean(_r_has_at_least_four_rows, database, "cwa", workers=2)
+            is certain_boolean(_r_has_at_least_four_rows, database, "cwa")
+            is False
+        )
+
+    def test_boolean_parallel_true(self):
+        database = _database(num_rows=2, num_nulls=1)
+        assert certain_boolean(_r_is_nonempty, database, "cwa", workers=2) is True
+
+
+# module-level so they can cross a process boundary
+def _r_has_at_least_four_rows(world):
+    return len(world.relation("R")) >= 4
+
+
+def _r_is_nonempty(world):
+    return len(world.relation("R")) > 0
