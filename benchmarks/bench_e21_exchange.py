@@ -39,12 +39,26 @@ def test_exchange_certain_answers_join(benchmark, size):
     benchmark(certain_answers_exchange, mapping, source, JOIN_QUERY)
 
 
-@pytest.mark.parametrize("size", SOURCE_SIZES[:2])
+@pytest.mark.parametrize("size", SOURCE_SIZES)
 def test_core_solution(benchmark, size):
+    # The block-based core algorithm (default) makes all sizes feasible;
+    # the seed greedy path was intractable beyond ~10 sources.
     mapping = order_preferences_mapping()
     source = order_preferences_source(num_orders=size, seed=3)
     benchmark.group = f"e21 core source={size}"
     benchmark(core_solution, mapping, source)
+
+
+def test_core_solution_greedy_oracle(benchmark):
+    # The greedy whole-instance oracle, at the largest size where it is
+    # still tractable, as a reference point for the block-based numbers.
+    mapping = order_preferences_mapping()
+    source = order_preferences_source(num_orders=10, seed=3)
+    benchmark.group = "e21 core source=10"
+    result = benchmark.pedantic(
+        core_solution, args=(mapping, source), kwargs={"algorithm": "greedy"}, rounds=1
+    )
+    assert result.size() == core_solution(mapping, source).size()
 
 
 def test_report_table(benchmark, report):

@@ -26,11 +26,13 @@ from .answers import (
 )
 from .certainty import (
     certain_knowledge_formula,
+    certain_object_owa,
     intersection_object,
     is_certain_knowledge,
     is_certain_object,
     is_lower_bound,
     knowledge_includes,
+    product_object,
     theory_of,
 )
 from .naive_evaluation import (
@@ -86,6 +88,7 @@ __all__ = [
     "certain_answers_intersection",
     "certain_answers_naive",
     "certain_knowledge_formula",
+    "certain_object_owa",
     "cwa_leq",
     "cwa_representation_system",
     "evaluate_pair",
@@ -105,6 +108,7 @@ __all__ = [
     "owa_representation_system",
     "possible_answer_bound",
     "possible_answers",
+    "product_object",
     "query_constants",
     "relation_leq",
     "relational_domain",

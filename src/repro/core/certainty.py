@@ -24,9 +24,10 @@ properties against explicitly enumerated answer sets.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..datamodel import Database, Relation
+from ..datamodel import Database, Null, Relation, is_null
+from ..homomorphisms import core as core_of
 from ..logic.diagrams import delta as delta_formula
 from ..logic.formulas import Formula
 from .orderings import InformationOrdering, ordering
@@ -82,6 +83,67 @@ def intersection_object(objects: Sequence[Database]) -> Optional[Database]:
             },
         )
     return result
+
+
+def product_object(left: Database, right: Database) -> Database:
+    """The categorical product ``D₁ × D₂`` — a glb of ``{D₁, D₂}`` under ``⊑_owa``.
+
+    Rows are combined position-wise over pairs of rows of the same
+    relation: a pair of equal constants stays that constant; every other
+    pair of values becomes a marked null, one per distinct pair, shared
+    across the whole product.  The projections ``⊥_(u,v) ↦ u`` and
+    ``⊥_(u,v) ↦ v`` are homomorphisms onto the factors, and any common
+    lower bound maps into the product via ``e ↦ (h₁(e), h₂(e))`` — the
+    universal property that makes the product the greatest lower bound in
+    the homomorphism preorder (Section 5.2's ``⊑_owa``).
+    """
+    if left.schema != right.schema:
+        raise ValueError("product_object expects databases over one schema")
+    pair_nulls: Dict[Tuple[Any, Any], Null] = {}
+
+    def combine(u: Any, v: Any) -> Any:
+        if u == v and not is_null(u):
+            return u
+        pair = (u, v)
+        null = pair_nulls.get(pair)
+        if null is None:
+            null = Null(f"prod_{len(pair_nulls)}")
+            pair_nulls[pair] = null
+        return null
+
+    relations = {}
+    for name in left.schema.names():
+        # Sorting fixes the pair-null naming order (rows are frozensets,
+        # whose iteration order varies with the hash seed).
+        left_rows = sorted(left.relation(name).rows, key=lambda r: tuple(map(str, r)))
+        right_rows = sorted(right.relation(name).rows, key=lambda r: tuple(map(str, r)))
+        rows = set()
+        for left_row in left_rows:
+            for right_row in right_rows:
+                rows.add(tuple(combine(u, v) for u, v in zip(left_row, right_row)))
+        relations[name] = list(rows)
+    return Database(left.schema, relations)
+
+
+def certain_object_owa(objects: Sequence[Database], algorithm: str = "block") -> Database:
+    """``certainO(objects) = ⋀ objects`` under ``⊑_owa``, as a concrete instance.
+
+    The greatest lower bound of a finite family under the OWA ordering is
+    the iterated categorical product; its core (computed with the
+    block-based algorithm by default, ``algorithm`` as in
+    :func:`repro.homomorphisms.core`) is the canonical small
+    representative of that glb's homomorphism-equivalence class.  The
+    product of ``n`` databases has up to ``∏ |Dᵢ|`` facts per relation, so
+    this is intended for the finite families the experiments compare —
+    exactly the situation the paper's ``certainO`` addresses.
+    """
+    objects = list(objects)
+    if not objects:
+        raise ValueError("certain_object_owa needs at least one object")
+    result = objects[0]
+    for other in objects[1:]:
+        result = product_object(result, other)
+    return core_of(result, algorithm=algorithm)
 
 
 # ----------------------------------------------------------------------

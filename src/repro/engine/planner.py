@@ -29,7 +29,7 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algebra.ast import RAExpression
-from ..datamodel import Database, Relation
+from ..datamodel import Database, Relation, clear_condition_kernel
 from ..datamodel.schema import DatabaseSchema, RelationSchema
 from .logical import (
     LAdom,
@@ -92,11 +92,14 @@ def clear_plan_cache() -> None:
     """Drop every cached plan (mainly for tests and benchmarks).
 
     Also invalidates the per-expression fast-path entries by bumping the
-    cache epoch.
+    cache epoch, and clears the condition kernel's intern/memo tables —
+    they grow without bound within a process otherwise, so long-running
+    services get a single reset point for every engine-level cache.
     """
     global _cache_epoch
     _PLAN_CACHE.clear()
     _cache_epoch += 1
+    clear_condition_kernel()
 
 
 def compile_plan(expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:

@@ -7,6 +7,7 @@ Homomorphisms characterise the paper's information orderings (Section 5.2):
 * the weak-CWA ordering corresponds to onto-on-active-domain homomorphisms.
 """
 
+from .blocks import Block, fact_components, largest_block_size, null_blocks
 from .core import core, is_core, retract
 from .finder import (
     Homomorphism,
@@ -15,20 +16,26 @@ from .finder import (
     exists_onto_homomorphism,
     exists_strong_onto_homomorphism,
     find_homomorphism,
+    find_homomorphism_restricted,
     hom_equivalent,
     is_homomorphism,
 )
 
 __all__ = [
+    "Block",
     "Homomorphism",
     "all_homomorphisms",
     "core",
     "exists_homomorphism",
     "exists_onto_homomorphism",
     "exists_strong_onto_homomorphism",
+    "fact_components",
     "find_homomorphism",
+    "find_homomorphism_restricted",
     "hom_equivalent",
     "is_core",
     "is_homomorphism",
+    "largest_block_size",
+    "null_blocks",
     "retract",
 ]

@@ -1,0 +1,122 @@
+"""Block decomposition of incomplete instances.
+
+The *Gaifman graph of nulls* of an instance ``D`` has the nulls of ``D``
+as vertices, with an edge between two nulls whenever they occur together
+in some fact.  A *block* is the set of facts whose nulls fall in one
+connected component of that graph; ground facts (no nulls) belong to no
+block.  Blocks are the unit of locality for homomorphism reasoning:
+
+* blocks share no nulls, so homomorphisms chosen independently per block
+  always combine into a single homomorphism of the whole instance;
+* consequently ``D → D ∖ {f}`` has a homomorphism iff the *block* of
+  ``f`` alone has one (every other block embeds by the identity), which
+  is what makes the block-by-block core algorithm
+  (:func:`repro.homomorphisms.core`) incremental — each retraction check
+  searches only the dropped fact's null neighbourhood.
+
+This mirrors the block decomposition used for core computation in data
+exchange (Fagin–Kolaitis–Popa), where canonical solutions have blocks of
+size bounded by the mapping, independent of the source instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..datamodel import Database, Null, is_null
+from ..datamodel.database import Fact
+
+
+def fact_sort_key(fact: Fact) -> Tuple[str, Tuple[str, ...]]:
+    """A deterministic ordering key for facts (relation name, stringified row)."""
+    name, row = fact
+    return (name, tuple(str(v) for v in row))
+
+
+class Block:
+    """One block: the facts of a null-connected component, with its nulls."""
+
+    __slots__ = ("facts", "nulls")
+
+    def __init__(self, facts: Iterable[Fact]) -> None:
+        self.facts: Tuple[Fact, ...] = tuple(facts)
+        nulls = set()
+        for _, row in self.facts:
+            nulls.update(v for v in row if is_null(v))
+        self.nulls = frozenset(nulls)
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __repr__(self) -> str:
+        return f"Block(facts={len(self.facts)}, nulls={len(self.nulls)})"
+
+
+def fact_components(facts: Iterable[Fact]) -> List[List[Fact]]:
+    """Partition null-carrying facts into null-connected components.
+
+    Facts without nulls are skipped (they are fixed points of every
+    homomorphism and belong to no block).  The result is deterministic in
+    the order of the input facts.
+    """
+    parent: Dict[Null, Null] = {}
+
+    def find(null: Null) -> Null:
+        root = null
+        while parent[root] != root:
+            root = parent[root]
+        while parent[null] != root:  # path compression
+            parent[null], null = root, parent[null]
+        return root
+
+    members: List[Tuple[Fact, Null]] = []
+    for fact in facts:
+        nulls = [v for v in fact[1] if is_null(v)]
+        if not nulls:
+            continue
+        for null in nulls:
+            if null not in parent:
+                parent[null] = null
+        first = nulls[0]
+        for other in nulls[1:]:
+            root_a, root_b = find(first), find(other)
+            if root_a != root_b:
+                parent[root_b] = root_a
+        members.append((fact, first))
+
+    components: Dict[Null, List[Fact]] = {}
+    for fact, null in members:
+        components.setdefault(find(null), []).append(fact)
+    return list(components.values())
+
+
+def null_blocks(database: Database) -> Tuple[Block, ...]:
+    """The blocks of ``database``, cached on the (immutable) instance.
+
+    Blocks are returned in a deterministic order (by their smallest fact
+    under :func:`fact_sort_key`), each with its facts sorted the same way.
+    """
+    cache = database.analysis_cache()
+    blocks = cache.get("null_blocks")
+    if blocks is None:
+        facts = sorted(database.facts(), key=fact_sort_key)
+        blocks = tuple(
+            Block(component)
+            for component in sorted(
+                fact_components(facts), key=lambda comp: fact_sort_key(comp[0])
+            )
+        )
+        cache["null_blocks"] = blocks
+    return blocks
+
+
+def largest_block_size(database: Database) -> int:
+    """The number of facts in the largest block (0 for ground instances).
+
+    The worst-case cost of a block-based retraction check is exponential
+    in this quantity only — not in the size of the whole instance.
+    """
+    return max((len(block) for block in null_blocks(database)), default=0)

@@ -7,16 +7,46 @@ homomorphism-equivalence classes.  The paper does not use cores directly,
 but they are the standard tool for computing the object-level greatest
 lower bound (``certainO``) of finite families of instances under the OWA
 ordering, and for minimising chase results in the data-exchange substrate.
+
+Two algorithms are provided:
+
+* ``algorithm="block"`` (default) — the block-by-block algorithm.  The
+  instance is decomposed into the connected components of its
+  null-sharing Gaifman graph (:mod:`repro.homomorphisms.blocks`); ground
+  facts are fixed points of every homomorphism and are excluded up
+  front.  Because blocks share no nulls, ``D → D ∖ {f}`` has a
+  homomorphism iff the block of ``f`` alone has one (identity embeds
+  every other block), so each retraction check only re-searches the
+  dropped fact's null neighbourhood via the target-restricted finder
+  entry point — no sub-instance is ever materialized.  The cost is
+  ``O(#facts)`` retraction checks, each exponential only in the size of
+  one block, instead of the greedy algorithm's whole-instance search per
+  candidate removal.
+
+* ``algorithm="greedy"`` — the seed's greedy whole-instance retraction
+  loop, kept verbatim as the differential-testing oracle.
+
+Both produce a core of ``D`` (cores are unique up to isomorphism, so the
+two results are always isomorphic, though not necessarily equal).
 """
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..datamodel import Database, Null, is_null
 from ..datamodel.database import Fact
-from .finder import Homomorphism, exists_homomorphism, find_homomorphism
+from .blocks import fact_components, fact_sort_key, null_blocks
+from .finder import (
+    Homomorphism,
+    _fact_search_info,
+    _iter_assignments,
+    exists_homomorphism,
+    find_homomorphism,
+    find_homomorphism_restricted,
+)
+
+_ALGORITHMS = ("block", "greedy")
 
 
 def _sub_database(database: Database, facts: Set[Fact]) -> Database:
@@ -29,8 +59,28 @@ def _retraction_exists(database: Database, candidate_facts: Set[Fact]) -> bool:
     return exists_homomorphism(database, sub)
 
 
-def core(database: Database) -> Database:
-    """Compute the core of ``database`` by greedy fact removal.
+def _unknown_algorithm(algorithm: str) -> ValueError:
+    return ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
+    )
+
+
+def core(database: Database, algorithm: str = "block") -> Database:
+    """Compute the core of ``database``.
+
+    ``algorithm="block"`` (default) runs the incremental block-by-block
+    algorithm; ``algorithm="greedy"`` runs the seed's greedy fact-removal
+    loop (the oracle for differential testing).  See the module docstring.
+    """
+    if algorithm == "block":
+        return _core_block(database)[0]
+    if algorithm == "greedy":
+        return _core_greedy(database)
+    raise _unknown_algorithm(algorithm)
+
+
+def _core_greedy(database: Database) -> Database:
+    """The seed algorithm: greedy fact removal with whole-instance searches.
 
     The algorithm repeatedly tries to drop a fact containing a null while a
     retraction onto the remaining facts still exists; complete facts are
@@ -54,20 +104,112 @@ def core(database: Database) -> Database:
     return _sub_database(database, facts)
 
 
-def is_core(database: Database) -> bool:
-    """``True`` iff no proper sub-instance admits a retraction from ``database``."""
-    facts = set(database.facts())
-    for fact in facts:
-        _, row = fact
-        if not any(is_null(v) for v in row):
-            continue
-        if _retraction_exists(database, facts - {fact}):
-            return False
+def _core_block(database: Database) -> Tuple[Database, Homomorphism]:
+    """The block-by-block core, together with the accumulated retraction.
+
+    Correctness rests on three observations:
+
+    1. Blocks share no nulls, so per-block homomorphisms combine: there is
+       a homomorphism ``D → D ∖ {f}`` iff there is one from the (current)
+       null-connected component of ``f`` into ``D ∖ {f}`` — every other
+       component and every ground fact embeds by the identity.
+    2. Retractions compose, so removing one fact at a time (each step a
+       retraction of the previous instance) ends in a sub-instance that
+       ``D`` retracts onto.
+    3. Shrinking the target only destroys homomorphisms.  Once a block
+       reaches its inner fixpoint (no fact of it can be dropped), removals
+       in *other* blocks can never re-enable one, so a single pass over
+       the blocks suffices and the result admits no further retraction —
+       it is the core.
+
+    The per-step homomorphisms (identity outside the searched component)
+    are composed into a single retraction ``D → core(D)`` returned
+    alongside the core, so :func:`retract` needs no final whole-instance
+    search.
+    """
+    blocks = null_blocks(database)
+    if not blocks:
+        return database, Homomorphism({})
+
+    removed: Set[Fact] = set()
+    # The removed facts, as the finder's per-relation exclusion map.  It is
+    # maintained incrementally across all retraction checks (the candidate
+    # fact is added before each search and taken back out on failure), so a
+    # check never rebuilds the exclusion state from scratch.
+    excluded: Dict[str, Set[Tuple]] = {}
+    total: Optional[Homomorphism] = None
+    for block in blocks:
+        remaining: List[Fact] = list(block.facts)
+        progress = True
+        while progress:
+            progress = False
+            for component in fact_components(remaining):
+                for fact in sorted(component, key=fact_sort_key):
+                    name, row = fact
+                    excluded_rows = excluded.setdefault(name, set())
+                    excluded_rows.add(row)
+                    mapping = next(
+                        _iter_assignments(
+                            _fact_search_info(component), database, excluded=excluded
+                        ),
+                        None,
+                    )
+                    if mapping is None:
+                        excluded_rows.discard(row)
+                        continue
+                    step = Homomorphism(mapping)
+                    removed.add(fact)
+                    remaining.remove(fact)
+                    total = step if total is None else total.compose(step)
+                    progress = True
+                    break
+                if progress:
+                    break  # re-split the block: it may have disconnected
+
+    if not removed:
+        return database, Homomorphism({})
+    survivors = set(database.facts()) - removed
+    return _sub_database(database, survivors), total if total is not None else Homomorphism({})
+
+
+def is_core(database: Database, algorithm: str = "block") -> bool:
+    """``True`` iff no proper sub-instance admits a retraction from ``database``.
+
+    The default runs one incremental retraction check per null-carrying
+    fact (source: the fact's block; target: the instance minus the fact)
+    instead of the greedy oracle's full homomorphism search per fact.
+    """
+    if algorithm == "greedy":
+        facts = set(database.facts())
+        for fact in facts:
+            _, row = fact
+            if not any(is_null(v) for v in row):
+                continue
+            if _retraction_exists(database, facts - {fact}):
+                return False
+        return True
+    if algorithm != "block":
+        raise _unknown_algorithm(algorithm)
+    for block in null_blocks(database):
+        for fact in block.facts:
+            if find_homomorphism_restricted(block.facts, database, exclude=(fact,)) is not None:
+                return False
     return True
 
 
-def retract(database: Database) -> Tuple[Database, Optional[Homomorphism]]:
-    """Return the core together with a retraction homomorphism onto it."""
-    core_db = core(database)
-    hom = find_homomorphism(database, core_db)
-    return core_db, hom
+def retract(
+    database: Database, algorithm: str = "block"
+) -> Tuple[Database, Optional[Homomorphism]]:
+    """Return the core together with a retraction homomorphism onto it.
+
+    With the block algorithm the retraction is the composition of the
+    per-removal homomorphisms accumulated during the core computation; the
+    greedy oracle re-searches a homomorphism ``D → core(D)`` as the seed
+    did.
+    """
+    if algorithm == "block":
+        return _core_block(database)
+    if algorithm == "greedy":
+        core_db = _core_greedy(database)
+        return core_db, find_homomorphism(database, core_db)
+    raise _unknown_algorithm(algorithm)

@@ -93,8 +93,14 @@ class Homomorphism:
         return Homomorphism(mapping)
 
 
-def _facts_by_relation(database: Database) -> Dict[str, List[Tuple[Any, ...]]]:
-    return {rel.name: list(rel.rows) for rel in database.relations()}
+def _facts_by_relation(
+    database: Database, names: Optional[Set[str]] = None
+) -> Dict[str, List[Tuple[Any, ...]]]:
+    return {
+        rel.name: list(rel.rows)
+        for rel in database.relations()
+        if names is None or rel.name in names
+    }
 
 
 def _match_row(
@@ -125,8 +131,8 @@ class _Unbound:
 _UNBOUND = _Unbound()
 
 
-def _source_search_info(source: Database):
-    """Target-independent search preprocessing, cached on the instance.
+def _fact_search_info(facts: Iterable[Fact]):
+    """Search preprocessing for an explicit fact list.
 
     Returns ``(sorted_facts, ground_facts, fact_info)`` where
     ``sorted_facts`` is the most-constrained-first fact list,
@@ -134,31 +140,36 @@ def _source_search_info(source: Database):
     ``(name, row, constant positions, null positions)`` for the facts
     that do mention nulls.
     """
+    facts = list(facts)
+
+    # Most-constrained-first: process facts with many constants /
+    # frequently occurring nulls early to prune the search.
+    def fact_key(fact: Fact) -> Tuple[int, int]:
+        _, row = fact
+        constants = sum(1 for v in row if not is_null(v))
+        return (-constants, len(row))
+
+    facts.sort(key=fact_key)
+    ground = [fact for fact in facts if not any(is_null(v) for v in fact[1])]
+    fact_info = [
+        (
+            name,
+            row,
+            tuple(i for i, v in enumerate(row) if not is_null(v)),
+            tuple(i for i, v in enumerate(row) if is_null(v)),
+        )
+        for name, row in facts
+        if any(is_null(v) for v in row)
+    ]
+    return (facts, ground, fact_info)
+
+
+def _source_search_info(source: Database):
+    """Target-independent search preprocessing, cached on the instance."""
     cache = source.analysis_cache()
     info = cache.get("hom_search")
     if info is None:
-        facts = source.facts()
-
-        # Most-constrained-first: process facts with many constants /
-        # frequently occurring nulls early to prune the search.
-        def fact_key(fact: Fact) -> Tuple[int, int]:
-            _, row = fact
-            constants = sum(1 for v in row if not is_null(v))
-            return (-constants, len(row))
-
-        facts.sort(key=fact_key)
-        ground = [fact for fact in facts if not any(is_null(v) for v in fact[1])]
-        fact_info = [
-            (
-                name,
-                row,
-                tuple(i for i, v in enumerate(row) if not is_null(v)),
-                tuple(i for i, v in enumerate(row) if is_null(v)),
-            )
-            for name, row in facts
-            if any(is_null(v) for v in row)
-        ]
-        info = (facts, ground, fact_info)
+        info = _fact_search_info(source.facts())
         cache["hom_search"] = info
     return info
 
@@ -179,7 +190,33 @@ def _iter_homomorphisms(
     indexes on the fact's constant positions; ``use_index=False`` keeps the
     seed's full-scan behaviour (used as a benchmark baseline).
     """
-    sorted_facts, ground_facts, fact_info = _source_search_info(source)
+    return _iter_assignments(_source_search_info(source), target, use_index=use_index)
+
+
+def _iter_assignments(
+    search_info,
+    target: Database,
+    use_index: bool = True,
+    excluded: Optional[Dict[str, Set[Tuple[Any, ...]]]] = None,
+    initial: Optional[Dict[Null, Any]] = None,
+) -> Iterator[Dict[Null, Any]]:
+    """The generalized backtracking search behind every finder entry point.
+
+    ``search_info`` is a ``(sorted_facts, ground_facts, fact_info)`` triple
+    from :func:`_fact_search_info`.  ``excluded`` restricts the target: a
+    per-relation set of rows that no source fact may map onto (the
+    target-restricted search used by incremental core retraction).
+    ``initial`` seeds the assignment with pre-bound nulls; yielded
+    assignments extend it (and include its entries).
+    """
+    sorted_facts, ground_facts, fact_info = search_info
+
+    if excluded:
+        def is_excluded(name: str, row: Tuple[Any, ...]) -> bool:
+            rows = excluded.get(name)
+            return rows is not None and row in rows
+    else:
+        is_excluded = None
 
     if use_index:
         # A fact without nulls never constrains the assignment: it is
@@ -187,6 +224,8 @@ def _iter_homomorphisms(
         # of them once, up front; only null-carrying facts are searched.
         for name, row in ground_facts:
             if name not in target or row not in target.relation(name).rows:
+                return
+            if is_excluded is not None and is_excluded(name, row):
                 return
         source_facts = [info[:2] for info in fact_info]
     else:
@@ -201,20 +240,27 @@ def _iter_homomorphisms(
             for name, row in source_facts
         ]
 
-    target_facts = _facts_by_relation(target)
+    # Materialize target rows only for the relations the search touches —
+    # the incremental retraction path calls this thousands of times, so
+    # copying unrelated relations per call would make it quadratic.
+    target_facts = _facts_by_relation(target, {info[0] for info in fact_info})
 
     # Static pruning: candidate target rows must agree with the source fact
     # on its constant positions (constants map to themselves), served from
-    # the target relation's cached positional hash index.
+    # the target relation's cached positional hash index.  Exclusions are
+    # filtered per candidate list, never over whole relations up front.
     static_candidates: List[List[Tuple[Any, ...]]] = []
     for name, row, constant_positions, _ in fact_info:
         if not use_index or not constant_positions:
-            static_candidates.append(target_facts.get(name, []))
+            rows = target_facts.get(name, [])
         elif name not in target:
-            static_candidates.append([])
+            rows = []
         else:
             index = target.relation(name).index_on(constant_positions)
-            static_candidates.append(index.get(tuple(row[i] for i in constant_positions), []))
+            rows = index.get(tuple(row[i] for i in constant_positions), [])
+        if is_excluded is not None and rows:
+            rows = [r for r in rows if not is_excluded(name, r)]
+        static_candidates.append(rows)
 
     def candidates(index: int, assignment: Dict[Null, Any]) -> List[Tuple[Any, ...]]:
         _, row, _, null_positions = fact_info[index]
@@ -262,7 +308,7 @@ def _iter_homomorphisms(
         if index == len(source_facts):
             yield dict(assignment)
             return
-        _, row, constant_positions, null_positions = fact_info[index]
+        name, row, constant_positions, null_positions = fact_info[index]
         if use_index:
             # Fast path: every null of this fact is already bound, so the
             # image row is fully determined — one membership test decides.
@@ -271,7 +317,10 @@ def _iter_homomorphisms(
                 substituted = list(row)
                 for i in null_positions:
                     substituted[i] = assignment[row[i]]
-                if tuple(substituted) in target_rows[fact_info[index][0]]:
+                image = tuple(substituted)
+                if image in target_rows[name] and (
+                    is_excluded is None or not is_excluded(name, image)
+                ):
                     yield from backtrack(index + 1, assignment)
                 return
         indexed = use_index and bool(constant_positions)
@@ -287,7 +336,7 @@ def _iter_homomorphisms(
             for key in extension:
                 del assignment[key]
 
-    yield from backtrack(0, {})
+    yield from backtrack(0, dict(initial) if initial else {})
 
 
 def _covers_all_target_facts(
@@ -344,6 +393,48 @@ def find_homomorphism(
             continue
         if onto and not _is_onto_adom(mapping, source, target):
             continue
+        return Homomorphism(mapping)
+    return None
+
+
+def find_homomorphism_restricted(
+    source_facts: Iterable[Fact],
+    target: Database,
+    exclude: Iterable[Fact] = (),
+    assignment: Optional[Dict[Null, Any]] = None,
+    use_index: bool = True,
+) -> Optional[Homomorphism]:
+    """Target-restricted, partially-assigned homomorphism search.
+
+    Finds a homomorphism ``h`` extending ``assignment`` such that for every
+    fact ``(R, t̄)`` in ``source_facts``, ``(R, h(t̄))`` is a fact of
+    ``target`` **and not in** ``exclude``.  Returns ``None`` when no such
+    extension exists.
+
+    This is the incremental-retraction primitive of the block-based core
+    algorithm: instead of materializing the sub-instance ``D ∖ X`` and
+    re-searching the whole database, the caller passes the dropped facts as
+    ``exclude`` and only the facts of the affected block as
+    ``source_facts``, reusing the target's cached positional indexes.
+
+    Notes
+    -----
+    * The restricted search can fail even when a global homomorphism
+      exists — e.g. when the only possible image of a source fact is the
+      excluded fact itself.
+    * ``assignment`` entries are trusted as-is (they are not re-checked
+      against facts outside ``source_facts``) and are included in the
+      returned homomorphism.
+    * ``use_index=False`` searches by full scans (seed parity), still
+      honouring ``exclude`` and ``assignment``.
+    """
+    excluded: Dict[str, Set[Tuple[Any, ...]]] = {}
+    for name, row in exclude:
+        excluded.setdefault(name, set()).add(tuple(row))
+    info = _fact_search_info(source_facts)
+    for mapping in _iter_assignments(
+        info, target, use_index=use_index, excluded=excluded or None, initial=assignment
+    ):
         return Homomorphism(mapping)
     return None
 

@@ -8,13 +8,16 @@ from repro.core import (
     OWA_ORDERING,
     certain_answer_object,
     certain_knowledge_formula,
+    certain_object_owa,
     intersection_object,
     is_certain_knowledge,
     is_certain_object,
     is_lower_bound,
     knowledge_includes,
+    product_object,
     theory_of,
 )
+from repro.homomorphisms import exists_homomorphism, is_core
 from repro.datamodel import Database, Null, Relation
 from repro.logic import atom, delta_cwa, delta_owa, exists, var
 from repro.semantics import cwa_worlds, default_domain
@@ -82,6 +85,69 @@ class TestCertainObject:
 
     def test_certain_object_of_singleton_is_itself(self, paper_r):
         assert is_certain_object(paper_r, [paper_r], CWA_ORDERING, competitors=[])
+
+
+class TestProductObject:
+    """The categorical product and the core-minimized certainO glue."""
+
+    def test_product_projections_are_homomorphisms(self):
+        left = Database.from_dict({"R": [(1, 2), (1, Null("x"))]})
+        right = Database.from_dict({"R": [(1, 2), (3, 2)]})
+        product = product_object(left, right)
+        assert is_lower_bound(product, [left, right], OWA_ORDERING)
+
+    def test_product_keeps_only_agreeing_constants(self):
+        left = Database.from_dict({"R": [(1, 2)]})
+        right = Database.from_dict({"R": [(1, 3)]})
+        product = product_object(left, right)
+        (row,) = product["R"].rows
+        assert row[0] == 1  # both sides agree on the constant
+        assert row[1] != 2 and row[1] != 3  # disagreeing pair became a null
+
+    def test_product_requires_common_schema(self):
+        with pytest.raises(ValueError):
+            product_object(
+                Database.from_dict({"R": [(1,)]}), Database.from_dict({"S": [(1,)]})
+            )
+
+    def test_certain_object_owa_is_the_glb(self):
+        # Two instances with a common certain part: the glb must be exactly
+        # that part (up to homomorphic equivalence), beating the weaker
+        # fact-wise intersection competitor.
+        left = Database.from_dict({"R": [(1, 2), (5, 6)]})
+        right = Database.from_dict({"R": [(1, 2), (7, 8)]})
+        glb = certain_object_owa([left, right])
+        intersection = intersection_object([left, right])
+        assert is_certain_object(glb, [left, right], OWA_ORDERING, competitors=[intersection])
+        assert is_core(glb)
+
+    def test_certain_object_owa_collapses_redundant_pairs(self):
+        # The raw product of these two 2-fact instances has 4 facts; the
+        # core collapses the homomorphically redundant pair rows.
+        left = Database.from_dict({"R": [(1, Null("x")), (1, 2)]})
+        right = Database.from_dict({"R": [(1, 2), (1, 9)]})
+        glb = certain_object_owa([left, right])
+        raw = product_object(left, right)
+        assert glb.size() <= raw.size()
+        assert exists_homomorphism(glb, raw) and exists_homomorphism(raw, glb)
+        assert is_certain_object(glb, [left, right], OWA_ORDERING)
+
+    def test_certain_object_owa_of_singleton_is_its_core(self):
+        redundant = Database.from_dict({"R": [(1, 2), (1, Null("x"))]})
+        glb = certain_object_owa([redundant])
+        assert glb["R"].rows == frozenset({(1, 2)})
+
+    def test_certain_object_owa_rejects_empty_family(self):
+        with pytest.raises(ValueError):
+            certain_object_owa([])
+
+    def test_greedy_algorithm_switch_agrees(self):
+        left = Database.from_dict({"R": [(1, Null("x")), (3, 4)]})
+        right = Database.from_dict({"R": [(1, 5), (3, 4)]})
+        block = certain_object_owa([left, right])
+        greedy = certain_object_owa([left, right], algorithm="greedy")
+        assert block.size() == greedy.size()
+        assert exists_homomorphism(block, greedy) and exists_homomorphism(greedy, block)
 
 
 class TestCertainKnowledge:

@@ -181,6 +181,28 @@ class TestExecution:
         clear_plan_cache()
         assert execute(query, db) == first
 
+    def test_plan_cache_clear_empties_condition_kernel(self):
+        # Long-running services reset every engine-level cache through
+        # clear_plan_cache(); the condition kernel's intern/memo tables
+        # must empty with it or they grow without bound.
+        from repro.datamodel import Null
+        from repro.datamodel.condition_kernel import (
+            kernel_and,
+            kernel_eq,
+            kernel_or,
+            kernel_stats,
+        )
+
+        x, y = Null("x"), Null("y")
+        left, right = kernel_eq(x, 1), kernel_eq(y, 2)
+        kernel_and(left, right)
+        kernel_or(left, right)
+        stats = kernel_stats()
+        assert stats["interned"] > 0
+        assert stats["and_memo"] > 0 and stats["or_memo"] > 0
+        clear_plan_cache()
+        assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+
     def test_unknown_engine_rejected(self, db):
         with pytest.raises(ValueError):
             relation("R").evaluate(db, engine="quantum")

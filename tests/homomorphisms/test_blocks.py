@@ -1,0 +1,80 @@
+"""Unit tests for the null-sharing block decomposition."""
+
+from repro.datamodel import Database, Null
+from repro.homomorphisms import Block, fact_components, largest_block_size, null_blocks
+
+
+def _block_fact_sets(database):
+    return [set(block.facts) for block in null_blocks(database)]
+
+
+class TestNullBlocks:
+    def test_ground_instance_has_no_blocks(self):
+        db = Database.from_dict({"R": [(1, 2), (3, 4)]})
+        assert null_blocks(db) == ()
+        assert largest_block_size(db) == 0
+
+    def test_codd_nulls_give_singleton_blocks(self):
+        db = Database.from_dict({"R": [(1, Null("x")), (2, Null("y")), (3, 4)]})
+        blocks = null_blocks(db)
+        assert len(blocks) == 2
+        assert all(len(block) == 1 for block in blocks)
+        assert {next(iter(block.nulls)).name for block in blocks} == {"x", "y"}
+
+    def test_shared_null_across_relations_merges_facts(self):
+        x = Null("x")
+        db = Database.from_dict({"R": [(1, x)], "S": [(x, 2)], "T": [(9,)]})
+        blocks = null_blocks(db)
+        assert len(blocks) == 1
+        assert set(blocks[0].facts) == {("R", (1, x)), ("S", (x, 2))}
+        assert blocks[0].nulls == frozenset({x})
+
+    def test_transitive_null_chains_form_one_block(self):
+        x, y, z = Null("x"), Null("y"), Null("z")
+        db = Database.from_dict({"R": [(x, y), (y, z), (1, 2)], "S": [(z,)]})
+        blocks = null_blocks(db)
+        assert len(blocks) == 1
+        assert blocks[0].nulls == frozenset({x, y, z})
+        assert len(blocks[0]) == 3
+        assert largest_block_size(db) == 3
+
+    def test_disjoint_null_groups_stay_separate(self):
+        x, y = Null("x"), Null("y")
+        db = Database.from_dict({"R": [(x, x), (y, 1), (y, 2)]})
+        assert sorted(len(b) for b in null_blocks(db)) == [1, 2]
+
+    def test_blocks_are_cached_on_the_instance(self):
+        db = Database.from_dict({"R": [(1, Null("x"))]})
+        assert null_blocks(db) is null_blocks(db)
+
+    def test_blocks_are_deterministic_across_equal_instances(self):
+        def build():
+            return Database.from_dict(
+                {"R": [(1, Null("x")), (Null("y"), 2), (3, 3)], "S": [(Null("y"),)]}
+            )
+
+        first = [block.facts for block in null_blocks(build())]
+        second = [block.facts for block in null_blocks(build())]
+        assert first == second
+
+
+class TestFactComponents:
+    def test_ground_facts_are_skipped(self):
+        assert fact_components([("R", (1, 2)), ("S", (3,))]) == []
+
+    def test_components_split_after_removal(self):
+        x, y, z = Null("x"), Null("y"), Null("z")
+        facts = [("R", (x, y)), ("R", (y, z)), ("R", (z, x))]
+        assert len(fact_components(facts)) == 1
+        # Dropping the middle fact leaves x...y and z connected through the
+        # surviving triangle edge (z, x): still one component.
+        assert len(fact_components([("R", (x, y)), ("R", (z, x))])) == 1
+        # Dropping (z, x) instead disconnects nothing either — y bridges.
+        assert len(fact_components([("R", (x, y)), ("R", (y, z))])) == 1
+        # Only two disjoint edges actually split.
+        assert len(fact_components([("R", (x, y)), ("R", (z, z))])) == 2
+
+    def test_block_repr_and_iteration(self):
+        block = Block([("R", (1, Null("x")))])
+        assert list(block) == [("R", (1, Null("x")))]
+        assert "facts=1" in repr(block)

@@ -1,7 +1,11 @@
 """Unit tests for cores of incomplete instances."""
 
+import pytest
+
 from repro.datamodel import Database, Null
 from repro.homomorphisms import core, exists_homomorphism, is_core, retract
+
+ALGORITHMS = ("block", "greedy")
 
 
 class TestCore:
@@ -56,5 +60,88 @@ class TestCore:
         db = Database.from_dict(
             {"Cust": [(x1,), (x2,)], "Pref": [(x1, "pr1"), (x2, "pr2")]}
         )
+        assert is_core(db)
+        assert core(db) == db
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_redundant_blocks_collapse(self, algorithm):
+        # Two chase-style blocks over the same product: one is redundant.
+        x1, x2 = Null("c1"), Null("c2")
+        db = Database.from_dict(
+            {"Cust": [(x1,), (x2,)], "Pref": [(x1, "pr"), (x2, "pr")]}
+        )
+        result = core(db, algorithm=algorithm)
+        assert result.size() == 2
+        assert len(result["Cust"]) == 1 and len(result["Pref"]) == 1
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_whole_block_folds_onto_ground_facts(self, algorithm):
+        x = Null("x")
+        db = Database.from_dict({"R": [(1, x), (x, 2), (1, 2), (2, 2)]})
+        result = core(db, algorithm=algorithm)
+        assert result["R"].rows == frozenset({(1, 2), (2, 2)})
+
+    def test_unknown_algorithm_rejected(self):
+        db = Database.from_dict({"R": [(1, Null("x"))]})
+        with pytest.raises(ValueError):
+            core(db, algorithm="magic")
+        with pytest.raises(ValueError):
+            is_core(db, algorithm="magic")
+        with pytest.raises(ValueError):
+            retract(db, algorithm="magic")
+
+    def test_block_retraction_maps_exactly_onto_core(self):
+        x, y = Null("x"), Null("y")
+        db = Database.from_dict({"R": [(1, x), (x, y), (1, 5), (5, 5)]})
+        core_db, hom = retract(db)
+        assert hom is not None
+        # The accumulated per-block retraction is onto: its image is the core.
+        assert hom.apply(db) == core_db
+        assert is_core(core_db)
+
+
+class TestIsCoreIncremental:
+    """``is_core`` rides the same per-block retraction checks as ``core``."""
+
+    def test_null_shared_across_relations_detected(self):
+        # Dropping Pref(x, "a") needs x → 1 to be consistent with Cust(x) too;
+        # the block spans both relations, so the incremental check must
+        # search them together.
+        x = Null("x")
+        redundant = Database.from_dict(
+            {"Cust": [(x,), (1,)], "Pref": [(x, "a"), (1, "a")]}
+        )
+        assert not is_core(redundant)
+        assert not is_core(redundant, algorithm="greedy")
+
+    def test_null_shared_across_relations_non_redundant(self):
+        # Same shape, but the ground facts disagree on the product: the
+        # block cannot fold anywhere, the instance is its own core.
+        x = Null("x")
+        minimal = Database.from_dict(
+            {"Cust": [(x,), (1,)], "Pref": [(x, "a"), (1, "b")]}
+        )
+        assert is_core(minimal)
+        assert is_core(minimal, algorithm="greedy")
+        assert core(minimal) == minimal
+
+    def test_singleton_blocks(self):
+        # Codd-style nulls: every null occurs once, each fact is its own
+        # block, and redundancy is decided fact-locally.
+        redundant = Database.from_dict({"R": [(1, Null("x")), (1, 2)]})
+        minimal = Database.from_dict({"R": [(1, Null("x")), (3, 2)]})
+        assert not is_core(redundant)
+        assert is_core(minimal)
+
+    def test_ground_instances_are_cores(self):
+        db = Database.from_dict({"R": [(1, 2), (3, 4)], "S": [(5,)]})
+        assert is_core(db)
+        assert is_core(db, algorithm="greedy")
+
+    def test_two_blocks_each_required(self):
+        x, y = Null("x"), Null("y")
+        db = Database.from_dict({"R": [(1, x), (2, y)]})
         assert is_core(db)
         assert core(db) == db

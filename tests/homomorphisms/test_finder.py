@@ -10,9 +10,11 @@ from repro.homomorphisms import (
     exists_onto_homomorphism,
     exists_strong_onto_homomorphism,
     find_homomorphism,
+    find_homomorphism_restricted,
     hom_equivalent,
     is_homomorphism,
 )
+from repro.workloads import random_database
 
 
 @pytest.fixture
@@ -138,6 +140,97 @@ class TestOntoVariants:
         # adding a fact over the same active domain keeps onto but breaks strong onto.
         extended = target.add_facts([("R", (1, 1))])
         assert exists_onto_homomorphism(source, extended)
+
+
+class TestRestrictedSearch:
+    """The target-restricted / partial-assignment entry point."""
+
+    def test_restricted_fails_where_global_succeeds(self):
+        # The only possible image of R(x, 1) is the excluded fact itself:
+        # a global homomorphism exists, the restricted search must fail.
+        target = Database.from_dict({"R": [(1, 1)]})
+        facts = [("R", (Null("x"), 1))]
+        assert find_homomorphism_restricted(facts, target) is not None
+        assert find_homomorphism_restricted(facts, target, exclude=[("R", (1, 1))]) is None
+
+    def test_exclusion_leaves_other_rows_usable(self):
+        target = Database.from_dict({"R": [(1, 1), (2, 1)]})
+        facts = [("R", (Null("x"), 1))]
+        hom = find_homomorphism_restricted(facts, target, exclude=[("R", (1, 1))])
+        assert hom is not None
+        assert hom[Null("x")] == 2
+
+    def test_excluded_ground_fact_blocks_the_search(self):
+        target = Database.from_dict({"R": [(1, 2)], "S": [(Null("x"),)]})
+        facts = [("R", (1, 2)), ("S", (Null("y"),))]
+        assert find_homomorphism_restricted(facts, target) is not None
+        assert find_homomorphism_restricted(facts, target, exclude=[("R", (1, 2))]) is None
+
+    def test_shared_null_consistency_under_exclusion(self):
+        # Excluding the only Pref row that matches the Cust choice forces a
+        # different, still consistent, binding across relations.
+        x = Null("x")
+        target = Database.from_dict({"Cust": [(1,), (2,)], "Pref": [(1, "a"), (2, "a")]})
+        facts = [("Cust", (x,)), ("Pref", (x, "a"))]
+        hom = find_homomorphism_restricted(facts, target, exclude=[("Pref", (1, "a"))])
+        assert hom is not None
+        assert hom[x] == 2
+        both_gone = find_homomorphism_restricted(
+            facts, target, exclude=[("Pref", (1, "a")), ("Pref", (2, "a"))]
+        )
+        assert both_gone is None
+
+    def test_partial_assignment_seeds_the_search(self):
+        x, y = Null("x"), Null("y")
+        target = Database.from_dict({"R": [(1, 2), (3, 4)]})
+        facts = [("R", (x, y))]
+        hom = find_homomorphism_restricted(facts, target, assignment={x: 3})
+        assert hom is not None
+        assert hom[x] == 3 and hom[y] == 4
+        # An initial binding with no compatible row makes the search fail.
+        assert find_homomorphism_restricted(facts, target, assignment={x: 2}) is None
+
+    def test_empty_source_is_vacuously_satisfiable(self):
+        target = Database.from_dict({"R": [(1, 2)]})
+        hom = find_homomorphism_restricted([], target)
+        assert hom is not None
+        assert len(hom) == 0
+
+    def test_missing_relation_fails_cleanly(self):
+        target = Database.from_dict({"R": [(1, 2)]})
+        assert find_homomorphism_restricted([("S", (Null("x"),))], target) is None
+        assert find_homomorphism_restricted([("S", (1,))], target) is None
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_unindexed_search_parity(self, seed):
+        # use_index=False (full scans) must agree with the indexed search on
+        # existence, for plain, excluded and pre-assigned variants alike.
+        database = random_database(
+            num_relations=2,
+            arity=2,
+            rows_per_relation=4,
+            num_constants=3,
+            num_nulls=2 + seed % 2,
+            seed=seed,
+        )
+        facts = sorted(
+            (f for f in database.facts() if any(isinstance(v, Null) for v in f[1])),
+            key=lambda f: (f[0], tuple(str(v) for v in f[1])),
+        )
+        if not facts:
+            return
+        nulls = sorted(database.nulls(), key=lambda n: n.name)
+        variants = [
+            dict(),
+            dict(exclude=[facts[0]]),
+            dict(exclude=facts[: max(1, len(facts) // 2)]),
+            dict(assignment={nulls[0]: 1}),
+            dict(exclude=[facts[-1]], assignment={nulls[0]: nulls[-1]}),
+        ]
+        for kwargs in variants:
+            indexed = find_homomorphism_restricted(facts, database, **kwargs)
+            scanned = find_homomorphism_restricted(facts, database, use_index=False, **kwargs)
+            assert (indexed is None) == (scanned is None), (seed, kwargs)
 
 
 class TestHelpers:

@@ -1,0 +1,119 @@
+"""Differential tests: the block-based core must agree with the greedy oracle.
+
+The seed's greedy whole-instance retraction loop (``algorithm="greedy"``)
+is the oracle; the block-by-block algorithm (``algorithm="block"``, the
+default) must produce an *isomorphic* result on every instance — cores
+are unique up to isomorphism, so the two results must have the same size
+per relation and be homomorphically equivalent.  Over 200 randomized
+instances are checked per run, mixing nulls and constants over two- and
+three-relation schemas of arities 2 and 3, plus the core invariants:
+idempotence, ``D ↔ core(D)`` homomorphic equivalence, ``is_core`` on both
+paths, and ground instances being their own core.
+"""
+
+import pytest
+
+from repro.datamodel import Database, Null, Relation
+from repro.homomorphisms import core, exists_homomorphism, is_core, retract
+from repro.workloads import random_database
+
+TWO_RELATION_SEEDS = list(range(130))
+MULTI_RELATION_SEEDS = list(range(50))
+WIDE_SEEDS = list(range(30))
+INVARIANT_SEEDS = list(range(40))
+
+
+def _random_instance(seed, num_relations=2, arity=2):
+    # Vary density and null count with the seed so the suite covers Codd-ish
+    # instances (few shared nulls) as well as heavily entangled ones.
+    return random_database(
+        num_relations=num_relations,
+        arity=arity,
+        rows_per_relation=3 + seed % 4,
+        num_constants=2 + seed % 3,
+        num_nulls=1 + seed % 4,
+        seed=seed,
+    )
+
+
+def _assert_isomorphic_cores(database):
+    block = core(database, algorithm="block")
+    greedy = core(database, algorithm="greedy")
+    # Cores of one instance are unique up to isomorphism: same number of
+    # facts relation by relation, homomorphisms in both directions.
+    for name in database.schema.names():
+        assert len(block.relation(name)) == len(greedy.relation(name)), (
+            f"core size mismatch in {name}: block={sorted(map(str, block.relation(name).rows))} "
+            f"greedy={sorted(map(str, greedy.relation(name).rows))}"
+        )
+    assert exists_homomorphism(block, greedy)
+    assert exists_homomorphism(greedy, block)
+    return block
+
+
+@pytest.mark.parametrize("seed", TWO_RELATION_SEEDS)
+def test_block_core_matches_greedy_oracle(seed):
+    _assert_isomorphic_cores(_random_instance(seed))
+
+
+@pytest.mark.parametrize("seed", MULTI_RELATION_SEEDS)
+def test_block_core_matches_oracle_on_multi_relation_schemas(seed):
+    _assert_isomorphic_cores(_random_instance(seed, num_relations=3))
+
+
+@pytest.mark.parametrize("seed", WIDE_SEEDS)
+def test_block_core_matches_oracle_on_wide_rows(seed):
+    # Arity 3 packs more nulls per fact, giving larger (and faster-merging)
+    # blocks — the regime where per-block search order matters most.
+    _assert_isomorphic_cores(_random_instance(seed, arity=3))
+
+
+@pytest.mark.parametrize("seed", INVARIANT_SEEDS)
+def test_core_invariants(seed):
+    database = _random_instance(seed * 13 + 7, num_relations=2 + seed % 2)
+    result = core(database)
+    # D and core(D) are homomorphically equivalent.
+    assert exists_homomorphism(database, result)
+    assert exists_homomorphism(result, database)
+    # core(D) is a sub-instance of D and actually a core, on both checkers.
+    assert database.contains_database(result)
+    assert is_core(result)
+    assert is_core(result, algorithm="greedy")
+    # Idempotence: core(core(D)) ≅ core(D) (the block path returns the
+    # instance unchanged once no retraction applies).
+    assert core(result) == result
+    # The accumulated retraction of retract() maps D exactly onto the core.
+    core_db, hom = retract(database)
+    assert hom is not None
+    assert hom.apply(database) == core_db
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_ground_instances_are_their_own_core(seed):
+    database = random_database(
+        num_relations=2,
+        arity=2,
+        rows_per_relation=4 + seed % 3,
+        num_constants=4,
+        num_nulls=0,
+        seed=seed,
+    )
+    assert database.is_complete()
+    assert core(database) == database
+    assert core(database, algorithm="greedy") == database
+    assert is_core(database)
+
+
+def test_codd_instance_with_distinct_constants_keeps_every_fact():
+    # Codd nulls in otherwise distinct facts are never redundant.
+    database = Database.from_relations(
+        [Relation.create("R", [(i, Null(f"n{i}")) for i in range(5)], arity=2)]
+    )
+    assert core(database) == database
+    assert is_core(database)
+
+
+def test_instance_budget_is_at_least_200():
+    assert (
+        len(TWO_RELATION_SEEDS) + len(MULTI_RELATION_SEEDS) + len(WIDE_SEEDS)
+    ) >= 200
