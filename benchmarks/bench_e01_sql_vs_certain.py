@@ -34,6 +34,23 @@ def test_sql_3vl_evaluation(benchmark, num_orders, num_payments):
 
 
 @pytest.mark.parametrize("num_orders,num_payments", SIZES)
+def test_sql_3vl_sqlite_backend(benchmark, num_orders, num_payments):
+    # The same criticized query on a real SQL engine (repro.backends):
+    # must lose exactly the answers the Python 3VL evaluator loses.
+    from repro.datamodel.values import is_null
+
+    database = _db(num_orders, num_payments)
+    benchmark.group = f"e01 orders={num_orders}"
+    sqlite_rows = benchmark(run_sql, database, SQL_QUERY, "sqlite")
+    python_rows = run_sql(database, SQL_QUERY)
+
+    def normalized(rows):
+        return sorted(tuple("NULL" if is_null(v) else v for v in row) for row in rows)
+
+    assert normalized(sqlite_rows) == normalized(python_rows)
+
+
+@pytest.mark.parametrize("num_orders,num_payments", SIZES)
 def test_naive_ra_evaluation(benchmark, num_orders, num_payments):
     database = _db(num_orders, num_payments)
     benchmark.group = f"e01 orders={num_orders}"

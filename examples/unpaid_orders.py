@@ -45,6 +45,11 @@ def main():
     sql_unpaid = parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
     print("\nSQL: SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
     print("SQL answer:", run_sql(database, sql_unpaid), " ← nobody gets chased for payment!")
+    print(
+        "Real SQLite agrees:",
+        run_sql(database, sql_unpaid, backend="sqlite"),
+        " ← not a simulation artifact",
+    )
 
     sql_tautology = parse_sql("SELECT p_id FROM Pay WHERE ord = 'oid1' OR ord <> 'oid1'")
     print("\nSQL: ... WHERE ord = 'oid1' OR ord <> 'oid1'")

@@ -24,6 +24,9 @@ The library provides:
   theorems (:mod:`repro.core`);
 * an SQL-null (three-valued logic) mini engine that reproduces the "what
   went wrong" examples (:mod:`repro.sqlnulls`);
+* a SQL-backend compilation subsystem pushing naive evaluation down to
+  SQLite — ``engine="sqlite"``, streaming loads, out-of-core instances
+  (:mod:`repro.backends`);
 * schema mappings and a naive chase for data-exchange scenarios
   (:mod:`repro.exchange`);
 * integrity constraints (functional and inclusion dependencies) with

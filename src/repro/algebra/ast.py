@@ -51,6 +51,9 @@ class RAExpression:
         * ``"plan"`` (the default) — compile the expression into an
           optimized physical plan (:mod:`repro.engine`) with selection
           pushdown, hash joins and common-subexpression memoization;
+        * ``"sqlite"`` — compile the same logical plan into SQL executed
+          on SQLite (:mod:`repro.backends`); queries outside the SQL
+          compiler's fragment transparently fall back to ``"plan"``;
         * ``"interpreter"`` — the original tree-walking interpreter, kept
           as a differential-testing oracle.
 
@@ -65,7 +68,11 @@ class RAExpression:
             return self._interpret(database)
         if mode == "plan":
             return _engine.execute(self, database)
-        raise ValueError(f"unknown engine {mode!r}; expected 'plan' or 'interpreter'")
+        if mode == "sqlite":
+            return _engine.execute_sqlite(self, database)
+        raise ValueError(
+            f"unknown engine {mode!r}; expected 'plan', 'interpreter' or 'sqlite'"
+        )
 
     def _interpret(self, database: Database) -> Relation:
         """Tree-walking evaluation of this node (the seed interpreter).

@@ -232,6 +232,11 @@ def ctable_evaluate(
     from .. import engine as _engine
 
     mode = engine if engine is not None else _engine.get_default_engine()
+    if mode == "sqlite":
+        # The SQL backend covers complete-relation evaluation only;
+        # c-tables keep using the planned in-memory path when the
+        # process-wide default engine is "sqlite".
+        mode = "plan"
     if mode == "interpreter":
         schema = database.schema
         result = _evaluate(expression, database, schema)

@@ -33,7 +33,8 @@ def naive_evaluate(
     """Evaluate ``expression`` on ``database`` treating nulls as plain values.
 
     ``engine`` selects the execution path (``"plan"`` — the optimizing
-    physical engine, the default — or ``"interpreter"``).
+    physical engine, the default —, ``"sqlite"`` — the SQL backend — or
+    ``"interpreter"``).
     """
     return expression.evaluate(database, engine=engine)
 

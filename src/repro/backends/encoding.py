@@ -1,0 +1,157 @@
+"""Injective encodings between repro values and SQL storage.
+
+Naive evaluation needs SQL ``=`` to coincide with the naive equality of
+:mod:`repro.datamodel.values`: a marked null is equal to itself and
+different from every constant and every other null.  SQL engines cannot
+be given their own ``NULL`` for this (``NULL = NULL`` is *unknown*), so
+the sentinel codec maps every value to a tagged TEXT string:
+
+===========================  =======================================
+value                        encoding
+===========================  =======================================
+``Null(name)``               ``"n" + name``
+``str``                      ``"s" + value``
+``int`` / ``bool`` /         ``"i" + decimal`` (numbers are
+integral ``float``           canonicalized first: ``True == 1 ==
+                             1.0`` in Python, so all three encode
+                             identically)
+non-integral ``float``       ``"f" + repr(value)``
+any other hashable constant  ``"o" + token`` via a per-codec registry
+===========================  =======================================
+
+The first character is the *tag*; distinct tags never collide, and within
+a tag the payload is injective (null names are identifiers, ``repr`` of a
+float round-trips exactly, the opaque registry is keyed by value
+equality).  In particular a user string such as ``"nx"`` encodes as
+``"snx"`` and can never collide with the sentinel of ``Null("x")`` —
+the round-trip ``decode(encode(v)) == v`` is an identity, which the
+property tests assert.
+
+The second codec, :class:`SQLNullCodec`, deliberately *loses* the marks:
+every ``Null`` becomes a plain SQL ``NULL`` and constants are stored raw.
+It exists for the :mod:`repro.sqlnulls` comparison scenarios — the
+Section 1 "what SQL gets wrong" demos — where the point is to run the
+standard's three-valued semantics on a real SQL engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from ..datamodel.values import Null, intern_null, intern_value, is_null
+from .base import EncodingError
+
+Row = Tuple[Any, ...]
+
+
+class SentinelCodec:
+    """The injective marked-null ⇄ sentinel-constant codec (naive mode).
+
+    Stateless except for the opaque-constant registry, so one codec
+    instance must be shared between loading a database and compiling the
+    queries that run against it (the backend owns exactly one).
+    """
+
+    __slots__ = ("_opaque", "_opaque_rev")
+
+    #: SQL semantics of the encoded values: sets (the naive model).
+    set_semantics = True
+    #: Column type used in DDL; every encoded value is text.
+    column_type = "TEXT"
+
+    def __init__(self) -> None:
+        self._opaque: Dict[Any, str] = {}
+        self._opaque_rev: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def encode(self, value: Any) -> str:
+        """The tagged-text encoding of a storable value."""
+        if isinstance(value, Null):
+            return "n" + value.name
+        if type(value) is str:
+            return "s" + value
+        if isinstance(value, bool):
+            return "i" + str(int(value))
+        if isinstance(value, int):
+            return "i" + str(value)
+        if isinstance(value, float):
+            if value != value:  # NaN is not equal to itself: no sound encoding
+                raise EncodingError("NaN cannot be stored through the SQL backend")
+            if value.is_integer():
+                return "i" + str(int(value))
+            return "f" + repr(value)
+        return self._encode_opaque(value)
+
+    def _encode_opaque(self, value: Any) -> str:
+        token = self._opaque.get(value)
+        if token is None:
+            if value is None:
+                raise EncodingError("None is not a storable value")
+            token = "o" + str(len(self._opaque))
+            self._opaque[value] = token
+            self._opaque_rev[token] = value
+        return token
+
+    def decode(self, text: Any) -> Any:
+        """Invert :meth:`encode`; the result is interned like relation values."""
+        if not isinstance(text, str) or not text:
+            raise EncodingError(f"not a sentinel-encoded value: {text!r}")
+        tag, payload = text[0], text[1:]
+        if tag == "s":
+            return intern_value(payload)
+        if tag == "n":
+            return intern_null(Null(payload))
+        if tag == "i":
+            return int(payload)
+        if tag == "f":
+            return float(payload)
+        if tag == "o":
+            try:
+                return self._opaque_rev[text]
+            except KeyError:
+                raise EncodingError(f"unknown opaque token {text!r}") from None
+        raise EncodingError(f"unknown encoding tag {tag!r} in {text!r}")
+
+    # ------------------------------------------------------------------
+    def encode_row(self, row: Sequence[Any]) -> Row:
+        return tuple(self.encode(value) for value in row)
+
+    def decode_row(self, row: Sequence[Any]) -> Row:
+        return tuple(self.decode(value) for value in row)
+
+
+class SQLNullCodec:
+    """Store marked nulls as plain SQL ``NULL`` and constants raw.
+
+    This is the encoding of the *criticized* semantics: all marks are
+    conflated, so SQLite's own three-valued logic takes over — exactly
+    what the sqlnulls comparison scenarios demonstrate.  Decoding maps
+    each SQL ``NULL`` to a fresh marked null (SQL nulls are the Codd
+    special case: every occurrence is its own null).  Only primitive
+    constants are supported; bag semantics is preserved.
+    """
+
+    __slots__ = ()
+
+    set_semantics = False
+    column_type = ""  # no affinity: values keep their storage class
+
+    def encode(self, value: Any) -> Any:
+        if isinstance(value, Null):
+            return None
+        if isinstance(value, (str, int, float, bool)):
+            return value
+        raise EncodingError(
+            f"the SQL-null codec only stores primitive constants, got {value!r}"
+        )
+
+    def decode(self, value: Any) -> Any:
+        if value is None:
+            return Null.fresh("sql")
+        return intern_value(value)
+
+    def encode_row(self, row: Sequence[Any]) -> Row:
+        return tuple(self.encode(value) for value in row)
+
+    def decode_row(self, row: Sequence[Any]) -> Row:
+        return tuple(self.decode(value) for value in row)

@@ -1,0 +1,360 @@
+"""The SQLite backend: DDL, bulk load, indexes and plan execution.
+
+``engine="sqlite"`` routes :meth:`RAExpression.evaluate` through this
+module: the database is loaded once per :class:`~repro.datamodel.Database`
+object (cached in the instance's ``analysis_cache``), logical plans are
+shared with the in-memory planner's ``(expression, schema)`` cache, and
+the compiled SQL plans are cached per backend, so warm repeated queries
+cost one ``execute`` + decode.
+
+Design notes
+------------
+
+* **Set semantics in the engine.**  Sentinel-mode tables are
+  ``WITHOUT ROWID`` with a primary key over all columns, and rows are
+  loaded with ``INSERT OR IGNORE`` — the table *is* the set, and doubles
+  as a covering index for key prefixes.  Additional indexes mirroring
+  ``Relation.index_on`` are created on demand for the join keys the
+  compiled plans request.
+* **Out-of-core evaluation.**  ``load_rows`` streams from any iterable in
+  batches, and intermediates spill to SQLite temp tables, so a backend
+  opened on a disk path can load and evaluate instances that do not fit
+  in Python memory (``benchmarks/bench_e25_backend.py`` gates this).
+* **Fallback.**  Plans outside the compiler's fragment (order
+  comparisons, opaque subtrees, zero-arity relations) raise
+  :class:`UnsupportedPlanError`; :func:`execute` then falls back to the
+  in-memory physical engine, which remains the semantics oracle — the
+  differential suite asserts ``sqlite ≡ plan ≡ interpreter``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+from collections import OrderedDict
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import RAExpression
+from ..datamodel import Database, Relation
+from ..datamodel.schema import DatabaseSchema, RelationSchema
+from ..engine import planner as _planner
+from .base import (
+    Backend,
+    BackendError,
+    UnsupportedPlanError,
+    quote_identifier,
+    table_name,
+)
+from .compiler import ADOM_TABLE, CompiledPlan, SQLCompiler
+from .encoding import SentinelCodec
+
+_LOAD_BATCH = 10_000
+_PLAN_CACHE_LIMIT = 128
+#: Key under which a loaded backend is cached on ``Database.analysis_cache()``.
+ANALYSIS_CACHE_KEY = "backends.sqlite"
+
+
+class SQLiteBackend(Backend):
+    """A :class:`Backend` executing compiled plans on SQLite.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; the default ``":memory:"`` keeps everything
+        in the SQLite heap, a file path enables out-of-core instances.
+    codec:
+        Value codec; defaults to the injective sentinel codec (naive
+        semantics).  The sqlnulls bridge passes ``SQLNullCodec`` instead.
+    """
+
+    def __init__(self, path: str = ":memory:", codec: Optional[Any] = None) -> None:
+        self._connection = sqlite3.connect(path)
+        self._path = path
+        self.codec = codec if codec is not None else SentinelCodec()
+        self._schema: Optional[DatabaseSchema] = None
+        self._database: Optional[Database] = None
+        self._plans: "OrderedDict[RAExpression, Tuple[CompiledPlan, RelationSchema]]" = OrderedDict()
+        self._indexes: set = set()
+        self._adom_ready = False
+        self._closed = False
+        cursor = self._connection.cursor()
+        # The backend is a cache/scratch store, never the system of record:
+        # durability is irrelevant, load speed is not.
+        cursor.execute("PRAGMA journal_mode=OFF")
+        cursor.execute("PRAGMA synchronous=OFF")
+        cursor.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._connection
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._connection.close()
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_schema(self, schema: DatabaseSchema) -> None:
+        if self._schema is not None:
+            if self._schema == schema:
+                return
+            raise BackendError("backend already holds a different schema")
+        cursor = self._connection.cursor()
+        for relation in schema:
+            cursor.execute(self._create_table_sql(relation))
+        self._connection.commit()
+        self._schema = schema
+
+    def _create_table_sql(self, relation: RelationSchema) -> str:
+        if relation.arity == 0:
+            raise UnsupportedPlanError(
+                f"relation {relation.name!r} has arity 0; SQL tables need a column"
+            )
+        column_type = self.codec.column_type
+        columns = ", ".join(
+            f"c{i} {column_type}".rstrip() for i in range(relation.arity)
+        )
+        if self.codec.set_semantics:
+            key = ", ".join(f"c{i}" for i in range(relation.arity))
+            return (
+                f"CREATE TABLE {table_name(relation.name)} "
+                f"({columns}, PRIMARY KEY ({key})) WITHOUT ROWID"
+            )
+        return f"CREATE TABLE {table_name(relation.name)} ({columns})"
+
+    # ------------------------------------------------------------------
+    # bulk load / extract
+    # ------------------------------------------------------------------
+    def load_database(self, database: Database) -> None:
+        self.create_schema(database.schema)
+        for relation in database.relations():
+            self.load_rows(relation.name, relation.rows)
+        self._database = database
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        if self._schema is None or name not in self._schema:
+            raise BackendError(f"unknown relation {name!r}; create the schema first")
+        # Data changed: the materialized active domain and the compiled
+        # plans (whose join orders were costed on the old sizes) go stale.
+        if self._adom_ready:
+            self._connection.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
+            self._adom_ready = False
+        self._plans.clear()
+        arity = self._schema[name].arity
+        placeholders = ", ".join("?" for _ in range(arity))
+        verb = "INSERT OR IGNORE" if self.codec.set_semantics else "INSERT"
+        statement = f"{verb} INTO {table_name(name)} VALUES ({placeholders})"
+        encode_row = self.codec.encode_row
+        encoded = (encode_row(row) for row in rows)
+        cursor = self._connection.cursor()
+        total = 0
+        while True:
+            batch = list(itertools.islice(encoded, _LOAD_BATCH))
+            if not batch:
+                break
+            cursor.executemany(statement, batch)
+            total += len(batch)
+        self._connection.commit()
+        return total
+
+    def extract_relation(self, name: str) -> Relation:
+        """Relation ``name`` read back out (set semantics, decoded values)."""
+        if self._schema is None or name not in self._schema:
+            raise BackendError(f"unknown relation {name!r}")
+        schema = self._schema[name]
+        cursor = self._connection.execute(
+            f"SELECT {', '.join(f'c{i}' for i in range(schema.arity))} "
+            f"FROM {table_name(name)}"
+        )
+        decode_row = self.codec.decode_row
+        return Relation._from_trusted(
+            schema, frozenset(decode_row(row) for row in cursor)
+        )
+
+    # ------------------------------------------------------------------
+    # indexes and the active-domain table
+    # ------------------------------------------------------------------
+    def ensure_index(self, name: str, positions: Tuple[int, ...]) -> None:
+        """Create (once) the index ``Relation.index_on(positions)`` mirrors."""
+        key = (name, tuple(positions))
+        if key in self._indexes:
+            return
+        # ":"/"," cannot appear in a position list, so distinct
+        # (relation, positions) pairs always get distinct index names
+        # (a "_" separator would conflate e.g. ("a_1", (2,)) and ("a", (1, 2))).
+        index_name = quote_identifier(
+            "idx_" + name + ":" + ",".join(str(p) for p in positions)
+        )
+        columns = ", ".join(f"c{p}" for p in positions)
+        self._connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {index_name} ON {table_name(name)} ({columns})"
+        )
+        self._indexes.add(key)
+
+    def _ensure_adom(self) -> None:
+        """Materialize the active domain: every column of every relation."""
+        if self._adom_ready:
+            return
+        selects: List[str] = []
+        for relation in self._schema or ():
+            for position in range(relation.arity):
+                selects.append(
+                    f"SELECT c{position} AS v FROM {table_name(relation.name)}"
+                )
+        if selects:
+            body = " UNION ".join(selects)
+            self._connection.execute(f"CREATE TEMP TABLE {ADOM_TABLE} AS {body}")
+        else:
+            self._connection.execute(f"CREATE TEMP TABLE {ADOM_TABLE} (v)")
+        self._adom_ready = True
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+    def evaluate(self, expression: RAExpression) -> Relation:
+        if self._schema is None:
+            raise BackendError("no database loaded")
+        entry = self._plans.get(expression)
+        if entry is None:
+            schema = self._schema
+            out_schema = expression.output_schema(schema)
+            # Reuse the planner's (expression, schema) logical-plan cache:
+            # the SQL path optimizes exactly once with the in-memory one.
+            logical = _planner.compile_plan(expression, schema)
+            # Join ordering costs against the in-memory instance when one
+            # is attached, else against SQL COUNT(*) statistics — the
+            # out-of-core case, where no Database object ever exists.
+            stats = self._database if self._database is not None else _BackendStats(self)
+            plan = SQLCompiler(stats, self.codec).compile(logical)
+            entry = (plan, out_schema)
+            self._plans[expression] = entry
+            if len(self._plans) > _PLAN_CACHE_LIMIT:
+                self._plans.popitem(last=False)
+        else:
+            self._plans.move_to_end(expression)
+        plan, out_schema = entry
+        if plan.uses_adom:
+            self._ensure_adom()
+        for name, positions in plan.index_requests:
+            self.ensure_index(name, positions)
+        cursor = self._connection.cursor()
+        try:
+            for statement, params in plan.setup:
+                cursor.execute(statement, params)
+            rows = cursor.execute(plan.query, plan.params).fetchall()
+        finally:
+            for statement in plan.teardown:
+                cursor.execute(statement)
+            cursor.close()
+        decode_row = self.codec.decode_row
+        return Relation._from_trusted(
+            out_schema, frozenset(decode_row(row) for row in rows)
+        )
+
+
+class _RelationStats:
+    """A sized stand-in for a relation during cost estimation."""
+
+    __slots__ = ("_count",)
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class _BackendStats:
+    """Duck-typed ``Database`` substitute feeding the planner's estimates.
+
+    Only the two entry points :func:`repro.engine.planner.estimate` uses
+    are provided: ``relation(name)`` (for ``len``) and ``size()``.  Row
+    counts come from ``COUNT(*)`` and are cached per backend lifetime.
+    """
+
+    __slots__ = ("_backend", "_counts")
+
+    def __init__(self, backend: SQLiteBackend) -> None:
+        self._backend = backend
+        self._counts: dict = {}
+
+    def _count(self, name: str) -> int:
+        count = self._counts.get(name)
+        if count is None:
+            cursor = self._backend.connection.execute(
+                f"SELECT COUNT(*) FROM {table_name(name)}"
+            )
+            count = cursor.fetchone()[0]
+            self._counts[name] = count
+        return count
+
+    def relation(self, name: str) -> _RelationStats:
+        return _RelationStats(self._count(name))
+
+    def size(self) -> int:
+        schema = self._backend._schema
+        return sum(self._count(rel.name) for rel in schema or ())
+
+
+# ----------------------------------------------------------------------
+# engine="sqlite" dispatch
+# ----------------------------------------------------------------------
+def backend_for(database: Database, path: str = ":memory:") -> SQLiteBackend:
+    """The loaded backend of ``database``, creating and caching it on demand.
+
+    Backends are cached in the database's ``analysis_cache`` (databases
+    are immutable), one per storage ``path``, so repeated queries against
+    the same instance reuse the loaded tables, the indexes and the
+    compiled plans — and an explicit on-disk path never silently aliases
+    the default in-memory backend.
+    """
+    cache = database.analysis_cache()
+    backends = cache.setdefault(ANALYSIS_CACHE_KEY, {})
+    backend = backends.get(path)
+    if backend is None:
+        backend = SQLiteBackend(path)
+        backend.load_database(database)
+        backends[path] = backend
+    return backend
+
+
+# SQLite OperationalError messages that signal an *environmental limit*
+# (plan too deep/wide for the engine), not a bug in the generated SQL.
+_SQLITE_LIMIT_MARKERS = (
+    "parser stack overflow",
+    "expression tree is too large",
+    "too many terms in compound select",
+    "too many sql variables",
+    "too many from clause terms",
+)
+
+
+def _is_engine_limit(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return any(marker in message for marker in _SQLITE_LIMIT_MARKERS)
+
+
+def execute(expression: RAExpression, database: Database) -> Relation:
+    """Evaluate ``expression`` on ``database`` through SQLite.
+
+    Queries outside the compiler's fragment — and environmental SQLite
+    limits such as a parser stack overflow on very deep plans — fall back
+    to the in-memory physical engine, so ``engine="sqlite"`` is total
+    over the algebra.  Genuine programming errors (malformed generated
+    SQL, i.e. any other ``OperationalError``) still surface loudly — a
+    blanket fallback would let a broken compiler pass every differential
+    test by silently answering with the in-memory engine.
+    """
+    try:
+        return backend_for(database).evaluate(expression)
+    except BackendError:
+        return _planner.execute(expression, database)
+    except sqlite3.OperationalError as error:
+        if _is_engine_limit(error):
+            return _planner.execute(expression, database)
+        raise

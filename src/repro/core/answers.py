@@ -162,7 +162,9 @@ def certain_answers(
         ``'enumeration'`` (force possible-world enumeration).
     engine:
         Execution path for relational-algebra evaluation: ``'plan'`` (the
-        optimizing engine, the default) or ``'interpreter'`` (the seed
+        optimizing engine, the default), ``'sqlite'`` (the same logical
+        plans compiled to SQL and run on SQLite — see
+        ``docs/backends.md``) or ``'interpreter'`` (the seed
         tree-walking oracle).
     """
     if method == "naive":

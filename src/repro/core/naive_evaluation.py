@@ -97,8 +97,9 @@ def evaluate_query(query: Query, database: Database, engine: Optional[str] = Non
     """Evaluate either kind of query object on a database.
 
     ``engine`` selects the execution path for relational-algebra queries
-    (``"plan"`` — the optimizing engine, the default — or
-    ``"interpreter"``); it is ignored for calculus queries.
+    (``"plan"`` — the optimizing engine, the default —, ``"sqlite"`` —
+    the SQL backend — or ``"interpreter"``); it is ignored for calculus
+    queries.
     """
     if isinstance(query, RAExpression):
         return query.evaluate(database, engine=engine)

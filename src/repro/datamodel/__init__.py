@@ -32,6 +32,7 @@ from .conditional import (
 )
 from .condition_kernel import (
     clear_condition_kernel,
+    evict_condition_kernel,
     intern_condition,
     kernel_and,
     kernel_conjunction,
@@ -86,6 +87,7 @@ __all__ = [
     "TrueCondition",
     "Valuation",
     "clear_condition_kernel",
+    "evict_condition_kernel",
     "conjunction",
     "constants_in",
     "count_valuations",

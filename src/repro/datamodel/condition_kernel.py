@@ -65,6 +65,7 @@ _OR2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
 _MARK = "_kernel_canonical"
 _NULLS = "_kernel_nulls"
 _NEG = "_kernel_negation"
+_TOUCH = "_kernel_touch"
 
 _EMPTY_NULLS: FrozenSet[Any] = frozenset()
 
@@ -75,11 +76,19 @@ _EMPTY_NULLS: FrozenSet[Any] = frozenset()
 # are the same object" across a clear).
 _EPOCH = 0
 
+# Usage epoch for the eviction policy.  Every creation or reuse of a
+# canonical node stamps it with the current usage epoch;
+# :func:`evict_condition_kernel` keeps exactly the nodes stamped in the
+# epoch now ending (plus their operand closure) and starts the next one.
+# Unlike ``_EPOCH``, bumping this never invalidates surviving nodes.
+_USE_EPOCH = 0
+
 
 def clear_condition_kernel() -> None:
     """Drop the intern table and every memo table (tests/benchmarks)."""
-    global _EPOCH
+    global _EPOCH, _USE_EPOCH
     _EPOCH += 1
+    _USE_EPOCH += 1
     _INTERN.clear()
     _AND2.clear()
     _OR2.clear()
@@ -90,11 +99,87 @@ def kernel_stats() -> Dict[str, int]:
     return {"interned": len(_INTERN), "and_memo": len(_AND2), "or_memo": len(_OR2)}
 
 
+def evict_condition_kernel() -> Dict[str, int]:
+    """End the current usage epoch, evicting conditions it never touched.
+
+    Long-running services call :func:`repro.engine.clear_plan_cache` as
+    their one cache-reset point; dropping the *whole* kernel there throws
+    away the very conditions the next query is about to rebuild.  This
+    eviction keeps every condition created or reused since the previous
+    eviction — the working set of the epoch now ending — together with
+    its transitive operands (a retained conjunction must never reference
+    an evicted atom), and drops the rest:
+
+    * evicted nodes lose their canonical mark (and cached negation), so
+      a structurally equal condition built later re-interns cleanly;
+    * memo entries whose operands or result were evicted are dropped, so
+      the tables cannot resurrect (or keep alive) evicted nodes.
+
+    Returns ``{"kept": ..., "evicted": ...}`` intern-table counts.
+    Conditions only *used* in an epoch survive it, so a hot condition
+    lives across arbitrarily many evictions while a condition untouched
+    for one full epoch is reclaimed.
+    """
+    global _USE_EPOCH
+    ending = _USE_EPOCH
+    retained: set = set()
+    stack: List[Condition] = [
+        node for node in _INTERN.values() if getattr(node, _TOUCH, None) == ending
+    ]
+    while stack:
+        node = stack.pop()
+        if id(node) in retained:
+            continue
+        retained.add(id(node))
+        if isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.operands)
+        negation = getattr(node, _NEG, None)
+        if negation is not None and negation[0] == _EPOCH:
+            stack.append(negation[1])
+    survivors: Dict[Tuple[Any, ...], Condition] = {}
+    evicted = 0
+    for key, node in _INTERN.items():
+        if id(node) in retained:
+            survivors[key] = node
+        else:
+            evicted += 1
+            object.__setattr__(node, _MARK, None)
+            if getattr(node, _NEG, None) is not None:
+                object.__setattr__(node, _NEG, None)
+    _INTERN.clear()
+    _INTERN.update(survivors)
+
+    def _live(condition: Condition) -> bool:
+        if isinstance(condition, (TrueCondition, FalseCondition)):
+            return True
+        return getattr(condition, _MARK, None) == _EPOCH
+
+    for table in (_AND2, _OR2):
+        dead = [
+            key
+            for key, (a, b, result) in table.items()
+            if not (_live(a) and _live(b) and _live(result))
+        ]
+        for key in dead:
+            del table[key]
+    _USE_EPOCH += 1
+    return {"kept": len(_INTERN), "evicted": evicted}
+
+
+def _touch(node: Condition) -> None:
+    if getattr(node, _TOUCH, None) != _USE_EPOCH:
+        object.__setattr__(node, _TOUCH, _USE_EPOCH)
+
+
 def _canonize(key: Tuple[Any, ...], node: Condition) -> Condition:
     existing = _INTERN.get(key)
     if existing is not None:
+        _touch(existing)
         return existing
     object.__setattr__(node, _MARK, _EPOCH)
+    _touch(node)
     _INTERN[key] = node
     return node
 
@@ -115,6 +200,7 @@ def kernel_eq(left: Any, right: Any) -> Condition:
     key = ("eq", left, right)
     existing = _INTERN.get(key)
     if existing is not None:
+        _touch(existing)
         return existing
     return _canonize(key, Eq(left, right))
 
@@ -128,6 +214,7 @@ def kernel_not(operand: Condition) -> Condition:
     operand = intern_condition(operand)
     cached = getattr(operand, _NEG, None)
     if cached is not None and cached[0] == _EPOCH:
+        _touch(cached[1])
         return cached[1]
     if isinstance(operand, TrueCondition):
         result: Condition = FALSE
@@ -169,6 +256,7 @@ def kernel_conjunction(operands: Iterable[Condition]) -> Condition:
     key = ("and", tuple(id(op) for op in flat))
     existing = _INTERN.get(key)
     if existing is not None:
+        _touch(existing)
         return existing
     return _canonize(key, And(tuple(flat)))
 
@@ -199,6 +287,7 @@ def kernel_disjunction(operands: Iterable[Condition]) -> Condition:
     key = ("or", tuple(id(op) for op in flat))
     existing = _INTERN.get(key)
     if existing is not None:
+        _touch(existing)
         return existing
     return _canonize(key, Or(tuple(flat)))
 
@@ -214,6 +303,9 @@ def kernel_and(a: Condition, b: Condition) -> Condition:
     key = (id(a), id(b))
     hit = _AND2.get(key)
     if hit is not None:
+        _touch(a)
+        _touch(b)
+        _touch(hit[2])
         return hit[2]
     result = kernel_conjunction((a, b))
     _AND2[key] = (a, b, result)
@@ -231,6 +323,9 @@ def kernel_or(a: Condition, b: Condition) -> Condition:
     key = (id(a), id(b))
     hit = _OR2.get(key)
     if hit is not None:
+        _touch(a)
+        _touch(b)
+        _touch(hit[2])
         return hit[2]
     result = kernel_disjunction((a, b))
     _OR2[key] = (a, b, result)
@@ -259,6 +354,7 @@ def intern_condition(condition: Condition) -> Condition:
     if condition is TRUE or condition is FALSE:
         return condition
     if getattr(condition, _MARK, None) == _EPOCH:
+        _touch(condition)
         return condition
     if isinstance(condition, TrueCondition):
         return TRUE

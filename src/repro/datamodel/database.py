@@ -131,6 +131,18 @@ class Database:
             result.extend((name, row) for row in self._relations[name])
         return result
 
+    def __getstate__(self):
+        # The analysis cache is per-process scratch (it may hold backend
+        # connections, e.g. the SQLite handle of engine="sqlite") and the
+        # hash is cheap to recompute: ship only the actual data, so worlds
+        # stay picklable for the workers= process pools.
+        return (self._schema, self._relations)
+
+    def __setstate__(self, state) -> None:
+        self._schema, self._relations = state
+        self._hash = None
+        self._analysis_cache = None
+
     def analysis_cache(self) -> Dict[str, Any]:
         """A per-instance scratch cache for derived, immutable artifacts.
 

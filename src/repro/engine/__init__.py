@@ -26,7 +26,7 @@ from .ctable import execute_ctable
 from .logical import LogicalNode, explain, optimize
 from .planner import clear_plan_cache, compile_plan, execute
 
-_ENGINES = ("plan", "interpreter")
+_ENGINES = ("plan", "interpreter", "sqlite")
 _default_engine = os.environ.get("REPRO_ENGINE", "plan")
 if _default_engine not in _ENGINES:
     raise ValueError(
@@ -37,6 +37,17 @@ if _default_engine not in _ENGINES:
 def get_default_engine() -> str:
     """The engine used when ``evaluate`` is called without ``engine=``."""
     return _default_engine
+
+
+def execute_sqlite(expression, database):
+    """Evaluate through the SQLite backend (``engine="sqlite"``).
+
+    Imported lazily: :mod:`repro.backends` builds on this package's
+    planner, so a top-level import here would be circular.
+    """
+    from ..backends.sqlite import execute as _execute
+
+    return _execute(expression, database)
 
 
 def set_default_engine(name: str) -> str:
@@ -55,6 +66,7 @@ __all__ = [
     "compile_plan",
     "execute",
     "execute_ctable",
+    "execute_sqlite",
     "explain",
     "get_default_engine",
     "optimize",

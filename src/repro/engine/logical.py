@@ -341,6 +341,74 @@ def _as_multijoin(node: LogicalNode) -> Tuple[Tuple[LogicalNode, ...], Tuple[Tup
     return (node,), (), ()
 
 
+#: A multijoin-with-projection view of a plan node: ``(factors, pairs,
+#: residual, out_positions)``, meaning the node computes
+#: ``π_out_positions`` of ``multijoin(factors) where pairs ∧ residual``
+#: over the concatenated factor layout.
+_ProjectedMultijoin = Tuple[
+    Tuple[LogicalNode, ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Predicate, ...],
+    Tuple[int, ...],
+]
+
+
+def _as_projected_multijoin(node: LogicalNode) -> "_ProjectedMultijoin | None":
+    """Decompose joins into a multijoin view, or ``None`` for leaves.
+
+    Natural-join *chains* lower to nested :class:`LEquiJoin` /
+    ``π(LMultiJoin)`` shapes; this view lets the optimizer flatten them
+    into one n-ary multijoin so the planner's greedy cost-based ordering
+    applies across the whole chain, not just within ``Product`` chains.
+    Dropping the intermediate projections is sound under set semantics:
+    the factors' columns are all carried to the top and the final
+    projection restores the declared output, so the same combinations
+    survive (only intermediate deduplication points move).
+    """
+    if isinstance(node, LMultiJoin):
+        return node.factors, node.pairs, node.residual, tuple(range(node.arity))
+    if isinstance(node, LProject) and isinstance(node.child, LMultiJoin):
+        inner = node.child
+        return inner.factors, inner.pairs, inner.residual, node.positions
+    if isinstance(node, LEquiJoin):
+        left = _as_projected_multijoin(node.left) or _trivial_view(node.left)
+        right = _as_projected_multijoin(node.right) or _trivial_view(node.right)
+        factors, pairs, residual, left_out, right_out = _combine_views(left, right)
+        pairs = pairs + tuple(
+            (left_out[i], right_out[j]) for i, j in node.pairs
+        )
+        out = tuple(left_out) + tuple(right_out[k] for k in node.right_keep)
+        return factors, pairs, residual, out
+    return None
+
+
+def _trivial_view(node: LogicalNode) -> _ProjectedMultijoin:
+    return (node,), (), (), tuple(range(node.arity))
+
+
+def _combine_views(
+    left: _ProjectedMultijoin, right: _ProjectedMultijoin
+) -> Tuple[
+    Tuple[LogicalNode, ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Predicate, ...],
+    Tuple[int, ...],
+    Tuple[int, ...],
+]:
+    """Concatenate two multijoin views, shifting the right side's positions.
+
+    Returns the combined factors/pairs/residual plus each side's output
+    map into the combined concatenated layout.
+    """
+    l_factors, l_pairs, l_residual, l_out = left
+    r_factors, r_pairs, r_residual, r_out = right
+    shift = sum(factor.arity for factor in l_factors)
+    factors = l_factors + r_factors
+    pairs = l_pairs + tuple((i + shift, j + shift) for i, j in r_pairs)
+    residual = l_residual + tuple(shift_predicate(p, shift) for p in r_residual)
+    return factors, pairs, residual, l_out, tuple(p + shift for p in r_out)
+
+
 def _build(
     expression: RAExpression, schema: DatabaseSchema, preds: Tuple[Predicate, ...]
 ) -> LogicalNode:
@@ -429,13 +497,30 @@ def _build(
                 above.append(pred)
         left = _build(expression.left, schema, tuple(left_preds))
         right = _build(expression.right, schema, tuple(right_preds))
-        node = LEquiJoin(
-            left,
-            right,
-            tuple(join_pairs),
-            tuple(right_keep),
-            left_arity + len(right_keep),
+        left_view = _as_projected_multijoin(left)
+        right_view = _as_projected_multijoin(right)
+        if left_view is None and right_view is None:
+            # A plain two-way join: keep the direct LEquiJoin shape (it
+            # avoids materializing the dropped right columns).
+            node: LogicalNode = LEquiJoin(
+                left,
+                right,
+                tuple(join_pairs),
+                tuple(right_keep),
+                left_arity + len(right_keep),
+            )
+            return _wrap_filters(node, above)
+        # At least one side is itself a join: flatten the whole chain into
+        # one n-ary multijoin so the planner reorders it by cardinality
+        # estimate, and restore the natural-join layout with a projection.
+        factors, pairs, residual, left_out, right_out = _combine_views(
+            left_view or _trivial_view(left), right_view or _trivial_view(right)
         )
+        pairs = pairs + tuple((left_out[i], right_out[j]) for i, j in join_pairs)
+        total = sum(factor.arity for factor in factors)
+        multijoin = LMultiJoin(factors, pairs, residual, total)
+        out_positions = tuple(left_out) + tuple(right_out[k] for k in right_keep)
+        node = LProject(multijoin, out_positions, len(out_positions))
         return _wrap_filters(node, above)
 
     if isinstance(expression, Union_):

@@ -29,7 +29,7 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algebra.ast import RAExpression
-from ..datamodel import Database, Relation, clear_condition_kernel
+from ..datamodel import Database, Relation, evict_condition_kernel
 from ..datamodel.schema import DatabaseSchema, RelationSchema
 from .logical import (
     LAdom,
@@ -92,14 +92,18 @@ def clear_plan_cache() -> None:
     """Drop every cached plan (mainly for tests and benchmarks).
 
     Also invalidates the per-expression fast-path entries by bumping the
-    cache epoch, and clears the condition kernel's intern/memo tables —
-    they grow without bound within a process otherwise, so long-running
-    services get a single reset point for every engine-level cache.
+    cache epoch, and ends a usage epoch of the condition kernel: interned
+    conditions *touched* since the previous ``clear_plan_cache`` call
+    survive (hot conditions stay canonical across clears), everything
+    else is evicted, so long-running services get one reset point whose
+    kernel tables stay bounded by the working set instead of growing
+    without bound.  A full kernel wipe remains available through
+    :func:`repro.datamodel.clear_condition_kernel`.
     """
     global _cache_epoch
     _PLAN_CACHE.clear()
     _cache_epoch += 1
-    clear_condition_kernel()
+    evict_condition_kernel()
 
 
 def compile_plan(expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:

@@ -24,6 +24,7 @@ from .ast import (
     SQLOr,
     TableRef,
 )
+from .backend import compile_select, run_sql_sqlite
 from .engine import SQLEngine, SQLError, run_sql
 from .parser import SQLParseError, parse_sql
 
@@ -46,7 +47,9 @@ __all__ = [
     "SelectQuery",
     "TableRef",
     "certain_answer_rewriting",
+    "compile_select",
     "is_positive_sql",
     "parse_sql",
     "run_sql",
+    "run_sql_sqlite",
 ]

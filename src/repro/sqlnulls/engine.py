@@ -278,6 +278,19 @@ class SQLEngine:
         return membership
 
 
-def run_sql(database: Database, query: SelectQuery) -> List[Row]:
-    """Convenience wrapper: execute ``query`` against ``database``."""
-    return SQLEngine(database).execute(query)
+def run_sql(database: Database, query: SelectQuery, backend: str = "python") -> List[Row]:
+    """Convenience wrapper: execute ``query`` against ``database``.
+
+    ``backend`` selects the evaluator: ``"python"`` (this module's
+    by-the-book three-valued engine, the oracle) or ``"sqlite"`` (the
+    same query transliterated to SQL and run on SQLite through
+    :mod:`repro.sqlnulls.backend` — marked nulls become real SQL
+    ``NULL``\\ s, so output nulls come back as fresh marks).
+    """
+    if backend == "python":
+        return SQLEngine(database).execute(query)
+    if backend == "sqlite":
+        from .backend import run_sql_sqlite
+
+        return run_sql_sqlite(database, query)
+    raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'sqlite'")

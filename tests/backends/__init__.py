@@ -1,0 +1,1 @@
+"""Tests for the SQL-backend compilation subsystem."""

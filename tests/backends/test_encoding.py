@@ -1,0 +1,153 @@
+"""Property tests for the marked-null ⇄ sentinel-constant encoding.
+
+The whole correctness story of the SQL backend rests on two properties of
+the sentinel codec:
+
+* **round trip** — ``decode(encode(v)) == v`` for every storable value;
+* **injectivity up to naive equality** — ``encode(a) == encode(b)`` iff
+  ``a == b`` under naive semantics, so SQL ``=`` over encoded text
+  coincides exactly with the engine's equality.  In particular sentinels
+  never collide with user constants, including adversarial strings that
+  *look* like encodings.
+"""
+
+import random
+
+import pytest
+
+from repro.backends import EncodingError, SentinelCodec
+from repro.backends.encoding import SQLNullCodec
+from repro.datamodel import Null
+from repro.datamodel.values import is_null
+
+
+def _value_pool():
+    """A pool of storable values spanning every encoding branch."""
+    values = [
+        Null("x"),
+        Null("y"),
+        Null("n1"),
+        Null("sql"),
+        Null("i42"),  # a null whose *name* mimics an int encoding
+        "",
+        "a",
+        "alice",
+        "nx",  # collides with Null("x")'s sentinel only if tags were broken
+        "ny",
+        "i1",
+        "f0.5",
+        "o0",
+        "s*",
+        "\x00weird",
+        0,
+        1,
+        -7,
+        42,
+        10**20,
+        True,
+        False,
+        1.0,  # == 1 under Python equality: must encode identically to 1
+        0.5,
+        -2.25,
+        1e300,
+        (1, 2),  # opaque constants
+        ("a", Null("x")),
+        frozenset({1, 2}),
+        b"bytes",
+    ]
+    return values
+
+
+class TestSentinelRoundTrip:
+    def test_round_trip_is_identity(self):
+        codec = SentinelCodec()
+        for value in _value_pool():
+            decoded = codec.decode(codec.encode(value))
+            assert decoded == value, value
+            assert is_null(decoded) == is_null(value)
+
+    def test_round_trip_interns_nulls(self):
+        codec = SentinelCodec()
+        null = Null("shared")
+        first = codec.decode(codec.encode(null))
+        second = codec.decode(codec.encode(Null("shared")))
+        assert first is second
+
+    def test_randomized_round_trip(self):
+        rng = random.Random(7)
+        codec = SentinelCodec()
+        for _ in range(500):
+            kind = rng.randrange(5)
+            if kind == 0:
+                value = Null("".join(rng.choices("abcxyz0123", k=rng.randrange(1, 8))))
+            elif kind == 1:
+                value = "".join(rng.choices("nsifo:\x00abc123", k=rng.randrange(0, 10)))
+            elif kind == 2:
+                value = rng.randrange(-(10**9), 10**9)
+            elif kind == 3:
+                value = rng.uniform(-1e6, 1e6)
+            else:
+                value = (rng.randrange(10), "".join(rng.choices("ab", k=3)))
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_row_round_trip(self):
+        codec = SentinelCodec()
+        row = (Null("x"), "nx", 1, 1.5, (1, 2))
+        assert codec.decode_row(codec.encode_row(row)) == row
+
+
+class TestSentinelInjectivity:
+    def test_encodings_agree_with_naive_equality(self):
+        codec = SentinelCodec()
+        pool = _value_pool()
+        for a in pool:
+            for b in pool:
+                same_encoding = codec.encode(a) == codec.encode(b)
+                assert same_encoding == (a == b), (a, b)
+
+    def test_sentinels_never_collide_with_user_constants(self):
+        codec = SentinelCodec()
+        constants = [v for v in _value_pool() if not is_null(v)]
+        nulls = [v for v in _value_pool() if is_null(v)]
+        null_encodings = {codec.encode(n) for n in nulls}
+        for constant in constants:
+            assert codec.encode(constant) not in null_encodings
+
+    def test_python_numeric_equality_is_preserved(self):
+        # 1 == 1.0 == True in Python (and in interned relation rows), so
+        # the backend must map all three to one SQL value.
+        codec = SentinelCodec()
+        assert codec.encode(1) == codec.encode(1.0) == codec.encode(True)
+        assert codec.encode(0) == codec.encode(0.0) == codec.encode(False)
+        assert codec.encode(1) != codec.encode(1.5)
+        assert codec.encode(1) != codec.encode("1")
+
+    def test_nan_rejected(self):
+        with pytest.raises(EncodingError):
+            SentinelCodec().encode(float("nan"))
+
+    def test_unknown_opaque_token_rejected(self):
+        with pytest.raises(EncodingError):
+            SentinelCodec().decode("o999")
+
+    def test_non_text_rejected_on_decode(self):
+        with pytest.raises(EncodingError):
+            SentinelCodec().decode(17)
+
+
+class TestSQLNullCodec:
+    def test_marked_nulls_become_sql_null(self):
+        codec = SQLNullCodec()
+        assert codec.encode(Null("x")) is None
+        assert codec.encode("a") == "a"
+        assert codec.encode(3) == 3
+
+    def test_decode_null_is_fresh_mark(self):
+        codec = SQLNullCodec()
+        first, second = codec.decode(None), codec.decode(None)
+        assert is_null(first) and is_null(second)
+        assert first != second  # Codd nulls: every occurrence its own mark
+
+    def test_opaque_constants_rejected(self):
+        with pytest.raises(EncodingError):
+            SQLNullCodec().encode((1, 2))

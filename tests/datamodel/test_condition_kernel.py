@@ -150,3 +150,69 @@ class TestCachedNulls:
     def test_constant_conditions_have_no_nulls(self):
         assert kernel_nulls(TRUE) == frozenset()
         assert kernel_nulls(FALSE) == frozenset()
+
+
+class TestEpochEviction:
+    """The epoch-based eviction policy behind clear_plan_cache()."""
+
+    def setup_method(self):
+        clear_condition_kernel()
+
+    def test_touched_conditions_survive_eviction(self):
+        from repro.datamodel import evict_condition_kernel
+
+        hot = kernel_eq(x, 1)
+        verdict = evict_condition_kernel()
+        assert verdict["kept"] >= 1 and verdict["evicted"] == 0
+        assert kernel_eq(x, 1) is hot
+
+    def test_untouched_conditions_evicted_after_one_full_epoch(self):
+        from repro.datamodel import evict_condition_kernel
+
+        cold = kernel_eq(x, 1)
+        evict_condition_kernel()  # cold was touched in the ending epoch: kept
+        evict_condition_kernel()  # a full epoch with no touch: evicted
+        assert kernel_stats()["interned"] == 0
+        fresh = kernel_eq(x, 1)
+        assert fresh is not cold
+        # the survivor lost its canonical mark: composing it re-interns
+        assert intern_condition(cold) is fresh
+
+    def test_retained_composites_keep_their_operands(self):
+        from repro.datamodel import evict_condition_kernel
+
+        a, b = kernel_eq(x, 1), kernel_eq(y, 2)
+        both = kernel_and(a, b)
+        evict_condition_kernel()
+        # New epoch: touch only the conjunction, never the atoms directly.
+        assert kernel_conjunction((a, b)) is both
+        evict_condition_kernel()
+        # The operand closure of the touched conjunction survives with it,
+        # so flattening through the retained node still dedups by identity.
+        assert kernel_eq(x, 1) is a
+        assert kernel_eq(y, 2) is b
+        assert kernel_and(a, b) is both
+
+    def test_memo_entries_involving_evicted_nodes_are_dropped(self):
+        from repro.datamodel import evict_condition_kernel
+
+        a, b = kernel_eq(x, 1), kernel_eq(y, 2)
+        kernel_or(a, b)
+        assert kernel_stats()["or_memo"] == 1
+        evict_condition_kernel()
+        kernel_eq(x, 1)  # touch one atom; the disjunction stays cold
+        evict_condition_kernel()
+        assert kernel_stats()["or_memo"] == 0
+
+    def test_eviction_preserves_semantics_of_survivor_composition(self):
+        from repro.datamodel import evict_condition_kernel
+
+        survivor = kernel_conjunction((kernel_eq(x, y), kernel_eq(y, 1)))
+        evict_condition_kernel()
+        evict_condition_kernel()
+        # The evicted node still evaluates correctly and re-interns into
+        # a semantically identical canonical condition.
+        rebuilt = intern_condition(survivor)
+        for assignment in ({x: 1, y: 1}, {x: 2, y: 1}):
+            valuation = Valuation(assignment)
+            assert rebuilt.evaluate(valuation) == survivor.evaluate(valuation)

@@ -116,6 +116,64 @@ class TestLogicalOptimizer:
         assert "equijoin" in text
         assert "scan R" in text
 
+    def test_two_way_natural_join_stays_equijoin(self, db):
+        # A plain two-way natural join keeps the direct LEquiJoin shape
+        # (no extra projection over dropped right columns).
+        plan = compile_plan(
+            join(rename(relation("R"), "A", ("a", "b")), rename(relation("S"), "B", ("b", "c"))),
+            db.schema,
+        )
+        assert type(plan).__name__ == "LEquiJoin"
+
+    def test_natural_join_chain_flattens_to_multijoin(self, db):
+        # Chains of natural joins collapse into one n-ary multijoin (with
+        # a projection restoring the natural-join layout), so the planner
+        # orders the whole chain by cardinality estimate.
+        chain = join(
+            join(
+                rename(relation("R"), "A", ("a", "b")),
+                rename(relation("S"), "B", ("b", "c")),
+            ),
+            rename(relation("T"), "C", ("b",)),
+        )
+        plan = compile_plan(chain, db.schema)
+        assert isinstance(plan, LProject)
+        assert isinstance(plan.child, LMultiJoin)
+        assert len(plan.child.factors) == 3
+        # Both join equalities survive as multijoin pairs over the
+        # concatenated layout: R.b = S.b (1=2) and R.b = T.b (1=4).
+        assert set(plan.child.pairs) == {(1, 2), (3, 4)} or set(plan.child.pairs) == {
+            (1, 2),
+            (1, 4),
+        }
+
+    def test_natural_join_chain_reordered_by_estimate(self):
+        # The smallest factor should be joined first even when it appears
+        # last in the chain — the behaviour Product chains already had.
+        big = Relation.create("Big", [(i, i % 7) for i in range(60)], attributes=("a", "b"))
+        mid = Relation.create("Mid", [(i % 7, i % 3) for i in range(25)], attributes=("b", "c"))
+        tiny = Relation.create("Tiny", [(0, 1)], attributes=("c", "d"))
+        database = Database.from_relations([big, mid, tiny])
+        chain = join(join(relation("Big"), relation("Mid")), relation("Tiny"))
+        plan = compile_plan(chain, database.schema)
+        assert isinstance(plan, LProject) and isinstance(plan.child, LMultiJoin)
+        assert lower(plan, database) is not None
+        # Correctness seals the join-order permutation and the final
+        # layout-restoring projection.
+        assert chain.evaluate(database, engine="plan") == chain.evaluate(
+            database, engine="interpreter"
+        )
+
+    def test_mixed_product_and_natural_join_chain_agrees(self, db):
+        query = join(
+            product(rename(relation("T"), "P", ("t",)), rename(relation("R"), "A", ("a", "b"))),
+            rename(relation("S"), "B", ("b", "c")),
+        )
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LProject) and isinstance(plan.child, LMultiJoin)
+        assert len(plan.child.factors) == 3
+        assert query.evaluate(db, engine="plan") == query.evaluate(db, engine="interpreter")
+
 
 class TestExecution:
     def test_common_subexpression_runs_once(self, db):
@@ -181,11 +239,13 @@ class TestExecution:
         clear_plan_cache()
         assert execute(query, db) == first
 
-    def test_plan_cache_clear_empties_condition_kernel(self):
+    def test_plan_cache_clear_evicts_cold_conditions_keeps_hot(self):
         # Long-running services reset every engine-level cache through
-        # clear_plan_cache(); the condition kernel's intern/memo tables
-        # must empty with it or they grow without bound.
-        from repro.datamodel import Null
+        # clear_plan_cache().  The condition kernel uses an epoch-based
+        # eviction policy there: conditions touched since the previous
+        # clear survive (still canonical), untouched ones are evicted, and
+        # a condition untouched for a full epoch disappears entirely.
+        from repro.datamodel import Null, clear_condition_kernel
         from repro.datamodel.condition_kernel import (
             kernel_and,
             kernel_eq,
@@ -193,14 +253,34 @@ class TestExecution:
             kernel_stats,
         )
 
+        clear_condition_kernel()
         x, y = Null("x"), Null("y")
         left, right = kernel_eq(x, 1), kernel_eq(y, 2)
-        kernel_and(left, right)
+        conjunction = kernel_and(left, right)
         kernel_or(left, right)
         stats = kernel_stats()
         assert stats["interned"] > 0
         assert stats["and_memo"] > 0 and stats["or_memo"] > 0
+
+        # Everything was touched in the epoch now ending: all survive, and
+        # identity (canonicity) is preserved across the clear.
         clear_plan_cache()
+        assert kernel_stats()["interned"] == stats["interned"]
+        assert kernel_eq(x, 1) is left
+        assert kernel_and(left, right) is conjunction
+
+        # New epoch: touch only `left`.  The next clear keeps it (and the
+        # conjunction's members it reaches) but evicts the untouched
+        # disjunction, whose memo entry must go with it.
+        clear_plan_cache()  # ends the epoch in which left/conjunction were touched
+        kernel_eq(x, 1)  # touch `left` only in the current epoch
+        clear_plan_cache()
+        assert kernel_eq(x, 1) is left  # hot condition still canonical
+        assert kernel_stats()["or_memo"] == 0  # cold disjunction evicted
+        assert kernel_eq(y, 2) is not right  # cold atom was re-interned fresh
+
+        # The full wipe remains available for tests and benchmarks.
+        clear_condition_kernel()
         assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
 
     def test_unknown_engine_rejected(self, db):
