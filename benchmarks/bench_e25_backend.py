@@ -137,6 +137,69 @@ def _child_load_sqlite():
     os._exit(code)
 
 
+def _child_cursor_stream():
+    """Child target: stream a 600k-row *answer* through a session cursor.
+
+    Exit code 0 means a Session loaded the scale workload out of core and
+    then consumed the full 600k-row answer through ``Query.cursor()``
+    under the same address-space cap — which is only possible because the
+    cursor never materializes the result ``Relation`` (the materialized
+    relation alone needs several times the cap margin; ``gate:scale``
+    proves that side).  1/2/3 are load/count/stream failures.
+    """
+    _cap_address_space(CAP_MARGIN_BYTES)
+    import repro
+    from repro.algebra.ast import relation as rel
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro_e25c_"), "cursor.sqlite")
+    code = 1
+    try:
+        with repro.connect(engine="sqlite", backend_path=path) as session:
+            session.create_schema(_scale_schema())
+            written = session.load_rows("Big", scale_rows(SCALE_ROWS))
+            if written != SCALE_ROWS:
+                code = 2
+            else:
+                count = 0
+                for _ in session.query(rel("Big")).cursor(batch_size=10_000):
+                    count += 1
+                code = 0 if count == SCALE_ROWS else 3
+    except MemoryError:
+        code = 4
+    finally:
+        try:
+            os.remove(path)
+            os.rmdir(os.path.dirname(path))
+        except OSError:
+            pass
+    os._exit(code)
+
+
+def run_cursor_gate(budget_seconds=SCALE_BUDGET_SECONDS):
+    """The e25 streaming gate (``gate:cursor`` in ``run_all.py --check``).
+
+    Passes when the capped child streams the full 600k-row answer through
+    ``Session.query(...).cursor()``; a cursor that materialized the
+    result relation would die on the same ``MemoryError`` the in-memory
+    load does in ``gate:scale``.
+    """
+    if sys.platform not in ("linux", "darwin"):
+        return {"passed": True, "note": "skipped: RLIMIT_AS unavailable on this platform"}
+    exit_code, seconds = _run_capped(_child_cursor_stream, budget_seconds)
+    return {
+        "passed": exit_code == 0,
+        "rows": SCALE_ROWS,
+        "cap_margin_bytes": CAP_MARGIN_BYTES,
+        "cursor_exit": exit_code,
+        "cursor_seconds": seconds,
+        "note": (
+            "session cursor streamed the full answer under the memory cap"
+            if exit_code == 0
+            else f"cursor child exit {exit_code}"
+        ),
+    }
+
+
 def _run_capped(target, budget_seconds):
     """Fork ``target``; return ``(exit_code, seconds)``; kill at budget."""
     import multiprocessing
@@ -206,6 +269,23 @@ def test_sqlite_matches_inmemory_on_bench_workload():
     assert QUERY.evaluate(database, engine="sqlite") == QUERY.evaluate(
         database, engine="plan"
     )
+
+
+def test_cursor_gate_streams_the_scale_answer(report):
+    verdict = run_cursor_gate()
+    report(
+        "E25: session-cursor streaming gate",
+        ["rows", "cap margin (MB)", "cursor", "seconds"],
+        [
+            [
+                verdict.get("rows", "-"),
+                CAP_MARGIN_BYTES // (1024 * 1024),
+                "streamed" if verdict.get("cursor_exit") == 0 else "FAILED",
+                f"{verdict.get('cursor_seconds', 0):.1f}",
+            ]
+        ],
+    )
+    assert verdict["passed"], verdict
 
 
 def test_scale_gate_sqlite_completes_where_inmemory_cannot(report):

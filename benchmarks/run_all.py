@@ -155,23 +155,29 @@ def measure_bounded(target: Callable[[], Any], budget_seconds: float) -> Dict[st
 def scenario_e01() -> Dict[str, Any]:
     """Unpaid orders (Section 1): difference of projections, largest size.
 
-    Also runs the SQL-side comparison — the three-valued query that loses
-    answers — on both the by-the-book Python evaluator and the real SQLite
-    engine behind the new backend bridge.
+    Runs through the session API: one session per engine, each owning its
+    plan cache and backend.  Also runs the SQL-side comparison — the
+    three-valued query that loses answers — on both the by-the-book
+    Python evaluator and the real SQLite engine behind the backend bridge.
     """
+    import repro
     from repro.core import sound_certain_answers
-    from repro.sqlnulls import parse_sql, run_sql
+    from repro.sqlnulls import parse_sql
     from repro.workloads import orders_payments
 
     database = orders_payments(num_orders=40, num_payments=8, null_fraction=0.4, seed=7)
     query = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
     sql_query = parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
+    plan_q = repro.connect(database, engine="plan").query(query)
+    seed_q = repro.connect(database, engine="interpreter").query(query)
+    python_session = repro.connect(database, engine="plan")
+    sqlite_session = repro.connect(database, engine="sqlite")
     return {
-        "engine:query": measure(lambda: query.evaluate(database, engine="plan")),
-        "seed:query": measure(lambda: query.evaluate(database, engine="interpreter")),
+        "engine:query": measure(plan_q.answer_object),
+        "seed:query": measure(seed_q.answer_object),
         "sound_evaluation": measure(lambda: sound_certain_answers(query, database)),
-        "sql3vl_python": measure(lambda: run_sql(database, sql_query)),
-        "sql3vl_sqlite": measure(lambda: run_sql(database, sql_query, backend="sqlite")),
+        "sql3vl_python": measure(lambda: python_session.sql(sql_query)),
+        "sql3vl_sqlite": measure(lambda: sqlite_session.sql(sql_query)),
     }
 
 
@@ -218,8 +224,8 @@ def scenario_e18() -> Dict[str, Any]:
 
 
 def scenario_e02() -> Dict[str, Any]:
+    import repro
     from repro.datamodel import Database, Null, Relation
-    from repro.semantics import certain_boolean
 
     query = parse_ra("diff(R, S)")
     database = Database.from_relations(
@@ -228,11 +234,10 @@ def scenario_e02() -> Dict[str, Any]:
             Relation.create("S", [(Null("s0"),)], attributes=("A",)),
         ]
     )
+    handle = repro.connect(database, semantics="cwa").query(query)
     return {
-        "naive_difference": measure(lambda: query.evaluate(database)),
-        "certain_nonempty_enumeration": measure(
-            lambda: certain_boolean(lambda w: bool(query.evaluate(w)), database, "cwa")
-        ),
+        "naive_difference": measure(handle.answer_object),
+        "certain_nonempty_enumeration": measure(handle.boolean),
     }
 
 
@@ -251,7 +256,13 @@ def scenario_e04() -> Dict[str, Any]:
 
 
 def scenario_e07() -> Dict[str, Any]:
-    """C-table algebra: planned kernel path vs seed interpreter, plus enumeration."""
+    """C-table algebra: planned kernel path vs seed interpreter, plus enumeration.
+
+    The planned path runs through a session, so the conditions are
+    composed in the *session's* kernel and plans live in the session's
+    cache; the seed interpreter path stays as the oracle.
+    """
+    import repro
     from repro.algebra import CTableDatabase, ctable_evaluate
     from repro.datamodel import Database, Null, Relation
     from repro.semantics import answer_space, default_domain
@@ -270,15 +281,16 @@ def scenario_e07() -> Dict[str, Any]:
     ctdb = CTableDatabase.from_database(database)
     domain = default_domain(database)
 
+    session = repro.connect(engine="plan")
     dense = _dense_ctdb(*DENSE_CASES[-1])  # largest dense-join case
     return {
         "engine:ctable_dense_join": measure(
-            lambda: ctable_evaluate(DENSE_QUERY, dense, engine="plan")
+            lambda: session.evaluate_ctable(DENSE_QUERY, dense)
         ),
         "seed:ctable_dense_join": measure(
             lambda: ctable_evaluate(DENSE_QUERY, dense, engine="interpreter")
         ),
-        "ctable_algebra": measure(lambda: ctable_evaluate(query, ctdb)),
+        "ctable_algebra": measure(lambda: session.evaluate_ctable(query, ctdb)),
         "world_enumeration": measure(
             lambda: answer_space(query.evaluate, database, "cwa", domain)
         ),
@@ -286,17 +298,15 @@ def scenario_e07() -> Dict[str, Any]:
 
 
 def scenario_e08() -> Dict[str, Any]:
-    from repro.algebra import naive_certain_answers
-    from repro.core import certain_answers_intersection
+    import repro
     from repro.workloads import random_database
 
     query = parse_ra("project[#0](select[#1 = #2](product(R0, project[#0](R1))))")
     database = random_database(num_relations=2, arity=2, rows_per_relation=6, num_nulls=3, seed=11)
+    handle = repro.connect(database, semantics="cwa").query(query)
     return {
-        "naive_join_query": measure(lambda: naive_certain_answers(query, database)),
-        "enumeration_join_query": measure(
-            lambda: certain_answers_intersection(query, database, "cwa")
-        ),
+        "naive_join_query": measure(lambda: handle.certain(method="naive")),
+        "enumeration_join_query": measure(lambda: handle.certain(method="enumeration")),
     }
 
 
@@ -429,23 +439,35 @@ def scenario_e24() -> Dict[str, Any]:
 
 
 def scenario_e25(include_gates: bool = True) -> Dict[str, Any]:
-    """SQL backend: warm-cache throughput vs in-memory, plus the gates.
+    """SQL backend through sessions: warm throughput, plus the three gates.
 
     The workload sizes here fit in memory (for the comparison); the
     ``gate:scale`` op runs the out-of-core check in capped children —
-    SQLite must complete a load the in-memory path cannot.
+    SQLite must complete a load the in-memory path cannot — and
+    ``gate:cursor`` streams the full 600k-row *answer* through
+    ``Session.query(...).cursor()`` under the same cap, proving the
+    cursor never materializes the result relation.
     ``include_gates=False`` re-measures only the timed ops (the
     ``--compare`` retry path: gates carry no timing, so re-forking the
     capped children to re-check a timing flap would be pure waste).
     """
-    from bench_e25_backend import MODERATE_SIZES, QUERY, moderate_database, run_scale_gate
+    import repro
+    from bench_e25_backend import (
+        MODERATE_SIZES,
+        QUERY,
+        moderate_database,
+        run_cursor_gate,
+        run_scale_gate,
+    )
 
     database = moderate_database(MODERATE_SIZES[-1])
-    in_memory = QUERY.evaluate(database, engine="plan")
-    through_sqlite = QUERY.evaluate(database, engine="sqlite")  # loads + compiles once
+    plan_q = repro.connect(database, engine="plan").query(QUERY)
+    sqlite_q = repro.connect(database, engine="sqlite").query(QUERY)
+    in_memory = plan_q.answer_object()
+    through_sqlite = sqlite_q.answer_object()  # loads + compiles once
     ops: Dict[str, Any] = {
-        "inmemory_query": measure(lambda: QUERY.evaluate(database, engine="plan")),
-        "sqlite_warm_query": measure(lambda: QUERY.evaluate(database, engine="sqlite")),
+        "inmemory_query": measure(plan_q.answer_object),
+        "sqlite_warm_query": measure(sqlite_q.answer_object),
     }
     if include_gates:
         ops["gate:correctness"] = {
@@ -453,6 +475,7 @@ def scenario_e25(include_gates: bool = True) -> Dict[str, Any]:
             "note": "engine='sqlite' equals the physical engine on the e25 workload",
         }
         ops["gate:scale"] = run_scale_gate()
+        ops["gate:cursor"] = run_cursor_gate()
     return ops
 
 

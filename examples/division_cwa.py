@@ -17,8 +17,9 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.algebra import classify, naive_certain_answers, parse_ra
-from repro.core import certain_answers_intersection, explain_method
+import repro
+from repro.algebra import classify, parse_ra
+from repro.core import explain_method
 from repro.datamodel import Database, Null, Relation
 from repro.logic import ra_to_calculus
 
@@ -55,8 +56,10 @@ def main():
     print("Naive evaluation trustworthy under CWA?", explain_method(query, "cwa"))
     print("Naive evaluation trustworthy under OWA?", explain_method(query, "owa"))
 
-    naive = naive_certain_answers(query, database)
-    exact = certain_answers_intersection(query, database, semantics="cwa")
+    session = repro.connect(database, semantics="cwa")
+    handle = session.query(query)
+    naive = handle.certain(method="naive")
+    exact = handle.certain(method="enumeration")
     print("\nStudents certainly taking every course (naive):", sorted(naive.rows))
     print("Students certainly taking every course (exact):", sorted(exact.rows))
     assert naive.rows == exact.rows
@@ -69,9 +72,8 @@ def main():
     # Under OWA the division answer would not be certain: a world may add a
     # course nobody heard of.  Show the contrast on fully complete data.
     complete = database.map_values(lambda v: "os" if isinstance(v, Null) else v)
-    owa_exact = certain_answers_intersection(
-        query, complete, semantics="owa", max_extra_facts=1
-    )
+    owa_session = repro.connect(complete, semantics="owa")
+    owa_exact = owa_session.query(query).certain(method="enumeration", max_extra_facts=1)
     print("\nOn complete data, certain answers under OWA:", sorted(owa_exact.rows))
     print("(empty: an open world might always contain one more course)")
 

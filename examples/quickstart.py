@@ -4,9 +4,11 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds a small incomplete database (marked nulls), shows how SQL
-three-valued logic, naive evaluation, and certain answers differ, and how
-the library picks a correct evaluation strategy automatically.
+The script builds a small incomplete database (marked nulls), opens a
+*session* — the library's connection-style entry point owning all
+evaluation state — and shows how SQL three-valued logic, naive
+evaluation, and certain answers differ, and how the session picks a
+correct evaluation strategy automatically.
 """
 
 import os
@@ -14,15 +16,9 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
+import repro
 from repro.algebra import parse_ra
-from repro.core import (
-    certain_answers,
-    certain_answers_intersection,
-    certain_answers_naive,
-    explain_method,
-)
 from repro.datamodel import Database, Null, Relation
-from repro.sqlnulls import parse_sql, run_sql
 
 
 def main():
@@ -48,39 +44,55 @@ def main():
     print(database.to_table())
 
     # ------------------------------------------------------------------
-    # 2. A positive query: which employees certainly have a manager?
+    # 2. Open a session.  It owns the engine choice, the plan cache, the
+    #    condition kernel and (for engine="sqlite") the backend handle.
     # ------------------------------------------------------------------
-    query = parse_ra("project[emp](join(Works, Boss))")
-    print("\nQuery:", query)
-    print("Naive certain answers  :", sorted(certain_answers_naive(query, database).rows))
-    print("Exact certain answers  :", sorted(certain_answers_intersection(query, database, semantics='cwa').rows))
-    print("Method chosen by 'auto':", explain_method(query, "cwa"))
+    session = repro.connect(database, engine="plan", semantics="cwa")
 
     # ------------------------------------------------------------------
-    # 3. Both departments certainly share a manager (the null is marked!).
+    # 3. A positive query: which employees certainly have a manager?
     # ------------------------------------------------------------------
-    same_manager = parse_ra(
-        "project[#0](select[#1 = #3](product(Boss, Boss)))"
-    )
-    answers = certain_answers(same_manager, database, semantics="cwa")
+    q = session.query(parse_ra("project[emp](join(Works, Boss))"))
+    print("\nQuery:", q.expression)
+    print("Naive certain answers  :", sorted(q.certain(method="naive").rows))
+    print("Exact certain answers  :", sorted(q.certain(method="enumeration").rows))
+    print("Plan (explain):")
+    print(q.explain())
+
+    # ------------------------------------------------------------------
+    # 4. Both departments certainly share a manager (the null is marked!).
+    # ------------------------------------------------------------------
+    same_manager = session.query(parse_ra("project[#0](select[#1 = #3](product(Boss, Boss)))"))
     print("\nDepartments certainly sharing a manager with some department:",
-          sorted(answers.rows))
+          sorted(same_manager.certain().rows))
 
     # ------------------------------------------------------------------
-    # 4. Negation: who certainly works outside 'it'? The library refuses to
-    #    trust naive evaluation and falls back to world enumeration.
+    # 5. Negation: who certainly works outside 'it'?  The session refuses
+    #    to trust naive evaluation and falls back to world enumeration —
+    #    explain() shows the verdict before anything runs.
     # ------------------------------------------------------------------
-    outside_it = parse_ra("diff(project[emp](Works), project[emp](select[dept = 'it'](Works)))")
-    print("\nQuery:", outside_it)
-    print("Method verdict:", explain_method(outside_it, "cwa"))
-    print("Certain answers:", sorted(certain_answers(outside_it, database, semantics="cwa").rows))
+    outside_it = session.query(
+        parse_ra("diff(project[emp](Works), project[emp](select[dept = 'it'](Works)))")
+    )
+    print("\nQuery:", outside_it.expression)
+    print(outside_it.explain().splitlines()[2])  # the certain() verdict line
+    print("Certain answers:", sorted(outside_it.certain().rows))
 
     # ------------------------------------------------------------------
-    # 5. What SQL would have said (three-valued logic, unmarked nulls).
+    # 6. What SQL would have said (three-valued logic, unmarked nulls).
     # ------------------------------------------------------------------
-    sql = parse_sql("SELECT emp FROM Works WHERE dept NOT IN (SELECT dept FROM Boss)")
-    print("\nSQL 'departments without a boss entry' →", run_sql(database, sql))
+    rows = session.sql("SELECT emp FROM Works WHERE dept NOT IN (SELECT dept FROM Boss)")
+    print("\nSQL 'departments without a boss entry' →", rows)
     print("(empty, as always when the subquery could be hiding the value)")
+
+    # ------------------------------------------------------------------
+    # 7. Streaming: answers come off a cursor in batches, so results
+    #    larger than memory never materialize (pair with engine="sqlite"
+    #    and a backend_path for out-of-core work).
+    # ------------------------------------------------------------------
+    with repro.connect(database, engine="sqlite") as sqlite_session:
+        streamed = list(sqlite_session.query(parse_ra("Works")).cursor(batch_size=2))
+        print("\nStreamed through a cursor:", sorted(streamed))
 
 
 if __name__ == "__main__":

@@ -4,9 +4,11 @@ Run with::
 
     python examples/unpaid_orders.py
 
-Reproduces the unpaid-orders example: the textbook SQL query silently
-returns nothing, the tautological filter drops the null row, and the
-certain-answer machinery explains what can and cannot be trusted.
+Reproduces the unpaid-orders example through the session API: the
+textbook SQL query silently returns nothing, the tautological filter
+drops the null row, and the certain-answer machinery — one lazy
+``Query`` handle, four modes of answering — explains what can and cannot
+be trusted.
 """
 
 import os
@@ -14,11 +16,10 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
+import repro
 from repro.algebra import parse_ra
-from repro.core import certain_answers_intersection, possible_answers, sound_certain_answers
+from repro.core import sound_certain_answers
 from repro.datamodel import Database, Null, Relation
-from repro.semantics import certain_boolean
-from repro.sqlnulls import parse_sql, run_sql
 
 
 def build_database():
@@ -39,40 +40,41 @@ def main():
     print("The database of the paper's introduction:\n")
     print(database.to_table())
 
+    # One session for the Python 3VL oracle, one on real SQLite.
+    session = repro.connect(database, semantics="cwa")
+    sqlite_session = repro.connect(database, engine="sqlite", semantics="cwa")
+
     # ------------------------------------------------------------------
     # What the student writes, and what SQL answers.
     # ------------------------------------------------------------------
-    sql_unpaid = parse_sql("SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
-    print("\nSQL: SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)")
-    print("SQL answer:", run_sql(database, sql_unpaid), " ← nobody gets chased for payment!")
+    sql_unpaid = "SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)"
+    print("\nSQL:", sql_unpaid)
+    print("SQL answer:", session.sql(sql_unpaid), " ← nobody gets chased for payment!")
     print(
         "Real SQLite agrees:",
-        run_sql(database, sql_unpaid, backend="sqlite"),
+        sqlite_session.sql(sql_unpaid),
         " ← not a simulation artifact",
     )
 
-    sql_tautology = parse_sql("SELECT p_id FROM Pay WHERE ord = 'oid1' OR ord <> 'oid1'")
+    sql_tautology = "SELECT p_id FROM Pay WHERE ord = 'oid1' OR ord <> 'oid1'"
     print("\nSQL: ... WHERE ord = 'oid1' OR ord <> 'oid1'")
-    print("SQL answer:", run_sql(database, sql_tautology), " ← the tautology is 'unknown' on ⊥")
+    print("SQL answer:", session.sql(sql_tautology), " ← the tautology is 'unknown' on ⊥")
 
     # ------------------------------------------------------------------
-    # What is actually certain.
+    # What is actually certain: one lazy Query, four modes of answering.
     # ------------------------------------------------------------------
-    unpaid = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
-    print("\nRelational-algebra query:", unpaid)
-
-    some_unpaid = certain_boolean(
-        lambda world: bool(unpaid.evaluate(world)), database, semantics="cwa"
+    unpaid = session.query(
+        parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
     )
-    print("Is 'there exists an unpaid order' certain?       ", some_unpaid)
+    print("\nRelational-algebra query:", unpaid.expression)
 
-    certain = certain_answers_intersection(unpaid, database, semantics="cwa")
-    print("Which specific orders are certainly unpaid?      ", sorted(certain.rows))
+    print("Is 'there exists an unpaid order' certain?       ", unpaid.boolean())
+    print("Which specific orders are certainly unpaid?      ",
+          sorted(unpaid.certain(method="enumeration").rows))
+    print("Which orders are possibly unpaid?                ",
+          sorted(unpaid.possible().rows))
 
-    possible = possible_answers(unpaid, database, semantics="cwa")
-    print("Which orders are possibly unpaid?                ", sorted(possible.rows))
-
-    sound = sound_certain_answers(unpaid, database)
+    sound = sound_certain_answers(unpaid.expression, database)
     print("Sound evaluation (never a false positive) returns", sorted(sound.rows))
 
     print(

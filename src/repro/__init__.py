@@ -42,16 +42,31 @@ The library provides:
 
 Quickstart
 ----------
+Open a session — it owns all evaluation state (engine, plan cache,
+condition kernel, backend connections) — and ask for answers in the mode
+you mean:
+
+>>> import repro
 >>> from repro import Database, Null
 >>> from repro.algebra import parse_ra
->>> from repro.core import certain_answers_naive
 >>> db = Database.from_dict({
 ...     "Order": [("oid1", "pr1"), ("oid2", "pr2")],
 ...     "Pay": [("pid1", Null("o"), 100)],
 ... })
->>> query = parse_ra("project[#0](Order)")
->>> sorted(certain_answers_naive(query, db).rows)
+>>> session = repro.connect(db)                  # engine="plan", semantics="cwa"
+>>> q = session.query(parse_ra("project[#0](Order)"))
+>>> sorted(q.certain().rows)
 [('oid1',), ('oid2',)]
+>>> q.answer_object().name                       # certainO: nulls included
+'Order'
+
+Sessions are isolated: two sessions with different engines (or the
+``"sqlite"`` backend, or different semantics) coexist in one process
+without sharing any cache state.  ``session.query(...).cursor()`` streams
+answers in batches straight off the SQLite backend, and
+``session.sql("SELECT ...")`` runs three-valued SQL.  See ``docs/api.md``
+for the Session/Query/Cursor lifecycle and the migration map from the
+deprecated module-level entry points (``certain_answers`` and friends).
 """
 
 from .datamodel import (
@@ -64,17 +79,23 @@ from .datamodel import (
     RelationSchema,
     Valuation,
 )
+from .session import Cursor, Query, Session, connect, default_session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConditionalTable",
     "ConstantPool",
+    "Cursor",
     "Database",
     "DatabaseSchema",
     "Null",
+    "Query",
     "Relation",
     "RelationSchema",
+    "Session",
     "Valuation",
     "__version__",
+    "connect",
+    "default_session",
 ]

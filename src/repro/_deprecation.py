@@ -1,0 +1,29 @@
+"""One warning helper for every legacy entry point kept as a shim.
+
+The session API (:mod:`repro.session`) replaced the four historical ways
+of asking a query — ``RAExpression.evaluate(engine=)``,
+``certain_answers(...)``, ``certain_answers_enumeration(...)``,
+``run_sql(..., backend=)`` — and the process-wide engine globals.  The old
+callables keep working as thin shims over the process-default session,
+but each call emits exactly one :class:`DeprecationWarning` through this
+helper (the shims delegate to non-warning internals, so nested shims can
+never warn twice for one user call).  ``docs/api.md`` holds the full
+old-call → new-call map.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the deprecated
+    shim (helper frame + shim frame), which is where the fix belongs.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

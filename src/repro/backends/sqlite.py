@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 import sqlite3
 from collections import OrderedDict
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
@@ -136,6 +136,36 @@ class SQLiteBackend(Backend):
             self.load_rows(relation.name, relation.rows)
         self._database = database
 
+    def replace_database(self, database: Database) -> None:
+        """Point this backend at a different :class:`Database` instance.
+
+        The first step of the ROADMAP "persistent backend" item: a session
+        keeps *one* live connection across queries, and switching to
+        another database reuses it instead of opening/loading a fresh
+        backend.  When the new instance shares the current schema, the
+        tables are emptied and refilled — DDL, created indexes and the
+        connection survive; a different schema drops every table first.
+        """
+        if self._schema is None:
+            self.load_database(database)
+            return
+        cursor = self._connection.cursor()
+        if database.schema == self._schema:
+            for relation in self._schema:
+                cursor.execute(f"DELETE FROM {table_name(relation.name)}")
+        else:
+            for relation in self._schema:
+                cursor.execute(f"DROP TABLE IF EXISTS {table_name(relation.name)}")
+            cursor.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
+            self._schema = None
+            self._indexes.clear()
+            self._adom_ready = False
+        cursor.close()
+        self._connection.commit()
+        self._plans.clear()
+        self._database = None
+        self.load_database(database)
+
     def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
         if self._schema is None or name not in self._schema:
             raise BackendError(f"unknown relation {name!r}; create the schema first")
@@ -216,7 +246,10 @@ class SQLiteBackend(Backend):
     # ------------------------------------------------------------------
     # plan execution
     # ------------------------------------------------------------------
-    def evaluate(self, expression: RAExpression) -> Relation:
+    def _plan_for(
+        self, expression: RAExpression, plan_cache: Optional[Any] = None
+    ) -> Tuple[CompiledPlan, RelationSchema]:
+        """The compiled SQL plan and output schema for ``expression`` (cached)."""
         if self._schema is None:
             raise BackendError("no database loaded")
         entry = self._plans.get(expression)
@@ -225,7 +258,11 @@ class SQLiteBackend(Backend):
             out_schema = expression.output_schema(schema)
             # Reuse the planner's (expression, schema) logical-plan cache:
             # the SQL path optimizes exactly once with the in-memory one.
-            logical = _planner.compile_plan(expression, schema)
+            # Sessions pass their own PlanCache so plans stay per-session.
+            if plan_cache is None:
+                logical = _planner.compile_plan(expression, schema)
+            else:
+                logical = plan_cache.compile(expression, schema)
             # Join ordering costs against the in-memory instance when one
             # is attached, else against SQL COUNT(*) statistics — the
             # out-of-core case, where no Database object ever exists.
@@ -242,6 +279,12 @@ class SQLiteBackend(Backend):
             self._ensure_adom()
         for name, positions in plan.index_requests:
             self.ensure_index(name, positions)
+        return plan, out_schema
+
+    def evaluate(
+        self, expression: RAExpression, plan_cache: Optional[Any] = None
+    ) -> Relation:
+        plan, out_schema = self._plan_for(expression, plan_cache)
         cursor = self._connection.cursor()
         try:
             for statement, params in plan.setup:
@@ -255,6 +298,42 @@ class SQLiteBackend(Backend):
         return Relation._from_trusted(
             out_schema, frozenset(decode_row(row) for row in rows)
         )
+
+    def execute_cursor(
+        self,
+        expression: RAExpression,
+        batch_size: int = 1024,
+        plan_cache: Optional[Any] = None,
+    ) -> Iterator[Tuple[Any, ...]]:
+        """Stream the answer rows of ``expression``, decoded, batch by batch.
+
+        Unlike :meth:`evaluate` this never materializes the result set on
+        the Python side — rows are pulled from SQLite with ``fetchmany``
+        and yielded one at a time, so a query whose answer is larger than
+        memory can still be consumed incrementally (this is what
+        :meth:`repro.session.Query.cursor` rides on).  The plan's
+        temp-table teardown runs when the stream is exhausted *or* the
+        generator is closed early, so abandoning a cursor cannot leak
+        spilled intermediates.  Rows are distinct: the generated SQL keeps
+        set semantics, so no Python-side dedup set is needed.
+        """
+        plan, out_schema = self._plan_for(expression, plan_cache)
+        decode_row = self.codec.decode_row
+        cursor = self._connection.cursor()
+        try:
+            for statement, params in plan.setup:
+                cursor.execute(statement, params)
+            cursor.execute(plan.query, plan.params)
+            while True:
+                batch = cursor.fetchmany(batch_size)
+                if not batch:
+                    break
+                for row in batch:
+                    yield decode_row(row)
+        finally:
+            for statement in plan.teardown:
+                cursor.execute(statement)
+            cursor.close()
 
 
 class _RelationStats:

@@ -21,7 +21,12 @@ from .answers import (
     certain_answers,
     certain_answers_intersection,
     certain_answers_naive,
+    certain_strategy,
+    enumeration_strategy,
     explain_method,
+    knowledge_strategy,
+    naive_strategy,
+    object_strategy,
     possible_answers,
 )
 from .certainty import (
@@ -89,7 +94,12 @@ __all__ = [
     "certain_answers_naive",
     "certain_knowledge_formula",
     "certain_object_owa",
+    "certain_strategy",
     "cwa_leq",
+    "enumeration_strategy",
+    "knowledge_strategy",
+    "naive_strategy",
+    "object_strategy",
     "cwa_representation_system",
     "evaluate_pair",
     "evaluate_query",

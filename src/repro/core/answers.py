@@ -1,39 +1,51 @@
-"""The user-facing certain-answer API.
+"""Certain-answer strategies, and the deprecated pre-session entry points.
 
 Three ways of answering a query ``Q`` over an incomplete database ``D``:
 
-* :func:`certain_answers_naive` — the paper's recipe for the well-behaved
+* :func:`naive_strategy` — the paper's recipe for the well-behaved
   classes (eq. (4)): naive evaluation followed by dropping tuples with
   nulls; cheap (same cost as ordinary evaluation).
-* :func:`certain_answers_intersection` — the classical definition (eq. (1))
+* :func:`enumeration_strategy` — the classical definition (eq. (1))
   computed literally by possible-world enumeration; exponential in the
   number of nulls, used as ground truth and as the baseline in benchmarks.
-* :func:`certain_answers` — the "do the right thing" entry point: uses
+* :func:`certain_strategy` — the "do the right thing" dispatch: uses
   naive evaluation when the query's fragment guarantees it for the chosen
   semantics, and falls back to enumeration otherwise.
 
-The object/knowledge views of certainty (eqs. (9)/(10)) are exposed as
-:func:`certain_answer_object` (the naive answer itself, nulls included)
-and :func:`certain_answer_knowledge` (its δ-formula).
+The strategies are *thin*: each takes an ``evaluator`` — a function from
+``(query, database)`` to a relation — so the caller decides which engine
+state runs the query.  :class:`repro.session.Session` passes its own
+session-scoped evaluator; the deprecated module-level wrappers
+(:func:`certain_answers` and friends, kept with their historical
+signatures) pass the process-default one and emit a
+:class:`DeprecationWarning` per call.
+
+The object/knowledge views of certainty (eqs. (9)/(10)) follow the same
+pattern: :func:`object_strategy` (the naive answer itself, nulls
+included) and :func:`knowledge_strategy` (its δ-formula).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence, Union
 
+from .._deprecation import warn_deprecated as _warn_deprecated
 from ..algebra.ast import ConstantRelation, RAExpression, Selection
 from ..datamodel import Database, Relation
 from ..datamodel.values import is_null
 from ..logic.diagrams import delta as delta_formula
 from ..logic.formulas import FOQuery, Formula
 from ..semantics.certain import (
-    certain_answers_enumeration,
-    possible_answers_enumeration,
+    enumerate_certain_answers,
+    enumerate_possible_answers,
 )
 from ..semantics.worlds import default_domain
 from .naive_evaluation import Applicability, evaluate_query, naive_evaluation_applies
 
 Query = Union[RAExpression, FOQuery]
+
+#: ``(query, database) -> Relation``: how a strategy runs the query.
+QueryEvaluator = Callable[[Query, Database], Relation]
 
 
 def query_constants(query: Query) -> set:
@@ -58,12 +70,13 @@ def query_constants(query: Query) -> set:
     return {c for c in constants if not is_null(c)}
 
 
-def _enumeration_domain(
+def enumeration_domain(
     query: Query,
     database: Database,
-    domain: Optional[Sequence[Any]],
-    extra_constants: Optional[int],
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
 ) -> Sequence[Any]:
+    """The valuation domain world enumeration should range over."""
     if domain is not None:
         return domain
     return default_domain(
@@ -71,35 +84,169 @@ def _enumeration_domain(
     )
 
 
-def certain_answers_naive(
-    query: Query, database: Database, engine: Optional[str] = None
-) -> Relation:
+def _default_evaluator(engine: Optional[str]) -> QueryEvaluator:
+    return lambda query, database: evaluate_query(query, database, engine=engine)
+
+
+def applicability_semantics(semantics: str) -> str:
+    """The semantics the naive-evaluation test should be asked about.
+
+    The syntactic criteria cover OWA and CWA; under the *weak* CWA the
+    worlds sit between the two, so a query whose naive evaluation is
+    correct under OWA (monotone UCQs — correct under every
+    homomorphism-closed semantics) is safe there as well, while the
+    CWA-only ``RA_cwa`` guarantee does not transfer.  Map ``wcwa`` to the
+    conservative ``owa`` test.
+    """
+    return "owa" if semantics == "wcwa" else semantics
+
+
+# ----------------------------------------------------------------------
+# Strategy functions (session-dispatched; no deprecation, no globals)
+# ----------------------------------------------------------------------
+def naive_strategy(query: Query, database: Database, evaluator: QueryEvaluator) -> Relation:
     """``Q(D)_cmpl``: naive evaluation, then drop tuples containing nulls.
 
     Correct (equal to the classical certain answers) for UCQs under OWA and
     CWA, and sound for the larger ``RA_cwa``/Pos∀G class under CWA.
-    ``engine`` selects the execution path (see
-    :meth:`repro.algebra.ast.RAExpression.evaluate`).
     """
-    return evaluate_query(query, database, engine=engine).complete_part()
+    return evaluator(query, database).complete_part()
+
+
+def object_strategy(query: Query, database: Database, evaluator: QueryEvaluator) -> Relation:
+    """``certainO(Q, D) = Q(D)``: the naive answer viewed as an object (eq. (9)).
+
+    Unlike :func:`naive_strategy` the result may contain nulls — dropping
+    them loses information (the paper's Section 6 example)."""
+    return evaluator(query, database)
+
+
+def knowledge_strategy(
+    query: Query, database: Database, evaluator: QueryEvaluator, semantics: str = "cwa"
+) -> Formula:
+    """``certainK(Q, D) = δ_{Q(D)}``: the knowledge-level certain answer (eq. (10))."""
+    answer = evaluator(query, database)
+    return delta_formula(
+        Database.from_relations([answer.rename("Answer")]), semantics=semantics
+    )
+
+
+def enumeration_strategy(
+    query: Query,
+    database: Database,
+    evaluator: QueryEvaluator,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+    workers: Optional[int] = None,
+    world_evaluator: Optional[Callable[[Database], Relation]] = None,
+    mode: str = "certain",
+) -> Relation:
+    """Certain (or possible) answers computed literally by world enumeration.
+
+    ``world_evaluator`` overrides the per-world callable — sessions pass a
+    *picklable* one when ``workers`` should fan out over a process pool;
+    the default closure works but forces the sequential path.
+    """
+    if world_evaluator is None:
+        world_evaluator = lambda world: evaluator(query, world)  # noqa: E731
+    resolved_domain = enumeration_domain(query, database, domain, extra_constants)
+    if mode == "certain":
+        return enumerate_certain_answers(
+            world_evaluator,
+            database,
+            semantics=semantics,
+            domain=resolved_domain,
+            extra_constants=extra_constants,
+            max_extra_facts=max_extra_facts,
+            workers=workers,
+        )
+    if mode == "possible":
+        return enumerate_possible_answers(
+            world_evaluator,
+            database,
+            semantics=semantics,
+            domain=resolved_domain,
+            extra_constants=extra_constants,
+            max_extra_facts=max_extra_facts,
+        )
+    raise ValueError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
+
+
+def certain_strategy(
+    query: Query,
+    database: Database,
+    evaluator: QueryEvaluator,
+    semantics: str = "cwa",
+    method: str = "auto",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+    workers: Optional[int] = None,
+    world_evaluator: Optional[Callable[[Database], Relation]] = None,
+) -> Relation:
+    """Certain answers with automatic method selection.
+
+    ``method`` is ``'auto'`` (naive when the fragment guarantees it,
+    enumeration otherwise), ``'naive'`` or ``'enumeration'``.
+    """
+    if method == "naive":
+        return naive_strategy(query, database, evaluator)
+    if method not in ("auto", "enumeration"):
+        raise ValueError(
+            f"unknown method {method!r}; expected 'auto', 'naive' or 'enumeration'"
+        )
+    if method == "auto":
+        verdict = naive_evaluation_applies(
+            query, semantics=applicability_semantics(semantics)
+        )
+        if verdict.applies:
+            return naive_strategy(query, database, evaluator)
+    return enumeration_strategy(
+        query,
+        database,
+        evaluator,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+        workers=workers,
+        world_evaluator=world_evaluator,
+        mode="certain",
+    )
+
+
+def explain_method(query: Query, semantics: str = "cwa") -> Applicability:
+    """The applicability verdict :func:`certain_strategy` acts on."""
+    return naive_evaluation_applies(query, semantics=applicability_semantics(semantics))
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points (historical signatures, process-default state)
+# ----------------------------------------------------------------------
+def certain_answers_naive(
+    query: Query, database: Database, engine: Optional[str] = None
+) -> Relation:
+    """Deprecated: use ``Session.query(...).certain(method="naive")``."""
+    _warn_deprecated("certain_answers_naive()", 'Session.query(...).certain(method="naive")')
+    return naive_strategy(query, database, _default_evaluator(engine))
 
 
 def certain_answer_object(
     query: Query, database: Database, engine: Optional[str] = None
 ) -> Relation:
-    """``certainO(Q, D) = Q(D)``: the naive answer viewed as an object (eq. (9)).
-
-    Unlike :func:`certain_answers_naive` the result may contain nulls —
-    dropping them loses information (the paper's Section 6 example)."""
-    return evaluate_query(query, database, engine=engine)
+    """Deprecated: use ``Session.query(...).answer_object()``."""
+    _warn_deprecated("certain_answer_object()", "Session.query(...).answer_object()")
+    return object_strategy(query, database, _default_evaluator(engine))
 
 
 def certain_answer_knowledge(
     query: Query, database: Database, semantics: str = "cwa", engine: Optional[str] = None
 ) -> Formula:
-    """``certainK(Q, D) = δ_{Q(D)}``: the knowledge-level certain answer (eq. (10))."""
-    answer = evaluate_query(query, database, engine=engine)
-    return delta_formula(Database.from_relations([answer.rename("Answer")]), semantics=semantics)
+    """Deprecated: use ``Session.query(...).knowledge()``."""
+    _warn_deprecated("certain_answer_knowledge()", "Session.query(...).knowledge()")
+    return knowledge_strategy(query, database, _default_evaluator(engine), semantics)
 
 
 def certain_answers_intersection(
@@ -111,14 +258,20 @@ def certain_answers_intersection(
     max_extra_facts: int = 1,
     engine: Optional[str] = None,
 ) -> Relation:
-    """The classical intersection-based certain answers, by world enumeration."""
-    return certain_answers_enumeration(
-        lambda world: evaluate_query(query, world, engine=engine),
+    """Deprecated: use ``Session.query(...).certain(method="enumeration")``."""
+    _warn_deprecated(
+        "certain_answers_intersection()",
+        'Session.query(...).certain(method="enumeration")',
+    )
+    return enumeration_strategy(
+        query,
         database,
+        _default_evaluator(engine),
         semantics=semantics,
-        domain=_enumeration_domain(query, database, domain, extra_constants),
+        domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
+        mode="certain",
     )
 
 
@@ -131,14 +284,17 @@ def possible_answers(
     max_extra_facts: int = 1,
     engine: Optional[str] = None,
 ) -> Relation:
-    """Tuples appearing in the answer over at least one enumerated world."""
-    return possible_answers_enumeration(
-        lambda world: evaluate_query(query, world, engine=engine),
+    """Deprecated: use ``Session.query(...).possible()``."""
+    _warn_deprecated("possible_answers()", "Session.query(...).possible()")
+    return enumeration_strategy(
+        query,
         database,
+        _default_evaluator(engine),
         semantics=semantics,
-        domain=_enumeration_domain(query, database, domain, extra_constants),
+        domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
+        mode="possible",
     )
 
 
@@ -152,50 +308,20 @@ def certain_answers(
     max_extra_facts: int = 1,
     engine: Optional[str] = None,
 ) -> Relation:
-    """Certain answers with automatic method selection.
+    """Deprecated: use ``repro.connect(db).query(q).certain()``.
 
-    Parameters
-    ----------
-    method:
-        ``'auto'`` (naive when the fragment guarantees it, enumeration
-        otherwise), ``'naive'`` (force naive evaluation) or
-        ``'enumeration'`` (force possible-world enumeration).
-    engine:
-        Execution path for relational-algebra evaluation: ``'plan'`` (the
-        optimizing engine, the default), ``'sqlite'`` (the same logical
-        plans compiled to SQL and run on SQLite — see
-        ``docs/backends.md``) or ``'interpreter'`` (the seed
-        tree-walking oracle).
+    The historical one-call entry point.  ``engine`` selects the
+    execution path exactly like the old signature did; everything else is
+    forwarded to :func:`certain_strategy`.
     """
-    if method == "naive":
-        return certain_answers_naive(query, database, engine=engine)
-    if method == "enumeration":
-        return certain_answers_intersection(
-            query,
-            database,
-            semantics=semantics,
-            domain=domain,
-            extra_constants=extra_constants,
-            max_extra_facts=max_extra_facts,
-            engine=engine,
-        )
-    if method != "auto":
-        raise ValueError(f"unknown method {method!r}; expected 'auto', 'naive' or 'enumeration'")
-
-    verdict = naive_evaluation_applies(query, semantics=semantics)
-    if verdict.applies:
-        return certain_answers_naive(query, database, engine=engine)
-    return certain_answers_intersection(
+    _warn_deprecated("certain_answers()", "repro.connect(db).query(q).certain()")
+    return certain_strategy(
         query,
         database,
+        _default_evaluator(engine),
         semantics=semantics,
+        method=method,
         domain=domain,
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
-        engine=engine,
     )
-
-
-def explain_method(query: Query, semantics: str = "cwa") -> Applicability:
-    """The applicability verdict :func:`certain_answers` would act on."""
-    return naive_evaluation_applies(query, semantics=semantics)

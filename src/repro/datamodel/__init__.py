@@ -31,6 +31,8 @@ from .conditional import (
     row_equality,
 )
 from .condition_kernel import (
+    DEFAULT_KERNEL,
+    ConditionKernel,
     clear_condition_kernel,
     evict_condition_kernel,
     intern_condition,
@@ -67,6 +69,8 @@ from .values import (
 __all__ = [
     "And",
     "Condition",
+    "ConditionKernel",
+    "DEFAULT_KERNEL",
     "ConditionalRow",
     "ConditionalTable",
     "ConstantPool",

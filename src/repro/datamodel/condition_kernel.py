@@ -7,18 +7,19 @@ implementation re-runs :meth:`Condition.simplify` on every composition.
 This module makes the condition DAG cheap to build and reuse — the same
 treatment probabilistic-database engines give their lineage formulas:
 
-* **Interning (hash-consing).**  :func:`intern_condition` maps every
+* **Interning (hash-consing).**  :meth:`ConditionKernel.intern` maps every
   condition to a canonical, simplified instance; structurally equal
   conditions become the *same* object, so composition memo tables can be
   keyed by identity instead of re-hashing whole subtrees.
-* **Memoized connectives.**  :func:`kernel_and` / :func:`kernel_or`
-  memoize pairwise composition under ``(id(a), id(b))``; :func:`kernel_not`
-  caches the negation on the node itself.  Flattening, ``true``/``false``
-  elimination and duplicate removal happen at construction, so the result
-  of a kernel constructor never needs a separate ``simplify()`` pass.
+* **Memoized connectives.**  :meth:`ConditionKernel.and_` /
+  :meth:`ConditionKernel.or_` memoize pairwise composition under
+  ``(id(a), id(b))``; :meth:`ConditionKernel.not_` caches the negation on
+  the node itself.  Flattening, ``true``/``false`` elimination and
+  duplicate removal happen at construction, so the result of a kernel
+  constructor never needs a separate ``simplify()`` pass.
 * **Cached nulls.**  :func:`kernel_nulls` computes the set of nulls
-  mentioned by a condition once per canonical node (shared frozensets,
-  no repeated set unions).
+  mentioned by a condition once per node (shared frozensets, no repeated
+  set unions); the cache is structural, hence shared by all kernels.
 * **Unsatisfiability check.**  A union-find over the equality atoms of a
   conjunction detects conditions like ``x = 1 ∧ x = 2`` or
   ``x = y ∧ y = 1 ∧ x ≠ 1`` at construction time, collapsing them to
@@ -30,14 +31,26 @@ nodes, so everything downstream (``evaluate``, ``substitute``,
 ``possible_worlds``, structural equality) keeps working; it only
 guarantees that what it returns is already simplified and canonical.
 
-Canonical nodes are held strongly by the intern table, which keeps the
-identity keys of the memo tables stable; :func:`clear_condition_kernel`
-drops every table at once (mainly for tests and benchmarks).
+Kernel state lives on :class:`ConditionKernel` instances: every
+:class:`~repro.session.Session` owns one, so two sessions never share
+intern or memo tables, and :func:`repro.connect` can bound each one
+independently through ``kernel_watermark=``.  The original module-level
+API (``kernel_eq``, ``kernel_and``, ``clear_condition_kernel``, ...)
+remains as a thin shim over the process-default instance
+:data:`DEFAULT_KERNEL`, which backs all legacy non-session entry points.
+
+Canonical nodes are held strongly by a kernel's intern table, which keeps
+the identity keys of its memo tables stable; :meth:`ConditionKernel.clear`
+drops every table at once (mainly for tests and benchmarks), and
+:meth:`ConditionKernel.evict` reclaims the conditions a whole usage epoch
+never touched.  A kernel constructed with ``watermark=n`` runs that
+eviction automatically whenever its intern table grows past ``n``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .conditional import (
     FALSE,
@@ -52,330 +65,434 @@ from .conditional import (
 )
 from .values import intern_value, is_null
 
-# canonical structural key -> canonical node (strong refs: identity keys in
-# the memo tables below stay valid exactly as long as these entries live)
-_INTERN: Dict[Tuple[Any, ...], Condition] = {}
-# (id(a), id(b)) -> (a, b, result); the operands are stored in the value so
-# their ids cannot be recycled while the entry exists
-_AND2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
-_OR2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
-
-# attribute names used for per-node caches (set with object.__setattr__
-# because condition dataclasses are frozen)
-_MARK = "_kernel_canonical"
+# Structural nulls cache: a pure function of the condition tree, hence one
+# shared attribute regardless of which kernel canonized the node.
 _NULLS = "_kernel_nulls"
-_NEG = "_kernel_negation"
-_TOUCH = "_kernel_touch"
 
 _EMPTY_NULLS: FrozenSet[Any] = frozenset()
 
-# Epoch of the intern tables.  Canonical marks and negation caches record
-# the epoch they were written under; clearing bumps it, so nodes surviving
-# from an earlier generation re-intern instead of short-circuiting on a
-# stale mark (which would silently break "structurally equal conditions
-# are the same object" across a clear).
-_EPOCH = 0
+#: Distinct per-node attribute suffixes, one per kernel instance, so the
+#: canonical marks / negation caches / touch stamps of different kernels
+#: (different sessions) can never be confused for one another.
+_KERNEL_IDS = itertools.count(1)
 
-# Usage epoch for the eviction policy.  Every creation or reuse of a
-# canonical node stamps it with the current usage epoch;
-# :func:`evict_condition_kernel` keeps exactly the nodes stamped in the
-# epoch now ending (plus their operand closure) and starts the next one.
-# Unlike ``_EPOCH``, bumping this never invalidates surviving nodes.
-_USE_EPOCH = 0
+
+class ConditionKernel:
+    """Hash-consing state for one evaluation context (typically a Session).
+
+    Parameters
+    ----------
+    watermark:
+        When set, :meth:`evict` runs automatically as soon as the intern
+        table grows past this many canonical nodes: conditions created or
+        reused in the epoch now ending survive (hot conditions keep their
+        identity), cold ones are reclaimed.  After each sweep the next
+        trigger point is ``max(watermark, 2 * kept)`` so a working set
+        larger than the watermark cannot thrash the sweep on every insert.
+    """
+
+    __slots__ = (
+        "_intern",
+        "_and2",
+        "_or2",
+        "_epoch",
+        "_use_epoch",
+        "_watermark",
+        "_trigger",
+        "auto_evictions",
+        "_mark_attr",
+        "_neg_attr",
+        "_touch_attr",
+    )
+
+    def __init__(self, watermark: Optional[int] = None, _legacy_attrs: bool = False) -> None:
+        # canonical structural key -> canonical node (strong refs: identity
+        # keys in the memo tables below stay valid exactly as long as these
+        # entries live)
+        self._intern: Dict[Tuple[Any, ...], Condition] = {}
+        # (id(a), id(b)) -> (a, b, result); the operands are stored in the
+        # value so their ids cannot be recycled while the entry exists
+        self._and2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
+        self._or2: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]] = {}
+        # Epoch of the intern tables.  Canonical marks and negation caches
+        # record the epoch they were written under; clearing bumps it, so
+        # nodes surviving from an earlier generation re-intern instead of
+        # short-circuiting on a stale mark (which would silently break
+        # "structurally equal conditions are the same object" across a
+        # clear).
+        self._epoch = 0
+        # Usage epoch for the eviction policy.  Every creation or reuse of
+        # a canonical node stamps it with the current usage epoch;
+        # :meth:`evict` keeps exactly the nodes stamped in the epoch now
+        # ending (plus their operand closure) and starts the next one.
+        # Unlike ``_epoch``, bumping this never invalidates surviving nodes.
+        self._use_epoch = 0
+        if watermark is not None and watermark < 1:
+            raise ValueError(f"kernel watermark must be >= 1, got {watermark!r}")
+        self._watermark = watermark
+        self._trigger = watermark
+        self.auto_evictions = 0
+        if _legacy_attrs:
+            # The process-default kernel keeps the attribute names the
+            # module-global implementation used, so nodes canonized before
+            # this refactor (or by pickled/copied code paths) stay valid.
+            suffix = ""
+        else:
+            suffix = f"_{next(_KERNEL_IDS)}"
+        self._mark_attr = "_kernel_canonical" + suffix
+        self._neg_attr = "_kernel_negation" + suffix
+        self._touch_attr = "_kernel_touch" + suffix
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> Optional[int]:
+        """The intern-table size past which :meth:`evict` runs automatically."""
+        return self._watermark
+
+    def clear(self) -> None:
+        """Drop the intern table and every memo table (tests/benchmarks)."""
+        self._epoch += 1
+        self._use_epoch += 1
+        self._intern.clear()
+        self._and2.clear()
+        self._or2.clear()
+        self._trigger = self._watermark
+
+    def stats(self) -> Dict[str, int]:
+        """Sizes of the kernel tables (for tests and diagnostics)."""
+        return {
+            "interned": len(self._intern),
+            "and_memo": len(self._and2),
+            "or_memo": len(self._or2),
+        }
+
+    def evict(self) -> Dict[str, int]:
+        """End the current usage epoch, evicting conditions it never touched.
+
+        Long-running services call
+        :meth:`repro.engine.planner.PlanCache.clear` as their one
+        cache-reset point; dropping the *whole* kernel there throws away
+        the very conditions the next query is about to rebuild.  This
+        eviction keeps every condition created or reused since the
+        previous eviction — the working set of the epoch now ending —
+        together with its transitive operands (a retained conjunction must
+        never reference an evicted atom), and drops the rest:
+
+        * evicted nodes lose their canonical mark (and cached negation),
+          so a structurally equal condition built later re-interns cleanly;
+        * memo entries whose operands or result were evicted are dropped,
+          so the tables cannot resurrect (or keep alive) evicted nodes.
+
+        Returns ``{"kept": ..., "evicted": ...}`` intern-table counts.
+        Conditions only *used* in an epoch survive it, so a hot condition
+        lives across arbitrarily many evictions while a condition
+        untouched for one full epoch is reclaimed.
+        """
+        ending = self._use_epoch
+        mark_attr = self._mark_attr
+        neg_attr = self._neg_attr
+        touch_attr = self._touch_attr
+        retained: set = set()
+        stack: List[Condition] = [
+            node for node in self._intern.values() if getattr(node, touch_attr, None) == ending
+        ]
+        while stack:
+            node = stack.pop()
+            if id(node) in retained:
+                continue
+            retained.add(id(node))
+            if isinstance(node, Not):
+                stack.append(node.operand)
+            elif isinstance(node, (And, Or)):
+                stack.extend(node.operands)
+            negation = getattr(node, neg_attr, None)
+            if negation is not None and negation[0] == self._epoch:
+                stack.append(negation[1])
+        survivors: Dict[Tuple[Any, ...], Condition] = {}
+        evicted = 0
+        for key, node in self._intern.items():
+            if id(node) in retained:
+                survivors[key] = node
+            else:
+                evicted += 1
+                object.__setattr__(node, mark_attr, None)
+                if getattr(node, neg_attr, None) is not None:
+                    object.__setattr__(node, neg_attr, None)
+        self._intern.clear()
+        self._intern.update(survivors)
+
+        epoch = self._epoch
+
+        def _live(condition: Condition) -> bool:
+            if isinstance(condition, (TrueCondition, FalseCondition)):
+                return True
+            return getattr(condition, mark_attr, None) == epoch
+
+        for table in (self._and2, self._or2):
+            dead = [
+                key
+                for key, (a, b, result) in table.items()
+                if not (_live(a) and _live(b) and _live(result))
+            ]
+            for key in dead:
+                del table[key]
+        self._use_epoch += 1
+        return {"kept": len(self._intern), "evicted": evicted}
+
+    # ------------------------------------------------------------------
+    # canonization plumbing
+    # ------------------------------------------------------------------
+    def _touch(self, node: Condition) -> None:
+        if getattr(node, self._touch_attr, None) != self._use_epoch:
+            object.__setattr__(node, self._touch_attr, self._use_epoch)
+
+    def _canonize(self, key: Tuple[Any, ...], node: Condition) -> Condition:
+        existing = self._intern.get(key)
+        if existing is not None:
+            self._touch(existing)
+            return existing
+        object.__setattr__(node, self._mark_attr, self._epoch)
+        self._touch(node)
+        self._intern[key] = node
+        if self._trigger is not None and len(self._intern) > self._trigger:
+            # The size watermark (ROADMAP "condition kernel growth"): end
+            # the usage epoch right here.  Everything composed so far in
+            # this epoch — including the operands of whatever condition is
+            # being built at this very moment — carries the current touch
+            # stamp, so in-flight compositions survive the sweep.
+            self.evict()
+            self.auto_evictions += 1
+            self._trigger = max(self._watermark or 1, 2 * len(self._intern))
+        return node
+
+    # ------------------------------------------------------------------
+    # Constructors: always return canonical, simplified nodes
+    # ------------------------------------------------------------------
+    def eq(self, left: Any, right: Any) -> Condition:
+        """Canonical ``left = right``, constant-folded."""
+        left = intern_value(left)
+        right = intern_value(right)
+        left_null = is_null(left)
+        right_null = is_null(right)
+        if not left_null and not right_null:
+            return TRUE if left == right else FALSE
+        if left_null and right_null and left == right:
+            return TRUE
+        key = ("eq", left, right)
+        existing = self._intern.get(key)
+        if existing is not None:
+            self._touch(existing)
+            return existing
+        return self._canonize(key, Eq(left, right))
+
+    def not_(self, operand: Condition) -> Condition:
+        """Canonical negation (double negation and constants eliminated)."""
+        if operand is TRUE:
+            return FALSE
+        if operand is FALSE:
+            return TRUE
+        operand = self.intern(operand)
+        cached = getattr(operand, self._neg_attr, None)
+        if cached is not None and cached[0] == self._epoch:
+            self._touch(cached[1])
+            return cached[1]
+        if isinstance(operand, TrueCondition):
+            result: Condition = FALSE
+        elif isinstance(operand, FalseCondition):
+            result = TRUE
+        elif isinstance(operand, Not):
+            result = operand.operand  # already canonical
+        else:
+            result = self._canonize(("not", id(operand)), Not(operand))
+        object.__setattr__(operand, self._neg_attr, (self._epoch, result))
+        return result
+
+    def conjunction(self, operands: Iterable[Condition]) -> Condition:
+        """Canonical conjunction: flattened, deduplicated, unsat-checked."""
+        flat: List[Condition] = []
+        seen: set = set()
+        for op in operands:
+            op = self.intern(op)
+            if isinstance(op, FalseCondition):
+                return FALSE
+            if isinstance(op, TrueCondition):
+                continue
+            if isinstance(op, And):
+                members: Tuple[Condition, ...] = op.operands
+            else:
+                members = (op,)
+            for member in members:
+                marker = id(member)
+                if marker not in seen:
+                    seen.add(marker)
+                    flat.append(member)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        if _equalities_unsatisfiable(flat):
+            return FALSE
+        key = ("and", tuple(id(op) for op in flat))
+        existing = self._intern.get(key)
+        if existing is not None:
+            self._touch(existing)
+            return existing
+        return self._canonize(key, And(tuple(flat)))
+
+    def disjunction(self, operands: Iterable[Condition]) -> Condition:
+        """Canonical disjunction: flattened, deduplicated, constants removed."""
+        flat: List[Condition] = []
+        seen: set = set()
+        for op in operands:
+            op = self.intern(op)
+            if isinstance(op, TrueCondition):
+                return TRUE
+            if isinstance(op, FalseCondition):
+                continue
+            if isinstance(op, Or):
+                members: Tuple[Condition, ...] = op.operands
+            else:
+                members = (op,)
+            for member in members:
+                marker = id(member)
+                if marker not in seen:
+                    seen.add(marker)
+                    flat.append(member)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        key = ("or", tuple(id(op) for op in flat))
+        existing = self._intern.get(key)
+        if existing is not None:
+            self._touch(existing)
+            return existing
+        return self._canonize(key, Or(tuple(flat)))
+
+    def and_(self, a: Condition, b: Condition) -> Condition:
+        """Memoized binary conjunction of canonical conditions."""
+        if a is TRUE:
+            return self.intern(b)
+        if b is TRUE:
+            return self.intern(a)
+        if a is FALSE or b is FALSE:
+            return FALSE
+        key = (id(a), id(b))
+        hit = self._and2.get(key)
+        if hit is not None:
+            self._touch(a)
+            self._touch(b)
+            self._touch(hit[2])
+            return hit[2]
+        result = self.conjunction((a, b))
+        self._and2[key] = (a, b, result)
+        return result
+
+    def or_(self, a: Condition, b: Condition) -> Condition:
+        """Memoized binary disjunction of canonical conditions."""
+        if a is FALSE:
+            return self.intern(b)
+        if b is FALSE:
+            return self.intern(a)
+        if a is TRUE or b is TRUE:
+            return TRUE
+        key = (id(a), id(b))
+        hit = self._or2.get(key)
+        if hit is not None:
+            self._touch(a)
+            self._touch(b)
+            self._touch(hit[2])
+            return hit[2]
+        result = self.disjunction((a, b))
+        self._or2[key] = (a, b, result)
+        return result
+
+    def row_equality(self, left: Sequence[Any], right: Sequence[Any]) -> Condition:
+        """Canonical component-wise equality of two rows."""
+        if len(left) != len(right):
+            raise ValueError("rows must have the same length")
+        return self.conjunction(self.eq(a, b) for a, b in zip(left, right))
+
+    # ------------------------------------------------------------------
+    # Interning of externally built conditions
+    # ------------------------------------------------------------------
+    def intern(self, condition: Condition) -> Condition:
+        """The canonical, simplified form of an arbitrary condition.
+
+        Idempotent and cheap on already-canonical nodes (a marker attribute
+        recording the current table epoch short-circuits); on foreign
+        conditions — including survivors of :meth:`clear` and nodes
+        canonized by *another* kernel, whose marks live under a different
+        attribute — it rebuilds bottom-up through the kernel constructors,
+        which is where simplification happens.
+        """
+        if condition is TRUE or condition is FALSE:
+            return condition
+        if getattr(condition, self._mark_attr, None) == self._epoch:
+            self._touch(condition)
+            return condition
+        if isinstance(condition, TrueCondition):
+            return TRUE
+        if isinstance(condition, FalseCondition):
+            return FALSE
+        if isinstance(condition, Eq):
+            return self.eq(condition.left, condition.right)
+        if isinstance(condition, Not):
+            return self.not_(self.intern(condition.operand))
+        if isinstance(condition, And):
+            return self.conjunction(self.intern(op) for op in condition.operands)
+        if isinstance(condition, Or):
+            return self.disjunction(self.intern(op) for op in condition.operands)
+        raise TypeError(f"unsupported condition {condition!r}")
+
+    def nulls(self, condition: Condition) -> FrozenSet[Any]:
+        """The nulls mentioned by ``condition`` (structural, kernel-shared)."""
+        return kernel_nulls(condition)
+
+
+# ----------------------------------------------------------------------
+# The process-default kernel and the original module-level API
+# ----------------------------------------------------------------------
+#: The process-default kernel: backs the module-level ``kernel_*`` shims
+#: and every legacy (non-session) evaluation path.  Sessions create their
+#: own instances through :func:`repro.connect`.
+DEFAULT_KERNEL = ConditionKernel(_legacy_attrs=True)
+
+# Bound-method aliases: the historical functional API, now a shim over the
+# default instance.  Session-aware code should use the kernel instance it
+# was handed instead.
+kernel_eq = DEFAULT_KERNEL.eq
+kernel_not = DEFAULT_KERNEL.not_
+kernel_and = DEFAULT_KERNEL.and_
+kernel_or = DEFAULT_KERNEL.or_
+kernel_conjunction = DEFAULT_KERNEL.conjunction
+kernel_disjunction = DEFAULT_KERNEL.disjunction
+kernel_row_equality = DEFAULT_KERNEL.row_equality
+intern_condition = DEFAULT_KERNEL.intern
 
 
 def clear_condition_kernel() -> None:
-    """Drop the intern table and every memo table (tests/benchmarks)."""
-    global _EPOCH, _USE_EPOCH
-    _EPOCH += 1
-    _USE_EPOCH += 1
-    _INTERN.clear()
-    _AND2.clear()
-    _OR2.clear()
+    """Drop the default kernel's intern and memo tables (tests/benchmarks)."""
+    DEFAULT_KERNEL.clear()
 
 
 def kernel_stats() -> Dict[str, int]:
-    """Sizes of the kernel tables (for tests and diagnostics)."""
-    return {"interned": len(_INTERN), "and_memo": len(_AND2), "or_memo": len(_OR2)}
+    """Sizes of the default kernel's tables (for tests and diagnostics)."""
+    return DEFAULT_KERNEL.stats()
 
 
 def evict_condition_kernel() -> Dict[str, int]:
-    """End the current usage epoch, evicting conditions it never touched.
-
-    Long-running services call :func:`repro.engine.clear_plan_cache` as
-    their one cache-reset point; dropping the *whole* kernel there throws
-    away the very conditions the next query is about to rebuild.  This
-    eviction keeps every condition created or reused since the previous
-    eviction — the working set of the epoch now ending — together with
-    its transitive operands (a retained conjunction must never reference
-    an evicted atom), and drops the rest:
-
-    * evicted nodes lose their canonical mark (and cached negation), so
-      a structurally equal condition built later re-interns cleanly;
-    * memo entries whose operands or result were evicted are dropped, so
-      the tables cannot resurrect (or keep alive) evicted nodes.
-
-    Returns ``{"kept": ..., "evicted": ...}`` intern-table counts.
-    Conditions only *used* in an epoch survive it, so a hot condition
-    lives across arbitrarily many evictions while a condition untouched
-    for one full epoch is reclaimed.
-    """
-    global _USE_EPOCH
-    ending = _USE_EPOCH
-    retained: set = set()
-    stack: List[Condition] = [
-        node for node in _INTERN.values() if getattr(node, _TOUCH, None) == ending
-    ]
-    while stack:
-        node = stack.pop()
-        if id(node) in retained:
-            continue
-        retained.add(id(node))
-        if isinstance(node, Not):
-            stack.append(node.operand)
-        elif isinstance(node, (And, Or)):
-            stack.extend(node.operands)
-        negation = getattr(node, _NEG, None)
-        if negation is not None and negation[0] == _EPOCH:
-            stack.append(negation[1])
-    survivors: Dict[Tuple[Any, ...], Condition] = {}
-    evicted = 0
-    for key, node in _INTERN.items():
-        if id(node) in retained:
-            survivors[key] = node
-        else:
-            evicted += 1
-            object.__setattr__(node, _MARK, None)
-            if getattr(node, _NEG, None) is not None:
-                object.__setattr__(node, _NEG, None)
-    _INTERN.clear()
-    _INTERN.update(survivors)
-
-    def _live(condition: Condition) -> bool:
-        if isinstance(condition, (TrueCondition, FalseCondition)):
-            return True
-        return getattr(condition, _MARK, None) == _EPOCH
-
-    for table in (_AND2, _OR2):
-        dead = [
-            key
-            for key, (a, b, result) in table.items()
-            if not (_live(a) and _live(b) and _live(result))
-        ]
-        for key in dead:
-            del table[key]
-    _USE_EPOCH += 1
-    return {"kept": len(_INTERN), "evicted": evicted}
-
-
-def _touch(node: Condition) -> None:
-    if getattr(node, _TOUCH, None) != _USE_EPOCH:
-        object.__setattr__(node, _TOUCH, _USE_EPOCH)
-
-
-def _canonize(key: Tuple[Any, ...], node: Condition) -> Condition:
-    existing = _INTERN.get(key)
-    if existing is not None:
-        _touch(existing)
-        return existing
-    object.__setattr__(node, _MARK, _EPOCH)
-    _touch(node)
-    _INTERN[key] = node
-    return node
+    """Run an epoch eviction on the default kernel; see :meth:`ConditionKernel.evict`."""
+    return DEFAULT_KERNEL.evict()
 
 
 # ----------------------------------------------------------------------
-# Constructors: always return canonical, simplified nodes
-# ----------------------------------------------------------------------
-def kernel_eq(left: Any, right: Any) -> Condition:
-    """Canonical ``left = right``, constant-folded."""
-    left = intern_value(left)
-    right = intern_value(right)
-    left_null = is_null(left)
-    right_null = is_null(right)
-    if not left_null and not right_null:
-        return TRUE if left == right else FALSE
-    if left_null and right_null and left == right:
-        return TRUE
-    key = ("eq", left, right)
-    existing = _INTERN.get(key)
-    if existing is not None:
-        _touch(existing)
-        return existing
-    return _canonize(key, Eq(left, right))
-
-
-def kernel_not(operand: Condition) -> Condition:
-    """Canonical negation (double negation and constants eliminated)."""
-    if operand is TRUE:
-        return FALSE
-    if operand is FALSE:
-        return TRUE
-    operand = intern_condition(operand)
-    cached = getattr(operand, _NEG, None)
-    if cached is not None and cached[0] == _EPOCH:
-        _touch(cached[1])
-        return cached[1]
-    if isinstance(operand, TrueCondition):
-        result: Condition = FALSE
-    elif isinstance(operand, FalseCondition):
-        result = TRUE
-    elif isinstance(operand, Not):
-        result = operand.operand  # already canonical
-    else:
-        result = _canonize(("not", id(operand)), Not(operand))
-    object.__setattr__(operand, _NEG, (_EPOCH, result))
-    return result
-
-
-def kernel_conjunction(operands: Iterable[Condition]) -> Condition:
-    """Canonical conjunction: flattened, deduplicated, unsat-checked."""
-    flat: List[Condition] = []
-    seen: set = set()
-    for op in operands:
-        op = intern_condition(op)
-        if isinstance(op, FalseCondition):
-            return FALSE
-        if isinstance(op, TrueCondition):
-            continue
-        if isinstance(op, And):
-            members: Tuple[Condition, ...] = op.operands
-        else:
-            members = (op,)
-        for member in members:
-            marker = id(member)
-            if marker not in seen:
-                seen.add(marker)
-                flat.append(member)
-    if not flat:
-        return TRUE
-    if len(flat) == 1:
-        return flat[0]
-    if _equalities_unsatisfiable(flat):
-        return FALSE
-    key = ("and", tuple(id(op) for op in flat))
-    existing = _INTERN.get(key)
-    if existing is not None:
-        _touch(existing)
-        return existing
-    return _canonize(key, And(tuple(flat)))
-
-
-def kernel_disjunction(operands: Iterable[Condition]) -> Condition:
-    """Canonical disjunction: flattened, deduplicated, constants removed."""
-    flat: List[Condition] = []
-    seen: set = set()
-    for op in operands:
-        op = intern_condition(op)
-        if isinstance(op, TrueCondition):
-            return TRUE
-        if isinstance(op, FalseCondition):
-            continue
-        if isinstance(op, Or):
-            members: Tuple[Condition, ...] = op.operands
-        else:
-            members = (op,)
-        for member in members:
-            marker = id(member)
-            if marker not in seen:
-                seen.add(marker)
-                flat.append(member)
-    if not flat:
-        return FALSE
-    if len(flat) == 1:
-        return flat[0]
-    key = ("or", tuple(id(op) for op in flat))
-    existing = _INTERN.get(key)
-    if existing is not None:
-        _touch(existing)
-        return existing
-    return _canonize(key, Or(tuple(flat)))
-
-
-def kernel_and(a: Condition, b: Condition) -> Condition:
-    """Memoized binary conjunction of canonical conditions."""
-    if a is TRUE:
-        return intern_condition(b)
-    if b is TRUE:
-        return intern_condition(a)
-    if a is FALSE or b is FALSE:
-        return FALSE
-    key = (id(a), id(b))
-    hit = _AND2.get(key)
-    if hit is not None:
-        _touch(a)
-        _touch(b)
-        _touch(hit[2])
-        return hit[2]
-    result = kernel_conjunction((a, b))
-    _AND2[key] = (a, b, result)
-    return result
-
-
-def kernel_or(a: Condition, b: Condition) -> Condition:
-    """Memoized binary disjunction of canonical conditions."""
-    if a is FALSE:
-        return intern_condition(b)
-    if b is FALSE:
-        return intern_condition(a)
-    if a is TRUE or b is TRUE:
-        return TRUE
-    key = (id(a), id(b))
-    hit = _OR2.get(key)
-    if hit is not None:
-        _touch(a)
-        _touch(b)
-        _touch(hit[2])
-        return hit[2]
-    result = kernel_disjunction((a, b))
-    _OR2[key] = (a, b, result)
-    return result
-
-
-def kernel_row_equality(left: Sequence[Any], right: Sequence[Any]) -> Condition:
-    """Canonical component-wise equality of two rows."""
-    if len(left) != len(right):
-        raise ValueError("rows must have the same length")
-    return kernel_conjunction(kernel_eq(a, b) for a, b in zip(left, right))
-
-
-# ----------------------------------------------------------------------
-# Interning of externally built conditions
-# ----------------------------------------------------------------------
-def intern_condition(condition: Condition) -> Condition:
-    """The canonical, simplified form of an arbitrary condition.
-
-    Idempotent and cheap on already-canonical nodes (a marker attribute
-    recording the current table epoch short-circuits); on foreign
-    conditions — including survivors of :func:`clear_condition_kernel`,
-    whose marks are from an older epoch — it rebuilds bottom-up through
-    the kernel constructors, which is where simplification happens.
-    """
-    if condition is TRUE or condition is FALSE:
-        return condition
-    if getattr(condition, _MARK, None) == _EPOCH:
-        _touch(condition)
-        return condition
-    if isinstance(condition, TrueCondition):
-        return TRUE
-    if isinstance(condition, FalseCondition):
-        return FALSE
-    if isinstance(condition, Eq):
-        return kernel_eq(condition.left, condition.right)
-    if isinstance(condition, Not):
-        return kernel_not(intern_condition(condition.operand))
-    if isinstance(condition, And):
-        return kernel_conjunction(intern_condition(op) for op in condition.operands)
-    if isinstance(condition, Or):
-        return kernel_disjunction(intern_condition(op) for op in condition.operands)
-    raise TypeError(f"unsupported condition {condition!r}")
-
-
-# ----------------------------------------------------------------------
-# Cached nulls
+# Cached nulls (structural — shared by every kernel)
 # ----------------------------------------------------------------------
 def kernel_nulls(condition: Condition) -> FrozenSet[Any]:
-    """The nulls mentioned by ``condition``, cached on the canonical node."""
+    """The nulls mentioned by ``condition``, cached on the node itself."""
     cached = getattr(condition, _NULLS, None)
     if cached is not None:
         return cached

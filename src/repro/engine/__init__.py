@@ -21,21 +21,35 @@ how to add an operator, and ``docs/conditions.md`` for the kernel.
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 from .ctable import execute_ctable
 from .logical import LogicalNode, explain, optimize
-from .planner import clear_plan_cache, compile_plan, execute
+from .planner import DEFAULT_PLAN_CACHE, PlanCache, clear_plan_cache, compile_plan, execute
 
 _ENGINES = ("plan", "interpreter", "sqlite")
-_default_engine = os.environ.get("REPRO_ENGINE", "plan")
-if _default_engine not in _ENGINES:
-    raise ValueError(
-        f"REPRO_ENGINE must be one of {_ENGINES}, got {_default_engine!r}"
-    )
+# Resolved lazily from the REPRO_ENGINE environment variable at first use:
+# an invalid value must produce a clear error from the evaluation call that
+# needed it, not make ``import repro`` itself blow up.
+_default_engine: Optional[str] = None
 
 
 def get_default_engine() -> str:
-    """The engine used when ``evaluate`` is called without ``engine=``."""
+    """The engine used when ``evaluate`` is called without ``engine=``.
+
+    The initial value comes from the ``REPRO_ENGINE`` environment
+    variable (validated here, on first use — not at import time) and
+    defaults to ``"plan"``.
+    """
+    global _default_engine
+    if _default_engine is None:
+        value = os.environ.get("REPRO_ENGINE", "plan")
+        if value not in _ENGINES:
+            raise ValueError(
+                f"invalid REPRO_ENGINE environment variable: expected one of "
+                f"{_ENGINES}, got {value!r}"
+            )
+        _default_engine = value
     return _default_engine
 
 
@@ -51,17 +65,36 @@ def execute_sqlite(expression, database):
 
 
 def set_default_engine(name: str) -> str:
-    """Set the process-wide default engine; returns the previous default."""
+    """Set the process-wide default engine; returns the previous default.
+
+    .. deprecated::
+        Process-wide engine state cannot serve two callers with different
+        needs; create a :class:`repro.session.Session` with
+        ``repro.connect(db, engine=...)`` instead.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated(
+        "set_default_engine() (process-wide state)",
+        "a per-caller session: repro.connect(db, engine=...)",
+    )
     global _default_engine
     if name not in _ENGINES:
         raise ValueError(f"unknown engine {name!r}; expected one of {_ENGINES}")
-    previous = _default_engine
+    try:
+        previous = get_default_engine()
+    except ValueError:
+        # An invalid REPRO_ENGINE must not make the setter itself unusable
+        # — assigning a valid engine here is the in-process recovery path.
+        previous = "plan"
     _default_engine = name
     return previous
 
 
 __all__ = [
+    "DEFAULT_PLAN_CACHE",
     "LogicalNode",
+    "PlanCache",
     "clear_plan_cache",
     "compile_plan",
     "execute",

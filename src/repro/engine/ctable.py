@@ -33,15 +33,7 @@ from ..algebra.ast import RAExpression
 from ..algebra.ctable_algebra import _merge_sorted
 from ..algebra.predicates import _OPERATORS, Attr, Comparison, PAnd, PNot, POr, Predicate, PTrue
 from ..datamodel import ConditionalRow, ConditionalTable
-from ..datamodel.condition_kernel import (
-    intern_condition,
-    kernel_and,
-    kernel_conjunction,
-    kernel_disjunction,
-    kernel_eq,
-    kernel_not,
-    kernel_row_equality,
-)
+from ..datamodel.condition_kernel import DEFAULT_KERNEL, ConditionKernel
 from ..datamodel.conditional import FALSE, TRUE, Condition
 from ..datamodel.relations import Relation, Row
 from ..datamodel.schema import DatabaseSchema
@@ -61,14 +53,26 @@ CRow = Tuple[Row, Condition]
 
 
 class CTableContext:
-    """Per-query execution state: the c-table database, schema, CSE memo."""
+    """Per-query execution state: the c-table database, schema, CSE memo.
 
-    __slots__ = ("database", "schema", "memo", "_adom")
+    Also carries the :class:`ConditionKernel` every operator composes its
+    conditions through — the process-default one on the legacy path, a
+    session-private one when evaluation runs inside a
+    :class:`repro.session.Session`.
+    """
 
-    def __init__(self, database: Any, schema: DatabaseSchema) -> None:
+    __slots__ = ("database", "schema", "memo", "kernel", "_adom")
+
+    def __init__(
+        self,
+        database: Any,
+        schema: DatabaseSchema,
+        kernel: Optional[ConditionKernel] = None,
+    ) -> None:
         self.database = database
         self.schema = schema
         self.memo: Dict[Any, List[CRow]] = {}
+        self.kernel = kernel if kernel is not None else DEFAULT_KERNEL
         self._adom: Optional[List[Any]] = None
 
     def active_domain(self) -> List[Any]:
@@ -108,8 +112,9 @@ class CScan(COperator):
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         rows: List[CRow] = []
+        intern = ctx.kernel.intern
         for row in ctx.database.table(self.name):
-            condition = intern_condition(row.condition)
+            condition = intern(row.condition)
             if condition is FALSE:
                 continue
             rows.append((row.values, condition))
@@ -153,10 +158,11 @@ class CFilter(COperator):
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         predicate = self.predicate
+        kernel = ctx.kernel
         rows: List[CRow] = []
         for values, condition in self.child.rows(ctx):
-            extra = predicate_condition_positional(predicate, values)
-            combined = kernel_and(condition, extra)
+            extra = predicate_condition_positional(predicate, values, kernel)
+            combined = kernel.and_(condition, extra)
             if combined is FALSE:
                 continue
             rows.append((values, combined))
@@ -176,9 +182,10 @@ class CEqFilter(COperator):
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         left, right = self.left, self.right
+        kernel = ctx.kernel
         rows: List[CRow] = []
         for values, condition in self.child.rows(ctx):
-            combined = kernel_and(condition, kernel_eq(values[left], values[right]))
+            combined = kernel.and_(condition, kernel.eq(values[left], values[right]))
             if combined is FALSE:
                 continue
             rows.append((values, combined))
@@ -233,6 +240,7 @@ class CHashJoin(COperator):
         left_keys = self.left_keys
         right_keys = self.right_keys
         right_keep = self.right_keep
+        kernel = ctx.kernel
         right_rows = self.right.rows(ctx)
         if not right_rows:
             return []
@@ -260,12 +268,12 @@ class CHashJoin(COperator):
             if cached is None:
                 r_values, r_condition = right_rows[position]
                 if single_right is not None:
-                    equalities = kernel_eq(l_key[0], r_values[single_right])
+                    equalities = kernel.eq(l_key[0], r_values[single_right])
                 else:
-                    equalities = kernel_conjunction(
-                        kernel_eq(l_key[k], r_values[j]) for k, j in enumerate(right_keys)
+                    equalities = kernel.conjunction(
+                        kernel.eq(l_key[k], r_values[j]) for k, j in enumerate(right_keys)
                     )
-                cached = kernel_and(r_condition, equalities)
+                cached = kernel.and_(r_condition, equalities)
                 probe_cache[pair] = cached
             return cached
 
@@ -286,7 +294,7 @@ class CHashJoin(COperator):
                 if bucket:
                     for position in bucket:
                         r_values, r_condition = right_rows[position]
-                        condition = kernel_and(l_condition, r_condition)
+                        condition = kernel.and_(l_condition, r_condition)
                         if condition is FALSE:
                             continue
                         if keep_all:
@@ -301,7 +309,7 @@ class CHashJoin(COperator):
                 part = right_part(l_key, position)
                 if part is FALSE:
                     continue
-                condition = kernel_and(l_condition, part)
+                condition = kernel.and_(l_condition, part)
                 if condition is FALSE:
                     continue
                 r_values = right_rows[position][0]
@@ -323,10 +331,11 @@ class CProduct(COperator):
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         right_rows = self.right.rows(ctx)
+        kernel = ctx.kernel
         rows: List[CRow] = []
         for l_values, l_condition in self.left.rows(ctx):
             for r_values, r_condition in right_rows:
-                condition = kernel_and(l_condition, r_condition)
+                condition = kernel.and_(l_condition, r_condition)
                 if condition is FALSE:
                     continue
                 rows.append((l_values + r_values, condition))
@@ -354,10 +363,11 @@ class CMembershipIndex:
     coincide with anything under some valuation).
     """
 
-    __slots__ = ("rows", "keyed", "null_rows")
+    __slots__ = ("rows", "keyed", "null_rows", "kernel")
 
-    def __init__(self, rows: List[CRow]) -> None:
+    def __init__(self, rows: List[CRow], kernel: Optional[ConditionKernel] = None) -> None:
         self.rows = rows
+        self.kernel = kernel if kernel is not None else DEFAULT_KERNEL
         self.keyed: Dict[Row, List[int]] = {}
         self.null_rows: List[int] = []
         for position, (values, _) in enumerate(rows):
@@ -368,6 +378,7 @@ class CMembershipIndex:
 
     def condition(self, values: Row) -> Condition:
         """The condition "``values`` is a tuple of the indexed rows"."""
+        kernel = self.kernel
         if any(is_null(v) for v in values):
             relevant: Iterable[int] = range(len(self.rows))
         else:
@@ -375,13 +386,13 @@ class CMembershipIndex:
         disjuncts: List[Condition] = []
         for position in relevant:
             r_values, r_condition = self.rows[position]
-            disjunct = kernel_and(r_condition, kernel_row_equality(values, r_values))
+            disjunct = kernel.and_(r_condition, kernel.row_equality(values, r_values))
             if disjunct is TRUE:
                 return TRUE
             if disjunct is FALSE:
                 continue
             disjuncts.append(disjunct)
-        return kernel_disjunction(disjuncts)
+        return kernel.disjunction(disjuncts)
 
 
 class CIntersection(COperator):
@@ -393,10 +404,11 @@ class CIntersection(COperator):
         self.right = right
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
-        membership = CMembershipIndex(self.right.rows(ctx))
+        kernel = ctx.kernel
+        membership = CMembershipIndex(self.right.rows(ctx), kernel)
         rows: List[CRow] = []
         for values, condition in self.left.rows(ctx):
-            combined = kernel_and(condition, membership.condition(values))
+            combined = kernel.and_(condition, membership.condition(values))
             if combined is FALSE:
                 continue
             rows.append((values, combined))
@@ -412,10 +424,11 @@ class CDifference(COperator):
         self.right = right
 
     def _compute(self, ctx: CTableContext) -> List[CRow]:
-        membership = CMembershipIndex(self.right.rows(ctx))
+        kernel = ctx.kernel
+        membership = CMembershipIndex(self.right.rows(ctx), kernel)
         rows: List[CRow] = []
         for values, condition in self.left.rows(ctx):
-            combined = kernel_and(condition, kernel_not(membership.condition(values)))
+            combined = kernel.and_(condition, kernel.not_(membership.condition(values)))
             if combined is FALSE:
                 continue
             rows.append((values, combined))
@@ -450,6 +463,7 @@ class CDivision(COperator):
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         keep = self.keep
         divisor = self.divisor
+        kernel = ctx.kernel
         left_rows = self.left.rows(ctx)
         right_rows = self.right.rows(ctx)
         arity = len(keep) + len(divisor)
@@ -457,7 +471,7 @@ class CDivision(COperator):
         candidates: List[CRow] = [
             (tuple(values[p] for p in keep), condition) for values, condition in left_rows
         ]
-        left_membership = CMembershipIndex(left_rows)
+        left_membership = CMembershipIndex(left_rows, kernel)
 
         # reorder(candidate × divisor-row) back into R's column layout,
         # then keep the pairs that may be *missing* from R.
@@ -469,19 +483,19 @@ class CDivision(COperator):
                     full[p] = c_values[k_index]
                 for d_index, p in enumerate(divisor):
                     full[p] = s_values[d_index]
-                pair_condition = kernel_and(c_condition, s_condition)
+                pair_condition = kernel.and_(c_condition, s_condition)
                 if pair_condition is FALSE:
                     continue
-                absent = kernel_not(left_membership.condition(tuple(full)))
-                miss_condition = kernel_and(pair_condition, absent)
+                absent = kernel.not_(left_membership.condition(tuple(full)))
+                miss_condition = kernel.and_(pair_condition, absent)
                 if miss_condition is FALSE:
                     continue
                 missing.append((c_values, miss_condition))
 
-        bad_membership = CMembershipIndex(missing)
+        bad_membership = CMembershipIndex(missing, kernel)
         rows: List[CRow] = []
         for c_values, c_condition in candidates:
-            combined = kernel_and(c_condition, kernel_not(bad_membership.condition(c_values)))
+            combined = kernel.and_(c_condition, kernel.not_(bad_membership.condition(c_values)))
             if combined is FALSE:
                 continue
             rows.append((c_values, combined))
@@ -501,9 +515,10 @@ class CInterpret(COperator):
         from ..algebra.ctable_algebra import _evaluate
 
         table = _evaluate(self.expression, ctx.database, ctx.schema)
+        intern = ctx.kernel.intern
         rows: List[CRow] = []
         for row in table:
-            condition = intern_condition(row.condition)
+            condition = intern(row.condition)
             if condition is FALSE:
                 continue
             rows.append((row.values, condition))
@@ -513,14 +528,19 @@ class CInterpret(COperator):
 # ----------------------------------------------------------------------
 # Predicate → condition translation over position-resolved predicates
 # ----------------------------------------------------------------------
-def predicate_condition_positional(predicate: Predicate, values: Row) -> Condition:
+def predicate_condition_positional(
+    predicate: Predicate, values: Row, kernel: Optional[ConditionKernel] = None
+) -> Condition:
     """The kernel condition expressing ``predicate`` on a (possibly null) row.
 
     The positional counterpart of
     :func:`repro.algebra.ctable_algebra.predicate_condition`: attribute
     references have already been resolved to positions by the logical
-    optimizer, and the resulting condition is canonical.
+    optimizer, and the resulting condition is canonical in ``kernel``
+    (the process-default kernel when omitted).
     """
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
     if isinstance(predicate, PTrue):
         return TRUE
     if isinstance(predicate, Comparison):
@@ -529,9 +549,9 @@ def predicate_condition_positional(predicate: Predicate, values: Row) -> Conditi
         left_value = values[left.ref] if isinstance(left, Attr) else left.value
         right_value = values[right.ref] if isinstance(right, Attr) else right.value
         if predicate.op == "=":
-            return kernel_eq(left_value, right_value)
+            return kernel.eq(left_value, right_value)
         if predicate.op == "!=":
-            return kernel_not(kernel_eq(left_value, right_value))
+            return kernel.not_(kernel.eq(left_value, right_value))
         if is_null(left_value) or is_null(right_value):
             raise ValueError(
                 f"order comparison {predicate.op!r} on nulls is not expressible as a "
@@ -539,15 +559,15 @@ def predicate_condition_positional(predicate: Predicate, values: Row) -> Conditi
             )
         return TRUE if _OPERATORS[predicate.op](left_value, right_value) else FALSE
     if isinstance(predicate, PAnd):
-        return kernel_conjunction(
-            predicate_condition_positional(op, values) for op in predicate.operands
+        return kernel.conjunction(
+            predicate_condition_positional(op, values, kernel) for op in predicate.operands
         )
     if isinstance(predicate, POr):
-        return kernel_disjunction(
-            predicate_condition_positional(op, values) for op in predicate.operands
+        return kernel.disjunction(
+            predicate_condition_positional(op, values, kernel) for op in predicate.operands
         )
     if isinstance(predicate, PNot):
-        return kernel_not(predicate_condition_positional(predicate.operand, values))
+        return kernel.not_(predicate_condition_positional(predicate.operand, values, kernel))
     raise TypeError(f"unsupported predicate {predicate!r}")
 
 
@@ -631,7 +651,12 @@ class _CTableLowering(_planner._Lowering):
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
-def execute_ctable(expression: RAExpression, database: Any) -> ConditionalTable:
+def execute_ctable(
+    expression: RAExpression,
+    database: Any,
+    plan_cache: Optional["_planner.PlanCache"] = None,
+    kernel: Optional[ConditionKernel] = None,
+) -> ConditionalTable:
     """Evaluate an RA expression over a :class:`CTableDatabase` via the planner.
 
     Shares the logical plan cache of :func:`repro.engine.planner.execute`
@@ -639,11 +664,19 @@ def execute_ctable(expression: RAExpression, database: Any) -> ConditionalTable:
     beside the complete-relation one, keyed by the base table sizes it was
     cost-ordered for.  The result carries the conjunction of all base
     tables' global conditions, exactly like the interpreter path.
+
+    ``plan_cache`` and ``kernel`` select the evaluation state to use; both
+    default to the process-wide instances.  Sessions pass their own, so
+    concurrent sessions share neither plans nor interned conditions.
     """
+    if plan_cache is None:
+        plan_cache = _planner.DEFAULT_PLAN_CACHE
+    if kernel is None:
+        kernel = plan_cache.kernel
     schema = database.schema
-    entry = _planner._cache_entry(expression, schema)
-    global_condition = kernel_conjunction(
-        intern_condition(table.global_condition) for table in database
+    entry = plan_cache.entry(expression, schema)
+    global_condition = kernel.conjunction(
+        kernel.intern(table.global_condition) for table in database
     )
     if global_condition is FALSE:
         # No valuation satisfies the database; skip query evaluation entirely.
@@ -655,7 +688,7 @@ def execute_ctable(expression: RAExpression, database: Any) -> ConditionalTable:
         entry.ctable_physical = lowering.lower(entry.logical)
         entry.ctable_sizes = sizes
 
-    ctx = CTableContext(database, schema)
+    ctx = CTableContext(database, schema, kernel)
     crows = entry.ctable_physical.rows(ctx)
     make_row = ConditionalRow._from_trusted
     rows = [make_row(values, condition) for values, condition in crows]

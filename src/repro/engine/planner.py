@@ -25,11 +25,13 @@ Plan lifecycle
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..algebra.ast import RAExpression
-from ..datamodel import Database, Relation, evict_condition_kernel
+from ..datamodel import Database, Relation
+from ..datamodel.condition_kernel import DEFAULT_KERNEL, ConditionKernel
 from ..datamodel.schema import DatabaseSchema, RelationSchema
 from .logical import (
     LAdom,
@@ -84,82 +86,140 @@ class _CacheEntry:
         self.ctable_physical: Optional[Any] = None
 
 
-_PLAN_CACHE: "OrderedDict[Tuple[RAExpression, DatabaseSchema], _CacheEntry]" = OrderedDict()
-_cache_epoch = 0
+class PlanCache:
+    """A bounded ``(expression, schema)`` → plan cache for one evaluation context.
+
+    The process-default instance (:data:`DEFAULT_PLAN_CACHE`) backs the
+    module-level :func:`execute` / :func:`compile_plan` /
+    :func:`clear_plan_cache` API used by the legacy entry points; every
+    :class:`repro.session.Session` owns a private instance, so two
+    sessions never share plans — or the condition kernel their
+    :meth:`clear` evicts.
+    """
+
+    def __init__(
+        self, limit: int = _PLAN_CACHE_LIMIT, kernel: Optional[ConditionKernel] = None
+    ) -> None:
+        self._cache: "OrderedDict[Tuple[RAExpression, DatabaseSchema], _CacheEntry]" = (
+            OrderedDict()
+        )
+        self._epoch = 0
+        self._limit = limit
+        self._kernel = kernel if kernel is not None else DEFAULT_KERNEL
+
+    @property
+    def kernel(self) -> ConditionKernel:
+        """The condition kernel this cache's :meth:`clear` evicts."""
+        return self._kernel
+
+    def clear(self) -> None:
+        """Drop every cached plan (mainly for tests and benchmarks).
+
+        Also invalidates the per-expression fast-path entries by bumping
+        the cache epoch, and ends a usage epoch of the associated
+        condition kernel: interned conditions *touched* since the previous
+        ``clear`` survive (hot conditions stay canonical across clears),
+        everything else is evicted, so long-running services get one reset
+        point whose kernel tables stay bounded by the working set instead
+        of growing without bound.  A full kernel wipe remains available
+        through :meth:`ConditionKernel.clear`.
+        """
+        self._cache.clear()
+        self._epoch += 1
+        self._kernel.evict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def compile(self, expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:
+        """The optimized logical plan for ``expression`` over ``schema``."""
+        return self.entry(expression, schema).logical
+
+    def entry(self, expression: RAExpression, schema: DatabaseSchema) -> _CacheEntry:
+        key = (expression, schema)
+        entry = self._cache.get(key)
+        if entry is None:
+            out_schema = expression.output_schema(schema)
+            entry = _CacheEntry(optimize(expression, schema), out_schema)
+            self._cache[key] = entry
+            if len(self._cache) > self._limit:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(key)
+        return entry
+
+    def execute(self, expression: RAExpression, database: Database) -> Relation:
+        """Evaluate ``expression`` on ``database`` through the physical engine."""
+        schema = database.schema
+        # Fast path: the last few (schema, plan) entries are pinned onto the
+        # expression object itself, so steady-state evaluation skips hashing
+        # the whole expression tree and schema on every call.  The pin
+        # records which PlanCache wrote it (weakly — a long-lived expression
+        # must not keep a dead session's caches and kernel alive); a
+        # different session's cache misses and repins (correct either way —
+        # entries always originate from self._cache).
+        cached = getattr(expression, "_plan_entries", None)
+        entries = None
+        if cached is not None and cached[0]() is self and cached[1] == self._epoch:
+            entries = cached[2]
+        entry = None
+        if entries is not None:
+            for cached_schema, cached_entry in entries:
+                if cached_schema is schema or cached_schema == schema:
+                    entry = cached_entry
+                    break
+        if entry is None:
+            entry = self.entry(expression, schema)
+            if entries is None:
+                entries = []
+                try:
+                    object.__setattr__(
+                        expression,
+                        "_plan_entries",
+                        (weakref.ref(self), self._epoch, entries),
+                    )
+                except (AttributeError, TypeError):  # __slots__-restricted subclass
+                    entries = None
+            if entries is not None:
+                entries.append((schema, entry))
+                if len(entries) > 4:
+                    del entries[0]
+        sizes = tuple(len(relation) for relation in database.relations())
+        if entry.physical is None or entry.sizes != sizes:
+            entry.physical = lower(entry.logical, database)
+            entry.sizes = sizes
+        ctx = ExecutionContext(database)
+        rows = entry.physical.rows(ctx)
+        return Relation._from_trusted(entry.out_schema, frozenset(rows))
+
+
+#: The process-default plan cache, shared by all legacy (non-session)
+#: entry points and by the process-default Session.
+DEFAULT_PLAN_CACHE = PlanCache()
+
+# Alias kept for tests and diagnostics that inspect the default cache's
+# underlying mapping directly; ``PlanCache.clear`` empties it in place, so
+# the alias never goes stale.
+_PLAN_CACHE = DEFAULT_PLAN_CACHE._cache
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (mainly for tests and benchmarks).
-
-    Also invalidates the per-expression fast-path entries by bumping the
-    cache epoch, and ends a usage epoch of the condition kernel: interned
-    conditions *touched* since the previous ``clear_plan_cache`` call
-    survive (hot conditions stay canonical across clears), everything
-    else is evicted, so long-running services get one reset point whose
-    kernel tables stay bounded by the working set instead of growing
-    without bound.  A full kernel wipe remains available through
-    :func:`repro.datamodel.clear_condition_kernel`.
-    """
-    global _cache_epoch
-    _PLAN_CACHE.clear()
-    _cache_epoch += 1
-    evict_condition_kernel()
+    """Clear the process-default plan cache; see :meth:`PlanCache.clear`."""
+    DEFAULT_PLAN_CACHE.clear()
 
 
 def compile_plan(expression: RAExpression, schema: DatabaseSchema) -> LogicalNode:
-    """The optimized logical plan for ``expression`` over ``schema``."""
-    return _cache_entry(expression, schema).logical
+    """The optimized logical plan for ``expression`` over ``schema`` (default cache)."""
+    return DEFAULT_PLAN_CACHE.compile(expression, schema)
 
 
 def _cache_entry(expression: RAExpression, schema: DatabaseSchema) -> _CacheEntry:
-    key = (expression, schema)
-    entry = _PLAN_CACHE.get(key)
-    if entry is None:
-        out_schema = expression.output_schema(schema)
-        entry = _CacheEntry(optimize(expression, schema), out_schema)
-        _PLAN_CACHE[key] = entry
-        if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
-            _PLAN_CACHE.popitem(last=False)
-    else:
-        _PLAN_CACHE.move_to_end(key)
-    return entry
+    return DEFAULT_PLAN_CACHE.entry(expression, schema)
 
 
 def execute(expression: RAExpression, database: Database) -> Relation:
-    """Evaluate ``expression`` on ``database`` through the physical engine."""
-    schema = database.schema
-    # Fast path: the last few (schema, plan) entries are pinned onto the
-    # expression object itself, so steady-state evaluation skips hashing
-    # the whole expression tree and schema on every call.
-    cached = getattr(expression, "_plan_entries", None)
-    entries = None
-    if cached is not None and cached[0] == _cache_epoch:
-        entries = cached[1]
-    entry = None
-    if entries is not None:
-        for cached_schema, cached_entry in entries:
-            if cached_schema is schema or cached_schema == schema:
-                entry = cached_entry
-                break
-    if entry is None:
-        entry = _cache_entry(expression, schema)
-        if entries is None:
-            entries = []
-            try:
-                object.__setattr__(expression, "_plan_entries", (_cache_epoch, entries))
-            except (AttributeError, TypeError):  # __slots__-restricted subclass
-                entries = None
-        if entries is not None:
-            entries.append((schema, entry))
-            if len(entries) > 4:
-                del entries[0]
-    sizes = tuple(len(relation) for relation in database.relations())
-    if entry.physical is None or entry.sizes != sizes:
-        entry.physical = lower(entry.logical, database)
-        entry.sizes = sizes
-    ctx = ExecutionContext(database)
-    rows = entry.physical.rows(ctx)
-    return Relation._from_trusted(entry.out_schema, frozenset(rows))
+    """Evaluate through the physical engine using the process-default cache."""
+    return DEFAULT_PLAN_CACHE.execute(expression, database)
 
 
 # ----------------------------------------------------------------------

@@ -16,10 +16,8 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, Union
 
 from ..algebra.ast import RAExpression
-from ..core.answers import (
-    certain_answers_intersection as _certain_enumeration,
-    certain_answers_naive as _certain_naive,
-)
+from ..core.answers import enumeration_strategy, naive_strategy
+from ..core.naive_evaluation import evaluate_query as _evaluate_query
 from ..core.naive_evaluation import naive_evaluation_applies
 from ..datamodel import Database, Relation
 from ..logic.formulas import FOQuery
@@ -51,10 +49,14 @@ def certain_answers_exchange(
     """
     solution = canonical_solution(mapping, source)
     if method == "naive":
-        return _certain_naive(query, solution)
+        return naive_strategy(query, solution, _evaluate_query)
     if method == "enumeration":
-        return _certain_enumeration(
-            query, solution, semantics=semantics, max_extra_facts=max_extra_facts
+        return enumeration_strategy(
+            query,
+            solution,
+            _evaluate_query,
+            semantics=semantics,
+            max_extra_facts=max_extra_facts,
         )
     raise ValueError(f"unknown method {method!r}; expected 'naive' or 'enumeration'")
 

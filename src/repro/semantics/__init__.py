@@ -16,6 +16,10 @@ from .certain import (
     answer_space,
     certain_answers_enumeration,
     certain_boolean,
+    enumerate_certain_answers,
+    enumerate_certain_boolean,
+    enumerate_possible_answers,
+    enumerate_possible_boolean,
     possible_answers_enumeration,
     possible_boolean,
 )
@@ -38,6 +42,10 @@ __all__ = [
     "count_cwa_worlds",
     "cwa_worlds",
     "default_domain",
+    "enumerate_certain_answers",
+    "enumerate_certain_boolean",
+    "enumerate_possible_answers",
+    "enumerate_possible_boolean",
     "in_cwa",
     "in_owa",
     "in_wcwa",

@@ -21,6 +21,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .._deprecation import warn_deprecated as _warn_deprecated
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
 from ..datamodel.schema import RelationSchema
@@ -103,7 +104,7 @@ def _windowed_chunk_results(
         yield pending.popleft().result()
 
 
-def certain_answers_enumeration(
+def enumerate_certain_answers(
     evaluate: Evaluator,
     database: Database,
     semantics: str = "cwa",
@@ -185,7 +186,7 @@ def certain_answers_enumeration(
     return Relation(answer_schema, certain)
 
 
-def possible_answers_enumeration(
+def enumerate_possible_answers(
     evaluate: Evaluator,
     database: Database,
     semantics: str = "cwa",
@@ -239,7 +240,7 @@ def answer_space(
     return space
 
 
-def certain_boolean(
+def enumerate_certain_boolean(
     evaluate: Callable[[Database], bool],
     database: Database,
     semantics: str = "cwa",
@@ -251,7 +252,7 @@ def certain_boolean(
     """Certain answer of a Boolean query: true iff true in every enumerated world.
 
     ``workers`` parallelizes the per-world checks over a process pool in
-    chunks, like :func:`certain_answers_enumeration`; early exit then
+    chunks, like :func:`enumerate_certain_answers`; early exit then
     happens per chunk rather than per world.
     """
     world_iter = worlds(
@@ -275,7 +276,7 @@ def certain_boolean(
     return True
 
 
-def possible_boolean(
+def enumerate_possible_boolean(
     evaluate: Callable[[Database], bool],
     database: Database,
     semantics: str = "cwa",
@@ -294,3 +295,102 @@ def possible_boolean(
         if evaluate(world):
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points (shims over the strategy functions above)
+# ----------------------------------------------------------------------
+def certain_answers_enumeration(
+    evaluate: Evaluator,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+    workers: Optional[int] = None,
+) -> Relation:
+    """Deprecated alias of :func:`enumerate_certain_answers`.
+
+    Prefer ``repro.connect(db).query(q).certain(method="enumeration")``
+    (or the strategy function directly when an explicit evaluator is the
+    point).
+    """
+    _warn_deprecated(
+        "certain_answers_enumeration()",
+        'Session.query(...).certain(method="enumeration")',
+    )
+    return enumerate_certain_answers(
+        evaluate,
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+        workers=workers,
+    )
+
+
+def possible_answers_enumeration(
+    evaluate: Evaluator,
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> Relation:
+    """Deprecated alias of :func:`enumerate_possible_answers`."""
+    _warn_deprecated(
+        "possible_answers_enumeration()", "Session.query(...).possible()"
+    )
+    return enumerate_possible_answers(
+        evaluate,
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    )
+
+
+def certain_boolean(
+    evaluate: Callable[[Database], bool],
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+    workers: Optional[int] = None,
+) -> bool:
+    """Deprecated alias of :func:`enumerate_certain_boolean`."""
+    _warn_deprecated("certain_boolean()", "Session.query(...).boolean()")
+    return enumerate_certain_boolean(
+        evaluate,
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+        workers=workers,
+    )
+
+
+def possible_boolean(
+    evaluate: Callable[[Database], bool],
+    database: Database,
+    semantics: str = "cwa",
+    domain: Optional[Sequence[Any]] = None,
+    extra_constants: Optional[int] = None,
+    max_extra_facts: int = 1,
+) -> bool:
+    """Deprecated alias of :func:`enumerate_possible_boolean`."""
+    _warn_deprecated(
+        "possible_boolean()", 'Session.query(...).boolean(mode="possible")'
+    )
+    return enumerate_possible_boolean(
+        evaluate,
+        database,
+        semantics=semantics,
+        domain=domain,
+        extra_constants=extra_constants,
+        max_extra_facts=max_extra_facts,
+    )

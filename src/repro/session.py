@@ -1,0 +1,895 @@
+"""The session-centric query API: ``repro.connect()``, ``Session``, ``Query``.
+
+Libkin's framework treats *certainty as a mode of answering* a fixed
+query over a fixed incomplete database; this module maps that onto a
+connection/cursor-style API in the spirit of the world-set engines of
+Koch & Olteanu::
+
+    import repro
+    from repro.algebra import parse_ra
+
+    session = repro.connect(db, engine="sqlite", semantics="cwa")
+    q = session.query(parse_ra("project[o_id](Orders)"))
+    q.certain()          # certain answers (naive when guaranteed, else worlds)
+    q.possible()         # possible answers
+    q.answer_object()    # certainO: the naive answer, nulls included
+    q.boolean()          # certainty of "the answer is non-empty"
+    q.explain()          # applicability verdict + logical/physical/SQL plans
+    for row in q.cursor():   # stream rows without materializing a Relation
+        ...
+
+A :class:`Session` owns **all** evaluation state that used to be
+process-global: its own plan cache (:class:`repro.engine.PlanCache`), its
+own condition kernel (:class:`repro.datamodel.ConditionKernel`,
+bounded via ``connect(kernel_watermark=...)``), and its own
+:class:`~repro.backends.SQLiteBackend` handles (one sentinel-mode, one
+three-valued for :meth:`Session.sql`), kept open across queries — the
+first step of the ROADMAP "persistent backend" item: switching to another
+database with the same schema refills the existing tables instead of
+opening a fresh backend.  Two live sessions therefore share *no* mutable
+state and can use different engines, semantics and cache settings in the
+same process.
+
+The legacy entry points (``certain_answers(...)``,
+``certain_answers_enumeration(...)``, ``run_sql(...)``,
+``set_default_engine(...)``) remain as deprecated shims over the
+process-default session returned by :func:`default_session`; that session
+deliberately re-uses the process-default plan cache / kernel / per-database
+backend caches, so old code keeps its exact caching behavior while it
+migrates.  ``docs/api.md`` documents the full deprecation map.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .algebra.ast import RAExpression
+from .core.answers import (
+    Query as QueryLike,
+    applicability_semantics,
+    certain_strategy,
+    enumeration_domain,
+    enumeration_strategy,
+    knowledge_strategy,
+    object_strategy,
+)
+from .core.naive_evaluation import evaluate_query, naive_evaluation_applies
+from .datamodel import Database, Relation
+from .datamodel.condition_kernel import ConditionKernel, DEFAULT_KERNEL
+from .datamodel.schema import DatabaseSchema
+from .datamodel.values import is_null
+from .logic.formulas import FOQuery
+from .semantics.certain import (
+    enumerate_certain_boolean,
+    enumerate_possible_boolean,
+)
+
+_SEMANTICS = ("owa", "cwa", "wcwa")
+
+
+def _engine_names() -> Tuple[str, ...]:
+    """The canonical engine tuple (single source: :mod:`repro.engine`)."""
+    from .engine import _ENGINES
+
+    return _ENGINES
+
+
+# ----------------------------------------------------------------------
+# Picklable per-world evaluators (for workers= process pools)
+# ----------------------------------------------------------------------
+def _world_evaluate(query: QueryLike, engine: Optional[str], world: Database) -> Relation:
+    return evaluate_query(query, world, engine=engine)
+
+
+def _world_nonempty(query: QueryLike, engine: Optional[str], world: Database) -> bool:
+    if isinstance(query, FOQuery):
+        return query.boolean(world)
+    return bool(evaluate_query(query, world, engine=engine))
+
+
+class Cursor:
+    """A forward-only row stream over a query answer.
+
+    Iterating yields decoded rows one at a time; :meth:`fetchmany` /
+    :meth:`batches` expose the same stream in chunks.  On the SQLite
+    engine the rows come straight off the backend cursor in batches of
+    ``batch_size`` — the answer :class:`Relation` is never materialized,
+    which is what lets a session stream results larger than memory.  On
+    the in-memory engines the cursor iterates the evaluated relation
+    (documented fallback: those engines materialize by nature).
+    """
+
+    def __init__(self, rows: Iterator[Tuple[Any, ...]], batch_size: int) -> None:
+        self._rows = rows
+        self.batch_size = batch_size
+        self._closed = False
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return self._rows
+
+    def __next__(self) -> Tuple[Any, ...]:
+        return next(self._rows)
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        """Up to ``size`` (default ``batch_size``) more rows; ``[]`` at the end."""
+        count = size if size is not None else self.batch_size
+        out: List[Tuple[Any, ...]] = []
+        for row in self._rows:
+            out.append(row)
+            if len(out) >= count:
+                break
+        return out
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        """Every remaining row (materializes; defeats streaming on purpose)."""
+        return list(self._rows)
+
+    def batches(self) -> Iterator[List[Tuple[Any, ...]]]:
+        """Iterate the remaining rows in lists of ``batch_size``."""
+        while True:
+            batch = self.fetchmany()
+            if not batch:
+                return
+            yield batch
+
+    def close(self) -> None:
+        """Release the underlying stream (runs backend teardown if pending)."""
+        if not self._closed:
+            self._closed = True
+            close = getattr(self._rows, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class Query:
+    """A lazy handle on ``(session, query, database)``.
+
+    Nothing is evaluated at construction; each method picks a *mode of
+    answering* — certain, possible, object, boolean — and runs it with
+    the session's engine, semantics and caches.
+    """
+
+    __slots__ = ("session", "expression", "_database", "_engine")
+
+    def __init__(
+        self,
+        session: "Session",
+        expression: QueryLike,
+        database: Optional[Database] = None,
+        _engine: Optional[str] = None,
+    ) -> None:
+        self.session = session
+        self.expression = expression
+        self._database = database
+        self._engine = _engine
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Query({self.expression!r})"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def database(self) -> Optional[Database]:
+        return self._database if self._database is not None else self.session.database
+
+    def _is_sql(self) -> bool:
+        return not isinstance(self.expression, (RAExpression, FOQuery))
+
+    def _no_sql(self, what: str) -> None:
+        if self._is_sql():
+            raise ValueError(
+                f"{what} is not defined for three-valued SQL queries; "
+                "use certain() (rewriting) or answer_object() (raw 3VL rows)"
+            )
+
+    def _require_database(self) -> Database:
+        database = self.database
+        if database is None:
+            raise ValueError(
+                "no database: pass one to connect() or session.query(..., database=)"
+            )
+        return database
+
+    def _engine_name(self) -> str:
+        return self._engine if self._engine is not None else self.session.engine
+
+    def _evaluator(self) -> Callable[[QueryLike, Database], Relation]:
+        return functools.partial(self.session._evaluate, engine=self._engine)
+
+    def _world_evaluator(self) -> Optional[Callable[[Database], Relation]]:
+        """A picklable per-world evaluator when workers should fan out."""
+        if self.session.workers is None or self.session.workers <= 1:
+            return None
+        return functools.partial(_world_evaluate, self.expression, self._engine_name())
+
+    # -- modes of answering --------------------------------------------
+    def certain(
+        self,
+        method: str = "auto",
+        domain: Optional[Sequence[Any]] = None,
+        extra_constants: Optional[int] = None,
+        max_extra_facts: int = 1,
+    ) -> Relation:
+        """Certain answers under the session's semantics.
+
+        ``method='auto'`` uses naive evaluation when the query's fragment
+        guarantees it and falls back to world enumeration; ``'naive'`` and
+        ``'enumeration'`` force a strategy.  For a three-valued SQL query
+        this applies the certain-answer rewriting and returns rows.
+        """
+        if self._is_sql():
+            return self.session.sql(self.expression, database=self._database, certain=True)
+        return certain_strategy(
+            self.expression,
+            self._require_database(),
+            self._evaluator(),
+            semantics=self.session.semantics,
+            method=method,
+            domain=domain,
+            extra_constants=extra_constants,
+            max_extra_facts=max_extra_facts,
+            workers=self.session.workers,
+            world_evaluator=self._world_evaluator(),
+        )
+
+    def possible(
+        self,
+        domain: Optional[Sequence[Any]] = None,
+        extra_constants: Optional[int] = None,
+        max_extra_facts: int = 1,
+    ) -> Relation:
+        """Possible answers (union over the enumerated worlds)."""
+        self._no_sql("possible()")
+        return enumeration_strategy(
+            self.expression,
+            self._require_database(),
+            self._evaluator(),
+            semantics=self.session.semantics,
+            domain=domain,
+            extra_constants=extra_constants,
+            max_extra_facts=max_extra_facts,
+            world_evaluator=self._world_evaluator(),
+            mode="possible",
+        )
+
+    def answer_object(self) -> Relation:
+        """``certainO``: the naive answer itself, nulls included (eq. (9)).
+
+        For a three-valued SQL query: the raw 3VL row list (bag semantics).
+        """
+        if self._is_sql():
+            return self.session.sql(self.expression, database=self._database)
+        database = self.database
+        if database is None:
+            # Backend-resident data (out-of-core sessions loaded through
+            # Session.load_rows): evaluate directly on the backend.
+            return self.session._execute_sqlite(self.expression, None)
+        return object_strategy(self.expression, database, self._evaluator())
+
+    def knowledge(self):
+        """``certainK``: the δ-formula of the naive answer (eq. (10))."""
+        self._no_sql("knowledge()")
+        # delta() natively supports all three semantics (δ_owa/δ_cwa/δ_wcwa),
+        # so the session semantics passes through unchanged.
+        return knowledge_strategy(
+            self.expression,
+            self._require_database(),
+            self._evaluator(),
+            semantics=self.session.semantics,
+        )
+
+    def boolean(
+        self,
+        mode: str = "certain",
+        domain: Optional[Sequence[Any]] = None,
+        extra_constants: Optional[int] = None,
+        max_extra_facts: int = 1,
+    ) -> bool:
+        """Certainty (or possibility) of "the answer is non-empty".
+
+        For a Boolean first-order query this is its truth value per world;
+        for relational algebra it is non-emptiness of the answer.
+        """
+        self._no_sql("boolean()")
+        database = self._require_database()
+        expression = self.expression
+        if self.session.workers is not None and self.session.workers > 1:
+            evaluate: Callable[[Database], bool] = functools.partial(
+                _world_nonempty, expression, self._engine_name()
+            )
+        elif isinstance(expression, FOQuery):
+            evaluate = expression.boolean
+        else:
+            evaluator = self._evaluator()
+            evaluate = lambda world: bool(evaluator(expression, world))  # noqa: E731
+        domain = enumeration_domain(expression, database, domain, extra_constants)
+        if mode == "certain":
+            return enumerate_certain_boolean(
+                evaluate,
+                database,
+                semantics=self.session.semantics,
+                domain=domain,
+                extra_constants=extra_constants,
+                max_extra_facts=max_extra_facts,
+                workers=self.session.workers,
+            )
+        if mode == "possible":
+            return enumerate_possible_boolean(
+                evaluate,
+                database,
+                semantics=self.session.semantics,
+                domain=domain,
+                extra_constants=extra_constants,
+                max_extra_facts=max_extra_facts,
+            )
+        raise ValueError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
+
+    # -- introspection -------------------------------------------------
+    def explain(self) -> str:
+        """A unified, human-readable account of how this query would run.
+
+        Sections: the certain-answer method ``certain()`` would pick, the
+        optimized logical plan, the lowered physical operator tree, and —
+        when the session's engine is ``"sqlite"`` and the plan is inside
+        the SQL fragment — the compiled SQL text.  For a three-valued SQL
+        query: the transliterated SQLite statement.
+        """
+        if self._is_sql():
+            from .sqlnulls.backend import compile_select
+
+            database = self._require_database()
+            sql, params = compile_select(database, self.expression)
+            return (
+                f"query: {self.expression!r}\n"
+                "engine: sqlnulls (three-valued logic)\n"
+                f"sql:\n  {sql}\n  params: {params!r}"
+            )
+        return self.session._explain(self.expression, self.database, self._engine_name())
+
+    # -- streaming -----------------------------------------------------
+    def cursor(self, batch_size: int = 1024, certain: bool = False) -> Cursor:
+        """Stream the answer rows instead of materializing a :class:`Relation`.
+
+        On ``engine="sqlite"`` rows are pulled from the backend in batches
+        of ``batch_size`` and decoded on the fly, so answers larger than
+        memory can be consumed incrementally.  ``certain=True`` streams
+        the certain answers when naive evaluation guarantees them (rows
+        containing nulls are dropped in flight); when the fragment offers
+        no guarantee it falls back to materializing ``certain()``.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+        if self._is_sql():
+            rows = self.session.sql(
+                self.expression, database=self._database, certain=certain
+            )
+            return Cursor(iter(rows), batch_size)
+        expression = self.expression
+        if certain and not naive_evaluation_applies(
+            expression, semantics=applicability_semantics(self.session.semantics)
+        ):
+            rows: Iterable[Tuple[Any, ...]] = iter(self.certain().rows)
+            return Cursor(iter(rows), batch_size)
+        stream: Iterator[Tuple[Any, ...]]
+        if self._engine_name() == "sqlite" and isinstance(expression, RAExpression):
+            stream = self.session._stream_sqlite(expression, self.database, batch_size)
+        else:
+            stream = iter(self.answer_object().rows)
+        if certain:
+            stream = (row for row in stream if not any(is_null(v) for v in row))
+        return Cursor(stream, batch_size)
+
+
+class Session:
+    """One caller's private evaluation context over incomplete databases.
+
+    Create through :func:`repro.connect`.  All evaluation state — plan
+    cache, condition kernel, backend connections — is owned by the
+    session; see the module docstring for the full story.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        engine: str = "plan",
+        semantics: str = "cwa",
+        workers: Optional[int] = None,
+        backend_path: str = ":memory:",
+        kernel_watermark: Optional[int] = None,
+        _dynamic_engine: bool = False,
+        _plan_cache: Optional[Any] = None,
+        _kernel: Optional[ConditionKernel] = None,
+        _legacy_backends: bool = False,
+    ) -> None:
+        from .engine.planner import PlanCache
+
+        if not _dynamic_engine and engine not in _engine_names():
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {_engine_names()}"
+            )
+        if semantics not in _SEMANTICS:
+            raise ValueError(
+                f"unknown semantics {semantics!r}; expected one of {_SEMANTICS}"
+            )
+        if database is not None and not isinstance(database, Database):
+            raise TypeError(
+                f"connect() expects a Database (or None), got {type(database).__name__}"
+            )
+        self.database = database
+        self._engine = None if _dynamic_engine else engine
+        self.semantics = semantics
+        self.workers = workers
+        self.backend_path = backend_path
+        self.kernel: ConditionKernel = (
+            _kernel if _kernel is not None else ConditionKernel(watermark=kernel_watermark)
+        )
+        self.plan_cache = (
+            _plan_cache if _plan_cache is not None else PlanCache(kernel=self.kernel)
+        )
+        # Legacy mode (the process-default session): route engine="sqlite"
+        # through the historical per-Database backend cache so shimmed old
+        # code keeps its exact behavior.  Real sessions own their handles.
+        self._legacy_backends = _legacy_backends
+        self._backend: Optional[Any] = None          # sentinel-mode SQLiteBackend
+        self._backend_database: Optional[Database] = None
+        self._sql3vl_backend: Optional[Any] = None   # three-valued SQLiteBackend
+        self._sql3vl_database: Optional[Database] = None
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """The engine queries run on (``"plan"``, ``"interpreter"``, ``"sqlite"``)."""
+        if self._engine is not None:
+            return self._engine
+        # The process-default session tracks the legacy process-wide
+        # default so deprecated entry points behave exactly as before.
+        from . import engine as _engine_module
+
+        return _engine_module.get_default_engine()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        db = "None" if self.database is None else f"<{len(self.database)} facts>"
+        return (
+            f"Session(database={db}, engine={self.engine!r}, "
+            f"semantics={self.semantics!r}, backend_path={self.backend_path!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, query: Any, database: Optional[Database] = None) -> Query:
+        """A lazy :class:`Query` handle for an RA, first-order or SQL query.
+
+        ``query`` is an :class:`RAExpression`, an :class:`FOQuery`, a
+        :class:`~repro.sqlnulls.SelectQuery`, or SQL text (parsed with
+        :func:`repro.sqlnulls.parse_sql`).  SQL queries run under
+        three-valued logic — ``certain()`` applies the certain-answer
+        rewriting, ``possible()``/``boolean()`` are not defined for them.
+        ``database`` overrides the session database for this query only.
+        """
+        if isinstance(query, str):
+            from .sqlnulls import parse_sql
+
+            query = parse_sql(query)
+        if not isinstance(query, (RAExpression, FOQuery)):
+            from .sqlnulls import SelectQuery
+
+            if not isinstance(query, SelectQuery):
+                raise TypeError(
+                    "query() expects an RAExpression, FOQuery, SelectQuery or "
+                    f"SQL text, got {type(query).__name__}"
+                )
+        return Query(self, query, database)
+
+    def sql(
+        self,
+        query: Any,
+        database: Optional[Database] = None,
+        certain: bool = False,
+    ) -> List[Tuple[Any, ...]]:
+        """Run a three-valued-logic SQL query (``repro.sqlnulls``).
+
+        ``query`` is a :class:`~repro.sqlnulls.SelectQuery` or SQL text.
+        On ``engine="sqlite"`` the query is transliterated onto a real
+        SQLite database owned by this session (marked nulls become SQL
+        ``NULL``); otherwise the by-the-book Python 3VL engine runs it.
+        ``certain=True`` first applies the certain-answer rewriting
+        (``IS NOT NULL`` guards) of :mod:`repro.sqlnulls.rewriting`.
+        """
+        from .sqlnulls import parse_sql
+        from .sqlnulls.engine import SQLEngine
+        from .sqlnulls.rewriting import certain_answer_rewriting
+
+        if isinstance(query, str):
+            query = parse_sql(query)
+        if database is None:
+            database = self.database
+        if database is None:
+            raise ValueError(
+                "no database: pass one to connect() or session.sql(..., database=)"
+            )
+        if certain:
+            query = certain_answer_rewriting(query, database)
+        if self.engine == "sqlite":
+            return self._sql3vl_execute(query, database)
+        return SQLEngine(database).execute(query)
+
+    def evaluate_ctable(self, expression: RAExpression, database: Any):
+        """Evaluate an RA expression over a c-table database.
+
+        Runs the planned conditional-row path with *this session's* plan
+        cache and condition kernel (``engine="interpreter"`` sessions use
+        the seed tree-walking algebra instead, mirroring
+        :func:`repro.algebra.ctable_evaluate`).
+        """
+        from .algebra.ctable_algebra import _evaluate as _interpret_ctable
+        from .engine.ctable import execute_ctable
+
+        if self.engine == "interpreter":
+            return _interpret_ctable(expression, database, database.schema)
+        return execute_ctable(
+            expression, database, plan_cache=self.plan_cache, kernel=self.kernel
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation plumbing
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, query: QueryLike, database: Database, engine: Optional[str] = None
+    ) -> Relation:
+        """Evaluate ``query`` on ``database`` with this session's state."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if isinstance(query, FOQuery):
+            return query.evaluate(database)
+        mode = engine if engine is not None else self.engine
+        if mode == "plan":
+            return self.plan_cache.execute(query, database)
+        if mode == "interpreter":
+            return query._interpret(database)
+        if mode == "sqlite":
+            return self._execute_sqlite(query, database)
+        raise ValueError(f"unknown engine {mode!r}; expected one of {_engine_names()}")
+
+    def _execute_sqlite(
+        self, expression: RAExpression, database: Optional[Database]
+    ) -> Relation:
+        import sqlite3
+
+        from .backends.base import BackendError
+        from .backends import sqlite as _sqlite_module
+
+        if self._legacy_backends and database is not None:
+            return _sqlite_module.execute(expression, database)
+        backend = self._ensure_backend(database)
+        try:
+            return backend.evaluate(expression, plan_cache=self.plan_cache)
+        except BackendError:
+            if database is None:
+                raise
+            return self.plan_cache.execute(expression, database)
+        except sqlite3.OperationalError as error:
+            if database is not None and _sqlite_module._is_engine_limit(error):
+                return self.plan_cache.execute(expression, database)
+            raise
+
+    def _stream_sqlite(
+        self,
+        expression: RAExpression,
+        database: Optional[Database],
+        batch_size: int,
+    ) -> Iterator[Tuple[Any, ...]]:
+        from .backends.base import BackendError
+
+        import sqlite3
+
+        from .backends import sqlite as _sqlite_module
+
+        # Legacy-mode sessions stream through a session handle too: the
+        # per-Database cache of the old path has no streaming API.
+        backend = self._ensure_backend(database)
+        try:
+            plan_iter = backend.execute_cursor(
+                expression, batch_size=batch_size, plan_cache=self.plan_cache
+            )
+            first = next(plan_iter, _SENTINEL)
+        except BackendError:
+            if database is None:
+                raise
+            # Outside the SQL fragment: fall back to the in-memory engine
+            # (materializes — the fragment has no streaming path).
+            return iter(self.plan_cache.execute(expression, database).rows)
+        except sqlite3.OperationalError as error:
+            if database is not None and _sqlite_module._is_engine_limit(error):
+                return iter(self.plan_cache.execute(expression, database).rows)
+            raise
+        if first is _SENTINEL:
+            return iter(())
+        return _chain_first(first, plan_iter)
+
+    def _ensure_backend(self, database: Optional[Database]) -> Any:
+        """The session's sentinel-mode backend, loaded with ``database``.
+
+        Keeps one live handle: a new database with the same schema refills
+        the existing tables (persistent backend — indexes and the
+        connection survive); a different schema rebuilds the DDL on the
+        same connection.
+        """
+        from .backends.sqlite import SQLiteBackend
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        with self._lock:
+            if self._backend is None:
+                self._backend = SQLiteBackend(self.backend_path)
+                if database is not None:
+                    self._backend.load_database(database)
+                    self._backend_database = database
+            elif database is not None and database is not self._backend_database:
+                self._backend.replace_database(database)
+                self._backend_database = database
+            return self._backend
+
+    def _sql3vl_execute(self, query: Any, database: Database) -> List[Tuple[Any, ...]]:
+        from .backends.encoding import SQLNullCodec
+        from .backends.sqlite import SQLiteBackend
+        from .sqlnulls.backend import compile_select
+        from .sqlnulls.engine import SQLError
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._sql3vl_backend is None:
+                path = self.backend_path
+                if path != ":memory:":
+                    # A second store on disk: never share the sentinel file.
+                    path = path + ".3vl"
+                self._sql3vl_backend = SQLiteBackend(path, codec=SQLNullCodec())
+                self._sql3vl_backend.load_database(database)
+                self._sql3vl_database = database
+            elif database is not self._sql3vl_database:
+                self._sql3vl_backend.replace_database(database)
+                self._sql3vl_database = database
+            backend = self._sql3vl_backend
+        sql, params = compile_select(database, query)
+        codec = backend.codec
+        try:
+            cursor = backend.connection.execute(sql, params)
+            return [codec.decode_row(row) for row in cursor]
+        except Exception as error:
+            if isinstance(error, SQLError):
+                raise
+            raise SQLError(f"sqlite execution failed: {error}") from error
+
+    # ------------------------------------------------------------------
+    # out-of-core loading (backend-resident databases)
+    # ------------------------------------------------------------------
+    def create_schema(self, schema: DatabaseSchema) -> None:
+        """Declare the schema of a backend-resident database.
+
+        For instances too large to exist as a :class:`Database` object:
+        declare the schema, stream rows in with :meth:`load_rows`, then
+        query with ``session.query(q)`` / ``.cursor()`` — the backend's
+        ``COUNT(*)`` statistics replace the in-memory cardinalities.
+        Requires ``engine="sqlite"``.
+        """
+        if self.engine != "sqlite":
+            raise ValueError(
+                f'backend-resident loading requires engine="sqlite", '
+                f"not {self.engine!r}"
+            )
+        self._ensure_backend(None).create_schema(schema)
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Stream rows into relation ``name`` of the backend-resident database."""
+        return self._ensure_backend(None).load_rows(name, rows)
+
+    # ------------------------------------------------------------------
+    # explain
+    # ------------------------------------------------------------------
+    def _explain(
+        self, expression: QueryLike, database: Optional[Database], engine: str
+    ) -> str:
+        from .core.answers import explain_method
+        from .engine.logical import explain as explain_logical
+
+        lines: List[str] = [f"query: {expression!r}"]
+        lines.append(f"engine: {engine}; semantics: {self.semantics}")
+        verdict = explain_method(expression, semantics=self.semantics)
+        certainty = "naive evaluation" if verdict.applies else "world enumeration"
+        lines.append(
+            f"certain(): {certainty} — {verdict.reason} (fragment: {verdict.fragment})"
+        )
+        if not isinstance(expression, RAExpression):
+            lines.append("plan: n/a (first-order query, evaluated by satisfaction)")
+            return "\n".join(lines)
+        schema = database.schema if database is not None else self._backend_schema()
+        if schema is None:
+            lines.append("plan: n/a (no database attached)")
+            return "\n".join(lines)
+        logical = self.plan_cache.compile(expression, schema)
+        lines.append("logical plan:")
+        lines.extend("  " + line for line in explain_logical(logical).splitlines())
+        if database is not None:
+            from .engine.planner import lower
+
+            lines.append("physical plan:")
+            lines.extend(
+                "  " + line
+                for line in _render_physical(lower(logical, database)).splitlines()
+            )
+        if engine == "sqlite":
+            lines.append("sql:")
+            lines.extend("  " + line for line in self._explain_sql(logical, database))
+        return "\n".join(lines)
+
+    def _backend_schema(self) -> Optional[DatabaseSchema]:
+        backend = self._backend
+        return backend._schema if backend is not None else None
+
+    def _explain_sql(
+        self, logical: Any, database: Optional[Database]
+    ) -> List[str]:
+        from .backends.base import UnsupportedPlanError
+        from .backends.compiler import SQLCompiler
+        from .backends.encoding import SentinelCodec
+        from .backends.sqlite import _BackendStats
+
+        if database is not None:
+            stats: Any = database
+        elif self._backend is not None:
+            stats = _BackendStats(self._backend)
+        else:
+            return ["n/a (no database attached)"]
+        try:
+            plan = SQLCompiler(stats, SentinelCodec()).compile(logical)
+        except UnsupportedPlanError as error:
+            return [f"n/a (outside the SQL fragment: {error})"]
+        lines = [statement for statement, _ in plan.setup]
+        lines.append(plan.query)
+        return [line for chunk in lines for line in chunk.splitlines()]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop cached plans and evict this session's cold conditions."""
+        self.plan_cache.clear()
+
+    def close(self) -> None:
+        """Close the session's backend connections (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for backend in (self._backend, self._sql3vl_backend):
+                if backend is not None:
+                    backend.close()
+            self._backend = None
+            self._sql3vl_backend = None
+            self._backend_database = None
+            self._sql3vl_database = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+_SENTINEL = object()
+
+
+def _chain_first(
+    first: Tuple[Any, ...], rest: Iterator[Tuple[Any, ...]]
+) -> Iterator[Tuple[Any, ...]]:
+    yield first
+    yield from rest
+
+
+def _render_physical(op: Any, indent: int = 0) -> str:
+    """Best-effort rendering of a physical operator tree by introspection."""
+    pad = "  " * indent
+    name = type(op).__name__
+    details = []
+    children = []
+    for klass in type(op).__mro__:
+        for attr in getattr(klass, "__slots__", ()):
+            if attr in ("key",):
+                continue
+            value = getattr(op, attr, None)
+            if hasattr(value, "rows") and hasattr(value, "_compute"):
+                children.append(value)
+            elif isinstance(value, (tuple, int, str)) and not callable(value):
+                details.append(f"{attr}={value!r}")
+    header = pad + name + (f" [{', '.join(details)}]" if details else "")
+    lines = [header]
+    for child in children:
+        lines.append(_render_physical(child, indent + 1))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# connect() and the process-default session
+# ----------------------------------------------------------------------
+def connect(
+    database: Optional[Database] = None,
+    *,
+    engine: str = "plan",
+    semantics: str = "cwa",
+    workers: Optional[int] = None,
+    backend_path: str = ":memory:",
+    kernel_watermark: Optional[int] = None,
+) -> Session:
+    """Open a :class:`Session` owning all of its evaluation state.
+
+    Parameters
+    ----------
+    database:
+        The default incomplete database queries run against (individual
+        queries may override it; ``None`` for sessions that stream data
+        straight into the backend via :meth:`Session.load_rows`).
+    engine:
+        ``"plan"`` (optimizing in-memory engine, default),
+        ``"interpreter"`` (the seed tree-walking oracle) or ``"sqlite"``
+        (plans compiled to SQL on a session-owned SQLite handle).
+    semantics:
+        ``"cwa"`` (default), ``"owa"`` or ``"wcwa"`` — the possible-world
+        semantics certain/possible answers quantify over.
+    workers:
+        When > 1, world enumeration fans out over a process pool.
+    backend_path:
+        SQLite storage for ``engine="sqlite"``: the default
+        ``":memory:"``, or a file path for out-of-core instances.
+    kernel_watermark:
+        Bound on the session's condition-kernel intern table; crossing it
+        triggers an automatic epoch eviction (hot conditions survive).
+    """
+    return Session(
+        database,
+        engine=engine,
+        semantics=semantics,
+        workers=workers,
+        backend_path=backend_path,
+        kernel_watermark=kernel_watermark,
+    )
+
+
+_default_session: Optional[Session] = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-default session backing the deprecated entry points.
+
+    Deliberately shares the process-default plan cache, condition kernel
+    and per-database backend caches, and resolves its engine through the
+    legacy process-wide default, so shimmed old code keeps its exact
+    pre-session behavior.
+    """
+    global _default_session
+    if _default_session is None:
+        with _default_session_lock:
+            if _default_session is None:
+                from .engine.planner import DEFAULT_PLAN_CACHE
+
+                _default_session = Session(
+                    None,
+                    _dynamic_engine=True,
+                    _plan_cache=DEFAULT_PLAN_CACHE,
+                    _kernel=DEFAULT_KERNEL,
+                    _legacy_backends=True,
+                )
+    return _default_session

@@ -25,7 +25,7 @@ from .ast import (
     TableRef,
 )
 from .backend import compile_select, run_sql_sqlite
-from .engine import SQLEngine, SQLError, run_sql
+from .engine import SQLEngine, SQLError, execute_sql, run_sql
 from .parser import SQLParseError, parse_sql
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "TableRef",
     "certain_answer_rewriting",
     "compile_select",
+    "execute_sql",
     "is_positive_sql",
     "parse_sql",
     "run_sql",

@@ -278,8 +278,8 @@ class SQLEngine:
         return membership
 
 
-def run_sql(database: Database, query: SelectQuery, backend: str = "python") -> List[Row]:
-    """Convenience wrapper: execute ``query`` against ``database``.
+def execute_sql(database: Database, query: SelectQuery, backend: str = "python") -> List[Row]:
+    """Execute ``query`` against ``database`` (non-deprecated internal entry).
 
     ``backend`` selects the evaluator: ``"python"`` (this module's
     by-the-book three-valued engine, the oracle) or ``"sqlite"`` (the
@@ -294,3 +294,16 @@ def run_sql(database: Database, query: SelectQuery, backend: str = "python") -> 
 
         return run_sql_sqlite(database, query)
     raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'sqlite'")
+
+
+def run_sql(database: Database, query: SelectQuery, backend: str = "python") -> List[Row]:
+    """Deprecated convenience wrapper: use :meth:`repro.session.Session.sql`.
+
+    ``repro.connect(db, engine="sqlite").sql(query)`` runs the same
+    three-valued evaluation with session-owned backend state; see
+    ``docs/api.md`` for the full migration map.
+    """
+    from .._deprecation import warn_deprecated as _warn_deprecated
+
+    _warn_deprecated("run_sql()", "Session.sql()")
+    return execute_sql(database, query, backend=backend)

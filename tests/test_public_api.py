@@ -1,0 +1,158 @@
+"""Public-API snapshot: the exported surface, and one warning per shim.
+
+Two invariants this file pins down:
+
+* the top-level package exports exactly the session-centric surface
+  (additions are deliberate: update the snapshot here *and* docs/api.md);
+* every deprecated entry point kept as a shim over the process-default
+  session emits **exactly one** ``DeprecationWarning`` per call — not
+  zero (silent deprecation helps nobody) and not two (shims must delegate
+  to non-warning internals, never to each other).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import Database, Null, Relation
+from repro.algebra import parse_ra
+
+
+EXPECTED_TOP_LEVEL = {
+    "ConditionalTable",
+    "ConstantPool",
+    "Cursor",
+    "Database",
+    "DatabaseSchema",
+    "Null",
+    "Query",
+    "Relation",
+    "RelationSchema",
+    "Session",
+    "Valuation",
+    "__version__",
+    "connect",
+    "default_session",
+}
+
+
+def test_top_level_surface_is_the_session_api():
+    assert set(repro.__all__) == EXPECTED_TOP_LEVEL
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+
+def test_session_and_query_expose_the_documented_methods():
+    for method in ("query", "sql", "evaluate_ctable", "create_schema",
+                   "load_rows", "clear_caches", "close"):
+        assert callable(getattr(repro.Session, method))
+    for method in ("certain", "possible", "answer_object", "knowledge",
+                   "boolean", "explain", "cursor"):
+        assert callable(getattr(repro.Query, method))
+    for method in ("fetchmany", "fetchall", "batches", "close"):
+        assert callable(getattr(repro.Cursor, method))
+
+
+@pytest.fixture
+def db():
+    return Database.from_relations(
+        [
+            Relation.create("Orders", [("o1",), ("o2",)], attributes=("o_id",)),
+            Relation.create(
+                "Pay", [("x1", "o1"), ("x2", Null("n"))], attributes=("p_id", "ord")
+            ),
+        ]
+    )
+
+
+QUERY = parse_ra("project[o_id](Orders)")
+
+
+def _shim_calls(db):
+    """Every deprecated shim, as (label, zero-argument callable)."""
+    from repro.core import (
+        certain_answer_knowledge,
+        certain_answer_object,
+        certain_answers,
+        certain_answers_intersection,
+        certain_answers_naive,
+        possible_answers,
+    )
+    from repro.engine import set_default_engine
+    from repro.semantics import (
+        certain_answers_enumeration,
+        certain_boolean,
+        possible_answers_enumeration,
+        possible_boolean,
+    )
+    from repro.sqlnulls import parse_sql, run_sql
+
+    sql = parse_sql("SELECT ord FROM Pay")
+    return [
+        ("certain_answers", lambda: certain_answers(QUERY, db)),
+        ("certain_answers_naive", lambda: certain_answers_naive(QUERY, db)),
+        ("certain_answers_intersection", lambda: certain_answers_intersection(QUERY, db)),
+        ("certain_answer_object", lambda: certain_answer_object(QUERY, db)),
+        ("certain_answer_knowledge", lambda: certain_answer_knowledge(QUERY, db)),
+        ("possible_answers", lambda: possible_answers(QUERY, db)),
+        (
+            "certain_answers_enumeration",
+            lambda: certain_answers_enumeration(QUERY.evaluate, db),
+        ),
+        (
+            "possible_answers_enumeration",
+            lambda: possible_answers_enumeration(QUERY.evaluate, db),
+        ),
+        (
+            "certain_boolean",
+            lambda: certain_boolean(lambda world: bool(QUERY.evaluate(world)), db),
+        ),
+        (
+            "possible_boolean",
+            lambda: possible_boolean(lambda world: bool(QUERY.evaluate(world)), db),
+        ),
+        ("run_sql", lambda: run_sql(db, sql)),
+        ("set_default_engine", lambda: set_default_engine("plan")),
+    ]
+
+
+def test_every_shim_warns_exactly_once_per_call(db):
+    for label, call in _shim_calls(db):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call()
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1, (
+            f"{label} emitted {len(deprecations)} DeprecationWarnings, expected 1: "
+            f"{[str(w.message) for w in deprecations]}"
+        )
+        assert "docs/api.md" in str(deprecations[0].message)
+
+
+def test_shims_still_answer_correctly_through_the_default_session(db):
+    from repro.core import certain_answers
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = certain_answers(QUERY, db)
+    fresh = repro.connect(db).query(QUERY).certain()
+    assert legacy == fresh
+
+
+def test_session_paths_never_touch_deprecated_internals(db):
+    # The library must not call its own deprecated entry points: the whole
+    # session path runs clean under error-on-DeprecationWarning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session = repro.connect(db, engine="sqlite")
+        session.query(QUERY).certain()
+        session.query(QUERY).possible()
+        session.query(QUERY).boolean()
+        session.query(QUERY).explain()
+        list(session.query(QUERY).cursor())
+        session.sql("SELECT ord FROM Pay")
+        unpaid = parse_ra(
+            "diff(project[o_id](Orders), rename[Paid(o_id)](project[ord](Pay)))"
+        )
+        session.query(unpaid).certain()  # enumeration path
