@@ -41,7 +41,10 @@ The e25 family (SQL backend) contributes two boolean ``gate:`` ops instead
 of speedups: ``gate:correctness`` (``engine="sqlite"`` equals the physical
 engine on the bench workload) and ``gate:scale`` (SQLite completes a
 workload the in-memory path cannot even load under a capped address
-space).  ``--check`` fails when either gate reports ``passed: false``.
+space).  The chaos family contributes ``gate:chaos``: the fault
+differential suite must pass with zero leaked SQLite temp files
+(``docs/robustness.md``).  ``--check`` fails when any gate reports
+``passed: false``.
 """
 
 from __future__ import annotations
@@ -482,7 +485,60 @@ def scenario_e25(include_gates: bool = True) -> Dict[str, Any]:
 scenario_e25.timing_only_retry = True
 
 
+def scenario_chaos() -> Dict[str, Any]:
+    """The robustness gate: the chaos differential suite, leak-checked.
+
+    Runs ``tests/properties/test_fault_differential.py`` in a child pytest
+    whose temp directories (``TMPDIR`` + ``SQLITE_TMPDIR``) point at a
+    fresh scratch directory, then sweeps it for SQLite spill artifacts
+    (``etilqs_*`` anonymous temp files, ``*-journal``/``*-wal`` sidecars).
+    ``gate:chaos`` passes only when the suite is green *and* the sweep
+    comes back empty — a fault path that forgets to close a spilled
+    cursor fails the gate even if every assertion passed.
+    """
+    import subprocess
+    import tempfile
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    suite = os.path.join(
+        repo_root, "tests", "properties", "test_fault_differential.py"
+    )
+    with tempfile.TemporaryDirectory(prefix="chaos-gate-") as scratch:
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.join(repo_root, "src"),
+            TMPDIR=scratch,
+            SQLITE_TMPDIR=scratch,
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", suite],
+            env=env,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        leaked = []
+        for root, _dirs, files in os.walk(scratch):
+            leaked.extend(
+                os.path.join(root, name)
+                for name in files
+                if name.startswith("etilqs")
+                or name.endswith(("-journal", "-wal"))
+            )
+    passed = proc.returncode == 0 and not leaked
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stdout.strip().splitlines()[-5:])
+        note = f"fault differential suite failed (exit {proc.returncode}): {tail}"
+    elif leaked:
+        note = f"suite green but leaked sqlite temp files: {sorted(leaked)}"
+    else:
+        note = "fault differential suite green, zero leaked sqlite temp files"
+    return {"gate:chaos": {"passed": passed, "note": note}}
+
+
 QUICK_SCENARIOS = {
+    "chaos": scenario_chaos,
     "e01": scenario_e01,
     "e07": scenario_e07,
     "e12": scenario_e12,

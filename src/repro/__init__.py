@@ -79,22 +79,44 @@ from .datamodel import (
     RelationSchema,
     Valuation,
 )
+from .resilience import (
+    BackendRecoveryWarning,
+    BackendUnavailable,
+    Budget,
+    BudgetExceeded,
+    InvalidRequestError,
+    ManualClock,
+    PartialResult,
+    ReproError,
+    SessionClosedError,
+    WorkerPoolError,
+)
 from .session import Cursor, Query, Session, connect, default_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BackendRecoveryWarning",
+    "BackendUnavailable",
+    "Budget",
+    "BudgetExceeded",
     "ConditionalTable",
     "ConstantPool",
     "Cursor",
     "Database",
     "DatabaseSchema",
+    "InvalidRequestError",
+    "ManualClock",
     "Null",
+    "PartialResult",
     "Query",
     "Relation",
     "RelationSchema",
+    "ReproError",
     "Session",
+    "SessionClosedError",
     "Valuation",
+    "WorkerPoolError",
     "__version__",
     "connect",
     "default_session",

@@ -36,9 +36,10 @@ from typing import Iterable, Sequence
 from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
 from ..datamodel.schema import DatabaseSchema
+from ..resilience import ReproError
 
 
-class BackendError(Exception):
+class BackendError(ReproError):
     """Base class of backend failures (encoding, DDL, execution)."""
 
 

@@ -68,8 +68,8 @@ class SQLiteBackend(Backend):
     """
 
     def __init__(self, path: str = ":memory:", codec: Optional[Any] = None) -> None:
-        self._connection = sqlite3.connect(path)
         self._path = path
+        self._connection = self._connect()
         self.codec = codec if codec is not None else SentinelCodec()
         self._schema: Optional[DatabaseSchema] = None
         self._database: Optional[Database] = None
@@ -77,12 +77,19 @@ class SQLiteBackend(Backend):
         self._indexes: set = set()
         self._adom_ready = False
         self._closed = False
-        cursor = self._connection.cursor()
+        self._poisoned = False
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self._path)
+        cursor = connection.cursor()
         # The backend is a cache/scratch store, never the system of record:
-        # durability is irrelevant, load speed is not.
-        cursor.execute("PRAGMA journal_mode=OFF")
+        # durability is irrelevant, load speed is not.  The rollback
+        # journal stays in RAM (not OFF: replace_database relies on
+        # ROLLBACK to keep the old data intact when a refill dies midway).
+        cursor.execute("PRAGMA journal_mode=MEMORY")
         cursor.execute("PRAGMA synchronous=OFF")
         cursor.close()
+        return connection
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -95,6 +102,45 @@ class SQLiteBackend(Backend):
         if not self._closed:
             self._closed = True
             self._connection.close()
+
+    def _ensure_healthy(self) -> None:
+        """Rebuild a poisoned handle before it serves anything.
+
+        A handle is poisoned when a failed refill could not even be rolled
+        back (the connection itself died mid-transaction).  Rather than
+        serving half-filled tables, the connection is reopened and the
+        last consistently-loaded :class:`Database` is reloaded; without
+        one (out-of-core loads) the handle stays unusable and raises
+        :class:`BackendError`.
+        """
+        if not self._poisoned:
+            return
+        database = self._database
+        schema = self._schema
+        try:
+            self._connection.close()
+        except sqlite3.Error:
+            pass
+        self._connection = self._connect()
+        self._plans.clear()
+        self._indexes.clear()
+        self._adom_ready = False
+        self._poisoned = False
+        if self._path != ":memory:":
+            # File-backed: the last *committed* state survived in the file
+            # (the failed refill never committed), so the handle serves the
+            # old consistent data again; indexes are re-ensured on demand.
+            self._schema = schema
+            return
+        self._schema = None
+        if database is not None:
+            self._database = None
+            self.load_database(database)
+        else:
+            raise BackendError(
+                "backend poisoned by a failed refill and no consistent "
+                "in-memory Database is available to rebuild from"
+            )
 
     # ------------------------------------------------------------------
     # DDL
@@ -145,28 +191,80 @@ class SQLiteBackend(Backend):
         backend.  When the new instance shares the current schema, the
         tables are emptied and refilled — DDL, created indexes and the
         connection survive; a different schema drops every table first.
+
+        The whole switch — empty/drop, re-create, refill — runs in a
+        *single transaction*: if any step dies (a failing codec, a broken
+        row iterator, an I/O error) the transaction is rolled back and the
+        handle keeps serving the old data unchanged.  If even the rollback
+        fails the handle is poisoned and rebuilt on next use
+        (:meth:`_ensure_healthy`) instead of serving half-filled tables.
         """
+        self._ensure_healthy()
         if self._schema is None:
             self.load_database(database)
             return
-        cursor = self._connection.cursor()
-        if database.schema == self._schema:
-            for relation in self._schema:
-                cursor.execute(f"DELETE FROM {table_name(relation.name)}")
-        else:
-            for relation in self._schema:
-                cursor.execute(f"DROP TABLE IF EXISTS {table_name(relation.name)}")
-            cursor.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
-            self._schema = None
-            self._indexes.clear()
-            self._adom_ready = False
-        cursor.close()
-        self._connection.commit()
+        # Cache invalidation is safe to do up front: stale-dropping plans
+        # and the adom is conservative whether the refill succeeds or not.
         self._plans.clear()
-        self._database = None
-        self.load_database(database)
+        self._adom_ready = False
+        same_schema = database.schema == self._schema
+        connection = self._connection
+        cursor = connection.cursor()
+        try:
+            # Explicit BEGIN: the sqlite3 module's implicit transaction only
+            # starts at the first DML, which would let the DROP/CREATE of a
+            # schema switch autocommit — and survive the rollback.
+            cursor.execute("BEGIN")
+            cursor.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
+            if same_schema:
+                for relation in self._schema:
+                    cursor.execute(f"DELETE FROM {table_name(relation.name)}")
+            else:
+                for relation in self._schema:
+                    cursor.execute(f"DROP TABLE IF EXISTS {table_name(relation.name)}")
+                for relation in database.schema:
+                    cursor.execute(self._create_table_sql(relation))
+            for relation in database.relations():
+                self._write_rows(cursor, database.schema[relation.name], relation.rows)
+            connection.commit()
+        except BaseException:
+            try:
+                connection.rollback()
+            except sqlite3.Error:
+                self._poisoned = True
+            raise
+        finally:
+            try:
+                cursor.close()
+            except sqlite3.Error:
+                pass
+        # Python-side bookkeeping changes only after the commit succeeded.
+        if not same_schema:
+            self._schema = database.schema
+            self._indexes.clear()
+        self._database = database
+
+    def _write_rows(
+        self, cursor: sqlite3.Cursor, schema: RelationSchema, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        """Stream ``rows`` into ``schema``'s table in batches, *without*
+        committing — the caller owns the transaction boundary."""
+        placeholders = ", ".join("?" for _ in range(schema.arity))
+        verb = "INSERT OR IGNORE" if self.codec.set_semantics else "INSERT"
+        statement = f"{verb} INTO {table_name(schema.name)} VALUES ({placeholders})"
+        encode_row = self.codec.encode_row
+        encoded = (encode_row(row) for row in rows)
+        total = 0
+        while True:
+            batch = list(itertools.islice(encoded, _LOAD_BATCH))
+            if not batch:
+                break
+            cursor.executemany(statement, batch)
+            total += len(batch)
+        return total
 
     def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        self._ensure_healthy()
         if self._schema is None or name not in self._schema:
             raise BackendError(f"unknown relation {name!r}; create the schema first")
         # Data changed: the materialized active domain and the compiled
@@ -175,21 +273,22 @@ class SQLiteBackend(Backend):
             self._connection.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
             self._adom_ready = False
         self._plans.clear()
-        arity = self._schema[name].arity
-        placeholders = ", ".join("?" for _ in range(arity))
-        verb = "INSERT OR IGNORE" if self.codec.set_semantics else "INSERT"
-        statement = f"{verb} INTO {table_name(name)} VALUES ({placeholders})"
-        encode_row = self.codec.encode_row
-        encoded = (encode_row(row) for row in rows)
         cursor = self._connection.cursor()
-        total = 0
-        while True:
-            batch = list(itertools.islice(encoded, _LOAD_BATCH))
-            if not batch:
-                break
-            cursor.executemany(statement, batch)
-            total += len(batch)
-        self._connection.commit()
+        try:
+            total = self._write_rows(cursor, self._schema[name], rows)
+            self._connection.commit()
+        except BaseException:
+            # One load_rows call is all-or-nothing, like replace_database.
+            try:
+                self._connection.rollback()
+            except sqlite3.Error:
+                self._poisoned = True
+            raise
+        finally:
+            try:
+                cursor.close()
+            except sqlite3.Error:
+                pass
         return total
 
     def extract_relation(self, name: str) -> Relation:
@@ -236,6 +335,10 @@ class SQLiteBackend(Backend):
                 selects.append(
                     f"SELECT c{position} AS v FROM {table_name(relation.name)}"
                 )
+        # A rolled-back refill can resurrect a previously dropped adom
+        # temp table (temp tables are transactional too), so the create
+        # must not assume the DROP that reset ``_adom_ready`` survived.
+        self._connection.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
         if selects:
             body = " UNION ".join(selects)
             self._connection.execute(f"CREATE TEMP TABLE {ADOM_TABLE} AS {body}")
@@ -281,9 +384,31 @@ class SQLiteBackend(Backend):
             self.ensure_index(name, positions)
         return plan, out_schema
 
+    def _teardown(self, cursor: sqlite3.Cursor, plan: CompiledPlan) -> None:
+        """Best-effort cleanup of a plan's temp tables and statement state.
+
+        Runs in ``finally`` blocks, typically *because* something already
+        went wrong — so every step tolerates further SQLite errors (a
+        closed connection cannot drop its temp tables, and that is fine:
+        they died with it).  Each teardown statement is attempted even if
+        an earlier one fails, so one broken DROP cannot leak the rest.
+        """
+        try:
+            for statement in plan.teardown:
+                try:
+                    cursor.execute(statement)
+                except sqlite3.Error:
+                    pass
+        finally:
+            try:
+                cursor.close()
+            except sqlite3.Error:
+                pass
+
     def evaluate(
         self, expression: RAExpression, plan_cache: Optional[Any] = None
     ) -> Relation:
+        self._ensure_healthy()
         plan, out_schema = self._plan_for(expression, plan_cache)
         cursor = self._connection.cursor()
         try:
@@ -291,9 +416,7 @@ class SQLiteBackend(Backend):
                 cursor.execute(statement, params)
             rows = cursor.execute(plan.query, plan.params).fetchall()
         finally:
-            for statement in plan.teardown:
-                cursor.execute(statement)
-            cursor.close()
+            self._teardown(cursor, plan)
         decode_row = self.codec.decode_row
         return Relation._from_trusted(
             out_schema, frozenset(decode_row(row) for row in rows)
@@ -317,6 +440,7 @@ class SQLiteBackend(Backend):
         spilled intermediates.  Rows are distinct: the generated SQL keeps
         set semantics, so no Python-side dedup set is needed.
         """
+        self._ensure_healthy()
         plan, out_schema = self._plan_for(expression, plan_cache)
         decode_row = self.codec.decode_row
         cursor = self._connection.cursor()
@@ -331,9 +455,11 @@ class SQLiteBackend(Backend):
                 for row in batch:
                     yield decode_row(row)
         finally:
-            for statement in plan.teardown:
-                cursor.execute(statement)
-            cursor.close()
+            # Teardown must survive a backend that died mid-iteration
+            # (fetch fault, closed connection): the original error, not a
+            # teardown error, is what the consumer should see — and on a
+            # still-healthy connection the temp tables really are dropped.
+            self._teardown(cursor, plan)
 
 
 class _RelationStats:
@@ -416,6 +542,43 @@ _SQLITE_LIMIT_MARKERS = (
 def _is_engine_limit(error: sqlite3.OperationalError) -> bool:
     message = str(error).lower()
     return any(marker in message for marker in _SQLITE_LIMIT_MARKERS)
+
+
+# OperationalError messages that signal an *infrastructure* failure — the
+# storage layer is unhealthy, the generated SQL is fine.
+_SQLITE_RUNTIME_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+    "disk i/o error",
+    "database or disk is full",
+    "unable to open database file",
+)
+
+
+def is_runtime_failure(error: BaseException) -> bool:
+    """Is ``error`` an environmental backend failure (vs. a code bug)?
+
+    The session's recovery path falls back to the in-memory engine only
+    for failures of the *infrastructure* — locks, I/O, a dead or corrupt
+    connection.  Any other ``sqlite3`` error (above all an
+    ``OperationalError`` about malformed SQL) stays loud: a blanket
+    fallback would let a broken compiler pass every differential test by
+    silently answering with the in-memory engine.
+    """
+    if isinstance(error, sqlite3.OperationalError):
+        if _is_engine_limit(error):
+            return True
+        message = str(error).lower()
+        return any(marker in message for marker in _SQLITE_RUNTIME_MARKERS)
+    if isinstance(error, sqlite3.ProgrammingError):
+        # "Cannot operate on a closed database/cursor."
+        return "closed" in str(error).lower()
+    if isinstance(error, (sqlite3.IntegrityError, sqlite3.DataError)):
+        return False
+    # InterfaceError and bare DatabaseError (e.g. "database disk image is
+    # malformed") mean the handle, not the SQL, is broken.
+    return isinstance(error, (sqlite3.InterfaceError, sqlite3.DatabaseError))
 
 
 def execute(expression: RAExpression, database: Database) -> Relation:

@@ -35,6 +35,7 @@ from ..datamodel import Database, Relation
 from ..datamodel.values import is_null
 from ..logic.diagrams import delta as delta_formula
 from ..logic.formulas import FOQuery, Formula
+from ..resilience import active_budget
 from ..semantics.certain import (
     enumerate_certain_answers,
     enumerate_possible_answers,
@@ -149,6 +150,11 @@ def enumeration_strategy(
     *picklable* one when ``workers`` should fan out over a process pool;
     the default closure works but forces the sequential path.
     """
+    state = active_budget()
+    if state is not None:
+        # Refuse to even start an enumeration on an already-expired budget
+        # (the per-world ticks inside would catch it one world later).
+        state.check()
     if world_evaluator is None:
         world_evaluator = lambda world: evaluator(query, world)  # noqa: E731
     resolved_domain = enumeration_domain(query, database, domain, extra_constants)

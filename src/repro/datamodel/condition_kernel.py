@@ -89,6 +89,15 @@ class ConditionKernel:
         identity), cold ones are reclaimed.  After each sweep the next
         trigger point is ``max(watermark, 2 * kept)`` so a working set
         larger than the watermark cannot thrash the sweep on every insert.
+    memo_limit:
+        Bound on *each* of the ∧/∨ memo tables.  The intern watermark
+        alone does not bound a long-lived session: the memo tables grow
+        with every distinct operand *pair* and shrink only when a sweep
+        happens to scrub their entries.  Past the limit the oldest half of
+        the overflowing table is dropped (insertion order ≈ recency for
+        memo hits in a composition-heavy workload) — purely a cache trim,
+        results are recomputed on demand.  Defaults to ``8 * watermark``
+        when a watermark is set, else unbounded.
     """
 
     __slots__ = (
@@ -99,13 +108,20 @@ class ConditionKernel:
         "_use_epoch",
         "_watermark",
         "_trigger",
+        "_memo_limit",
         "auto_evictions",
+        "memo_trims",
         "_mark_attr",
         "_neg_attr",
         "_touch_attr",
     )
 
-    def __init__(self, watermark: Optional[int] = None, _legacy_attrs: bool = False) -> None:
+    def __init__(
+        self,
+        watermark: Optional[int] = None,
+        memo_limit: Optional[int] = None,
+        _legacy_attrs: bool = False,
+    ) -> None:
         # canonical structural key -> canonical node (strong refs: identity
         # keys in the memo tables below stay valid exactly as long as these
         # entries live)
@@ -129,9 +145,15 @@ class ConditionKernel:
         self._use_epoch = 0
         if watermark is not None and watermark < 1:
             raise ValueError(f"kernel watermark must be >= 1, got {watermark!r}")
+        if memo_limit is not None and memo_limit < 2:
+            raise ValueError(f"kernel memo_limit must be >= 2, got {memo_limit!r}")
         self._watermark = watermark
         self._trigger = watermark
+        if memo_limit is None and watermark is not None:
+            memo_limit = 8 * watermark
+        self._memo_limit = memo_limit
         self.auto_evictions = 0
+        self.memo_trims = 0
         if _legacy_attrs:
             # The process-default kernel keeps the attribute names the
             # module-global implementation used, so nodes canonized before
@@ -150,6 +172,27 @@ class ConditionKernel:
     def watermark(self) -> Optional[int]:
         """The intern-table size past which :meth:`evict` runs automatically."""
         return self._watermark
+
+    @property
+    def memo_limit(self) -> Optional[int]:
+        """The per-memo-table size past which the oldest half is dropped."""
+        return self._memo_limit
+
+    def _trim_memo(
+        self, table: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]]
+    ) -> None:
+        """Drop the oldest half of ``table`` when it outgrows the limit.
+
+        Dicts preserve insertion order, so the first half of the keys is
+        the coldest by creation time; a trimmed pair simply recomputes
+        (``conjunction``/``disjunction`` stay correct without the memo).
+        """
+        limit = self._memo_limit
+        if limit is None or len(table) <= limit:
+            return
+        for key in list(itertools.islice(iter(table), len(table) // 2)):
+            del table[key]
+        self.memo_trims += 1
 
     def clear(self) -> None:
         """Drop the intern table and every memo table (tests/benchmarks)."""
@@ -388,6 +431,7 @@ class ConditionKernel:
             return hit[2]
         result = self.conjunction((a, b))
         self._and2[key] = (a, b, result)
+        self._trim_memo(self._and2)
         return result
 
     def or_(self, a: Condition, b: Condition) -> Condition:
@@ -407,6 +451,7 @@ class ConditionKernel:
             return hit[2]
         result = self.disjunction((a, b))
         self._or2[key] = (a, b, result)
+        self._trim_memo(self._or2)
         return result
 
     def row_equality(self, left: Sequence[Any], right: Sequence[Any]) -> Condition:

@@ -38,6 +38,7 @@ from ..datamodel.conditional import FALSE, TRUE, Condition
 from ..datamodel.relations import Relation, Row
 from ..datamodel.schema import DatabaseSchema
 from ..datamodel.values import is_null
+from ..resilience import active_budget
 from .logical import (
     LAdom,
     LConst,
@@ -61,7 +62,7 @@ class CTableContext:
     :class:`repro.session.Session`.
     """
 
-    __slots__ = ("database", "schema", "memo", "kernel", "_adom")
+    __slots__ = ("database", "schema", "memo", "kernel", "budget", "_adom")
 
     def __init__(
         self,
@@ -73,6 +74,9 @@ class CTableContext:
         self.schema = schema
         self.memo: Dict[Any, List[CRow]] = {}
         self.kernel = kernel if kernel is not None else DEFAULT_KERNEL
+        # Snapshot the ambient budget once per query; the quadratic
+        # operators check it per outer row (cooperative cancellation).
+        self.budget = active_budget()
         self._adom: Optional[List[Any]] = None
 
     def active_domain(self) -> List[Any]:
@@ -279,7 +283,10 @@ class CHashJoin(COperator):
 
         rows: List[CRow] = []
         append = rows.append
+        budget = ctx.budget
         for l_values, l_condition in self.left.rows(ctx):
+            if budget is not None:
+                budget.check()
             if single_key is not None:
                 probe = l_values[single_key]
                 l_key: Row = (probe,)
@@ -332,8 +339,11 @@ class CProduct(COperator):
     def _compute(self, ctx: CTableContext) -> List[CRow]:
         right_rows = self.right.rows(ctx)
         kernel = ctx.kernel
+        budget = ctx.budget
         rows: List[CRow] = []
         for l_values, l_condition in self.left.rows(ctx):
+            if budget is not None:
+                budget.check()
             for r_values, r_condition in right_rows:
                 condition = kernel.and_(l_condition, r_condition)
                 if condition is FALSE:
@@ -475,8 +485,11 @@ class CDivision(COperator):
 
         # reorder(candidate × divisor-row) back into R's column layout,
         # then keep the pairs that may be *missing* from R.
+        budget = ctx.budget
         missing: List[CRow] = []
         for c_values, c_condition in candidates:
+            if budget is not None:
+                budget.check()
             for s_values, s_condition in right_rows:
                 full = [None] * arity
                 for k_index, p in enumerate(keep):
@@ -669,6 +682,9 @@ def execute_ctable(
     default to the process-wide instances.  Sessions pass their own, so
     concurrent sessions share neither plans nor interned conditions.
     """
+    state = active_budget()
+    if state is not None:
+        state.check()
     if plan_cache is None:
         plan_cache = _planner.DEFAULT_PLAN_CACHE
     if kernel is None:

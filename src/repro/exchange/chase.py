@@ -28,6 +28,7 @@ from ..datamodel.database import Fact
 from ..datamodel.values import is_null
 from ..homomorphisms import core as core_of
 from ..logic.formulas import Variable, is_variable
+from ..resilience import active_budget
 from .mappings import MappingAtom, SchemaMapping, TGD
 
 
@@ -183,9 +184,12 @@ def chase(
     nulls_introduced = 0
     new_facts: List[Fact] = []
 
+    state = active_budget()
     for tgd in mapping.tgds:
         body = list(tgd.body)
         for assignment in _match_atoms(body, source, 0, {}):
+            if state is not None:
+                state.check()
             if not oblivious and _head_satisfied(tgd, assignment, target.add_facts(new_facts)):
                 continue
             facts, introduced = _head_facts(tgd, assignment, null_counter)

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..datamodel import Database, Null, is_null
 from ..datamodel.database import Fact
+from ..resilience import active_budget
 from .blocks import fact_components, fact_sort_key, null_blocks
 from .finder import (
     Homomorphism,
@@ -138,7 +139,12 @@ def _core_block(database: Database) -> Tuple[Database, Homomorphism]:
     # check never rebuilds the exclusion state from scratch.
     excluded: Dict[str, Set[Tuple]] = {}
     total: Optional[Homomorphism] = None
+    state = active_budget()
     for block in blocks:
+        if state is not None:
+            # One giant null block means one exponential search; an armed
+            # max_block_size refuses it up front instead of hanging.
+            state.check_block(len(block.facts))
         remaining: List[Fact] = list(block.facts)
         progress = True
         while progress:
@@ -190,7 +196,10 @@ def is_core(database: Database, algorithm: str = "block") -> bool:
         return True
     if algorithm != "block":
         raise _unknown_algorithm(algorithm)
+    state = active_budget()
     for block in null_blocks(database):
+        if state is not None:
+            state.check_block(len(block.facts))
         for fact in block.facts:
             if find_homomorphism_restricted(block.facts, database, exclude=(fact,)) is not None:
                 return False

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set,
 
 from ..datamodel import Database, Null, Relation, is_null
 from ..datamodel.database import Fact
+from ..resilience import active_budget
 
 
 class Homomorphism:
@@ -304,7 +305,13 @@ def _iter_assignments(
         for name in {info[0] for info in fact_info}
     }
 
+    budget = active_budget()
+
     def backtrack(index: int, assignment: Dict[Null, Any]) -> Iterator[Dict[Null, Any]]:
+        if budget is not None:
+            # Cooperative cancellation: the search tree is exponential in
+            # the worst case, so every node re-checks the deadline.
+            budget.check()
         if index == len(source_facts):
             yield dict(assignment)
             return

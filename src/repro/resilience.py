@@ -1,0 +1,446 @@
+"""Budgets, typed failures and retry/degradation plumbing.
+
+The paper's central guarantee is *soundness*: an evaluation scheme may
+return fewer answers than the true certain answers, but never wrong ones
+(Section 4's ``Q(D)_cmpl ⊑ certain(Q, D)``).  That guarantee dictates how
+this library handles resource exhaustion and infrastructure failure: an
+evaluation that cannot finish degrades to a *cheaper sound approximation*
+(or a typed error) — never to a silently incorrect result.  This module
+holds the pieces every layer shares:
+
+* **Exception taxonomy.**  :class:`ReproError` is the base class of every
+  failure the library raises on purpose.  :class:`BudgetExceeded`,
+  :class:`BackendUnavailable` and :class:`WorkerPoolError` are the
+  resource/infrastructure failures introduced here;
+  :class:`SessionClosedError` and :class:`InvalidRequestError` re-type the
+  session layer's historical ``RuntimeError``/``ValueError`` raises while
+  *also* inheriting from those builtins, so existing ``except`` clauses
+  (and the deprecation shims) keep working unchanged.
+
+* **Budgets.**  A :class:`Budget` caps an evaluation by wall-clock
+  ``deadline``, by ``max_worlds`` enumerated, or by ``max_block_size`` in
+  the homomorphism layer.  Arming a budget (:func:`budget_scope`) plants
+  a :class:`BudgetState` in a :class:`~contextvars.ContextVar`; the deep
+  loops — world enumeration, the c-table operators, the homomorphism
+  finder's backtracking, the chase's trigger loop — fetch it once per
+  call (:func:`active_budget`) and check cooperatively.  When no budget
+  is armed the fetch returns ``None`` and the loops pay one predictable
+  branch per iteration, nothing more.
+
+* **Retries.**  :func:`with_retries` re-runs a callable on *transient*
+  failures with bounded exponential backoff plus jitter.  Transient, for
+  the SQLite backend, means the ``SQLITE_BUSY``/``SQLITE_LOCKED`` family
+  (:func:`is_transient_error`) — a malformed generated statement must
+  keep failing loudly, retrying it would only mask a compiler bug.
+
+* **Partial results.**  :class:`PartialResult` is what
+  ``Query.certain(on_budget="partial")`` returns when a budget expires: a
+  relation that is guaranteed to be a *sound subset* of the certain
+  answers, flagged ``partial`` and carrying a human-readable verdict.  It
+  deliberately does not compare equal to a plain relation — treating a
+  lower bound as the full answer should never happen by accident.
+
+* **Clocks.**  Budgets and retries take injectable clocks/sleepers so the
+  fault-injection suite can test deadline behavior deterministically
+  (:class:`ManualClock`).
+
+This module depends only on the standard library, so every layer of the
+package (datamodel, backends, session) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator, Optional, Tuple, TypeVar
+
+__all__ = [
+    "BackendRecoveryWarning",
+    "BackendUnavailable",
+    "Budget",
+    "BudgetExceeded",
+    "BudgetState",
+    "InvalidRequestError",
+    "ManualClock",
+    "PartialResult",
+    "ReproError",
+    "SessionClosedError",
+    "WorkerPoolError",
+    "active_budget",
+    "budget_scope",
+    "is_transient_error",
+    "with_retries",
+]
+
+
+# ----------------------------------------------------------------------
+# Exception taxonomy
+# ----------------------------------------------------------------------
+class ReproError(Exception):
+    """Base class of every failure this library raises deliberately.
+
+    Callers that want "anything repro can throw on purpose" catch this one
+    class; the fault-injection differential suite asserts that every
+    non-answer outcome is an instance of it.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """A :class:`Budget` limit was hit before the evaluation finished.
+
+    ``resource`` names the limit: ``"deadline"``, ``"worlds"`` or
+    ``"block"``.
+    """
+
+    def __init__(self, message: str, resource: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.resource = resource
+
+
+class BackendUnavailable(ReproError):
+    """The storage backend failed and no in-memory fallback is possible.
+
+    Raised by the session layer when a backend-resident (out-of-core)
+    evaluation dies on an environmental error: with no
+    :class:`~repro.datamodel.Database` object in memory there is nothing
+    to recover onto.
+    """
+
+
+class WorkerPoolError(ReproError):
+    """A ``workers=`` child failed deterministically.
+
+    Raised only after the failing chunk has been *re-run sequentially in
+    the parent* and failed again — a child that merely died (OOM-kill,
+    ``BrokenProcessPool``) is recovered from silently.  ``world`` carries
+    the originating possible world when the re-run identified it.
+    """
+
+    def __init__(self, message: str, world: Any = None) -> None:
+        super().__init__(message)
+        self.world = world
+
+
+class SessionClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a closed :class:`~repro.session.Session`.
+
+    Subclasses ``RuntimeError`` because that is what the session layer
+    historically raised; existing ``except RuntimeError`` code keeps
+    working.
+    """
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A request the session layer rejects up front (bad engine name,
+    missing database, undefined mode for the query kind, ...).
+
+    Subclasses ``ValueError`` for the same compatibility reason as
+    :class:`SessionClosedError`.
+    """
+
+
+class BackendRecoveryWarning(RuntimeWarning):
+    """A runtime backend failure was recovered by the in-memory engine.
+
+    Emitted at most once per session: the answers stay correct (the
+    in-memory engine is the semantics oracle), but the backend's
+    out-of-core and streaming benefits are gone until it heals.
+    """
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+class Budget:
+    """An immutable resource cap for one evaluation call.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock seconds the evaluation may run (cooperative: the deep
+        loops check between cheap steps, so the overshoot is bounded by
+        one step, not one world).
+    max_worlds:
+        Maximum number of possible worlds the enumeration strategies may
+        evaluate.  With ``workers=`` fan-out the check is chunk-granular,
+        so the count may overshoot by up to the in-flight window.
+    max_block_size:
+        Maximum null-block size (in facts) the homomorphism layer will
+        search; a larger block raises instead of starting an exponential
+        search.
+    clock:
+        Monotonic time source (seconds); defaults to
+        :func:`time.monotonic`.  Tests inject :class:`ManualClock`.
+    """
+
+    __slots__ = ("deadline", "max_worlds", "max_block_size", "clock")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_worlds: Optional[int] = None,
+        max_block_size: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline!r}")
+        if max_worlds is not None and max_worlds < 1:
+            raise ValueError(f"max_worlds must be >= 1, got {max_worlds!r}")
+        if max_block_size is not None and max_block_size < 1:
+            raise ValueError(f"max_block_size must be >= 1, got {max_block_size!r}")
+        self.deadline = deadline
+        self.max_worlds = max_worlds
+        self.max_block_size = max_block_size
+        self.clock = clock if clock is not None else time.monotonic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline!r}")
+        if self.max_worlds is not None:
+            parts.append(f"max_worlds={self.max_worlds!r}")
+        if self.max_block_size is not None:
+            parts.append(f"max_block_size={self.max_block_size!r}")
+        return f"Budget({', '.join(parts)})"
+
+    def start(self) -> "BudgetState":
+        """Arm the budget: start the deadline clock and the world counter."""
+        return BudgetState(self)
+
+
+class BudgetState:
+    """One armed :class:`Budget`: mutable counters plus the expiry instant."""
+
+    __slots__ = ("budget", "_clock", "_expires_at", "_worlds")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self._clock = budget.clock
+        self._expires_at = (
+            None if budget.deadline is None else self._clock() + budget.deadline
+        )
+        self._worlds = 0
+
+    @property
+    def worlds(self) -> int:
+        """Worlds counted so far (via :meth:`tick_world`)."""
+        return self._worlds
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds until the deadline, or ``None`` when there is none."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - self._clock()
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if the deadline has passed."""
+        if self._expires_at is not None and self._clock() >= self._expires_at:
+            raise BudgetExceeded(
+                f"deadline of {self.budget.deadline}s exceeded", resource="deadline"
+            )
+
+    def tick_world(self, count: int = 1) -> None:
+        """Count ``count`` enumerated worlds and re-check every limit."""
+        self._worlds += count
+        limit = self.budget.max_worlds
+        if limit is not None and self._worlds > limit:
+            raise BudgetExceeded(
+                f"max_worlds={limit} exceeded after {self._worlds} worlds",
+                resource="worlds",
+            )
+        self.check()
+
+    def check_block(self, size: int) -> None:
+        """Reject a homomorphism search over a block of ``size`` facts."""
+        limit = self.budget.max_block_size
+        if limit is not None and size > limit:
+            raise BudgetExceeded(
+                f"null block of {size} facts exceeds max_block_size={limit}",
+                resource="block",
+            )
+        self.check()
+
+
+_ACTIVE_BUDGET: "ContextVar[Optional[BudgetState]]" = ContextVar(
+    "repro_active_budget", default=None
+)
+
+
+def active_budget() -> Optional[BudgetState]:
+    """The armed budget of the current context, or ``None``.
+
+    Deep loops fetch this once per call and keep the result in a local;
+    when it is ``None`` the budget machinery costs one branch per
+    iteration.
+    """
+    return _ACTIVE_BUDGET.get()
+
+
+@contextmanager
+def budget_scope(state: Optional[BudgetState]) -> Iterator[Optional[BudgetState]]:
+    """Make ``state`` the ambient budget for the duration of the block.
+
+    ``None`` is accepted and means "no budget" (the scope is a no-op), so
+    callers need no conditional around the ``with`` statement.
+    """
+    if state is None:
+        yield None
+        return
+    token = _ACTIVE_BUDGET.set(state)
+    try:
+        yield state
+    finally:
+        _ACTIVE_BUDGET.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Partial results
+# ----------------------------------------------------------------------
+class PartialResult:
+    """A *sound subset* of the certain answers, flagged as incomplete.
+
+    Produced by ``Query.certain(on_budget="partial")`` when the budget
+    expires: every row in :attr:`relation` is guaranteed to be a certain
+    answer (soundness is inherited from the fallback that computed it),
+    but more certain answers may exist.  ``verdict`` says which fallback
+    ran and why.
+
+    Deliberately *not* equal to any plain relation — code must opt in to
+    treating a lower bound as an answer by reading ``.relation``/``.rows``.
+    """
+
+    __slots__ = ("relation", "verdict", "resource")
+
+    #: Class-level flag: ``getattr(result, "partial", False)`` distinguishes
+    #: a degraded answer from a complete Relation without isinstance checks.
+    partial = True
+
+    def __init__(self, relation: Any, verdict: str, resource: Optional[str] = None) -> None:
+        self.relation = relation
+        self.verdict = verdict
+        self.resource = resource
+
+    @property
+    def schema(self) -> Any:
+        return self.relation.schema
+
+    @property
+    def rows(self) -> Any:
+        return self.relation.rows
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.relation)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:
+        return f"PartialResult({len(self.relation)} sound rows; {self.verdict})"
+
+
+# ----------------------------------------------------------------------
+# Retries
+# ----------------------------------------------------------------------
+#: SQLite OperationalError messages that signal a *transient* condition:
+#: another connection holds a lock that will be released.  Everything else
+#: (syntax errors, missing tables) must keep failing loudly.
+_TRANSIENT_SQLITE_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+)
+
+T = TypeVar("T")
+
+#: Default retry policy (documented in docs/robustness.md): 3 retries,
+#: exponential backoff 5ms → 40ms, full jitter in [delay/2, delay].
+DEFAULT_RETRIES = 3
+DEFAULT_BASE_DELAY = 0.005
+DEFAULT_MAX_DELAY = 0.05
+
+
+def is_transient_error(error: BaseException) -> bool:
+    """Is ``error`` a transient SQLite condition worth retrying?
+
+    Only the ``SQLITE_BUSY``/``SQLITE_LOCKED`` family qualifies; a
+    malformed statement or a missing table is a bug and retrying it would
+    only mask it.
+    """
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_SQLITE_MARKERS)
+
+
+def with_retries(
+    fn: Callable[[], T],
+    *,
+    retryable: Callable[[BaseException], bool] = is_transient_error,
+    retries: int = DEFAULT_RETRIES,
+    base_delay: float = DEFAULT_BASE_DELAY,
+    max_delay: float = DEFAULT_MAX_DELAY,
+    sleep: Optional[Callable[[float], None]] = None,
+    rng: Optional[random.Random] = None,
+) -> T:
+    """Call ``fn()`` and re-call it on transient failures.
+
+    Backoff is exponential (``base_delay * 2**attempt``, capped at
+    ``max_delay``) with full jitter in ``[delay/2, delay]`` so concurrent
+    retriers do not stampede the lock in lockstep.  A non-retryable error,
+    or the ``retries + 1``-th failure, propagates unchanged.  When a
+    budget is armed in the current context its deadline is honored: an
+    expired budget stops the retry loop with :class:`BudgetExceeded`
+    instead of sleeping past it.
+
+    ``sleep`` and ``rng`` are injectable for deterministic tests.
+    """
+    if sleep is None:
+        sleep = time.sleep
+    draw = rng.random if rng is not None else random.random
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as error:  # noqa: BLE001 - classified right below
+            if attempt >= retries or not retryable(error):
+                raise
+            state = active_budget()
+            if state is not None:
+                state.check()
+            delay = min(max_delay, base_delay * (2 ** attempt))
+            sleep(delay * (0.5 + draw() / 2))
+            attempt += 1
+
+
+# ----------------------------------------------------------------------
+# Deterministic clocks for tests
+# ----------------------------------------------------------------------
+class ManualClock:
+    """A monotonic clock under test control.
+
+    ``ManualClock()`` stands still until :meth:`advance` is called;
+    ``ManualClock(step=s)`` additionally advances itself by ``s`` seconds
+    on every reading, which makes "the deadline expires after N budget
+    checks" a deterministic property.  Doubles as a ``sleep`` injectable:
+    calling the instance with a duration advances it.
+    """
+
+    __slots__ = ("now", "step")
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self.now = float(start)
+        self.step = float(step)
+
+    def __call__(self, duration: Optional[float] = None) -> float:
+        if duration is not None:  # used as a sleep(): advance and return
+            self.now += duration
+            return self.now
+        current = self.now
+        self.now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

@@ -18,13 +18,14 @@ from __future__ import annotations
 import itertools
 import pickle
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .._deprecation import warn_deprecated as _warn_deprecated
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
 from ..datamodel.schema import RelationSchema
+from ..resilience import BudgetExceeded, WorkerPoolError, active_budget
 from .worlds import cwa_worlds, owa_worlds, worlds
 
 Evaluator = Callable[[Database], Relation]
@@ -74,6 +75,26 @@ def _all_hold_chunk(evaluate: Callable[[Database], bool], chunk: List[Database])
     return all(evaluate(world) for world in chunk)
 
 
+def _run_chunk_locally(task: Callable[..., Any], evaluate: Any, chunk: List[Database]) -> Any:
+    """Re-run a failed chunk in the parent, attributing per-world failures.
+
+    This is both the recovery path (a chunk whose child died takes the
+    sequential road) and the blame path: when the failure is
+    deterministic, re-running world by world identifies the culprit and
+    raises :class:`WorkerPoolError` with that world attached.
+    """
+
+    def attributed(world: Database) -> Any:
+        try:
+            return evaluate(world)
+        except Exception as error:
+            raise WorkerPoolError(
+                f"world evaluation failed deterministically: {error}", world=world
+            ) from error
+
+    return task(attributed, chunk)
+
+
 def _windowed_chunk_results(
     pool: ProcessPoolExecutor,
     task: Callable[..., Any],
@@ -87,21 +108,68 @@ def _windowed_chunk_results(
     stream must never be materialized: at most ``window`` chunks are
     submitted ahead of the consumer, and abandoning the iterator (early
     exit) leaves only that window to drain.
+
+    Failure behavior (each future keeps its chunk alongside, so failed
+    work is never lost):
+
+    * A broken pool (child SIGKILLed, ``BrokenProcessPool``) degrades the
+      run to sequential: the popped chunk, every pending chunk and the
+      unsubmitted remainder are re-run in the parent.  Answers stay
+      identical to ``workers=None``.
+    * A genuine exception from a child re-runs its chunk locally too — if
+      the local run succeeds the failure was child-environmental (OOM
+      kill during unpickling, ...) and the result is used; if it fails
+      again it raises :class:`WorkerPoolError` naming the world.
+    * An armed budget bounds the wait for each result by the remaining
+      deadline and counts worlds chunk by chunk.
     """
     window = max(2, window)
+    state = active_budget()
     pending: "deque" = deque()
     chunk_iter = iter(chunks)
     exhausted = False
+    broken = False
     while True:
-        while not exhausted and len(pending) < window:
+        while not broken and not exhausted and len(pending) < window:
             chunk = next(chunk_iter, None)
             if chunk is None:
                 exhausted = True
                 break
-            pending.append(pool.submit(task, evaluate, chunk))
-        if not pending:
+            pending.append((pool.submit(task, evaluate, chunk), chunk))
+        if pending:
+            future, chunk = pending.popleft()
+            try:
+                if state is not None:
+                    result = future.result(timeout=state.remaining_time())
+                else:
+                    result = future.result()
+            except FutureTimeoutError:
+                future.cancel()
+                raise BudgetExceeded(
+                    "deadline expired waiting for worker results",
+                    resource="deadline",
+                ) from None
+            except BrokenExecutor:
+                broken = True
+                result = _run_chunk_locally(task, evaluate, chunk)
+            except WorkerPoolError:
+                raise
+            except Exception:
+                result = _run_chunk_locally(task, evaluate, chunk)
+            if state is not None:
+                state.tick_world(len(chunk))
+            yield result
+        elif broken and not exhausted:
+            # The pool died before the stream was fully submitted: finish
+            # the remaining worlds sequentially in the parent.
+            for chunk in chunk_iter:
+                result = _run_chunk_locally(task, evaluate, chunk)
+                if state is not None:
+                    state.tick_world(len(chunk))
+                yield result
             return
-        yield pending.popleft().result()
+        else:
+            return
 
 
 def enumerate_certain_answers(
@@ -168,7 +236,10 @@ def enumerate_certain_answers(
                 if not certain:
                     break  # empty intersection can only stay empty
     else:
+        state = active_budget()
         for world in world_iter:
+            if state is not None:
+                state.tick_world()
             answer = evaluate(world)
             if answer_schema is None:
                 answer_schema = answer.schema
@@ -197,6 +268,7 @@ def enumerate_possible_answers(
     """Union-based *possible* answers (tuples appearing in at least one world)."""
     answer_schema = None
     possible: Set[Row] = set()
+    state = active_budget()
     for world in worlds(
         database,
         semantics=semantics,
@@ -204,6 +276,8 @@ def enumerate_possible_answers(
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
     ):
+        if state is not None:
+            state.tick_world()
         answer = evaluate(world)
         if answer_schema is None:
             answer_schema = answer.schema
@@ -270,7 +344,10 @@ def enumerate_certain_boolean(
                 if not result:
                     return False
         return True
+    state = active_budget()
     for world in world_iter:
+        if state is not None:
+            state.tick_world()
         if not evaluate(world):
             return False
     return True
@@ -285,6 +362,7 @@ def enumerate_possible_boolean(
     max_extra_facts: int = 1,
 ) -> bool:
     """Possibility of a Boolean query: true iff true in at least one world."""
+    state = active_budget()
     for world in worlds(
         database,
         semantics=semantics,
@@ -292,6 +370,8 @@ def enumerate_possible_boolean(
         extra_constants=extra_constants,
         max_extra_facts=max_extra_facts,
     ):
+        if state is not None:
+            state.tick_world()
         if evaluate(world):
             return True
     return False

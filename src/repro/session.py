@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import functools
 import threading
+import warnings
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .algebra.ast import RAExpression
@@ -53,7 +54,19 @@ from .core.answers import (
     enumeration_domain,
     enumeration_strategy,
     knowledge_strategy,
+    naive_strategy,
     object_strategy,
+)
+from .resilience import (
+    BackendRecoveryWarning,
+    BackendUnavailable,
+    Budget,
+    BudgetExceeded,
+    InvalidRequestError,
+    PartialResult,
+    SessionClosedError,
+    budget_scope,
+    with_retries,
 )
 from .core.naive_evaluation import evaluate_query, naive_evaluation_applies
 from .datamodel import Database, Relation
@@ -157,7 +170,7 @@ class Query:
     the session's engine, semantics and caches.
     """
 
-    __slots__ = ("session", "expression", "_database", "_engine")
+    __slots__ = ("session", "expression", "_database", "_engine", "_resilience_verdict")
 
     def __init__(
         self,
@@ -170,6 +183,8 @@ class Query:
         self.expression = expression
         self._database = database
         self._engine = _engine
+        #: How the last certain() call degraded, if it did (shown by explain()).
+        self._resilience_verdict: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Query({self.expression!r})"
@@ -184,7 +199,7 @@ class Query:
 
     def _no_sql(self, what: str) -> None:
         if self._is_sql():
-            raise ValueError(
+            raise InvalidRequestError(
                 f"{what} is not defined for three-valued SQL queries; "
                 "use certain() (rewriting) or answer_object() (raw 3VL rows)"
             )
@@ -192,7 +207,7 @@ class Query:
     def _require_database(self) -> Database:
         database = self.database
         if database is None:
-            raise ValueError(
+            raise InvalidRequestError(
                 "no database: pass one to connect() or session.query(..., database=)"
             )
         return database
@@ -216,6 +231,8 @@ class Query:
         domain: Optional[Sequence[Any]] = None,
         extra_constants: Optional[int] = None,
         max_extra_facts: int = 1,
+        budget: Optional[Budget] = None,
+        on_budget: Optional[str] = None,
     ) -> Relation:
         """Certain answers under the session's semantics.
 
@@ -223,10 +240,29 @@ class Query:
         guarantees it and falls back to world enumeration; ``'naive'`` and
         ``'enumeration'`` force a strategy.  For a three-valued SQL query
         this applies the certain-answer rewriting and returns rows.
+
+        ``budget`` caps the evaluation (falling back to the session's
+        default budget); when it expires, ``on_budget`` decides the
+        outcome — ``"degrade"`` (default) re-answers with the cheapest
+        *sound* approximation and records a verdict readable via
+        :meth:`explain`, ``"partial"`` wraps that sound subset in a
+        :class:`~repro.resilience.PartialResult`, and ``"raise"``
+        propagates :class:`~repro.resilience.BudgetExceeded`.  Soundness
+        is non-negotiable: a fallback only runs when its answers are
+        guaranteed to be certain answers (see ``docs/robustness.md``).
         """
         if self._is_sql():
             return self.session.sql(self.expression, database=self._database, certain=True)
-        return certain_strategy(
+        self._resilience_verdict = None
+        budget = budget if budget is not None else self.session.budget
+        policy = on_budget if on_budget is not None else self.session.on_budget
+        if policy not in ("degrade", "raise", "partial"):
+            raise InvalidRequestError(
+                f"unknown on_budget policy {policy!r}; "
+                "expected 'degrade', 'raise' or 'partial'"
+            )
+        run = functools.partial(
+            certain_strategy,
             self.expression,
             self._require_database(),
             self._evaluator(),
@@ -238,16 +274,100 @@ class Query:
             workers=self.session.workers,
             world_evaluator=self._world_evaluator(),
         )
+        if budget is None:
+            return run()
+        try:
+            with budget_scope(budget.start()):
+                return run()
+        except BudgetExceeded as error:
+            return self._degrade_certain(error, policy)
+
+    def _degrade_certain(self, error: BudgetExceeded, policy: str) -> Any:
+        """The degradation ladder: answer soundly, or fail loudly.
+
+        Runs *outside* the expired budget — each rung is polynomial, so
+        the overrun is bounded (one naive evaluation, not another
+        enumeration).  The rungs, cheapest sound approximation first:
+
+        1. naive evaluation is *exact* for this (query, semantics) —
+           possible when the budget died in a forced enumeration;
+        2. naive evaluation applies under OWA — its answer is
+           ``certain_owa``, a sound lower bound for CWA/WCWA too (those
+           worlds are a subset of the OWA worlds and the fragment is
+           monotone);
+        3. CWA + relational algebra — the polynomial sound approximation
+           of :func:`repro.core.sound_evaluation.sound_certain_answers`;
+        4. nothing sound exists: ``degrade`` re-raises, ``partial``
+           returns an *empty* sound subset (never the unsound prefix of
+           the aborted world intersection — that is an over-approximation).
+        """
+        resource = error.resource or "budget"
+        if policy == "raise":
+            self._resilience_verdict = (
+                f"budget exceeded ({resource}); on_budget='raise' — no fallback ran"
+            )
+            raise error
+        expression = self.expression
+        database = self._require_database()
+        semantics = self.session.semantics
+        relation: Optional[Relation] = None
+        quality: Optional[str] = None
+        exact = naive_evaluation_applies(
+            expression, semantics=applicability_semantics(semantics)
+        )
+        if exact.applies:
+            relation = naive_strategy(expression, database, self._evaluator())
+            quality = f"exact (naive evaluation applies: {exact.fragment})"
+        elif naive_evaluation_applies(expression, semantics="owa").applies:
+            relation = naive_strategy(expression, database, self._evaluator())
+            quality = (
+                "sound lower bound (naive/OWA answer; "
+                f"certain_owa ⊆ certain_{semantics} for monotone queries)"
+            )
+        elif semantics == "cwa" and isinstance(expression, RAExpression):
+            from .core.sound_evaluation import sound_certain_answers
+
+            relation = sound_certain_answers(expression, database)
+            quality = "sound lower bound (polynomial CWA approximation)"
+        if relation is None:
+            if policy == "degrade":
+                self._resilience_verdict = (
+                    f"budget exceeded ({resource}); no sound fallback exists for "
+                    f"this query under {semantics} — raised"
+                )
+                raise error
+            # policy == "partial": the only sound subset we can certify
+            # without finishing the enumeration is the empty one.
+            if isinstance(expression, RAExpression):
+                schema = expression.output_schema(database.schema)
+            else:
+                schema = expression.output_schema()
+            relation = Relation.empty(schema)
+            quality = "empty sound subset (no sound approximation exists)"
+        verdict = f"budget exceeded ({resource}); degraded to {quality}"
+        self._resilience_verdict = verdict
+        if policy == "partial":
+            return PartialResult(relation, verdict, resource=error.resource)
+        return relation
 
     def possible(
         self,
         domain: Optional[Sequence[Any]] = None,
         extra_constants: Optional[int] = None,
         max_extra_facts: int = 1,
+        budget: Optional[Budget] = None,
     ) -> Relation:
-        """Possible answers (union over the enumerated worlds)."""
+        """Possible answers (union over the enumerated worlds).
+
+        ``budget`` caps the enumeration; on expiry
+        :class:`~repro.resilience.BudgetExceeded` is raised — there is no
+        degradation ladder here, because a *subset* of the worlds yields a
+        subset of the possible answers, which no sound rung can complete.
+        """
         self._no_sql("possible()")
-        return enumeration_strategy(
+        budget = budget if budget is not None else self.session.budget
+        run = functools.partial(
+            enumeration_strategy,
             self.expression,
             self._require_database(),
             self._evaluator(),
@@ -258,6 +378,10 @@ class Query:
             world_evaluator=self._world_evaluator(),
             mode="possible",
         )
+        if budget is None:
+            return run()
+        with budget_scope(budget.start()):
+            return run()
 
     def answer_object(self) -> Relation:
         """``certainO``: the naive answer itself, nulls included (eq. (9)).
@@ -291,13 +415,30 @@ class Query:
         domain: Optional[Sequence[Any]] = None,
         extra_constants: Optional[int] = None,
         max_extra_facts: int = 1,
+        budget: Optional[Budget] = None,
     ) -> bool:
         """Certainty (or possibility) of "the answer is non-empty".
 
         For a Boolean first-order query this is its truth value per world;
         for relational algebra it is non-emptiness of the answer.
+        ``budget`` caps the enumeration; on expiry
+        :class:`~repro.resilience.BudgetExceeded` is raised (a Boolean
+        has no sound middle ground to degrade to).
         """
         self._no_sql("boolean()")
+        budget = budget if budget is not None else self.session.budget
+        if budget is not None:
+            with budget_scope(budget.start()):
+                return self._boolean(mode, domain, extra_constants, max_extra_facts)
+        return self._boolean(mode, domain, extra_constants, max_extra_facts)
+
+    def _boolean(
+        self,
+        mode: str,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+    ) -> bool:
         database = self._require_database()
         expression = self.expression
         if self.session.workers is not None and self.session.workers > 1:
@@ -329,7 +470,7 @@ class Query:
                 extra_constants=extra_constants,
                 max_extra_facts=max_extra_facts,
             )
-        raise ValueError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
+        raise InvalidRequestError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
 
     # -- introspection -------------------------------------------------
     def explain(self) -> str:
@@ -351,7 +492,10 @@ class Query:
                 "engine: sqlnulls (three-valued logic)\n"
                 f"sql:\n  {sql}\n  params: {params!r}"
             )
-        return self.session._explain(self.expression, self.database, self._engine_name())
+        text = self.session._explain(self.expression, self.database, self._engine_name())
+        if self._resilience_verdict is not None:
+            text += f"\nresilience: {self._resilience_verdict}"
+        return text
 
     # -- streaming -----------------------------------------------------
     def cursor(self, batch_size: int = 1024, certain: bool = False) -> Cursor:
@@ -365,7 +509,7 @@ class Query:
         no guarantee it falls back to materializing ``certain()``.
         """
         if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
+            raise InvalidRequestError(f"batch_size must be >= 1, got {batch_size!r}")
         if self._is_sql():
             rows = self.session.sql(
                 self.expression, database=self._database, certain=certain
@@ -404,6 +548,9 @@ class Session:
         workers: Optional[int] = None,
         backend_path: str = ":memory:",
         kernel_watermark: Optional[int] = None,
+        kernel_memo_limit: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        on_budget: str = "degrade",
         _dynamic_engine: bool = False,
         _plan_cache: Optional[Any] = None,
         _kernel: Optional[ConditionKernel] = None,
@@ -412,12 +559,17 @@ class Session:
         from .engine.planner import PlanCache
 
         if not _dynamic_engine and engine not in _engine_names():
-            raise ValueError(
+            raise InvalidRequestError(
                 f"unknown engine {engine!r}; expected one of {_engine_names()}"
             )
         if semantics not in _SEMANTICS:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"unknown semantics {semantics!r}; expected one of {_SEMANTICS}"
+            )
+        if on_budget not in ("degrade", "raise", "partial"):
+            raise InvalidRequestError(
+                f"unknown on_budget policy {on_budget!r}; "
+                "expected 'degrade', 'raise' or 'partial'"
             )
         if database is not None and not isinstance(database, Database):
             raise TypeError(
@@ -428,8 +580,12 @@ class Session:
         self.semantics = semantics
         self.workers = workers
         self.backend_path = backend_path
+        self.budget = budget
+        self.on_budget = on_budget
         self.kernel: ConditionKernel = (
-            _kernel if _kernel is not None else ConditionKernel(watermark=kernel_watermark)
+            _kernel
+            if _kernel is not None
+            else ConditionKernel(watermark=kernel_watermark, memo_limit=kernel_memo_limit)
         )
         self.plan_cache = (
             _plan_cache if _plan_cache is not None else PlanCache(kernel=self.kernel)
@@ -442,6 +598,7 @@ class Session:
         self._backend_database: Optional[Database] = None
         self._sql3vl_backend: Optional[Any] = None   # three-valued SQLiteBackend
         self._sql3vl_database: Optional[Database] = None
+        self._backend_recovery_warned = False
         self._lock = threading.RLock()
         self._closed = False
 
@@ -517,7 +674,7 @@ class Session:
         if database is None:
             database = self.database
         if database is None:
-            raise ValueError(
+            raise InvalidRequestError(
                 "no database: pass one to connect() or session.sql(..., database=)"
             )
         if certain:
@@ -551,7 +708,7 @@ class Session:
     ) -> Relation:
         """Evaluate ``query`` on ``database`` with this session's state."""
         if self._closed:
-            raise RuntimeError("session is closed")
+            raise SessionClosedError("session is closed")
         if isinstance(query, FOQuery):
             return query.evaluate(database)
         mode = engine if engine is not None else self.engine
@@ -561,7 +718,34 @@ class Session:
             return query._interpret(database)
         if mode == "sqlite":
             return self._execute_sqlite(query, database)
-        raise ValueError(f"unknown engine {mode!r}; expected one of {_engine_names()}")
+        raise InvalidRequestError(
+            f"unknown engine {mode!r}; expected one of {_engine_names()}"
+        )
+
+    def _recover_backend_failure(
+        self, error: BaseException, database: Optional[Database]
+    ) -> Database:
+        """Decide the fate of an *environmental* backend failure.
+
+        With a :class:`Database` resident in memory the evaluation
+        recovers on the in-memory engine (the semantics oracle), warning
+        once per session; backend-resident (out-of-core) sessions have
+        nothing to recover onto and get :class:`BackendUnavailable`.
+        """
+        if database is None:
+            raise BackendUnavailable(
+                f"sqlite backend failed and no in-memory database is resident "
+                f"to recover onto: {error}"
+            ) from error
+        if not self._backend_recovery_warned:
+            self._backend_recovery_warned = True
+            warnings.warn(
+                f"sqlite backend failed ({error}); this session recovered via "
+                "the in-memory engine and will keep recovering silently",
+                BackendRecoveryWarning,
+                stacklevel=4,
+            )
+        return database
 
     def _execute_sqlite(
         self, expression: RAExpression, database: Optional[Database]
@@ -575,14 +759,28 @@ class Session:
             return _sqlite_module.execute(expression, database)
         backend = self._ensure_backend(database)
         try:
-            return backend.evaluate(expression, plan_cache=self.plan_cache)
+            # Retries live here (not inside the backend) so wrapper-level
+            # injected faults exercise the same path real SQLITE_BUSY does.
+            return with_retries(
+                functools.partial(
+                    backend.evaluate, expression, plan_cache=self.plan_cache
+                )
+            )
         except BackendError:
             if database is None:
                 raise
+            # Outside the SQL fragment (or a compile-time failure): the
+            # quiet, by-design fallback — no warning, the backend is fine.
             return self.plan_cache.execute(expression, database)
-        except sqlite3.OperationalError as error:
-            if database is not None and _sqlite_module._is_engine_limit(error):
+        except sqlite3.Error as error:
+            if isinstance(error, sqlite3.OperationalError) and _sqlite_module._is_engine_limit(error):
+                if database is None:
+                    raise
                 return self.plan_cache.execute(expression, database)
+            if _sqlite_module.is_runtime_failure(error):
+                return self.plan_cache.execute(
+                    expression, self._recover_backend_failure(error, database)
+                )
             raise
 
     def _stream_sqlite(
@@ -600,24 +798,38 @@ class Session:
         # Legacy-mode sessions stream through a session handle too: the
         # per-Database cache of the old path has no streaming API.
         backend = self._ensure_backend(database)
-        try:
-            plan_iter = backend.execute_cursor(
+
+        def _start() -> Tuple[Iterator[Tuple[Any, ...]], Any]:
+            # A retry re-creates the generator: the faulted one already ran
+            # its teardown when the first next() raised.
+            stream = backend.execute_cursor(
                 expression, batch_size=batch_size, plan_cache=self.plan_cache
             )
-            first = next(plan_iter, _SENTINEL)
+            return stream, next(stream, _SENTINEL)
+
+        try:
+            plan_iter, first = with_retries(_start)
         except BackendError:
             if database is None:
                 raise
             # Outside the SQL fragment: fall back to the in-memory engine
             # (materializes — the fragment has no streaming path).
             return iter(self.plan_cache.execute(expression, database).rows)
-        except sqlite3.OperationalError as error:
-            if database is not None and _sqlite_module._is_engine_limit(error):
+        except sqlite3.Error as error:
+            if isinstance(error, sqlite3.OperationalError) and _sqlite_module._is_engine_limit(error):
+                if database is None:
+                    raise
                 return iter(self.plan_cache.execute(expression, database).rows)
+            if _sqlite_module.is_runtime_failure(error):
+                return iter(
+                    self.plan_cache.execute(
+                        expression, self._recover_backend_failure(error, database)
+                    ).rows
+                )
             raise
         if first is _SENTINEL:
             return iter(())
-        return _chain_first(first, plan_iter)
+        return _stream_rest(first, plan_iter)
 
     def _ensure_backend(self, database: Optional[Database]) -> Any:
         """The session's sentinel-mode backend, loaded with ``database``.
@@ -630,7 +842,7 @@ class Session:
         from .backends.sqlite import SQLiteBackend
 
         if self._closed:
-            raise RuntimeError("session is closed")
+            raise SessionClosedError("session is closed")
         with self._lock:
             if self._backend is None:
                 self._backend = SQLiteBackend(self.backend_path)
@@ -638,7 +850,13 @@ class Session:
                     self._backend.load_database(database)
                     self._backend_database = database
             elif database is not None and database is not self._backend_database:
-                self._backend.replace_database(database)
+                # Crash-consistent switch (single transaction inside the
+                # backend): a failed refill leaves the *old* database
+                # loaded, and `_backend_database` deliberately only moves
+                # forward after it succeeds.
+                with_retries(
+                    functools.partial(self._backend.replace_database, database)
+                )
                 self._backend_database = database
             return self._backend
 
@@ -650,7 +868,7 @@ class Session:
 
         with self._lock:
             if self._closed:
-                raise RuntimeError("session is closed")
+                raise SessionClosedError("session is closed")
             if self._sql3vl_backend is None:
                 path = self.backend_path
                 if path != ":memory:":
@@ -660,7 +878,9 @@ class Session:
                 self._sql3vl_backend.load_database(database)
                 self._sql3vl_database = database
             elif database is not self._sql3vl_database:
-                self._sql3vl_backend.replace_database(database)
+                with_retries(
+                    functools.partial(self._sql3vl_backend.replace_database, database)
+                )
                 self._sql3vl_database = database
             backend = self._sql3vl_backend
         sql, params = compile_select(database, query)
@@ -686,7 +906,7 @@ class Session:
         Requires ``engine="sqlite"``.
         """
         if self.engine != "sqlite":
-            raise ValueError(
+            raise InvalidRequestError(
                 f'backend-resident loading requires engine="sqlite", '
                 f"not {self.engine!r}"
             )
@@ -792,11 +1012,35 @@ class Session:
 _SENTINEL = object()
 
 
-def _chain_first(
+def _stream_rest(
     first: Tuple[Any, ...], rest: Iterator[Tuple[Any, ...]]
 ) -> Iterator[Tuple[Any, ...]]:
+    """Yield ``first`` then drain ``rest``, typing mid-stream backend deaths.
+
+    Once rows have been handed to the consumer the in-memory recovery of
+    :meth:`Session._execute_sqlite` is no longer sound (splicing a
+    restarted answer could repeat or reorder what was already yielded),
+    so an environmental failure here becomes a typed
+    :class:`BackendUnavailable` — never a silent wrong answer, never a
+    raw driver exception.
+    """
+    import sqlite3
+
     yield first
-    yield from rest
+    while True:
+        try:
+            row = next(rest)
+        except StopIteration:
+            return
+        except sqlite3.Error as error:
+            from .backends.sqlite import is_runtime_failure
+
+            if is_runtime_failure(error):
+                raise BackendUnavailable(
+                    f"sqlite backend died mid-stream after yielding rows: {error}"
+                ) from error
+            raise
+        yield row
 
 
 def _render_physical(op: Any, indent: int = 0) -> str:
@@ -832,6 +1076,9 @@ def connect(
     workers: Optional[int] = None,
     backend_path: str = ":memory:",
     kernel_watermark: Optional[int] = None,
+    kernel_memo_limit: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    on_budget: str = "degrade",
 ) -> Session:
     """Open a :class:`Session` owning all of its evaluation state.
 
@@ -856,6 +1103,18 @@ def connect(
     kernel_watermark:
         Bound on the session's condition-kernel intern table; crossing it
         triggers an automatic epoch eviction (hot conditions survive).
+    kernel_memo_limit:
+        Bound on each of the kernel's ∧/∨ memo tables (defaults to
+        ``8 * kernel_watermark`` when a watermark is set); overflowing
+        drops the oldest half, so long-lived sessions stay bounded.
+    budget:
+        Default :class:`~repro.resilience.Budget` applied to every
+        ``certain()``/``possible()``/``boolean()`` call of this session
+        (individual calls may override it).
+    on_budget:
+        Default budget-expiry policy for ``certain()``: ``"degrade"``
+        (sound fallback, the default), ``"raise"`` or ``"partial"`` —
+        see ``docs/robustness.md``.
     """
     return Session(
         database,
@@ -864,6 +1123,9 @@ def connect(
         workers=workers,
         backend_path=backend_path,
         kernel_watermark=kernel_watermark,
+        kernel_memo_limit=kernel_memo_limit,
+        budget=budget,
+        on_budget=on_budget,
     )
 
 

@@ -56,11 +56,60 @@ class TestAutomaticEviction:
         assert kernel.stats()["interned"] <= 100
 
 
+class TestMemoBounds:
+    def test_memo_tables_stay_bounded_in_a_long_session(self):
+        kernel = ConditionKernel(memo_limit=64)
+        atoms = [kernel.eq(Null("n%d" % i), i) for i in range(40)]
+        for i in range(40):
+            for j in range(i + 1, 40):
+                kernel.and_(atoms[i], atoms[j])
+                kernel.or_(atoms[i], atoms[j])
+        # 780 distinct pairs went through each memo; both stayed bounded.
+        assert len(kernel._and2) <= 64
+        assert len(kernel._or2) <= 64
+        assert kernel.memo_trims > 0
+
+    def test_trim_drops_the_oldest_half(self):
+        kernel = ConditionKernel(memo_limit=8)
+        atoms = [kernel.eq(Null("m%d" % i), i) for i in range(20)]
+        for i in range(9):
+            kernel.and_(atoms[i], atoms[i + 1])
+        # Crossing the limit dropped the oldest half; the newest entry
+        # (just inserted) must have survived the trim.
+        assert len(kernel._and2) <= 8
+        hit = kernel.and_(atoms[8], atoms[9])
+        assert kernel.and_(atoms[8], atoms[9]) is hit
+
+    def test_memo_limit_validation_and_default(self):
+        with pytest.raises(ValueError):
+            ConditionKernel(memo_limit=1)
+        assert ConditionKernel(watermark=32).memo_limit == 256  # 8x watermark
+        assert ConditionKernel().memo_limit is None
+
+    def test_unbounded_kernel_never_trims(self):
+        kernel = ConditionKernel()
+        atoms = [kernel.eq(Null("u%d" % i), i) for i in range(30)]
+        for i in range(29):
+            kernel.and_(atoms[i], atoms[i + 1])
+        assert kernel.memo_trims == 0
+        assert kernel.stats()["and_memo"] == 29
+
+    def test_stats_keys_are_stable(self):
+        # The stats() contract is pinned: downstream dashboards key on it.
+        assert set(ConditionKernel().stats()) == {"interned", "and_memo", "or_memo"}
+
+
 class TestSessionWiring:
     def test_connect_passes_watermark_to_the_session_kernel(self):
         session = repro.connect(kernel_watermark=64)
         assert session.kernel.watermark == 64
         assert session.plan_cache.kernel is session.kernel
+
+    def test_connect_passes_memo_limit_to_the_session_kernel(self):
+        session = repro.connect(kernel_watermark=64, kernel_memo_limit=128)
+        assert session.kernel.memo_limit == 128
+        session = repro.connect(kernel_watermark=64)
+        assert session.kernel.memo_limit == 512
 
     def test_session_ctable_evaluation_respects_watermark(self):
         from repro.algebra import CTableDatabase, parse_ra

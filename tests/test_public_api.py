@@ -20,17 +20,27 @@ from repro.algebra import parse_ra
 
 
 EXPECTED_TOP_LEVEL = {
+    "BackendRecoveryWarning",
+    "BackendUnavailable",
+    "Budget",
+    "BudgetExceeded",
     "ConditionalTable",
     "ConstantPool",
     "Cursor",
     "Database",
     "DatabaseSchema",
+    "InvalidRequestError",
+    "ManualClock",
     "Null",
+    "PartialResult",
     "Query",
     "Relation",
     "RelationSchema",
+    "ReproError",
     "Session",
+    "SessionClosedError",
     "Valuation",
+    "WorkerPoolError",
     "__version__",
     "connect",
     "default_session",
