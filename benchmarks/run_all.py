@@ -41,10 +41,12 @@ The e25 family (SQL backend) contributes two boolean ``gate:`` ops instead
 of speedups: ``gate:correctness`` (``engine="sqlite"`` equals the physical
 engine on the bench workload) and ``gate:scale`` (SQLite completes a
 workload the in-memory path cannot even load under a capped address
-space).  The chaos family contributes ``gate:chaos``: the fault
-differential suite must pass with zero leaked SQLite temp files
-(``docs/robustness.md``).  ``--check`` fails when any gate reports
-``passed: false``.
+space).  The chaos family contributes ``gate:chaos``: the fault and
+resume differential suites must pass with zero leaked SQLite temp files
+(``docs/robustness.md``).  The cancel family contributes ``gate:cancel``:
+a deadline budget must abort a running SQLite statement as a typed
+``BudgetExceeded`` within 250 ms of expiry, leaking no temp tables.
+``--check`` fails when any gate reports ``passed: false``.
 """
 
 from __future__ import annotations
@@ -488,7 +490,8 @@ scenario_e25.timing_only_retry = True
 def scenario_chaos() -> Dict[str, Any]:
     """The robustness gate: the chaos differential suite, leak-checked.
 
-    Runs ``tests/properties/test_fault_differential.py`` in a child pytest
+    Runs ``tests/properties/test_fault_differential.py`` and
+    ``tests/properties/test_resume_differential.py`` in a child pytest
     whose temp directories (``TMPDIR`` + ``SQLITE_TMPDIR``) point at a
     fresh scratch directory, then sweeps it for SQLite spill artifacts
     (``etilqs_*`` anonymous temp files, ``*-journal``/``*-wal`` sidecars).
@@ -500,9 +503,10 @@ def scenario_chaos() -> Dict[str, Any]:
     import tempfile
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    suite = os.path.join(
-        repo_root, "tests", "properties", "test_fault_differential.py"
-    )
+    suites = [
+        os.path.join(repo_root, "tests", "properties", "test_fault_differential.py"),
+        os.path.join(repo_root, "tests", "properties", "test_resume_differential.py"),
+    ]
     with tempfile.TemporaryDirectory(prefix="chaos-gate-") as scratch:
         env = dict(
             os.environ,
@@ -511,7 +515,7 @@ def scenario_chaos() -> Dict[str, Any]:
             SQLITE_TMPDIR=scratch,
         )
         proc = subprocess.run(
-            [sys.executable, "-m", "pytest", "-q", suite],
+            [sys.executable, "-m", "pytest", "-q", *suites],
             env=env,
             cwd=repo_root,
             capture_output=True,
@@ -537,7 +541,65 @@ def scenario_chaos() -> Dict[str, Any]:
     return {"gate:chaos": {"passed": passed, "note": note}}
 
 
+def scenario_cancel() -> Dict[str, Any]:
+    """The cancellation-latency gate: abort *inside* a running statement.
+
+    A triple cross product over a 300-row relation (~27M intermediate
+    rows) keeps a single SQLite statement busy for seconds; a 250 ms
+    deadline budget must abort it via the backend progress handler.
+    ``gate:cancel`` passes only when the abort arrives as a typed
+    :class:`BudgetExceeded` within 250 ms of the deadline's expiry *and*
+    the interrupted evaluation left zero ``_repro_tmp%`` temp tables
+    behind — an abort that skips teardown fails the gate even though the
+    exception was typed correctly.
+    """
+    import repro
+    from repro import Budget, BudgetExceeded
+    from repro.algebra import parse_ra
+    from repro.datamodel import Database
+
+    deadline = 0.25
+    latency_bound = 0.25
+    database = Database.from_dict({"R": [(i,) for i in range(300)]})
+    session = repro.connect(database, engine="sqlite")
+    try:
+        query = session.query(parse_ra("project[#0](product(product(R, R), R))"))
+        started = time.monotonic()
+        try:
+            query.certain(
+                method="naive", budget=Budget(deadline=deadline), on_budget="raise"
+            )
+        except BudgetExceeded as error:
+            elapsed = time.monotonic() - started
+            overshoot = max(0.0, elapsed - deadline)
+            leaked = [
+                row[0]
+                for row in session._backend.connection.execute(
+                    "SELECT name FROM sqlite_temp_master "
+                    "WHERE type = 'table' AND name LIKE '\\_repro\\_tmp%' ESCAPE '\\'"
+                ).fetchall()
+            ]
+            passed = (
+                error.resource == "deadline"
+                and overshoot <= latency_bound
+                and not leaked
+            )
+            note = (
+                f"in-statement abort {overshoot * 1000:.0f} ms past the "
+                f"{deadline * 1000:.0f} ms deadline "
+                f"(bound {latency_bound * 1000:.0f} ms), "
+                f"{len(leaked)} leaked temp tables"
+            )
+        else:
+            passed = False
+            note = "statement finished before the deadline; gate measured nothing"
+    finally:
+        session.close()
+    return {"gate:cancel": {"passed": passed, "note": note}}
+
+
 QUICK_SCENARIOS = {
+    "cancel": scenario_cancel,
     "chaos": scenario_chaos,
     "e01": scenario_e01,
     "e07": scenario_e07,

@@ -87,13 +87,16 @@ from .resilience import (
     InvalidRequestError,
     ManualClock,
     PartialResult,
+    QueryCancelled,
     ReproError,
+    ResumeToken,
+    RetryPolicy,
     SessionClosedError,
     WorkerPoolError,
 )
 from .session import Cursor, Query, Session, connect, default_session
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BackendRecoveryWarning",
@@ -110,9 +113,12 @@ __all__ = [
     "Null",
     "PartialResult",
     "Query",
+    "QueryCancelled",
     "Relation",
     "RelationSchema",
     "ReproError",
+    "ResumeToken",
+    "RetryPolicy",
     "Session",
     "SessionClosedError",
     "Valuation",

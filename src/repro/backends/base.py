@@ -101,6 +101,15 @@ class Backend(abc.ABC):
     def close(self) -> None:
         """Release the connection; further calls are undefined."""
 
+    def interrupt(self) -> None:
+        """Abort any statement currently executing on this backend.
+
+        The hard-cancel path of ``Session.cancel()``: must be safe to
+        call from another thread and a no-op when nothing is running.
+        Backends without an interruptible driver inherit this no-op —
+        their evaluations are then only cancellable at call boundaries.
+        """
+
     def __enter__(self) -> "Backend":
         return self
 

@@ -38,6 +38,7 @@ from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
 from ..datamodel.schema import DatabaseSchema, RelationSchema
 from ..engine import planner as _planner
+from ..resilience import BudgetExceeded, QueryCancelled, active_budget
 from .base import (
     Backend,
     BackendError,
@@ -52,6 +53,12 @@ _LOAD_BATCH = 10_000
 _PLAN_CACHE_LIMIT = 128
 #: Key under which a loaded backend is cached on ``Database.analysis_cache()``.
 ANALYSIS_CACHE_KEY = "backends.sqlite"
+
+#: How many SQLite VM opcodes run between deadline checks while a budget
+#: with a deadline is armed.  Tuned so the watchdog costs well under 2% on
+#: the e25 out-of-core workload while still bounding the cancellation
+#: latency of a single long statement to a few milliseconds.
+_PROGRESS_OPCODE_INTERVAL = 4000
 
 
 class SQLiteBackend(Backend):
@@ -78,6 +85,11 @@ class SQLiteBackend(Backend):
         self._adom_ready = False
         self._closed = False
         self._poisoned = False
+        self._interrupt_requested = False
+        # Budget states whose deadlines the progress handler watches; a
+        # stack because evaluations can nest on one connection (a cursor
+        # consumer issuing point queries between batches).
+        self._deadline_states: List[Any] = []
 
     def _connect(self) -> sqlite3.Connection:
         connection = sqlite3.connect(self._path)
@@ -102,6 +114,80 @@ class SQLiteBackend(Backend):
         if not self._closed:
             self._closed = True
             self._connection.close()
+
+    def interrupt(self) -> None:
+        """Abort the statement currently running on this connection.
+
+        The hard-cancel path of ``Session.cancel()``: safe to call from
+        another thread (``sqlite3.Connection.interrupt`` is documented
+        thread-safe) and a no-op when no statement is running.  The
+        aborted statement surfaces as ``OperationalError("interrupted")``
+        inside :meth:`evaluate`/:meth:`execute_cursor`, which re-type it
+        as :class:`~repro.resilience.QueryCancelled`.
+        """
+        self._interrupt_requested = True
+        try:
+            self._connection.interrupt()
+        except sqlite3.Error:
+            # A closed/poisoned handle has nothing running to interrupt.
+            pass
+
+    # ------------------------------------------------------------------
+    # in-statement budget enforcement
+    # ------------------------------------------------------------------
+    def _arm_progress(self, state: Optional[Any]) -> bool:
+        """Install (or stack) the in-statement deadline watchdog.
+
+        Only budgets with a deadline need the progress handler — world
+        and block caps cannot trip inside one statement, and cancellation
+        is served by :meth:`interrupt` directly — so unbudgeted sessions
+        (and the e25 bulk workload) never pay for it.
+        """
+        if state is None or state.remaining_time() is None:
+            return False
+        self._deadline_states.append(state)
+        if len(self._deadline_states) == 1:
+            states = self._deadline_states
+
+            def expired() -> int:
+                for armed in states:
+                    if armed.cancelled:
+                        return 1
+                    remaining = armed.remaining_time()
+                    if remaining is not None and remaining <= 0:
+                        return 1
+                return 0
+
+            self._connection.set_progress_handler(expired, _PROGRESS_OPCODE_INTERVAL)
+        return True
+
+    def _disarm_progress(self) -> None:
+        self._deadline_states.pop()
+        if not self._deadline_states:
+            self._connection.set_progress_handler(None, 0)
+
+    def _typed_interrupt(
+        self, error: sqlite3.OperationalError, state: Optional[Any]
+    ) -> BaseException:
+        """Re-type SQLite's ``interrupted`` into the resilience taxonomy.
+
+        Three ways a statement aborts mid-flight: :meth:`interrupt` was
+        called (→ :class:`QueryCancelled`), the armed budget's deadline
+        passed or it was cancelled (→ the typed error its own ``check()``
+        raises), or something external interrupted the connection — that
+        last one is not ours to re-type and returns ``error`` unchanged.
+        """
+        if "interrupt" not in str(error).lower():
+            return error
+        if self._interrupt_requested:
+            self._interrupt_requested = False
+            return QueryCancelled("statement interrupted by Session.cancel()")
+        if state is not None:
+            try:
+                state.check()
+            except (BudgetExceeded, QueryCancelled) as typed:
+                return typed
+        return error
 
     def _ensure_healthy(self) -> None:
         """Rebuild a poisoned handle before it serves anything.
@@ -409,13 +495,26 @@ class SQLiteBackend(Backend):
         self, expression: RAExpression, plan_cache: Optional[Any] = None
     ) -> Relation:
         self._ensure_healthy()
+        self._interrupt_requested = False
         plan, out_schema = self._plan_for(expression, plan_cache)
+        state = active_budget()
+        armed = self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
-            for statement, params in plan.setup:
-                cursor.execute(statement, params)
-            rows = cursor.execute(plan.query, plan.params).fetchall()
+            try:
+                for statement, params in plan.setup:
+                    cursor.execute(statement, params)
+                rows = cursor.execute(plan.query, plan.params).fetchall()
+            except sqlite3.OperationalError as error:
+                typed = self._typed_interrupt(error, state)
+                if typed is error:
+                    raise
+                raise typed from error
         finally:
+            # Disarm before teardown so an expired deadline cannot abort
+            # the DROPs that keep temp tables from leaking.
+            if armed:
+                self._disarm_progress()
             self._teardown(cursor, plan)
         decode_row = self.codec.decode_row
         return Relation._from_trusted(
@@ -439,26 +538,42 @@ class SQLiteBackend(Backend):
         generator is closed early, so abandoning a cursor cannot leak
         spilled intermediates.  Rows are distinct: the generated SQL keeps
         set semantics, so no Python-side dedup set is needed.
+
+        When a budget with a deadline is armed the in-statement watchdog
+        (:meth:`_arm_progress`) stays installed until the stream is
+        closed — fetches happen mid-statement, so the deadline must be
+        enforced across the whole consumption, not just the first execute.
         """
         self._ensure_healthy()
+        self._interrupt_requested = False
         plan, out_schema = self._plan_for(expression, plan_cache)
         decode_row = self.codec.decode_row
+        state = active_budget()
+        armed = self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
-            for statement, params in plan.setup:
-                cursor.execute(statement, params)
-            cursor.execute(plan.query, plan.params)
-            while True:
-                batch = cursor.fetchmany(batch_size)
-                if not batch:
-                    break
-                for row in batch:
-                    yield decode_row(row)
+            try:
+                for statement, params in plan.setup:
+                    cursor.execute(statement, params)
+                cursor.execute(plan.query, plan.params)
+                while True:
+                    batch = cursor.fetchmany(batch_size)
+                    if not batch:
+                        break
+                    for row in batch:
+                        yield decode_row(row)
+            except sqlite3.OperationalError as error:
+                typed = self._typed_interrupt(error, state)
+                if typed is error:
+                    raise
+                raise typed from error
         finally:
             # Teardown must survive a backend that died mid-iteration
             # (fetch fault, closed connection): the original error, not a
             # teardown error, is what the consumer should see — and on a
             # still-healthy connection the temp tables really are dropped.
+            if armed:
+                self._disarm_progress()
             self._teardown(cursor, plan)
 
 

@@ -35,7 +35,7 @@ from ..datamodel import Database, Relation
 from ..datamodel.values import is_null
 from ..logic.diagrams import delta as delta_formula
 from ..logic.formulas import FOQuery, Formula
-from ..resilience import active_budget
+from ..resilience import ResumeToken, active_budget
 from ..semantics.certain import (
     enumerate_certain_answers,
     enumerate_possible_answers,
@@ -143,12 +143,19 @@ def enumeration_strategy(
     workers: Optional[int] = None,
     world_evaluator: Optional[Callable[[Database], Relation]] = None,
     mode: str = "certain",
+    resume: Optional[ResumeToken] = None,
+    heartbeat: Optional[float] = None,
+    pool_factory: Optional[Callable[[int], Any]] = None,
 ) -> Relation:
     """Certain (or possible) answers computed literally by world enumeration.
 
     ``world_evaluator`` overrides the per-world callable — sessions pass a
     *picklable* one when ``workers`` should fan out over a process pool;
-    the default closure works but forces the sequential path.
+    the default closure works but forces the sequential path.  ``resume``,
+    ``heartbeat`` and ``pool_factory`` are forwarded to
+    :func:`~repro.semantics.certain.enumerate_certain_answers`
+    (``mode="certain"`` only — a possible-answers union has no sound
+    partial state to resume from).
     """
     state = active_budget()
     if state is not None:
@@ -167,6 +174,9 @@ def enumeration_strategy(
             extra_constants=extra_constants,
             max_extra_facts=max_extra_facts,
             workers=workers,
+            resume=resume,
+            heartbeat=heartbeat,
+            pool_factory=pool_factory,
         )
     if mode == "possible":
         return enumerate_possible_answers(
@@ -191,13 +201,22 @@ def certain_strategy(
     max_extra_facts: int = 1,
     workers: Optional[int] = None,
     world_evaluator: Optional[Callable[[Database], Relation]] = None,
+    resume: Optional[ResumeToken] = None,
+    heartbeat: Optional[float] = None,
+    pool_factory: Optional[Callable[[int], Any]] = None,
 ) -> Relation:
     """Certain answers with automatic method selection.
 
     ``method`` is ``'auto'`` (naive when the fragment guarantees it,
-    enumeration otherwise), ``'naive'`` or ``'enumeration'``.
+    enumeration otherwise), ``'naive'`` or ``'enumeration'``.  A
+    ``resume`` token forces the enumeration path — it checkpoints world
+    enumeration, which the naive method does not perform.
     """
+    if resume is not None and method == "auto":
+        method = "enumeration"
     if method == "naive":
+        if resume is not None:
+            raise ValueError("resume= is only meaningful for method='enumeration'")
         return naive_strategy(query, database, evaluator)
     if method not in ("auto", "enumeration"):
         raise ValueError(
@@ -220,6 +239,9 @@ def certain_strategy(
         workers=workers,
         world_evaluator=world_evaluator,
         mode="certain",
+        resume=resume,
+        heartbeat=heartbeat,
+        pool_factory=pool_factory,
     )
 
 

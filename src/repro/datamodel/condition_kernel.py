@@ -178,6 +178,18 @@ class ConditionKernel:
         """The per-memo-table size past which the oldest half is dropped."""
         return self._memo_limit
 
+    @property
+    def epoch(self) -> int:
+        """The eviction epoch: bumped by :meth:`clear` and :meth:`evict`.
+
+        Anything that caches interned-condition identity across calls
+        (plan caches, resumption tokens) records this and treats a
+        mismatch as "the cache is stale" — surviving nodes are re-marked
+        lazily, but nodes held *outside* the kernel may no longer be
+        canonical.
+        """
+        return self._epoch
+
     def _trim_memo(
         self, table: Dict[Tuple[int, int], Tuple[Condition, Condition, Condition]]
     ) -> None:

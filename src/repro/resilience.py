@@ -31,14 +31,26 @@ holds the pieces every layer shares:
   failures with bounded exponential backoff plus jitter.  Transient, for
   the SQLite backend, means the ``SQLITE_BUSY``/``SQLITE_LOCKED`` family
   (:func:`is_transient_error`) — a malformed generated statement must
-  keep failing loudly, retrying it would only mask a compiler bug.
+  keep failing loudly, retrying it would only mask a compiler bug.  The
+  loop's shape (tries, delays, classifier) is a :class:`RetryPolicy`;
+  sessions accept one via ``repro.connect(retry_policy=...)``.
+
+* **Cancellation.**  :meth:`BudgetState.cancel` flags an armed evaluation
+  from any thread; every cooperative check point then raises
+  :class:`QueryCancelled` (which is *not* a :class:`BudgetExceeded` — it
+  never degrades, it stops).  ``Session.cancel()`` combines this with the
+  backend's ``Connection.interrupt()`` hard-cancel so even a statement
+  running inside SQLite stops promptly.
 
 * **Partial results.**  :class:`PartialResult` is what
   ``Query.certain(on_budget="partial")`` returns when a budget expires: a
   relation that is guaranteed to be a *sound subset* of the certain
   answers, flagged ``partial`` and carrying a human-readable verdict.  It
   deliberately does not compare equal to a plain relation — treating a
-  lower bound as the full answer should never happen by accident.
+  lower bound as the full answer should never happen by accident.  When
+  the interrupted enumeration reached a checkpoint the result also
+  carries a :class:`ResumeToken`, and ``Query.certain(resume=partial)``
+  continues the enumeration instead of restarting it.
 
 * **Clocks.**  Budgets and retries take injectable clocks/sleepers so the
   fault-injection suite can test deadline behavior deterministically
@@ -50,12 +62,13 @@ package (datamodel, backends, session) can import it without cycles.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import sqlite3
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Iterator, Optional, Tuple, TypeVar
+from typing import Any, Callable, FrozenSet, Iterator, Optional, Tuple, TypeVar
 
 __all__ = [
     "BackendRecoveryWarning",
@@ -66,7 +79,10 @@ __all__ = [
     "InvalidRequestError",
     "ManualClock",
     "PartialResult",
+    "QueryCancelled",
     "ReproError",
+    "ResumeToken",
+    "RetryPolicy",
     "SessionClosedError",
     "WorkerPoolError",
     "active_budget",
@@ -98,6 +114,19 @@ class BudgetExceeded(ReproError):
     def __init__(self, message: str, resource: Optional[str] = None) -> None:
         super().__init__(message)
         self.resource = resource
+        #: When the enumeration got far enough to checkpoint before the
+        #: budget expired, the checkpoint rides along on the exception so
+        #: ``Query.certain(resume=...)`` can pick up where it stopped.
+        self.resume_token: Optional["ResumeToken"] = None
+
+
+class QueryCancelled(ReproError):
+    """The evaluation was cancelled by :meth:`~repro.session.Session.cancel`.
+
+    Deliberately *not* a :class:`BudgetExceeded`: cancellation means
+    "stop now", so it never enters the degradation ladder — it propagates
+    to the caller that requested the work.
+    """
 
 
 class BackendUnavailable(ReproError):
@@ -214,7 +243,7 @@ class Budget:
 class BudgetState:
     """One armed :class:`Budget`: mutable counters plus the expiry instant."""
 
-    __slots__ = ("budget", "_clock", "_expires_at", "_worlds")
+    __slots__ = ("budget", "_clock", "_expires_at", "_worlds", "_cancelled")
 
     def __init__(self, budget: Budget) -> None:
         self.budget = budget
@@ -223,11 +252,27 @@ class BudgetState:
             None if budget.deadline is None else self._clock() + budget.deadline
         )
         self._worlds = 0
+        self._cancelled = False
 
     @property
     def worlds(self) -> int:
         """Worlds counted so far (via :meth:`tick_world`)."""
         return self._worlds
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called (thread-safe to read)."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Flag this evaluation for cooperative cancellation.
+
+        Safe to call from another thread (a plain flag write): every
+        budget check point — world ticks, the c-table operators, the
+        backend's progress handler — turns into a
+        :class:`QueryCancelled` raise at its next opportunity.
+        """
+        self._cancelled = True
 
     def remaining_time(self) -> Optional[float]:
         """Seconds until the deadline, or ``None`` when there is none."""
@@ -236,7 +281,9 @@ class BudgetState:
         return self._expires_at - self._clock()
 
     def check(self) -> None:
-        """Raise :class:`BudgetExceeded` if the deadline has passed."""
+        """Raise on cancellation or a passed deadline."""
+        if self._cancelled:
+            raise QueryCancelled("evaluation cancelled by Session.cancel()")
         if self._expires_at is not None and self._clock() >= self._expires_at:
             raise BudgetExceeded(
                 f"deadline of {self.budget.deadline}s exceeded", resource="deadline"
@@ -297,8 +344,75 @@ def budget_scope(state: Optional[BudgetState]) -> Iterator[Optional[BudgetState]
 
 
 # ----------------------------------------------------------------------
-# Partial results
+# Partial results and resumption tokens
 # ----------------------------------------------------------------------
+class ResumeToken:
+    """A checkpoint of an interrupted world enumeration.
+
+    World enumeration has a *deterministic total order* (nulls sorted by
+    name, the valuation domain sorted, chunk boundaries fixed — see
+    :mod:`repro.semantics.worlds`), which is what makes a plain world
+    count a valid checkpoint: re-running the same ``(query, database,
+    semantics, domain)`` enumerates the same worlds in the same order,
+    so resumption skips exactly the worlds already intersected.
+
+    Attributes
+    ----------
+    key:
+        Fingerprint of the enumeration inputs (query, database facts,
+        semantics, resolved domain, extra-facts cap).  ``certain(resume=)``
+        refuses a token minted for different inputs — resuming a
+        different enumeration would silently intersect unrelated answers.
+    worlds_done:
+        Worlds fully consumed before the interruption.  With ``workers=``
+        fan-out the checkpoint is chunk-granular: only chunks whose
+        results were folded into the intersection count.
+    schema:
+        Output schema observed so far (``None`` when no world finished).
+    intersection:
+        The running intersection over the first ``worlds_done`` worlds.
+        **This is an over-approximation of the certain answers** — a
+        superset, not a sound subset — which is exactly why it lives in
+        the token (private resumption state) and never in
+        ``PartialResult.rows``.
+    kernel_epoch:
+        The session's condition-kernel eviction epoch when the token was
+        minted; resuming after the kernel was cleared/evicted is refused
+        (interned condition identity may have changed under the session).
+
+    Tokens pickle (all fields are plain data), so a serving tier can park
+    an interrupted enumeration and resume it in another process.
+    """
+
+    __slots__ = ("key", "worlds_done", "schema", "intersection", "kernel_epoch")
+
+    def __init__(
+        self,
+        key: Optional[str] = None,
+        worlds_done: int = 0,
+        schema: Any = None,
+        intersection: Optional[FrozenSet[Tuple[Any, ...]]] = None,
+        kernel_epoch: Optional[int] = None,
+    ) -> None:
+        self.key = key
+        self.worlds_done = int(worlds_done)
+        self.schema = schema
+        self.intersection = None if intersection is None else frozenset(intersection)
+        self.kernel_epoch = kernel_epoch
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self.key, self.worlds_done, self.schema, self.intersection,
+                self.kernel_epoch)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        (self.key, self.worlds_done, self.schema, self.intersection,
+         self.kernel_epoch) = state
+
+    def __repr__(self) -> str:
+        held = "no rows" if self.intersection is None else f"{len(self.intersection)} rows held"
+        return f"ResumeToken({self.worlds_done} worlds done; {held})"
+
+
 class PartialResult:
     """A *sound subset* of the certain answers, flagged as incomplete.
 
@@ -310,18 +424,37 @@ class PartialResult:
 
     Deliberately *not* equal to any plain relation — code must opt in to
     treating a lower bound as an answer by reading ``.relation``/``.rows``.
+
+    When the interrupted evaluation was an enumeration that reached a
+    checkpoint, :attr:`token` carries the :class:`ResumeToken`;
+    ``Query.certain(resume=partial)`` continues from it.  Both the result
+    and its token survive :mod:`pickle`, so a serving tier can hand the
+    partial answer to a client and resume server-side later.
     """
 
-    __slots__ = ("relation", "verdict", "resource")
+    __slots__ = ("relation", "verdict", "resource", "token")
 
     #: Class-level flag: ``getattr(result, "partial", False)`` distinguishes
     #: a degraded answer from a complete Relation without isinstance checks.
     partial = True
 
-    def __init__(self, relation: Any, verdict: str, resource: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        relation: Any,
+        verdict: str,
+        resource: Optional[str] = None,
+        token: Optional[ResumeToken] = None,
+    ) -> None:
         self.relation = relation
         self.verdict = verdict
         self.resource = resource
+        self.token = token
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self.relation, self.verdict, self.resource, self.token)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self.relation, self.verdict, self.resource, self.token = state
 
     @property
     def schema(self) -> Any:
@@ -367,7 +500,9 @@ def is_transient_error(error: BaseException) -> bool:
 
     Only the ``SQLITE_BUSY``/``SQLITE_LOCKED`` family qualifies; a
     malformed statement or a missing table is a bug and retrying it would
-    only mask it.
+    only mask it — and so would retrying a disk-I/O error or a full disk
+    (those are *runtime failures*, handled by the session's in-memory
+    recovery, not by retrying against the same sick storage).
     """
     if not isinstance(error, sqlite3.OperationalError):
         return False
@@ -375,9 +510,54 @@ def is_transient_error(error: BaseException) -> bool:
     return any(marker in message for marker in _TRANSIENT_SQLITE_MARKERS)
 
 
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """The shape of a session's transient-failure retry loop.
+
+    The PR-6 layer hard-coded 3 tries with a 5–40 ms exponential backoff;
+    a serving tier wants this per session — a latency-critical reader may
+    prefer ``retries=0`` (fail fast to a replica), a batch loader may
+    tolerate seconds of lock contention.  Pass to
+    ``repro.connect(retry_policy=...)`` and every ``with_retries`` site
+    of the session (query execution, streaming, database refills, the 3VL
+    bridge) honors it.
+
+    ``retryable`` classifies errors; it defaults to
+    :func:`is_transient_error`.  The defaults reproduce the historical
+    shape exactly.
+    """
+
+    retries: int = DEFAULT_RETRIES
+    base_delay: float = DEFAULT_BASE_DELAY
+    max_delay: float = DEFAULT_MAX_DELAY
+    retryable: Callable[[BaseException], bool] = is_transient_error
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay!r}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay!r}) must be >= base_delay "
+                f"({self.base_delay!r})"
+            )
+        if not callable(self.retryable):
+            raise ValueError("retryable must be callable")
+
+    def delay_for(self, attempt: int) -> float:
+        """The un-jittered backoff before retry number ``attempt + 1``."""
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+
+#: The historical retry shape; sessions default to this policy.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
 def with_retries(
     fn: Callable[[], T],
     *,
+    policy: Optional[RetryPolicy] = None,
     retryable: Callable[[BaseException], bool] = is_transient_error,
     retries: int = DEFAULT_RETRIES,
     base_delay: float = DEFAULT_BASE_DELAY,
@@ -387,16 +567,30 @@ def with_retries(
 ) -> T:
     """Call ``fn()`` and re-call it on transient failures.
 
+    ``policy`` bundles the loop's shape as a :class:`RetryPolicy`; the
+    individual keyword arguments remain for callers that tweak one knob
+    (they are ignored when a policy is given).
+
     Backoff is exponential (``base_delay * 2**attempt``, capped at
     ``max_delay``) with full jitter in ``[delay/2, delay]`` so concurrent
     retriers do not stampede the lock in lockstep.  A non-retryable error,
     or the ``retries + 1``-th failure, propagates unchanged.  When a
-    budget is armed in the current context its deadline is honored: an
-    expired budget stops the retry loop with :class:`BudgetExceeded`
-    instead of sleeping past it.
+    budget is armed in the current context its deadline is honored twice
+    over: an expired budget stops the retry loop with
+    :class:`BudgetExceeded` instead of sleeping, and every backoff sleep
+    is *clamped to the remaining deadline* — a 40 ms backoff with 3 ms
+    left sleeps 3 ms, so the overshoot past the deadline is bounded by
+    one budget check, not one backoff.
 
     ``sleep`` and ``rng`` are injectable for deterministic tests.
     """
+    if policy is None:
+        policy = RetryPolicy(
+            retries=retries,
+            base_delay=base_delay,
+            max_delay=max_delay,
+            retryable=retryable,
+        )
     if sleep is None:
         sleep = time.sleep
     draw = rng.random if rng is not None else random.random
@@ -405,13 +599,17 @@ def with_retries(
         try:
             return fn()
         except Exception as error:  # noqa: BLE001 - classified right below
-            if attempt >= retries or not retryable(error):
+            if attempt >= policy.retries or not policy.retryable(error):
                 raise
             state = active_budget()
             if state is not None:
                 state.check()
-            delay = min(max_delay, base_delay * (2 ** attempt))
-            sleep(delay * (0.5 + draw() / 2))
+            delay = policy.delay_for(attempt) * (0.5 + draw() / 2)
+            if state is not None:
+                remaining = state.remaining_time()
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+            sleep(delay)
             attempt += 1
 
 

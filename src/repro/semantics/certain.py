@@ -11,6 +11,21 @@ deliberately naive: it serves as the *ground truth* against which the
 efficient methods (naive evaluation, ``RA_cwa`` evaluation, c-table
 algebra) are validated, and as the "expensive" side of the complexity-shape
 benchmarks.  Its cost is exponential in the number of nulls.
+
+Two properties this module guarantees beyond the definition:
+
+* **Deterministic total order.**  The world enumerators visit worlds in a
+  fixed order (nulls sorted by name, domains sorted, extra-fact pools in
+  schema order — see :mod:`repro.semantics.worlds`), and the ``workers=``
+  fan-out consumes chunk results strictly in submission order.  A plain
+  count of consumed worlds is therefore a valid *checkpoint*: an
+  interrupted enumeration can resume by skipping that many worlds
+  (``resume=`` below, carried by
+  :class:`~repro.resilience.ResumeToken`).
+* **Fault containment.**  With ``workers=``, children that die
+  (``BrokenProcessPool``), hang (heartbeat timeout) or fail degrade the
+  run to a sequential re-run of the affected chunks; answers stay
+  identical to ``workers=None``.
 """
 
 from __future__ import annotations
@@ -25,7 +40,7 @@ from .._deprecation import warn_deprecated as _warn_deprecated
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
 from ..datamodel.schema import RelationSchema
-from ..resilience import BudgetExceeded, WorkerPoolError, active_budget
+from ..resilience import BudgetExceeded, ResumeToken, WorkerPoolError, active_budget
 from .worlds import cwa_worlds, owa_worlds, worlds
 
 Evaluator = Callable[[Database], Relation]
@@ -34,6 +49,13 @@ Evaluator = Callable[[Database], Relation]
 #: Worlds handed to each worker task; large enough to amortize submission
 #: overhead, small enough to keep all workers busy on modest world counts.
 _CHUNK_SIZE = 16
+
+#: How long the parent waits on one chunk result before declaring the
+#: child *hung* and re-running the chunk sequentially.  A chunk is
+#: ``_CHUNK_SIZE`` single-world query evaluations — 30 s of silence means
+#: a deadlocked or livelocked child, not a slow one.  An armed deadline
+#: always tightens this bound.
+_DEFAULT_HEARTBEAT = 30.0
 
 
 def _chunks(iterable: Iterable[Any], size: int) -> Iterable[List[Any]]:
@@ -96,77 +118,121 @@ def _run_chunk_locally(task: Callable[..., Any], evaluate: Any, chunk: List[Data
 
 
 def _windowed_chunk_results(
-    pool: ProcessPoolExecutor,
+    pool: Any,
     task: Callable[..., Any],
     evaluate: Any,
     chunks: Iterable[List[Database]],
     window: int,
-) -> Iterator[Any]:
+    heartbeat: Optional[float] = None,
+) -> Iterator[Tuple[Any, int]]:
     """Run ``task(evaluate, chunk)`` over the pool with bounded in-flight work.
 
     World enumeration is exponential in the number of nulls, so the chunk
     stream must never be materialized: at most ``window`` chunks are
     submitted ahead of the consumer, and abandoning the iterator (early
-    exit) leaves only that window to drain.
+    exit) leaves only that window to drain.  Results are yielded as
+    ``(result, worlds_in_chunk)`` pairs, strictly in world order — that
+    order is what makes the consumer's running world count a valid
+    resumption checkpoint.
 
     Failure behavior (each future keeps its chunk alongside, so failed
     work is never lost):
 
-    * A broken pool (child SIGKILLed, ``BrokenProcessPool``) degrades the
-      run to sequential: the popped chunk, every pending chunk and the
-      unsubmitted remainder are re-run in the parent.  Answers stay
-      identical to ``workers=None``.
+    * A broken pool (child SIGKILLed, ``BrokenProcessPool`` — whether
+      raised from ``submit`` or from a result) degrades the run to
+      sequential: the popped chunk, every pending chunk and the
+      unsubmitted remainder are re-run in the parent, *without* waiting
+      on the pool's remaining futures (a broken pool's futures may never
+      resolve).  Answers stay identical to ``workers=None``.
+    * A chunk whose result does not arrive within ``heartbeat`` seconds
+      (default :data:`_DEFAULT_HEARTBEAT`) is treated as a *hung* child —
+      alive but deadlocked, which ``BrokenProcessPool`` never reports —
+      and the run degrades to sequential the same way.
     * A genuine exception from a child re-runs its chunk locally too — if
       the local run succeeds the failure was child-environmental (OOM
       kill during unpickling, ...) and the result is used; if it fails
       again it raises :class:`WorkerPoolError` naming the world.
     * An armed budget bounds the wait for each result by the remaining
-      deadline and counts worlds chunk by chunk.
+      deadline (tighter than the heartbeat when both apply) and counts
+      worlds chunk by chunk — *after* each chunk is yielded, so a budget
+      that expires mid-run still banks the chunk it just consumed (an
+      interrupted-then-resumed run always makes progress; the world count
+      may overshoot ``max_worlds`` by up to one chunk, as documented on
+      :class:`~repro.resilience.Budget`).
     """
     window = max(2, window)
+    if heartbeat is None:
+        heartbeat = _DEFAULT_HEARTBEAT
     state = active_budget()
     pending: "deque" = deque()
     chunk_iter = iter(chunks)
     exhausted = False
     broken = False
+    leftover: Optional[List[Database]] = None
+
+    def emit(result: Any, chunk: List[Database]) -> Iterator[Tuple[Any, int]]:
+        yield result, len(chunk)
+        if state is not None:
+            state.tick_world(len(chunk))
+
     while True:
         while not broken and not exhausted and len(pending) < window:
             chunk = next(chunk_iter, None)
             if chunk is None:
                 exhausted = True
                 break
-            pending.append((pool.submit(task, evaluate, chunk), chunk))
+            try:
+                pending.append((pool.submit(task, evaluate, chunk), chunk))
+            except BrokenExecutor:
+                # The pool noticed a dead child at submission time; the
+                # chunk must wait its turn behind the pending ones so the
+                # world order (and with it the checkpoint) stays intact.
+                broken = True
+                leftover = chunk
         if pending:
             future, chunk = pending.popleft()
-            try:
-                if state is not None:
-                    result = future.result(timeout=state.remaining_time())
-                else:
-                    result = future.result()
-            except FutureTimeoutError:
+            if broken:
+                # Futures of a broken/hung pool may never resolve: do not
+                # wait another heartbeat per future, re-run right away.
                 future.cancel()
-                raise BudgetExceeded(
-                    "deadline expired waiting for worker results",
-                    resource="deadline",
-                ) from None
-            except BrokenExecutor:
-                broken = True
                 result = _run_chunk_locally(task, evaluate, chunk)
-            except WorkerPoolError:
-                raise
-            except Exception:
-                result = _run_chunk_locally(task, evaluate, chunk)
-            if state is not None:
-                state.tick_world(len(chunk))
-            yield result
-        elif broken and not exhausted:
-            # The pool died before the stream was fully submitted: finish
-            # the remaining worlds sequentially in the parent.
-            for chunk in chunk_iter:
-                result = _run_chunk_locally(task, evaluate, chunk)
+            else:
+                timeout = heartbeat
                 if state is not None:
-                    state.tick_world(len(chunk))
-                yield result
+                    remaining = state.remaining_time()
+                    if remaining is not None and remaining < timeout:
+                        timeout = max(0.0, remaining)
+                try:
+                    result = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    if state is not None:
+                        remaining = state.remaining_time()
+                        if remaining is not None and remaining <= 0:
+                            raise BudgetExceeded(
+                                "deadline expired waiting for worker results",
+                                resource="deadline",
+                            ) from None
+                    # The deadline is fine but the heartbeat tripped: the
+                    # child hung without dying.  Degrade to sequential.
+                    broken = True
+                    result = _run_chunk_locally(task, evaluate, chunk)
+                except BrokenExecutor:
+                    broken = True
+                    result = _run_chunk_locally(task, evaluate, chunk)
+                except WorkerPoolError:
+                    raise
+                except Exception:
+                    result = _run_chunk_locally(task, evaluate, chunk)
+            yield from emit(result, chunk)
+        elif leftover is not None:
+            chunk, leftover = leftover, None
+            yield from emit(_run_chunk_locally(task, evaluate, chunk), chunk)
+        elif not exhausted:
+            # broken before the stream was fully submitted: finish the
+            # remaining worlds sequentially in the parent.
+            for chunk in chunk_iter:
+                yield from emit(_run_chunk_locally(task, evaluate, chunk), chunk)
             return
         else:
             return
@@ -180,6 +246,9 @@ def enumerate_certain_answers(
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
     workers: Optional[int] = None,
+    resume: Optional[ResumeToken] = None,
+    heartbeat: Optional[float] = None,
+    pool_factory: Optional[Callable[[int], Any]] = None,
 ) -> Relation:
     """Intersection-based certain answers computed by world enumeration.
 
@@ -203,12 +272,34 @@ def enumerate_certain_answers(
         are submitted through a bounded window (never materializing the
         exponential world stream), and an empty running intersection
         stops the enumeration after at most the in-flight window.
+    resume:
+        A :class:`~repro.resilience.ResumeToken` from a previous,
+        budget-interrupted run over the *same* inputs: the first
+        ``resume.worlds_done`` worlds are skipped (the enumeration order
+        is deterministic) and the running intersection is seeded from the
+        token.  Callers are responsible for checking the token's ``key``
+        against the inputs — this function trusts it.
+    heartbeat:
+        Seconds the parent waits on one worker chunk before treating the
+        child as hung and degrading to a sequential re-run (default
+        :data:`_DEFAULT_HEARTBEAT`).
+    pool_factory:
+        Replaces ``ProcessPoolExecutor`` for the ``workers=`` fan-out —
+        the injection point for pool-level chaos tests
+        (:class:`~repro.backends.faults.FaultInjectingExecutor`).
 
     Returns
     -------
     Relation
         The relation of tuples present in the answer over *every*
         enumerated world.  The schema is taken from the first answer.
+
+    When an armed budget expires mid-run, the raised
+    :class:`~repro.resilience.BudgetExceeded` carries a
+    :class:`~repro.resilience.ResumeToken` (``error.resume_token``)
+    checkpointing the worlds fully consumed, so the caller can continue
+    instead of restarting.  With ``workers=`` the checkpoint is
+    chunk-granular: in-flight chunks are simply re-evaluated on resume.
     """
     world_iter = worlds(
         database,
@@ -220,35 +311,67 @@ def enumerate_certain_answers(
 
     answer_schema = None
     certain: Optional[Set[Row]] = None
-    if workers is not None and workers > 1 and _can_pickle(evaluate):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for chunk_schema, chunk_certain in _windowed_chunk_results(
-                pool, _intersect_chunk, evaluate, _chunks(world_iter, _CHUNK_SIZE), 2 * workers
-            ):
-                if chunk_schema is None or chunk_certain is None:
-                    continue
+    done = 0
+    if resume is not None:
+        done = resume.worlds_done
+        answer_schema = resume.schema
+        certain = None if resume.intersection is None else set(resume.intersection)
+        if done:
+            world_iter = itertools.islice(world_iter, done, None)
+        if certain is not None and not certain:
+            # The interrupted run had already emptied the intersection —
+            # the answer is final, no world can add rows back.
+            world_iter = iter(())
+    try:
+        if workers is not None and workers > 1 and _can_pickle(evaluate):
+            if pool_factory is None:
+                pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
+            with pool_factory(workers) as pool:
+                for (chunk_schema, chunk_certain), chunk_worlds in _windowed_chunk_results(
+                    pool,
+                    _intersect_chunk,
+                    evaluate,
+                    _chunks(world_iter, _CHUNK_SIZE),
+                    2 * workers,
+                    heartbeat=heartbeat,
+                ):
+                    done += chunk_worlds
+                    if chunk_schema is None or chunk_certain is None:
+                        continue
+                    if answer_schema is None:
+                        answer_schema = chunk_schema
+                    if certain is None:
+                        certain = chunk_certain
+                    else:
+                        certain &= chunk_certain
+                    if not certain:
+                        break  # empty intersection can only stay empty
+        else:
+            state = active_budget()
+            for world in world_iter:
+                if state is not None:
+                    state.tick_world()
+                answer = evaluate(world)
                 if answer_schema is None:
-                    answer_schema = chunk_schema
+                    answer_schema = answer.schema
                 if certain is None:
-                    certain = chunk_certain
+                    certain = set(answer.rows)
                 else:
-                    certain &= chunk_certain
+                    certain &= answer.rows
+                done += 1
                 if not certain:
-                    break  # empty intersection can only stay empty
-    else:
-        state = active_budget()
-        for world in world_iter:
-            if state is not None:
-                state.tick_world()
-            answer = evaluate(world)
-            if answer_schema is None:
-                answer_schema = answer.schema
-            if certain is None:
-                certain = set(answer.rows)
-            else:
-                certain &= answer.rows
-            if not certain:
-                break
+                    break
+    except BudgetExceeded as error:
+        # Checkpoint the worlds *fully consumed* (a world whose evaluation
+        # the budget cut short is not counted and will be re-run).  The
+        # running intersection is a superset of the certain answers, so it
+        # travels inside the token — never as a result.
+        error.resume_token = ResumeToken(
+            worlds_done=done,
+            schema=answer_schema,
+            intersection=None if certain is None else frozenset(certain),
+        )
+        raise
     if answer_schema is None or certain is None:
         # No worlds at all only happens for an empty valuation domain;
         # evaluate on the database itself to obtain the answer schema.
@@ -322,12 +445,15 @@ def enumerate_certain_boolean(
     extra_constants: Optional[int] = None,
     max_extra_facts: int = 1,
     workers: Optional[int] = None,
+    heartbeat: Optional[float] = None,
+    pool_factory: Optional[Callable[[int], Any]] = None,
 ) -> bool:
     """Certain answer of a Boolean query: true iff true in every enumerated world.
 
     ``workers`` parallelizes the per-world checks over a process pool in
-    chunks, like :func:`enumerate_certain_answers`; early exit then
-    happens per chunk rather than per world.
+    chunks, like :func:`enumerate_certain_answers` (``heartbeat`` and
+    ``pool_factory`` behave as they do there); early exit then happens
+    per chunk rather than per world.
     """
     world_iter = worlds(
         database,
@@ -337,9 +463,16 @@ def enumerate_certain_boolean(
         max_extra_facts=max_extra_facts,
     )
     if workers is not None and workers > 1 and _can_pickle(evaluate):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for result in _windowed_chunk_results(
-                pool, _all_hold_chunk, evaluate, _chunks(world_iter, _CHUNK_SIZE), 2 * workers
+        if pool_factory is None:
+            pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
+        with pool_factory(workers) as pool:
+            for result, _ in _windowed_chunk_results(
+                pool,
+                _all_hold_chunk,
+                evaluate,
+                _chunks(world_iter, _CHUNK_SIZE),
+                2 * workers,
+                heartbeat=heartbeat,
             ):
                 if not result:
                     return False

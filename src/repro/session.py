@@ -42,6 +42,7 @@ migrates.  ``docs/api.md`` documents the full deprecation map.
 from __future__ import annotations
 
 import functools
+import hashlib
 import threading
 import warnings
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -58,12 +59,16 @@ from .core.answers import (
     object_strategy,
 )
 from .resilience import (
+    DEFAULT_RETRY_POLICY,
     BackendRecoveryWarning,
     BackendUnavailable,
     Budget,
     BudgetExceeded,
+    BudgetState,
     InvalidRequestError,
     PartialResult,
+    ResumeToken,
+    RetryPolicy,
     SessionClosedError,
     budget_scope,
     with_retries,
@@ -147,13 +152,26 @@ class Cursor:
                 return
             yield batch
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ran (reads on a closed cursor yield ``[]``)."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the underlying stream (runs backend teardown if pending)."""
-        if not self._closed:
-            self._closed = True
-            close = getattr(self._rows, "close", None)
-            if close is not None:
-                close()
+        """Release the underlying stream (runs backend teardown if pending).
+
+        Idempotent, and safe at *any* moment — including from a ``finally``
+        while a retried backend call is mid-flight: the stream reference is
+        detached before teardown runs, so a second close (or a fetch racing
+        the close) sees an exhausted cursor instead of a double teardown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        rows, self._rows = self._rows, iter(())
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()
 
     def __enter__(self) -> "Cursor":
         return self
@@ -233,6 +251,7 @@ class Query:
         max_extra_facts: int = 1,
         budget: Optional[Budget] = None,
         on_budget: Optional[str] = None,
+        resume: Any = None,
     ) -> Relation:
         """Certain answers under the session's semantics.
 
@@ -250,8 +269,25 @@ class Query:
         propagates :class:`~repro.resilience.BudgetExceeded`.  Soundness
         is non-negotiable: a fallback only runs when its answers are
         guaranteed to be certain answers (see ``docs/robustness.md``).
+
+        ``resume`` continues a budget-interrupted world enumeration from
+        its checkpoint instead of restarting: pass the
+        :class:`~repro.resilience.PartialResult` of an earlier
+        ``on_budget="partial"`` call (or the
+        :class:`~repro.resilience.ResumeToken` off a raised
+        :class:`BudgetExceeded`).  The token is validated against a
+        fingerprint of the enumeration inputs — query, database facts,
+        semantics, resolved domain — and the session's condition-kernel
+        epoch; a stale or mismatched token raises
+        :class:`InvalidRequestError` rather than silently intersecting
+        unrelated answers.  A resumed run that completes returns exactly
+        the uninterrupted answer.
         """
         if self._is_sql():
+            if resume is not None:
+                raise InvalidRequestError(
+                    "resume= is not defined for three-valued SQL queries"
+                )
             return self.session.sql(self.expression, database=self._database, certain=True)
         self._resilience_verdict = None
         budget = budget if budget is not None else self.session.budget
@@ -261,6 +297,7 @@ class Query:
                 f"unknown on_budget policy {policy!r}; "
                 "expected 'degrade', 'raise' or 'partial'"
             )
+        token = self._validated_resume(resume, method, domain, extra_constants, max_extra_facts)
         run = functools.partial(
             certain_strategy,
             self.expression,
@@ -273,14 +310,109 @@ class Query:
             max_extra_facts=max_extra_facts,
             workers=self.session.workers,
             world_evaluator=self._world_evaluator(),
+            resume=token,
         )
         if budget is None:
             return run()
+        state = budget.start()
+        self.session._register_state(state)
         try:
-            with budget_scope(budget.start()):
+            with budget_scope(state):
                 return run()
         except BudgetExceeded as error:
+            self._stamp_resume(error, domain, extra_constants, max_extra_facts)
             return self._degrade_certain(error, policy)
+        finally:
+            self.session._unregister_state(state)
+
+    def _validated_resume(
+        self,
+        resume: Any,
+        method: str,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+    ) -> Optional[ResumeToken]:
+        """Unwrap and validate a ``resume=`` argument into a :class:`ResumeToken`."""
+        if resume is None:
+            return None
+        token = resume.token if isinstance(resume, PartialResult) else resume
+        if token is None:
+            raise InvalidRequestError(
+                "this PartialResult carries no resume token — the interrupted "
+                "evaluation never reached an enumeration checkpoint"
+            )
+        if not isinstance(token, ResumeToken):
+            raise InvalidRequestError(
+                "resume= expects a PartialResult or ResumeToken, "
+                f"got {type(resume).__name__}"
+            )
+        if method == "naive":
+            raise InvalidRequestError(
+                "resume= checkpoints world enumeration; it is not defined for "
+                "method='naive'"
+            )
+        if token.key != self._resume_key(domain, extra_constants, max_extra_facts):
+            raise InvalidRequestError(
+                "resume token does not match this enumeration: the query, "
+                "database, semantics, domain or extra-facts cap changed since "
+                "it was minted"
+            )
+        if token.kernel_epoch is not None and token.kernel_epoch != self.session.kernel.epoch:
+            raise InvalidRequestError(
+                "resume token predates a condition-kernel eviction/clear on "
+                "this session; re-run certain() from the start"
+            )
+        return token
+
+    def _resume_key(
+        self,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+    ) -> str:
+        """Fingerprint of everything the world-enumeration order depends on."""
+        database = self._require_database()
+        resolved = enumeration_domain(self.expression, database, domain, extra_constants)
+        digest = hashlib.sha256()
+
+        def feed(part: Any) -> None:
+            digest.update(repr(part).encode("utf-8"))
+            digest.update(b"\x1f")
+
+        feed(self.expression)
+        feed(self.session.semantics)
+        feed((extra_constants, max_extra_facts))
+        feed([repr(value) for value in resolved])
+        for relation in sorted(database.relations(), key=lambda r: r.name):
+            feed(relation.name)
+            feed(sorted(repr(row) for row in relation.rows))
+        return digest.hexdigest()
+
+    def _stamp_resume(
+        self,
+        error: BudgetExceeded,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+    ) -> None:
+        """Bind the strategy-level checkpoint to this query's inputs.
+
+        The enumeration layer mints fingerprint-agnostic tokens (it never
+        sees the session); the session layer stamps the input fingerprint
+        and kernel epoch here so ``certain(resume=)`` can refuse a token
+        replayed against different inputs.
+        """
+        token = error.resume_token
+        if token is None:
+            return
+        try:
+            token.key = self._resume_key(domain, extra_constants, max_extra_facts)
+            token.kernel_epoch = self.session.kernel.epoch
+        except Exception:
+            # A fingerprint that cannot be computed (e.g. the database was
+            # swapped mid-flight) makes the token unusable, not the error.
+            error.resume_token = None
 
     def _degrade_certain(self, error: BudgetExceeded, policy: str) -> Any:
         """The degradation ladder: answer soundly, or fail loudly.
@@ -347,7 +479,9 @@ class Query:
         verdict = f"budget exceeded ({resource}); degraded to {quality}"
         self._resilience_verdict = verdict
         if policy == "partial":
-            return PartialResult(relation, verdict, resource=error.resource)
+            return PartialResult(
+                relation, verdict, resource=error.resource, token=error.resume_token
+            )
         return relation
 
     def possible(
@@ -380,8 +514,13 @@ class Query:
         )
         if budget is None:
             return run()
-        with budget_scope(budget.start()):
-            return run()
+        state = budget.start()
+        self.session._register_state(state)
+        try:
+            with budget_scope(state):
+                return run()
+        finally:
+            self.session._unregister_state(state)
 
     def answer_object(self) -> Relation:
         """``certainO``: the naive answer itself, nulls included (eq. (9)).
@@ -427,10 +566,15 @@ class Query:
         """
         self._no_sql("boolean()")
         budget = budget if budget is not None else self.session.budget
-        if budget is not None:
-            with budget_scope(budget.start()):
+        if budget is None:
+            return self._boolean(mode, domain, extra_constants, max_extra_facts)
+        state = budget.start()
+        self.session._register_state(state)
+        try:
+            with budget_scope(state):
                 return self._boolean(mode, domain, extra_constants, max_extra_facts)
-        return self._boolean(mode, domain, extra_constants, max_extra_facts)
+        finally:
+            self.session._unregister_state(state)
 
     def _boolean(
         self,
@@ -551,6 +695,7 @@ class Session:
         kernel_memo_limit: Optional[int] = None,
         budget: Optional[Budget] = None,
         on_budget: str = "degrade",
+        retry_policy: Optional[RetryPolicy] = None,
         _dynamic_engine: bool = False,
         _plan_cache: Optional[Any] = None,
         _kernel: Optional[ConditionKernel] = None,
@@ -575,6 +720,10 @@ class Session:
             raise TypeError(
                 f"connect() expects a Database (or None), got {type(database).__name__}"
             )
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise TypeError(
+                f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+            )
         self.database = database
         self._engine = None if _dynamic_engine else engine
         self.semantics = semantics
@@ -582,6 +731,9 @@ class Session:
         self.backend_path = backend_path
         self.budget = budget
         self.on_budget = on_budget
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
         self.kernel: ConditionKernel = (
             _kernel
             if _kernel is not None
@@ -600,6 +752,11 @@ class Session:
         self._sql3vl_database: Optional[Database] = None
         self._backend_recovery_warned = False
         self._lock = threading.RLock()
+        # Armed budget states of in-flight queries, for Session.cancel().
+        # Guarded by a dedicated lock (never the RLock: cancel() must not
+        # block behind a query thread holding the backend lock).
+        self._active_states: List[BudgetState] = []
+        self._states_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -701,6 +858,52 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def _register_state(self, state: BudgetState) -> None:
+        with self._states_lock:
+            self._active_states.append(state)
+
+    def _unregister_state(self, state: BudgetState) -> None:
+        with self._states_lock:
+            try:
+                self._active_states.remove(state)
+            except ValueError:  # pragma: no cover - double unregister
+                pass
+
+    def cancel(self) -> None:
+        """Cancel every in-flight evaluation of this session, from any thread.
+
+        Two levers, pulled together:
+
+        * every *armed budget* of an in-flight ``certain()`` /
+          ``possible()`` / ``boolean()`` call is flagged, so the next
+          cooperative check point (a world tick, a c-table operator row,
+          a backend progress-handler callback) raises
+          :class:`~repro.resilience.QueryCancelled` in the query's thread;
+        * each live backend connection gets a thread-safe
+          ``interrupt()``, aborting even a single long-running SQL
+          statement mid-flight.
+
+        ``QueryCancelled`` is deliberately not a ``BudgetExceeded``: a
+        cancelled query never enters the degradation ladder — it stops.
+        Queries running without a budget are interrupted on the backend
+        but, by the documented "no budget means no overhead" contract,
+        have no cooperative check points in the in-memory engines.
+        Idempotent; a session with nothing running is a no-op.
+        """
+        with self._states_lock:
+            states = list(self._active_states)
+        for state in states:
+            state.cancel()
+        for backend in (self._backend, self._sql3vl_backend):
+            if backend is not None:
+                try:
+                    backend.interrupt()
+                except Exception:  # noqa: BLE001 - cancel must never throw
+                    pass
+
+    # ------------------------------------------------------------------
     # evaluation plumbing
     # ------------------------------------------------------------------
     def _evaluate(
@@ -764,7 +967,8 @@ class Session:
             return with_retries(
                 functools.partial(
                     backend.evaluate, expression, plan_cache=self.plan_cache
-                )
+                ),
+                policy=self.retry_policy,
             )
         except BackendError:
             if database is None:
@@ -808,7 +1012,7 @@ class Session:
             return stream, next(stream, _SENTINEL)
 
         try:
-            plan_iter, first = with_retries(_start)
+            plan_iter, first = with_retries(_start, policy=self.retry_policy)
         except BackendError:
             if database is None:
                 raise
@@ -855,7 +1059,8 @@ class Session:
                 # loaded, and `_backend_database` deliberately only moves
                 # forward after it succeeds.
                 with_retries(
-                    functools.partial(self._backend.replace_database, database)
+                    functools.partial(self._backend.replace_database, database),
+                    policy=self.retry_policy,
                 )
                 self._backend_database = database
             return self._backend
@@ -879,7 +1084,8 @@ class Session:
                 self._sql3vl_database = database
             elif database is not self._sql3vl_database:
                 with_retries(
-                    functools.partial(self._sql3vl_backend.replace_database, database)
+                    functools.partial(self._sql3vl_backend.replace_database, database),
+                    policy=self.retry_policy,
                 )
                 self._sql3vl_database = database
             backend = self._sql3vl_backend
@@ -1079,6 +1285,7 @@ def connect(
     kernel_memo_limit: Optional[int] = None,
     budget: Optional[Budget] = None,
     on_budget: str = "degrade",
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Session:
     """Open a :class:`Session` owning all of its evaluation state.
 
@@ -1115,6 +1322,11 @@ def connect(
         Default budget-expiry policy for ``certain()``: ``"degrade"``
         (sound fallback, the default), ``"raise"`` or ``"partial"`` —
         see ``docs/robustness.md``.
+    retry_policy:
+        A :class:`~repro.resilience.RetryPolicy` shaping every transient
+        backend retry of this session (query execution, streaming,
+        database refills, the 3VL bridge).  Defaults to the historical
+        3-retry / 5–40 ms exponential-backoff shape.
     """
     return Session(
         database,
@@ -1126,6 +1338,7 @@ def connect(
         kernel_memo_limit=kernel_memo_limit,
         budget=budget,
         on_budget=on_budget,
+        retry_policy=retry_policy,
     )
 
 

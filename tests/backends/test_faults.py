@@ -399,3 +399,151 @@ class TestRuntimeFailureClassifier:
             sqlite3.IntegrityError("UNIQUE constraint failed")
         )
         assert not is_runtime_failure(ValueError("not a sqlite error at all"))
+
+
+# ---------------------------------------------------------------------------
+# Pool-level chaos: FaultInjectingExecutor against the worker fan-out.
+# ---------------------------------------------------------------------------
+def _pool_evaluate(world):
+    # Parsed fresh per call so the function stays picklable (a shared
+    # expression gains plan annotations after its first evaluation).
+    from repro.algebra import parse_ra
+
+    return parse_ra("project[#0](R)").evaluate(world, engine="interpreter")
+
+
+def _pool_db():
+    return Database.from_dict({"R": [(1,), (2,), (3,), (Null("x"),)]})
+
+
+class TestFaultInjectingExecutor:
+    def _run(self, schedule, heartbeat=0.2):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.backends.faults import FaultInjectingExecutor
+        from repro.semantics.certain import enumerate_certain_answers
+
+        database = _pool_db()
+        oracle = enumerate_certain_answers(_pool_evaluate, database)
+        chaos = enumerate_certain_answers(
+            _pool_evaluate,
+            database,
+            workers=2,
+            heartbeat=heartbeat,
+            pool_factory=lambda n: FaultInjectingExecutor(
+                ThreadPoolExecutor(max_workers=n), schedule
+            ),
+        )
+        assert set(chaos.rows) == set(oracle.rows)
+
+    def test_broken_pool_on_submit_degrades_to_local_run(self):
+        # The very first submit raises BrokenProcessPool: every chunk
+        # (including the one being submitted) re-runs in the parent.
+        self._run(FaultSchedule({"submit": [0]}))
+
+    def test_lost_future_recovers_via_heartbeat(self):
+        # A lost future never completes — the hung-child case.  The
+        # heartbeat expires, the chunk re-runs locally, answers match.
+        self._run(FaultSchedule({"lose": [0]}))
+
+    def test_delayed_future_recovers_via_heartbeat(self):
+        # The child is alive but slower than the heartbeat; same recovery.
+        self._run(FaultSchedule({"delay": [0]}))
+
+    def test_every_fault_kind_at_once(self):
+        self._run(FaultSchedule({"submit": [1], "lose": [0], "delay": [2]}))
+
+    def test_unfaulted_executor_is_transparent(self):
+        self._run(FaultSchedule({}))
+
+    def test_delayed_future_result_times_out(self):
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        from repro.backends.faults import _DelayedFuture
+
+        class _Done:
+            def result(self, timeout=None):
+                return "late"
+
+        slow = _DelayedFuture(_Done(), delay=10.0, sleep=lambda s: None)
+        with pytest.raises(FutureTimeoutError):
+            slow.result(timeout=0.01)
+        assert slow.result(timeout=None) == "late"
+
+
+class TestTransientClassifier:
+    def test_contention_is_transient(self):
+        assert is_transient_error(sqlite3.OperationalError("database is locked"))
+        assert is_transient_error(sqlite3.OperationalError("database table is locked"))
+
+    def test_disk_failures_are_not_transient(self):
+        # Disk I/O errors are runtime *failures* (they route to backend
+        # recovery, not blind retries against a broken device).
+        assert not is_transient_error(sqlite3.OperationalError("disk I/O error"))
+        assert not is_transient_error(
+            sqlite3.OperationalError("database or disk is full")
+        )
+        assert not is_transient_error(ValueError("unrelated"))
+
+
+class TestResumeTokenPickle:
+    def test_resume_token_round_trips(self):
+        import pickle
+
+        from repro.resilience import ResumeToken
+
+        token = ResumeToken(
+            key="abc123",
+            worlds_done=17,
+            schema=("c0",),
+            intersection=frozenset({(1,), (2,)}),
+            kernel_epoch=3,
+        )
+        revived = pickle.loads(pickle.dumps(token))
+        assert revived.key == token.key
+        assert revived.worlds_done == 17
+        assert revived.schema == ("c0",)
+        assert revived.intersection == frozenset({(1,), (2,)})
+        assert revived.kernel_epoch == 3
+
+
+class TestBackoffDeadlineClamp:
+    def test_sleeps_never_exceed_remaining_deadline(self):
+        # A huge base_delay against a 5 s (manual-clock) deadline: every
+        # backoff sleep must be clamped to what is left of the budget.
+        clock = ManualClock(step=1.0)
+        budget = Budget(deadline=5.0, clock=clock)
+        sleeps = []
+
+        def always():
+            raise sqlite3.OperationalError("database is locked")
+
+        with budget_scope(budget.start()):
+            with pytest.raises((sqlite3.OperationalError, BudgetExceeded)):
+                with_retries(
+                    always,
+                    retries=10,
+                    base_delay=60.0,
+                    max_delay=120.0,
+                    sleep=sleeps.append,
+                    rng=random.Random(0),
+                )
+        assert sleeps, "expected at least one clamped backoff sleep"
+        assert all(s <= 5.0 for s in sleeps), sleeps
+
+    def test_clamp_is_inactive_without_budget(self):
+        sleeps = []
+
+        def always():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            with_retries(
+                always,
+                retries=2,
+                base_delay=60.0,
+                max_delay=120.0,
+                sleep=sleeps.append,
+                rng=random.Random(0),
+            )
+        assert all(s > 5.0 for s in sleeps), sleeps

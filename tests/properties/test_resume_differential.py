@@ -1,0 +1,219 @@
+"""Resume differential suite: interrupted-then-resumed == uninterrupted.
+
+Each pair interrupts a world enumeration with a budget, then resumes from
+the checkpointed :class:`~repro.resilience.ResumeToken` until the
+enumeration completes, and asserts the run-to-completion answer equals
+the uninterrupted one — the core contract of ``certain(resume=)``.
+210 randomized pairs across two interruption modes (world caps and
+deterministic :class:`~repro.resilience.ManualClock` deadlines), plus
+directed tests for token validation, multi-hop progress and soundness of
+every intermediate partial.
+
+The deterministic world order (nulls sorted by name, domains sorted —
+see :mod:`repro.semantics.worlds`) is what makes the plain world count in
+the token a valid checkpoint; these tests are the differential evidence.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import Budget, BudgetExceeded, PartialResult
+from repro.resilience import ManualClock, ResumeToken
+from repro.workloads import random_database, random_positive_query
+
+WORLD_CAP_SEEDS = list(range(140))
+DEADLINE_SEEDS = list(range(70))
+
+#: Generous bound on resume hops: every hop banks at least one world (or
+#: one chunk), so hitting this means resumption stopped making progress.
+_MAX_HOPS = 400
+
+
+def _pair(seed, offset=0):
+    database = random_database(
+        num_relations=2, arity=2, rows_per_relation=3, num_constants=4,
+        num_nulls=2, seed=offset + seed,
+    )
+    query = random_positive_query(database.schema, seed=seed)
+    return database, query
+
+
+def _resume_to_completion(session, query, budget_factory, oracle):
+    """Interrupt + resume until complete; assert every hop stays sound.
+
+    ``budget_factory(scale)`` builds the budget for each hop.  World-cap
+    budgets guarantee progress at scale 1; deadline budgets can expire
+    before a single world completes, so whenever a hop banks no new
+    worlds the scale doubles — loosening the deadline until the
+    enumeration moves again (what a real caller would do).
+    """
+    scale = 1
+    result = session.query(query).certain(
+        method="enumeration", budget=budget_factory(scale), on_budget="partial"
+    )
+    hops = 0
+    last_done = -1
+    while isinstance(result, PartialResult):
+        assert set(result.rows) <= set(oracle.rows), "partial is not a sound subset"
+        if result.token is None:
+            # The interruption preceded any enumeration checkpoint (e.g.
+            # the budget expired on the upfront check): nothing to resume.
+            result = session.query(query).certain(method="enumeration")
+            break
+        assert isinstance(result.token, ResumeToken)
+        if result.token.worlds_done <= last_done:
+            scale *= 2
+        last_done = result.token.worlds_done
+        result = session.query(query).certain(
+            budget=budget_factory(scale), on_budget="partial", resume=result
+        )
+        hops += 1
+        assert hops < _MAX_HOPS, "resume loop stopped making progress"
+    return result, hops
+
+
+@pytest.mark.parametrize("seed", WORLD_CAP_SEEDS)
+def test_world_cap_interrupt_then_resume_equals_uninterrupted(seed):
+    rng = random.Random(seed)
+    database, query = _pair(seed)
+    cap = rng.randint(1, 6)
+    with repro.connect(database) as session:
+        oracle = session.query(query).certain(method="enumeration")
+        result, _ = _resume_to_completion(
+            session, query, lambda scale: Budget(max_worlds=cap * scale), oracle
+        )
+        assert set(result.rows) == set(oracle.rows), (
+            f"seed {seed}: resumed enumeration diverged from uninterrupted"
+        )
+
+
+@pytest.mark.parametrize("seed", DEADLINE_SEEDS)
+def test_deadline_interrupt_then_resume_equals_uninterrupted(seed):
+    rng = random.Random(10_000 + seed)
+    database, query = _pair(seed, offset=10_000)
+    deadline = float(rng.randint(2, 12))
+    step = rng.choice((0.5, 1.0, 2.0))
+    with repro.connect(database) as session:
+        oracle = session.query(query).certain(method="enumeration")
+        # Each hop gets a fresh deterministic clock, so the deadline trips
+        # after the same number of budget checks every time.
+        result, _ = _resume_to_completion(
+            session,
+            query,
+            lambda scale: Budget(
+                deadline=deadline * scale, clock=ManualClock(step=step)
+            ),
+            oracle,
+        )
+        assert set(result.rows) == set(oracle.rows), (
+            f"seed {seed}: deadline-resumed enumeration diverged"
+        )
+
+
+def test_resume_makes_progress_every_hop():
+    database, query = _pair(3)
+    with repro.connect(database) as session:
+        oracle = session.query(query).certain(method="enumeration")
+        partial = session.query(query).certain(
+            method="enumeration", budget=Budget(max_worlds=2), on_budget="partial"
+        )
+        done = partial.token.worlds_done
+        assert done >= 2
+        result = partial
+        while isinstance(result, PartialResult):
+            result = session.query(query).certain(
+                budget=Budget(max_worlds=2), on_budget="partial", resume=result
+            )
+            if isinstance(result, PartialResult):
+                assert result.token.worlds_done > done, "checkpoint did not advance"
+                done = result.token.worlds_done
+        assert set(result.rows) == set(oracle.rows)
+
+
+def test_resume_token_rides_on_raised_budget_exceeded():
+    database, query = _pair(5)
+    with repro.connect(database) as session:
+        try:
+            session.query(query).certain(
+                method="enumeration", budget=Budget(max_worlds=2), on_budget="raise"
+            )
+        except BudgetExceeded as error:
+            assert error.resume_token is not None
+            assert error.resume_token.key is not None
+            resumed = session.query(query).certain(resume=error.resume_token)
+            oracle = session.query(query).certain(method="enumeration")
+            assert set(resumed.rows) == set(oracle.rows)
+        else:
+            pytest.skip("enumeration finished inside the cap")
+
+
+def test_resume_rejects_token_from_different_database():
+    database, query = _pair(7)
+    other = random_database(
+        num_relations=2, arity=2, rows_per_relation=3, num_constants=4,
+        num_nulls=2, seed=7777,
+    )
+    with repro.connect(database) as session:
+        partial = session.query(query).certain(
+            method="enumeration", budget=Budget(max_worlds=1), on_budget="partial"
+        )
+        assert partial.token is not None
+    with repro.connect(other) as session:
+        with pytest.raises(repro.InvalidRequestError):
+            session.query(query).certain(resume=partial)
+
+
+def test_resume_rejects_token_after_kernel_eviction():
+    database, query = _pair(9)
+    with repro.connect(database) as session:
+        partial = session.query(query).certain(
+            method="enumeration", budget=Budget(max_worlds=1), on_budget="partial"
+        )
+        assert partial.token is not None
+        session.kernel.clear()
+        with pytest.raises(repro.InvalidRequestError):
+            session.query(query).certain(resume=partial)
+
+
+def test_resume_rejects_naive_method_and_foreign_objects():
+    database, query = _pair(11)
+    with repro.connect(database) as session:
+        partial = session.query(query).certain(
+            method="enumeration", budget=Budget(max_worlds=1), on_budget="partial"
+        )
+        with pytest.raises(repro.InvalidRequestError):
+            session.query(query).certain(method="naive", resume=partial)
+        with pytest.raises(repro.InvalidRequestError):
+            session.query(query).certain(resume="not a token")
+        with pytest.raises(repro.InvalidRequestError):
+            # A PartialResult that never reached a checkpoint has no token.
+            session.query(query).certain(
+                resume=PartialResult(partial.relation, "no checkpoint")
+            )
+
+
+def test_resume_token_pickle_round_trip_resumes():
+    import pickle
+
+    database, query = _pair(13)
+    with repro.connect(database) as session:
+        oracle = session.query(query).certain(method="enumeration")
+        partial = session.query(query).certain(
+            method="enumeration", budget=Budget(max_worlds=2), on_budget="partial"
+        )
+        assert partial.token is not None
+        revived = pickle.loads(pickle.dumps(partial))
+        assert isinstance(revived, PartialResult)
+        assert revived.token.worlds_done == partial.token.worlds_done
+        assert revived.token.key == partial.token.key
+        result = revived
+        hops = 0
+        while isinstance(result, PartialResult):
+            result = session.query(query).certain(
+                budget=Budget(max_worlds=4), on_budget="partial", resume=result
+            )
+            hops += 1
+            assert hops < _MAX_HOPS
+        assert set(result.rows) == set(oracle.rows)

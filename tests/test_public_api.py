@@ -34,9 +34,12 @@ EXPECTED_TOP_LEVEL = {
     "Null",
     "PartialResult",
     "Query",
+    "QueryCancelled",
     "Relation",
     "RelationSchema",
     "ReproError",
+    "ResumeToken",
+    "RetryPolicy",
     "Session",
     "SessionClosedError",
     "Valuation",
@@ -55,7 +58,7 @@ def test_top_level_surface_is_the_session_api():
 
 def test_session_and_query_expose_the_documented_methods():
     for method in ("query", "sql", "evaluate_ctable", "create_schema",
-                   "load_rows", "clear_caches", "close"):
+                   "load_rows", "clear_caches", "cancel", "close"):
         assert callable(getattr(repro.Session, method))
     for method in ("certain", "possible", "answer_object", "knowledge",
                    "boolean", "explain", "cursor"):
