@@ -46,6 +46,11 @@ resume differential suites must pass with zero leaked SQLite temp files
 (``docs/robustness.md``).  The cancel family contributes ``gate:cancel``:
 a deadline budget must abort a running SQLite statement as a typed
 ``BudgetExceeded`` within 250 ms of expiry, leaking no temp tables.
+The serve family contributes ``gate:serve``: eight concurrent async
+clients over one frozen session must match a sequential session
+differentially above a throughput floor, and a session-warm worker
+executor must beat per-call process pools by >= 1.5x on a
+startup-dominated workload (``docs/serving.md``).
 ``--check`` fails when any gate reports ``passed: false``.
 """
 
@@ -598,6 +603,32 @@ def scenario_cancel() -> Dict[str, Any]:
     return {"gate:cancel": {"passed": passed, "note": note}}
 
 
+def scenario_serve() -> Dict[str, Any]:
+    """The serving-tier gate: concurrent differential + warm executors.
+
+    Two halves, both from ``bench_e30_serve``: eight async clients over a
+    :class:`repro.serve.Server` (one shared frozen session) must produce
+    answers identical to a sequential session above a conservative
+    throughput floor, and N ``workers=`` fan-outs through one session-warm
+    ``ProcessPoolExecutor`` must beat N per-call pools by at least 1.5x on
+    a workload where pool startup dominates.  ``gate:serve`` passes only
+    when both halves do.
+    """
+    from bench_e30_serve import run_throughput_gate, run_warm_executor_gate
+
+    throughput = run_throughput_gate()
+    warm = run_warm_executor_gate()
+    return {
+        "gate:serve": {
+            "passed": bool(throughput["passed"] and warm["passed"]),
+            "qps": throughput["qps"],
+            "mismatches": throughput["mismatches"],
+            "warm_speedup": warm["speedup"],
+            "note": f"{throughput['note']}; {warm['note']}",
+        }
+    }
+
+
 QUICK_SCENARIOS = {
     "cancel": scenario_cancel,
     "chaos": scenario_chaos,
@@ -607,6 +638,7 @@ QUICK_SCENARIOS = {
     "e18": scenario_e18,
     "e21_core": scenario_e21_core,
     "e25": scenario_e25,
+    "serve": scenario_serve,
 }
 FULL_SCENARIOS = {
     **QUICK_SCENARIOS,

@@ -37,6 +37,10 @@ The library provides:
   databases with regular path queries and graph patterns
   (:mod:`repro.graphs`), and incomplete data trees with tree patterns
   (:mod:`repro.trees`); and
+* a concurrent query-service tier: ``repro.serve.Server`` dispatches
+  async clients over a pool of warmed sessions, with frozen read-only
+  sessions (:meth:`Session.freeze`) shared across threads lock-free
+  (:mod:`repro.serve`); and
 * synthetic workload generators used by the experiment and benchmark
   suites (:mod:`repro.workloads`).
 
@@ -67,6 +71,11 @@ answers in batches straight off the SQLite backend, and
 ``session.sql("SELECT ...")`` runs three-valued SQL.  See ``docs/api.md``
 for the Session/Query/Cursor lifecycle and the migration map from the
 deprecated module-level entry points (``certain_answers`` and friends).
+
+To serve many concurrent readers, freeze a warmed session
+(``session.freeze()``) and share it across threads lock-free, or let
+:class:`repro.serve.Server` do both behind an asyncio front end
+(``docs/serving.md``).
 """
 
 from .datamodel import (
@@ -95,8 +104,9 @@ from .resilience import (
     WorkerPoolError,
 )
 from .session import Cursor, Query, Session, connect, default_session
+from . import serve
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BackendRecoveryWarning",
@@ -126,4 +136,5 @@ __all__ = [
     "__version__",
     "connect",
     "default_session",
+    "serve",
 ]

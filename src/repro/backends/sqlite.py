@@ -85,6 +85,7 @@ class SQLiteBackend(Backend):
         self._adom_ready = False
         self._closed = False
         self._poisoned = False
+        self._frozen = False
         self._interrupt_requested = False
         # Budget states whose deadlines the progress handler watches; a
         # stack because evaluations can nest on one connection (a cursor
@@ -92,7 +93,12 @@ class SQLiteBackend(Backend):
         self._deadline_states: List[Any] = []
 
     def _connect(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(self._path)
+        # check_same_thread=False: the connection may serve queries from
+        # pool threads (frozen sessions) and be interrupted/closed from
+        # another thread.  CPython's sqlite3 runs SQLite in serialized
+        # threading mode, so cross-thread use of one handle is safe; the
+        # session layer serializes all *mutations* behind its own lock.
+        connection = sqlite3.connect(self._path, check_same_thread=False)
         cursor = connection.cursor()
         # The backend is a cache/scratch store, never the system of record:
         # durability is irrelevant, load speed is not.  The rollback
@@ -114,6 +120,39 @@ class SQLiteBackend(Backend):
         if not self._closed:
             self._closed = True
             self._connection.close()
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has made the backend read-only."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the backend read-only so one handle serves many threads.
+
+        A frozen backend refuses every mutation (loads, schema changes,
+        ``replace_database``), serves compiled-plan hits without LRU
+        bookkeeping and compiles misses without publishing them, skips
+        on-demand index creation, and refuses plans that would spill to
+        temp tables (two threads sharing one connection would collide on
+        the temp-table names — the caller falls back to the in-memory
+        engine for those).  The in-statement deadline watchdog is also
+        skipped: a progress handler is per-connection state and would
+        cross-cancel unrelated threads.  The active-domain table is
+        materialized eagerly here, while the handle is still private, so
+        adom-using plans keep working afterwards.  Freezing is one-way.
+        """
+        if self._frozen:
+            return
+        self._ensure_healthy()
+        if self._schema is not None:
+            self._ensure_adom()
+        self._frozen = True
+
+    def _refuse_frozen(self, action: str) -> None:
+        if self._frozen:
+            from ..resilience import InvalidRequestError
+
+            raise InvalidRequestError(f"cannot {action} on a frozen backend")
 
     def interrupt(self) -> None:
         """Abort the statement currently running on this connection.
@@ -180,7 +219,10 @@ class SQLiteBackend(Backend):
         if "interrupt" not in str(error).lower():
             return error
         if self._interrupt_requested:
-            self._interrupt_requested = False
+            if not self._frozen:
+                # Frozen handles serve many threads: one consumer must not
+                # clear the flag before the others re-type their aborts.
+                self._interrupt_requested = False
             return QueryCancelled("statement interrupted by Session.cancel()")
         if state is not None:
             try:
@@ -236,6 +278,7 @@ class SQLiteBackend(Backend):
             if self._schema == schema:
                 return
             raise BackendError("backend already holds a different schema")
+        self._refuse_frozen("create a schema")
         cursor = self._connection.cursor()
         for relation in schema:
             cursor.execute(self._create_table_sql(relation))
@@ -285,6 +328,10 @@ class SQLiteBackend(Backend):
         fails the handle is poisoned and rebuilt on next use
         (:meth:`_ensure_healthy`) instead of serving half-filled tables.
         """
+        if self._frozen:
+            if database is self._database:
+                return  # already serving exactly this instance
+            self._refuse_frozen("replace the database")
         self._ensure_healthy()
         if self._schema is None:
             self.load_database(database)
@@ -350,6 +397,7 @@ class SQLiteBackend(Backend):
         return total
 
     def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        self._refuse_frozen("load rows")
         self._ensure_healthy()
         if self._schema is None or name not in self._schema:
             raise BackendError(f"unknown relation {name!r}; create the schema first")
@@ -442,6 +490,29 @@ class SQLiteBackend(Backend):
         if self._schema is None:
             raise BackendError("no database loaded")
         entry = self._plans.get(expression)
+        if self._frozen:
+            # Read-only: serve hits without LRU reordering, compile misses
+            # without publishing them, and never create indexes or adom
+            # tables on the shared connection.  Plans that spill to temp
+            # tables cannot run concurrently on one connection — refuse
+            # them so the caller's in-memory fallback takes over.
+            if entry is None:
+                schema = self._schema
+                out_schema = expression.output_schema(schema)
+                if plan_cache is None:
+                    logical = _planner.compile_plan(expression, schema)
+                else:
+                    logical = plan_cache.compile(expression, schema)
+                stats = self._database if self._database is not None else _BackendStats(self)
+                entry = (SQLCompiler(stats, self.codec).compile(logical), out_schema)
+            plan, out_schema = entry
+            if plan.uses_adom and not self._adom_ready:
+                raise BackendError("frozen backend has no materialized active domain")
+            if plan.setup:
+                raise BackendError(
+                    "plan spills to temp tables; not runnable on a frozen backend"
+                )
+            return plan, out_schema
         if entry is None:
             schema = self._schema
             out_schema = expression.output_schema(schema)
@@ -495,10 +566,15 @@ class SQLiteBackend(Backend):
         self, expression: RAExpression, plan_cache: Optional[Any] = None
     ) -> Relation:
         self._ensure_healthy()
-        self._interrupt_requested = False
+        if not self._frozen:
+            self._interrupt_requested = False
         plan, out_schema = self._plan_for(expression, plan_cache)
         state = active_budget()
-        armed = self._arm_progress(state)
+        # Frozen backends never install the progress handler: it is
+        # per-connection state, so one thread's deadline would abort every
+        # other thread's statement.  Deadlines still trip at the world
+        # ticks; Session.cancel() still interrupts via interrupt().
+        armed = False if self._frozen else self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
             try:
@@ -545,11 +621,12 @@ class SQLiteBackend(Backend):
         enforced across the whole consumption, not just the first execute.
         """
         self._ensure_healthy()
-        self._interrupt_requested = False
+        if not self._frozen:
+            self._interrupt_requested = False
         plan, out_schema = self._plan_for(expression, plan_cache)
         decode_row = self.codec.decode_row
         state = active_budget()
-        armed = self._arm_progress(state)
+        armed = False if self._frozen else self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
             try:

@@ -146,13 +146,15 @@ def enumeration_strategy(
     resume: Optional[ResumeToken] = None,
     heartbeat: Optional[float] = None,
     pool_factory: Optional[Callable[[int], Any]] = None,
+    executor: Optional[Any] = None,
 ) -> Relation:
     """Certain (or possible) answers computed literally by world enumeration.
 
     ``world_evaluator`` overrides the per-world callable — sessions pass a
     *picklable* one when ``workers`` should fan out over a process pool;
     the default closure works but forces the sequential path.  ``resume``,
-    ``heartbeat`` and ``pool_factory`` are forwarded to
+    ``heartbeat``, ``pool_factory`` and ``executor`` (a live caller-owned
+    pool that takes precedence over ``pool_factory``) are forwarded to
     :func:`~repro.semantics.certain.enumerate_certain_answers`
     (``mode="certain"`` only — a possible-answers union has no sound
     partial state to resume from).
@@ -177,6 +179,7 @@ def enumeration_strategy(
             resume=resume,
             heartbeat=heartbeat,
             pool_factory=pool_factory,
+            executor=executor,
         )
     if mode == "possible":
         return enumerate_possible_answers(
@@ -204,6 +207,7 @@ def certain_strategy(
     resume: Optional[ResumeToken] = None,
     heartbeat: Optional[float] = None,
     pool_factory: Optional[Callable[[int], Any]] = None,
+    executor: Optional[Any] = None,
 ) -> Relation:
     """Certain answers with automatic method selection.
 
@@ -242,6 +246,7 @@ def certain_strategy(
         resume=resume,
         heartbeat=heartbeat,
         pool_factory=pool_factory,
+        executor=executor,
     )
 
 

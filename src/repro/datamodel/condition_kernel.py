@@ -114,6 +114,7 @@ class ConditionKernel:
         "_mark_attr",
         "_neg_attr",
         "_touch_attr",
+        "_frozen",
     )
 
     def __init__(
@@ -164,6 +165,7 @@ class ConditionKernel:
         self._mark_attr = "_kernel_canonical" + suffix
         self._neg_attr = "_kernel_negation" + suffix
         self._touch_attr = "_kernel_touch" + suffix
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -206,8 +208,31 @@ class ConditionKernel:
             del table[key]
         self.memo_trims += 1
 
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has made the kernel read-only."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the kernel read-only so it can be shared across threads.
+
+        A frozen kernel serves interned hits without touch-stamping,
+        canonizes misses without publishing them into the intern table
+        (the result is still simplified and canonical *per call*, it just
+        loses cross-call identity sharing), skips all memo writes, and
+        refuses :meth:`clear`/:meth:`evict`.  Nothing reachable from the
+        kernel is mutated after freezing, which under the GIL makes
+        concurrent use safe without locks.  Warm the working set before
+        freezing.  Freezing is one-way.
+        """
+        self._frozen = True
+
     def clear(self) -> None:
         """Drop the intern table and every memo table (tests/benchmarks)."""
+        if self._frozen:
+            from ..resilience import InvalidRequestError
+
+            raise InvalidRequestError("cannot clear a frozen condition kernel")
         self._epoch += 1
         self._use_epoch += 1
         self._intern.clear()
@@ -245,6 +270,10 @@ class ConditionKernel:
         lives across arbitrarily many evictions while a condition
         untouched for one full epoch is reclaimed.
         """
+        if self._frozen:
+            from ..resilience import InvalidRequestError
+
+            raise InvalidRequestError("cannot evict from a frozen condition kernel")
         ending = self._use_epoch
         mark_attr = self._mark_attr
         neg_attr = self._neg_attr
@@ -300,6 +329,8 @@ class ConditionKernel:
     # canonization plumbing
     # ------------------------------------------------------------------
     def _touch(self, node: Condition) -> None:
+        if self._frozen:
+            return  # touch stamps drive eviction, which a frozen kernel refuses
         if getattr(node, self._touch_attr, None) != self._use_epoch:
             object.__setattr__(node, self._touch_attr, self._use_epoch)
 
@@ -308,6 +339,12 @@ class ConditionKernel:
         if existing is not None:
             self._touch(existing)
             return existing
+        if self._frozen:
+            # Read-only: the fresh node is simplified and private to this
+            # call — mark it (it is not shared yet) but never publish it
+            # into the intern table, which concurrent readers are walking.
+            object.__setattr__(node, self._mark_attr, self._epoch)
+            return node
         object.__setattr__(node, self._mark_attr, self._epoch)
         self._touch(node)
         self._intern[key] = node
@@ -361,7 +398,8 @@ class ConditionKernel:
             result = operand.operand  # already canonical
         else:
             result = self._canonize(("not", id(operand)), Not(operand))
-        object.__setattr__(operand, self._neg_attr, (self._epoch, result))
+        if not self._frozen:  # the operand may be a shared interned node
+            object.__setattr__(operand, self._neg_attr, (self._epoch, result))
         return result
 
     def conjunction(self, operands: Iterable[Condition]) -> Condition:
@@ -442,8 +480,9 @@ class ConditionKernel:
             self._touch(hit[2])
             return hit[2]
         result = self.conjunction((a, b))
-        self._and2[key] = (a, b, result)
-        self._trim_memo(self._and2)
+        if not self._frozen:
+            self._and2[key] = (a, b, result)
+            self._trim_memo(self._and2)
         return result
 
     def or_(self, a: Condition, b: Condition) -> Condition:
@@ -462,8 +501,9 @@ class ConditionKernel:
             self._touch(hit[2])
             return hit[2]
         result = self.disjunction((a, b))
-        self._or2[key] = (a, b, result)
-        self._trim_memo(self._or2)
+        if not self._frozen:
+            self._or2[key] = (a, b, result)
+            self._trim_memo(self._or2)
         return result
 
     def row_equality(self, left: Sequence[Any], right: Sequence[Any]) -> Condition:

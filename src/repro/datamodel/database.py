@@ -48,7 +48,7 @@ class Database:
     [('R', (1, Null('x'))), ('S', (2,))]
     """
 
-    __slots__ = ("_schema", "_relations", "_hash", "_analysis_cache")
+    __slots__ = ("_schema", "_relations", "_hash", "_analysis_cache", "_content_digest")
 
     def __init__(
         self,
@@ -67,6 +67,7 @@ class Database:
         self._relations = rels
         self._hash: Optional[int] = None
         self._analysis_cache: Optional[Dict[str, Any]] = None
+        self._content_digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -142,6 +143,7 @@ class Database:
         self._schema, self._relations = state
         self._hash = None
         self._analysis_cache = None
+        self._content_digest = None
 
     def analysis_cache(self) -> Dict[str, Any]:
         """A per-instance scratch cache for derived, immutable artifacts.
@@ -153,6 +155,42 @@ class Database:
         if self._analysis_cache is None:
             self._analysis_cache = {}
         return self._analysis_cache
+
+    def _compute_content_digest(self) -> str:
+        """The O(rows) digest computation behind :meth:`content_digest`.
+
+        Kept separate so tests (and profilers) can count how often the
+        expensive walk actually runs.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in sorted(self._schema.names()):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x1f")
+            for row in sorted(repr(row) for row in self._relations[name].rows):
+                digest.update(row.encode("utf-8"))
+                digest.update(b"\x1e")
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
+    def content_digest(self) -> str:
+        """A sha256 fingerprint of the instance's facts, cached per object.
+
+        Databases are immutable — every transformation returns a *new*
+        instance with an empty cache — so the digest never needs explicit
+        invalidation: a mutated database is a different object, and
+        ``Session``'s backend ``replace_database`` points at that new
+        object.  Consumers that fingerprint the same instance repeatedly
+        (the :class:`~repro.resilience.ResumeToken` stamp/validation path
+        hashes the database once per ``certain(budget=)`` call) therefore
+        pay the O(rows) walk at most once per instance.
+        """
+        cached = self._content_digest
+        if cached is None:
+            cached = self._compute_content_digest()
+            self._content_digest = cached
+        return cached
 
     def size(self) -> int:
         """Total number of tuples across all relations."""

@@ -106,11 +106,29 @@ class PlanCache:
         self._epoch = 0
         self._limit = limit
         self._kernel = kernel if kernel is not None else DEFAULT_KERNEL
+        self._frozen = False
 
     @property
     def kernel(self) -> ConditionKernel:
         """The condition kernel this cache's :meth:`clear` evicts."""
         return self._kernel
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has made the cache read-only."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the cache read-only so it can be shared across threads.
+
+        A frozen cache serves hits without LRU reordering, computes
+        misses without inserting them, and refuses :meth:`clear` — its
+        internal mappings are never mutated again, which under the GIL
+        makes concurrent :meth:`execute` calls safe without locks.  Warm
+        the working set *before* freezing (misses stay correct but pay
+        recompilation on every call).  Freezing is one-way.
+        """
+        self._frozen = True
 
     def clear(self) -> None:
         """Drop every cached plan (mainly for tests and benchmarks).
@@ -124,6 +142,10 @@ class PlanCache:
         of growing without bound.  A full kernel wipe remains available
         through :meth:`ConditionKernel.clear`.
         """
+        if self._frozen:
+            from ..resilience import InvalidRequestError
+
+            raise InvalidRequestError("cannot clear a frozen plan cache")
         self._cache.clear()
         self._epoch += 1
         self._kernel.evict()
@@ -138,6 +160,15 @@ class PlanCache:
     def entry(self, expression: RAExpression, schema: DatabaseSchema) -> _CacheEntry:
         key = (expression, schema)
         entry = self._cache.get(key)
+        if self._frozen:
+            # Read-only: serve hits without reordering the LRU list and
+            # compute misses without publishing them — the mapping never
+            # changes after freeze(), so concurrent readers need no lock.
+            if entry is None:
+                entry = _CacheEntry(
+                    optimize(expression, schema), expression.output_schema(schema)
+                )
+            return entry
         if entry is None:
             out_schema = expression.output_schema(schema)
             entry = _CacheEntry(optimize(expression, schema), out_schema)
@@ -170,7 +201,10 @@ class PlanCache:
                     break
         if entry is None:
             entry = self.entry(expression, schema)
-            if entries is None:
+            if self._frozen:
+                entries = None  # never pin from a frozen cache: the pin list
+                # is shared mutable state and expressions may be shared too
+            elif entries is None:
                 entries = []
                 try:
                     object.__setattr__(
@@ -185,11 +219,16 @@ class PlanCache:
                 if len(entries) > 4:
                     del entries[0]
         sizes = tuple(len(relation) for relation in database.relations())
-        if entry.physical is None or entry.sizes != sizes:
-            entry.physical = lower(entry.logical, database)
-            entry.sizes = sizes
+        physical = entry.physical
+        if physical is None or entry.sizes != sizes:
+            physical = lower(entry.logical, database)
+            if not self._frozen:
+                entry.physical = physical
+                entry.sizes = sizes
+            # frozen: keep the lowering local — a concurrent reader may be
+            # walking entry.physical for a different database size
         ctx = ExecutionContext(database)
-        rows = entry.physical.rows(ctx)
+        rows = physical.rows(ctx)
         return Relation._from_trusted(entry.out_schema, frozenset(rows))
 
 

@@ -30,6 +30,7 @@ Two properties this module guarantees beyond the definition:
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import pickle
 from collections import deque
@@ -40,7 +41,13 @@ from .._deprecation import warn_deprecated as _warn_deprecated
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
 from ..datamodel.schema import RelationSchema
-from ..resilience import BudgetExceeded, ResumeToken, WorkerPoolError, active_budget
+from ..resilience import (
+    BudgetExceeded,
+    QueryCancelled,
+    ResumeToken,
+    WorkerPoolError,
+    active_budget,
+)
 from .worlds import cwa_worlds, owa_worlds, worlds
 
 Evaluator = Callable[[Database], Relation]
@@ -75,13 +82,41 @@ def _can_pickle(value: Any) -> bool:
     return True
 
 
+#: Cancellation flag installed in worker children by :func:`_pool_initializer`.
+#: ``multiprocessing`` synchronization primitives cannot travel as task
+#: arguments (they only pickle during process inheritance), so the shared
+#: Event arrives at executor construction time and lands in this module
+#: global; the chunk tasks poll it between worlds.  ``None`` — the per-call
+#: pools of the deprecated shims, and the sequential path — means "no
+#: cross-process cancellation", which matches their historical behavior.
+_child_cancel_event: Optional[Any] = None
+
+
+def _pool_initializer(cancel_event: Any) -> None:
+    """Executor ``initializer``: plant the parent's cancel Event in the child."""
+    global _child_cancel_event
+    _child_cancel_event = cancel_event
+
+
+def _check_child_cancelled() -> None:
+    event = _child_cancel_event
+    if event is not None and event.is_set():
+        raise QueryCancelled("worker chunk cancelled by Session.cancel()")
+
+
 def _intersect_chunk(
     evaluate: Evaluator, chunk: List[Database]
 ) -> Tuple[Optional[RelationSchema], Optional[Set[Row]]]:
-    """Worker task: intersect the query answers over a chunk of worlds."""
+    """Worker task: intersect the query answers over a chunk of worlds.
+
+    Checks the shared cancel Event between worlds, so the cancellation
+    latency of a ``workers=`` fan-out is bounded by one world's
+    evaluation, not by a whole chunk (``_CHUNK_SIZE`` worlds).
+    """
     schema: Optional[RelationSchema] = None
     certain: Optional[Set[Row]] = None
     for world in chunk:
+        _check_child_cancelled()
         answer = evaluate(world)
         if schema is None:
             schema = answer.schema
@@ -94,7 +129,13 @@ def _intersect_chunk(
 
 def _all_hold_chunk(evaluate: Callable[[Database], bool], chunk: List[Database]) -> bool:
     """Worker task: ``True`` iff the Boolean query holds in every chunk world."""
-    return all(evaluate(world) for world in chunk)
+    result = True
+    for world in chunk:
+        _check_child_cancelled()
+        if not evaluate(world):
+            result = False
+            break
+    return result
 
 
 def _run_chunk_locally(task: Callable[..., Any], evaluate: Any, chunk: List[Database]) -> Any:
@@ -220,7 +261,11 @@ def _windowed_chunk_results(
                 except BrokenExecutor:
                     broken = True
                     result = _run_chunk_locally(task, evaluate, chunk)
-                except WorkerPoolError:
+                except (WorkerPoolError, QueryCancelled):
+                    # A cancelled child is the *requested* outcome of
+                    # Session.cancel(), not a chunk failure: re-running the
+                    # chunk locally would make cancellation wait for the
+                    # whole chunk — exactly the latency bug being fixed.
                     raise
                 except Exception:
                     result = _run_chunk_locally(task, evaluate, chunk)
@@ -249,6 +294,7 @@ def enumerate_certain_answers(
     resume: Optional[ResumeToken] = None,
     heartbeat: Optional[float] = None,
     pool_factory: Optional[Callable[[int], Any]] = None,
+    executor: Optional[Any] = None,
 ) -> Relation:
     """Intersection-based certain answers computed by world enumeration.
 
@@ -287,6 +333,14 @@ def enumerate_certain_answers(
         Replaces ``ProcessPoolExecutor`` for the ``workers=`` fan-out —
         the injection point for pool-level chaos tests
         (:class:`~repro.backends.faults.FaultInjectingExecutor`).
+    executor:
+        A *live, caller-owned* pool for the ``workers=`` fan-out.  Unlike
+        ``pool_factory`` (which creates a pool per call and tears it down
+        on exit) the executor is used as-is and **never shut down** here —
+        this is how :class:`~repro.session.Session` amortizes one warm
+        ``ProcessPoolExecutor`` across ``certain()``/``boolean()`` calls
+        instead of paying pool startup per call.  Ignored when ``workers``
+        does not fan out; takes precedence over ``pool_factory``.
 
     Returns
     -------
@@ -324,9 +378,13 @@ def enumerate_certain_answers(
             world_iter = iter(())
     try:
         if workers is not None and workers > 1 and _can_pickle(evaluate):
-            if pool_factory is None:
-                pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
-            with pool_factory(workers) as pool:
+            if executor is not None:
+                pool_scope: Any = contextlib.nullcontext(executor)
+            else:
+                if pool_factory is None:
+                    pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
+                pool_scope = pool_factory(workers)
+            with pool_scope as pool:
                 for (chunk_schema, chunk_certain), chunk_worlds in _windowed_chunk_results(
                     pool,
                     _intersect_chunk,
@@ -447,13 +505,14 @@ def enumerate_certain_boolean(
     workers: Optional[int] = None,
     heartbeat: Optional[float] = None,
     pool_factory: Optional[Callable[[int], Any]] = None,
+    executor: Optional[Any] = None,
 ) -> bool:
     """Certain answer of a Boolean query: true iff true in every enumerated world.
 
     ``workers`` parallelizes the per-world checks over a process pool in
-    chunks, like :func:`enumerate_certain_answers` (``heartbeat`` and
-    ``pool_factory`` behave as they do there); early exit then happens
-    per chunk rather than per world.
+    chunks, like :func:`enumerate_certain_answers` (``heartbeat``,
+    ``pool_factory`` and the caller-owned ``executor`` behave as they do
+    there); early exit then happens per chunk rather than per world.
     """
     world_iter = worlds(
         database,
@@ -463,9 +522,13 @@ def enumerate_certain_boolean(
         max_extra_facts=max_extra_facts,
     )
     if workers is not None and workers > 1 and _can_pickle(evaluate):
-        if pool_factory is None:
-            pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
-        with pool_factory(workers) as pool:
+        if executor is not None:
+            pool_scope: Any = contextlib.nullcontext(executor)
+        else:
+            if pool_factory is None:
+                pool_factory = lambda n: ProcessPoolExecutor(max_workers=n)  # noqa: E731
+            pool_scope = pool_factory(workers)
+        with pool_scope as pool:
             for result, _ in _windowed_chunk_results(
                 pool,
                 _all_hold_chunk,

@@ -1,0 +1,246 @@
+"""``Server``: N async clients over one warmed, frozen session pool.
+
+The serving story (ROADMAP "Concurrent query-service tier"): certain
+answers are an expensive read-mostly computation — many cheap concurrent
+readers over one compiled, persistent database.  The heavy state (loaded
+backend tables, compiled SQL plans, the optimized logical plans, the
+hash-consed condition kernel) is built once at construction, frozen, and
+then shared by every pool thread lock-free; the asyncio surface is a thin
+``run_in_executor`` dispatch over a bounded thread pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, AsyncIterator, Iterable, List, Optional, Tuple
+
+from ..datamodel import Database
+from ..resilience import Budget, InvalidRequestError, RetryPolicy, SessionClosedError
+from ..session import Session, connect
+
+
+class Server:
+    """An asyncio query service over a pool of sessions on one database.
+
+    Parameters
+    ----------
+    database:
+        The incomplete database every query runs against.  Immutable for
+        the server's lifetime — updates mean building a new server (the
+        frozen backend refuses ``replace_database``).
+    pool_size:
+        Number of worker threads answering queries concurrently.  May
+        exceed ``backends``: relation-returning reads share the single
+        frozen session, so they need no handle of their own.
+    engine, semantics, workers, budget, on_budget, retry_policy:
+        Forwarded to :func:`repro.connect` for every pooled session.
+    backends:
+        Number of *mutable* sessions (each with its own backend handle)
+        kept for ``cursor()`` streaming, which pins per-connection cursor
+        state and therefore cannot ride the shared frozen handle.
+    warm:
+        Queries run once before freezing, to populate the shared plan
+        cache / condition kernel / compiled-SQL plans.  Serve your hot
+        query set here; unwarmed queries stay correct but recompile per
+        call.
+    backend_path:
+        SQLite storage root for ``engine="sqlite"``; cursor sessions get
+        ``.s<i>`` suffixed files when it is not ``":memory:"``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        pool_size: int = 8,
+        engine: str = "sqlite",
+        semantics: str = "cwa",
+        workers: Optional[int] = None,
+        backends: int = 2,
+        warm: Iterable[Any] = (),
+        backend_path: str = ":memory:",
+        budget: Optional[Budget] = None,
+        on_budget: str = "degrade",
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise InvalidRequestError(f"pool_size must be >= 1, got {pool_size!r}")
+        if backends < 1:
+            raise InvalidRequestError(f"backends must be >= 1, got {backends!r}")
+        if not isinstance(database, Database):
+            raise TypeError(
+                f"Server expects a Database, got {type(database).__name__}"
+            )
+        self.database = database
+        self.pool_size = pool_size
+        session_kwargs = dict(
+            engine=engine,
+            semantics=semantics,
+            workers=workers,
+            budget=budget,
+            on_budget=on_budget,
+            retry_policy=retry_policy,
+        )
+        # The shared read path: one session, warmed then frozen, serving
+        # every relation-returning mode from all pool threads without locks.
+        self._frozen = connect(database, backend_path=backend_path, **session_kwargs)
+        self._frozen.freeze(warm=warm)
+        # The streaming path: a small checkout pool of mutable sessions,
+        # one backend handle each (a cursor pins connection state for its
+        # whole lifetime, so streams cannot share the frozen handle).
+        self._cursor_sessions: "queue.Queue[Session]" = queue.Queue()
+        self._all_sessions: List[Session] = []
+        for index in range(backends):
+            path = backend_path
+            if path != ":memory:":
+                path = f"{path}.s{index}"
+            session = connect(database, backend_path=path, **session_kwargs)
+            self._cursor_sessions.put(session)
+            self._all_sessions.append(session)
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self._served = 0
+        self._served_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # async dispatch
+    # ------------------------------------------------------------------
+    async def _run(self, fn: Any) -> Any:
+        if self._closed:
+            raise SessionClosedError("server is closed")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(self._pool, fn)
+        with self._served_lock:
+            self._served += 1
+        return result
+
+    async def certain(self, query: Any, **kwargs: Any) -> Any:
+        """``await``-able :meth:`repro.session.Query.certain` on the frozen session."""
+        return await self._run(lambda: self._frozen.query(query).certain(**kwargs))
+
+    async def possible(self, query: Any, **kwargs: Any) -> Any:
+        """``await``-able :meth:`repro.session.Query.possible`."""
+        return await self._run(lambda: self._frozen.query(query).possible(**kwargs))
+
+    async def boolean(self, query: Any, **kwargs: Any) -> bool:
+        """``await``-able :meth:`repro.session.Query.boolean`."""
+        return await self._run(lambda: self._frozen.query(query).boolean(**kwargs))
+
+    async def answer_object(self, query: Any) -> Any:
+        """``await``-able :meth:`repro.session.Query.answer_object`."""
+        return await self._run(lambda: self._frozen.query(query).answer_object())
+
+    async def knowledge(self, query: Any) -> Any:
+        """``await``-able :meth:`repro.session.Query.knowledge`."""
+        return await self._run(lambda: self._frozen.query(query).knowledge())
+
+    async def explain(self, query: Any) -> str:
+        """``await``-able :meth:`repro.session.Query.explain`."""
+        return await self._run(lambda: self._frozen.query(query).explain())
+
+    async def cursor(
+        self, query: Any, batch_size: int = 1024, certain: bool = False
+    ) -> AsyncIterator[List[Tuple[Any, ...]]]:
+        """Stream the answer rows as an async iterator of batches.
+
+        Checks a mutable session out of the ``backends`` pool (awaiting
+        one if all are streaming), pulls each batch through the thread
+        pool, and returns the session when the stream ends — including
+        when the consumer abandons the generator early, so an interrupted
+        client cannot leak a backend handle or a temp table.
+        """
+        if self._closed:
+            raise SessionClosedError("server is closed")
+        if batch_size < 1:
+            raise InvalidRequestError(f"batch_size must be >= 1, got {batch_size!r}")
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(self._pool, self._cursor_sessions.get)
+        try:
+            cur = await loop.run_in_executor(
+                self._pool,
+                lambda: session.query(query).cursor(
+                    batch_size=batch_size, certain=certain
+                ),
+            )
+            try:
+                while True:
+                    batch = await loop.run_in_executor(self._pool, cur.fetchmany)
+                    if not batch:
+                        break
+                    yield batch
+            finally:
+                await loop.run_in_executor(self._pool, cur.close)
+        finally:
+            self._cursor_sessions.put(session)
+            with self._served_lock:
+                self._served += 1
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Cancel every in-flight query, on every pooled session.
+
+        Thread-safe and callable from any thread or coroutine; delegates
+        to :meth:`repro.session.Session.cancel` on the frozen session and
+        on each cursor session (budget flags, backend ``interrupt()``,
+        and the ``workers=`` cancel events).
+        """
+        self._frozen.cancel()
+        for session in self._all_sessions:
+            session.cancel()
+
+    def stats(self) -> dict:
+        """A snapshot of the server's shape and traffic counters."""
+        return {
+            "pool_size": self.pool_size,
+            "backends": len(self._all_sessions),
+            "cursor_sessions_idle": self._cursor_sessions.qsize(),
+            "served": self._served,
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Shut down the thread pool and close every session (idempotent).
+
+        Queued-but-unstarted work is dropped; in-flight calls finish
+        (pair with :meth:`cancel` first for a fast stop).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._frozen.close()
+        for session in self._all_sessions:
+            session.close()
+
+    async def aclose(self) -> None:
+        """Async :meth:`close` (the shutdown itself runs off-loop)."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.close)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def frozen_session(self) -> Session:
+        """The shared frozen session (read-only; mainly for tests/diagnostics)."""
+        return self._frozen
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "Server":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()

@@ -43,8 +43,10 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import multiprocessing
 import threading
 import warnings
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .algebra.ast import RAExpression
@@ -80,6 +82,7 @@ from .datamodel.schema import DatabaseSchema
 from .datamodel.values import is_null
 from .logic.formulas import FOQuery
 from .semantics.certain import (
+    _pool_initializer,
     enumerate_certain_boolean,
     enumerate_possible_boolean,
 )
@@ -311,19 +314,24 @@ class Query:
             workers=self.session.workers,
             world_evaluator=self._world_evaluator(),
             resume=token,
+            executor=self.session._worker_executor(),
         )
-        if budget is None:
-            return run()
-        state = budget.start()
-        self.session._register_state(state)
+        self.session._begin_run()
         try:
-            with budget_scope(state):
+            if budget is None:
                 return run()
-        except BudgetExceeded as error:
-            self._stamp_resume(error, domain, extra_constants, max_extra_facts)
-            return self._degrade_certain(error, policy)
+            state = budget.start()
+            self.session._register_state(state)
+            try:
+                with budget_scope(state):
+                    return run()
+            except BudgetExceeded as error:
+                self._stamp_resume(error, domain, extra_constants, max_extra_facts)
+                return self._degrade_certain(error, policy)
+            finally:
+                self.session._unregister_state(state)
         finally:
-            self.session._unregister_state(state)
+            self.session._end_run()
 
     def _validated_resume(
         self,
@@ -384,9 +392,9 @@ class Query:
         feed(self.session.semantics)
         feed((extra_constants, max_extra_facts))
         feed([repr(value) for value in resolved])
-        for relation in sorted(database.relations(), key=lambda r: r.name):
-            feed(relation.name)
-            feed(sorted(repr(row) for row in relation.rows))
+        # Databases are immutable, so the O(rows) content walk is cached on
+        # the instance — consecutive stamps of the same database reuse it.
+        feed(database.content_digest())
         return digest.hexdigest()
 
     def _stamp_resume(
@@ -512,15 +520,19 @@ class Query:
             world_evaluator=self._world_evaluator(),
             mode="possible",
         )
-        if budget is None:
-            return run()
-        state = budget.start()
-        self.session._register_state(state)
+        self.session._begin_run()
         try:
-            with budget_scope(state):
+            if budget is None:
                 return run()
+            state = budget.start()
+            self.session._register_state(state)
+            try:
+                with budget_scope(state):
+                    return run()
+            finally:
+                self.session._unregister_state(state)
         finally:
-            self.session._unregister_state(state)
+            self.session._end_run()
 
     def answer_object(self) -> Relation:
         """``certainO``: the naive answer itself, nulls included (eq. (9)).
@@ -566,15 +578,19 @@ class Query:
         """
         self._no_sql("boolean()")
         budget = budget if budget is not None else self.session.budget
-        if budget is None:
-            return self._boolean(mode, domain, extra_constants, max_extra_facts)
-        state = budget.start()
-        self.session._register_state(state)
+        self.session._begin_run()
         try:
-            with budget_scope(state):
+            if budget is None:
                 return self._boolean(mode, domain, extra_constants, max_extra_facts)
+            state = budget.start()
+            self.session._register_state(state)
+            try:
+                with budget_scope(state):
+                    return self._boolean(mode, domain, extra_constants, max_extra_facts)
+            finally:
+                self.session._unregister_state(state)
         finally:
-            self.session._unregister_state(state)
+            self.session._end_run()
 
     def _boolean(
         self,
@@ -604,6 +620,7 @@ class Query:
                 extra_constants=extra_constants,
                 max_extra_facts=max_extra_facts,
                 workers=self.session.workers,
+                executor=self.session._worker_executor(),
             )
         if mode == "possible":
             return enumerate_possible_boolean(
@@ -757,6 +774,22 @@ class Session:
         # block behind a query thread holding the backend lock).
         self._active_states: List[BudgetState] = []
         self._states_lock = threading.Lock()
+        # The session-held process pool for workers= fan-outs, built
+        # lazily on first use and reused across certain()/boolean() calls
+        # (rebuilding a pool per call costs a fork per worker per query).
+        # The shared multiprocessing.Event is planted in every child via
+        # the pool initializer; Session.cancel() sets it, and the chunk
+        # loops check it per world, so cancel latency is bounded by the
+        # check cadence instead of the chunk runtime.
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._cancel_event: Optional[Any] = None
+        # In-flight run counter: the cancel event is cleared when a run
+        # begins on an idle session, so one cancel() cannot poison the
+        # next, unrelated query.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._frozen = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -858,6 +891,54 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # the session-held worker pool
+    # ------------------------------------------------------------------
+    def _ensure_cancel_event(self) -> Any:
+        """The shared cancel flag, created once (before any pool inherits it)."""
+        event = self._cancel_event
+        if event is None:
+            event = multiprocessing.Event()
+            self._cancel_event = event
+        return event
+
+    def _worker_executor(self) -> Optional[ProcessPoolExecutor]:
+        """The session's warm process pool, or ``None`` when workers <= 1.
+
+        Built lazily, reused across every ``certain()``/``boolean()``
+        fan-out of this session, shut down in :meth:`close`.  A pool whose
+        children died (``BrokenProcessPool``) is replaced on the next
+        call; the evaluation that hit the breakage has already degraded to
+        sequential on its own.
+        """
+        if self.workers is None or self.workers <= 1:
+            return None
+        with self._executor_lock:
+            executor = self._executor
+            if executor is not None and getattr(executor, "_broken", False):
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+            if executor is None:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_initializer,
+                    initargs=(self._ensure_cancel_event(),),
+                )
+                self._executor = executor
+            return executor
+
+    def _begin_run(self) -> None:
+        with self._inflight_lock:
+            if self._inflight == 0:
+                event = self._cancel_event
+                if event is not None:
+                    event.clear()
+            self._inflight += 1
+
+    def _end_run(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
     # cancellation
     # ------------------------------------------------------------------
     def _register_state(self, state: BudgetState) -> None:
@@ -874,7 +955,7 @@ class Session:
     def cancel(self) -> None:
         """Cancel every in-flight evaluation of this session, from any thread.
 
-        Two levers, pulled together:
+        Three levers, pulled together:
 
         * every *armed budget* of an in-flight ``certain()`` /
           ``possible()`` / ``boolean()`` call is flagged, so the next
@@ -883,7 +964,11 @@ class Session:
           :class:`~repro.resilience.QueryCancelled` in the query's thread;
         * each live backend connection gets a thread-safe
           ``interrupt()``, aborting even a single long-running SQL
-          statement mid-flight.
+          statement mid-flight;
+        * the shared cancel event of the session's ``workers=`` pool is
+          set, so in-flight *children* raise ``QueryCancelled`` at their
+          next per-world check instead of finishing their chunk — cancel
+          latency is bounded by the check cadence, not the chunk runtime.
 
         ``QueryCancelled`` is deliberately not a ``BudgetExceeded``: a
         cancelled query never enters the degradation ladder — it stops.
@@ -896,6 +981,9 @@ class Session:
             states = list(self._active_states)
         for state in states:
             state.cancel()
+        event = self._cancel_event
+        if event is not None:
+            event.set()
         for backend in (self._backend, self._sql3vl_backend):
             if backend is not None:
                 try:
@@ -960,6 +1048,17 @@ class Session:
 
         if self._legacy_backends and database is not None:
             return _sqlite_module.execute(expression, database)
+        if (
+            self._frozen
+            and database is not None
+            and database is not self._backend_database
+        ):
+            # A frozen session only holds its one loaded database; other
+            # instances — above all the possible worlds enumerated by
+            # certain()/boolean() — run on the in-memory engine, whose
+            # frozen plan cache is already thread-safe.  (Loading every
+            # world into SQLite would be a refill per world anyway.)
+            return self.plan_cache.execute(expression, database)
         backend = self._ensure_backend(database)
         try:
             # Retries live here (not inside the backend) so wrapper-level
@@ -999,6 +1098,12 @@ class Session:
 
         from .backends import sqlite as _sqlite_module
 
+        if (
+            self._frozen
+            and database is not None
+            and database is not self._backend_database
+        ):
+            return iter(self.plan_cache.execute(expression, database).rows)
         # Legacy-mode sessions stream through a session handle too: the
         # per-Database cache of the old path has no streaming API.
         backend = self._ensure_backend(database)
@@ -1047,6 +1152,21 @@ class Session:
 
         if self._closed:
             raise SessionClosedError("session is closed")
+        if self._frozen:
+            # Lock-free fast path: a frozen session's backend never changes
+            # again, so concurrent readers take no lock at all.
+            backend = self._backend
+            if backend is None:
+                raise InvalidRequestError(
+                    "frozen session has no backend; freeze() a session after "
+                    "its backend is loaded (engine='sqlite' with a database)"
+                )
+            if database is not None and database is not self._backend_database:
+                raise InvalidRequestError(
+                    "frozen session cannot switch databases; open a mutable "
+                    "session for per-query database overrides"
+                )
+            return backend
         with self._lock:
             if self._backend is None:
                 self._backend = SQLiteBackend(self.backend_path)
@@ -1071,6 +1191,23 @@ class Session:
         from .sqlnulls.backend import compile_select
         from .sqlnulls.engine import SQLError
 
+        if self._frozen:
+            backend = self._sql3vl_backend
+            if backend is None or database is not self._sql3vl_database:
+                raise InvalidRequestError(
+                    "frozen session has no three-valued backend for this "
+                    "database; run the sql() query once before freeze(), or "
+                    "use a mutable session"
+                )
+            sql, params = compile_select(database, query)
+            codec = backend.codec
+            try:
+                cursor = backend.connection.execute(sql, params)
+                return [codec.decode_row(row) for row in cursor]
+            except Exception as error:
+                if isinstance(error, SQLError):
+                    raise
+                raise SQLError(f"sqlite execution failed: {error}") from error
         with self._lock:
             if self._closed:
                 raise SessionClosedError("session is closed")
@@ -1116,10 +1253,14 @@ class Session:
                 f'backend-resident loading requires engine="sqlite", '
                 f"not {self.engine!r}"
             )
+        if self._frozen:
+            raise InvalidRequestError("cannot create a schema on a frozen session")
         self._ensure_backend(None).create_schema(schema)
 
     def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Stream rows into relation ``name`` of the backend-resident database."""
+        if self._frozen:
+            raise InvalidRequestError("cannot load rows into a frozen session")
         return self._ensure_backend(None).load_rows(name, rows)
 
     # ------------------------------------------------------------------
@@ -1188,18 +1329,69 @@ class Session:
         return [line for chunk in lines for line in chunk.splitlines()]
 
     # ------------------------------------------------------------------
+    # freezing (read-only, thread-shareable sessions)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has made this session read-only."""
+        return self._frozen
+
+    def freeze(self, warm: Iterable[Any] = ()) -> "Session":
+        """Make this session read-only and shareable across threads.
+
+        Runs each query in ``warm`` once (through ``certain()``) to
+        populate the plan cache, condition kernel and compiled-SQL plans,
+        then freezes all three plus the backend handle: after this call
+        nothing reachable from the session is mutated by query execution,
+        so any number of threads can evaluate concurrently *without
+        locks* — the property the :mod:`repro.serve` pool relies on to
+        let its size exceed the number of backend handles.
+
+        A frozen session still answers ``certain()`` / ``possible()`` /
+        ``boolean()`` / ``answer_object()`` / ``cursor()`` on its one
+        database, and :meth:`cancel` still works (budget flags, backend
+        ``interrupt()`` and the workers cancel event are all thread-safe
+        by construction).  What it refuses: switching databases, loading
+        rows, ``clear_caches()``.  Queries the warm set did not cover stay
+        correct — they recompile per call without populating any cache.
+        Freezing is one-way; returns ``self`` for chaining.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError("session is closed")
+            if self._frozen:
+                return self
+            for query in warm:
+                self.query(query).certain()
+            if self.engine == "sqlite" and self.database is not None:
+                self._ensure_backend(self.database)
+            self.kernel.freeze()
+            self.plan_cache.freeze()
+            for backend in (self._backend, self._sql3vl_backend):
+                if backend is not None:
+                    backend.freeze()
+            self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop cached plans and evict this session's cold conditions."""
+        if self._frozen:
+            raise InvalidRequestError("cannot clear the caches of a frozen session")
         self.plan_cache.clear()
 
     def close(self) -> None:
-        """Close the session's backend connections (idempotent)."""
+        """Close the session's backend connections and worker pool (idempotent)."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            executor = self._executor
+            self._executor = None
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
             for backend in (self._backend, self._sql3vl_backend):
                 if backend is not None:
                     backend.close()

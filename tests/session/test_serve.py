@@ -1,0 +1,220 @@
+"""``repro.serve.Server``: the asyncio query-service tier.
+
+Covers the dispatch surface (every answer mode awaits to the same result
+the underlying session returns), the eight-client concurrent
+differential the ISSUE demands, cursor streaming through the mutable
+checkout pool (including early abandonment), and the control plane
+(``stats``, ``cancel``, idempotent ``close``, both context managers).
+"""
+
+import asyncio
+
+import pytest
+
+import repro
+from repro import Database, InvalidRequestError, Null, SessionClosedError
+from repro.algebra import parse_ra
+from repro.serve import Server
+
+WARM_QUERY = parse_ra("project[#0](R)")
+JOIN_QUERY = parse_ra("project[#0](select[#1 = #2](product(R, S)))")
+QUERY_SET = (WARM_QUERY, JOIN_QUERY)
+
+
+def _database(rows=40):
+    r = [(i, i % 5) for i in range(rows)]
+    r.append((rows, Null("n")))
+    s = [(i % 5, "c%d" % i) for i in range(rows // 4)]
+    return Database.from_dict({"R": r, "S": s})
+
+
+@pytest.fixture
+def server():
+    instance = Server(_database(), pool_size=4, engine="sqlite", warm=QUERY_SET)
+    yield instance
+    instance.close()
+
+
+def _expected():
+    with repro.connect(_database(), engine="sqlite") as session:
+        return {
+            "certain": [session.query(q).certain() for q in QUERY_SET],
+            "possible": session.query(WARM_QUERY).possible(),
+            "boolean": session.query(parse_ra("R")).boolean(),
+            "rows": sorted(session.query(parse_ra("R")).answer_object().rows),
+        }
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def test_server_validates_arguments():
+    with pytest.raises(InvalidRequestError):
+        Server(_database(), pool_size=0)
+    with pytest.raises(InvalidRequestError):
+        Server(_database(), backends=0)
+    with pytest.raises(TypeError):
+        Server({"R": [(1,)]})
+
+
+def test_server_owns_a_frozen_session(server):
+    assert server.frozen_session.frozen
+    assert server.stats()["pool_size"] == 4
+    assert server.stats()["backends"] == 2
+
+
+# ----------------------------------------------------------------------
+# async dispatch
+# ----------------------------------------------------------------------
+def test_every_answer_mode_matches_the_session(server):
+    expected = _expected()
+
+    async def main():
+        certain = [await server.certain(q) for q in QUERY_SET]
+        possible = await server.possible(WARM_QUERY)
+        boolean = await server.boolean(parse_ra("R"))
+        answer = await server.answer_object(parse_ra("R"))
+        knowledge = await server.knowledge(WARM_QUERY)
+        explanation = await server.explain(WARM_QUERY)
+        return certain, possible, boolean, answer, knowledge, explanation
+
+    certain, possible, boolean, answer, knowledge, explanation = asyncio.run(main())
+    assert certain == expected["certain"]
+    assert possible == expected["possible"]
+    assert boolean == expected["boolean"]
+    assert sorted(answer.rows) == expected["rows"]
+    assert knowledge is not None
+    assert isinstance(explanation, str) and explanation
+
+
+def test_eight_concurrent_clients_match_sequential(server):
+    """The ISSUE's differential: 8 clients, interleaved queries, answers
+    identical to one-at-a-time evaluation."""
+    expected = _expected()["certain"]
+    clients, rounds = 8, 6
+
+    async def client(offset):
+        answers = []
+        for index in range(rounds):
+            pick = (offset + index) % len(QUERY_SET)
+            answers.append((pick, await server.certain(QUERY_SET[pick])))
+        return answers
+
+    async def main():
+        return await asyncio.gather(*(client(i) for i in range(clients)))
+
+    for batch in asyncio.run(main()):
+        for pick, answer in batch:
+            assert answer == expected[pick]
+    assert server.stats()["served"] == clients * rounds
+
+
+# ----------------------------------------------------------------------
+# cursor streaming
+# ----------------------------------------------------------------------
+def test_cursor_streams_all_rows_in_batches(server):
+    expected = _expected()["rows"]
+
+    async def main():
+        rows = []
+        batches = 0
+        async for batch in server.cursor(parse_ra("R"), batch_size=7):
+            assert len(batch) <= 7
+            rows.extend(batch)
+            batches += 1
+        return rows, batches
+
+    rows, batches = asyncio.run(main())
+    assert sorted(rows) == expected
+    assert batches >= 2  # the workload does not fit one batch
+    assert server.stats()["cursor_sessions_idle"] == server.stats()["backends"]
+
+
+def test_abandoned_cursor_returns_its_session(server):
+    async def main():
+        stream = server.cursor(parse_ra("R"), batch_size=2)
+        await stream.__anext__()  # take one batch...
+        await stream.aclose()  # ...then walk away
+
+    asyncio.run(main())
+    assert server.stats()["cursor_sessions_idle"] == server.stats()["backends"]
+
+
+def test_cursor_validates_batch_size(server):
+    async def main():
+        async for _ in server.cursor(parse_ra("R"), batch_size=0):
+            pass
+
+    with pytest.raises(InvalidRequestError):
+        asyncio.run(main())
+
+
+def test_concurrent_cursors_share_the_checkout_pool(server):
+    """More streams than backend sessions: they serialize, none starve."""
+    expected = _expected()["rows"]
+
+    async def stream():
+        rows = []
+        async for batch in server.cursor(parse_ra("R"), batch_size=16):
+            rows.extend(batch)
+        return rows
+
+    async def main():
+        return await asyncio.wait_for(
+            asyncio.gather(*(stream() for _ in range(4))), timeout=60
+        )
+
+    results = asyncio.run(main())
+    for rows in results:
+        assert sorted(rows) == expected
+    assert server.stats()["cursor_sessions_idle"] == server.stats()["backends"]
+
+
+# ----------------------------------------------------------------------
+# control plane
+# ----------------------------------------------------------------------
+def test_close_is_idempotent_and_rejects_new_work(server):
+    server.close()
+    server.close()
+    assert server.closed
+
+    async def main():
+        await server.certain(WARM_QUERY)
+
+    with pytest.raises(SessionClosedError):
+        asyncio.run(main())
+
+    async def stream():
+        async for _ in server.cursor(parse_ra("R")):
+            pass
+
+    with pytest.raises(SessionClosedError):
+        asyncio.run(stream())
+
+
+def test_cancel_is_a_safe_no_op_when_idle(server):
+    server.cancel()  # nothing in flight: must not throw or poison
+
+    async def main():
+        return await server.certain(WARM_QUERY)
+
+    assert asyncio.run(main()) == _expected()["certain"][0]
+
+
+def test_sync_context_manager():
+    with Server(_database(), pool_size=2) as server:
+        async def main():
+            return await server.certain(WARM_QUERY)
+
+        assert asyncio.run(main()) is not None
+    assert server.closed
+
+
+def test_async_context_manager():
+    async def main():
+        async with Server(_database(), pool_size=2) as server:
+            return await server.certain(WARM_QUERY), server
+
+    answer, server = asyncio.run(main())
+    assert answer is not None
+    assert server.closed

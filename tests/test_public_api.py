@@ -47,6 +47,7 @@ EXPECTED_TOP_LEVEL = {
     "__version__",
     "connect",
     "default_session",
+    "serve",
 }
 
 
