@@ -40,7 +40,12 @@ The library provides:
 * a concurrent query-service tier: ``repro.serve.Server`` dispatches
   async clients over a pool of warmed sessions, with frozen read-only
   sessions (:meth:`Session.freeze`) shared across threads lock-free
-  (:mod:`repro.serve`); and
+  (:mod:`repro.serve`);
+* a unified observability layer — per-session metrics registries
+  (:meth:`Session.metrics`), query tracing with pluggable sinks
+  (:class:`repro.obs.Tracer`, ``REPRO_TRACE=path``), and
+  ``query.explain(analyze=True)`` with per-operator row counts and
+  timings (:mod:`repro.obs`, ``docs/observability.md``); and
 * synthetic workload generators used by the experiment and benchmark
   suites (:mod:`repro.workloads`).
 
@@ -96,6 +101,7 @@ from .resilience import (
     InvalidRequestError,
     ManualClock,
     PartialResult,
+    PoolExhausted,
     QueryCancelled,
     ReproError,
     ResumeToken,
@@ -103,12 +109,15 @@ from .resilience import (
     SessionClosedError,
     WorkerPoolError,
 )
+from .obs import AnalyzeReport, MetricsRegistry, Tracer
 from .session import Cursor, Query, Session, connect, default_session
+from . import obs
 from . import serve
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AnalyzeReport",
     "BackendRecoveryWarning",
     "BackendUnavailable",
     "Budget",
@@ -120,8 +129,10 @@ __all__ = [
     "DatabaseSchema",
     "InvalidRequestError",
     "ManualClock",
+    "MetricsRegistry",
     "Null",
     "PartialResult",
+    "PoolExhausted",
     "Query",
     "QueryCancelled",
     "Relation",
@@ -131,10 +142,12 @@ __all__ = [
     "RetryPolicy",
     "Session",
     "SessionClosedError",
+    "Tracer",
     "Valuation",
     "WorkerPoolError",
     "__version__",
     "connect",
     "default_session",
+    "obs",
     "serve",
 ]

@@ -38,6 +38,7 @@ from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
 from ..datamodel.schema import DatabaseSchema, RelationSchema
 from ..engine import planner as _planner
+from ..obs.trace import span
 from ..resilience import BudgetExceeded, QueryCancelled, active_budget
 from .base import (
     Backend,
@@ -334,7 +335,8 @@ class SQLiteBackend(Backend):
             self._refuse_frozen("replace the database")
         self._ensure_healthy()
         if self._schema is None:
-            self.load_database(database)
+            with span("backend.replace_database", fresh=True):
+                self.load_database(database)
             return
         # Cache invalidation is safe to do up front: stale-dropping plans
         # and the adom is conservative whether the refill succeeds or not.
@@ -344,22 +346,28 @@ class SQLiteBackend(Backend):
         connection = self._connection
         cursor = connection.cursor()
         try:
-            # Explicit BEGIN: the sqlite3 module's implicit transaction only
-            # starts at the first DML, which would let the DROP/CREATE of a
-            # schema switch autocommit — and survive the rollback.
-            cursor.execute("BEGIN")
-            cursor.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
-            if same_schema:
-                for relation in self._schema:
-                    cursor.execute(f"DELETE FROM {table_name(relation.name)}")
-            else:
-                for relation in self._schema:
-                    cursor.execute(f"DROP TABLE IF EXISTS {table_name(relation.name)}")
-                for relation in database.schema:
-                    cursor.execute(self._create_table_sql(relation))
-            for relation in database.relations():
-                self._write_rows(cursor, database.schema[relation.name], relation.rows)
-            connection.commit()
+            with span("backend.replace_database", same_schema=same_schema):
+                # Explicit BEGIN: the sqlite3 module's implicit transaction
+                # only starts at the first DML, which would let the
+                # DROP/CREATE of a schema switch autocommit — and survive
+                # the rollback.
+                cursor.execute("BEGIN")
+                cursor.execute(f"DROP TABLE IF EXISTS {ADOM_TABLE}")
+                if same_schema:
+                    for relation in self._schema:
+                        cursor.execute(f"DELETE FROM {table_name(relation.name)}")
+                else:
+                    for relation in self._schema:
+                        cursor.execute(
+                            f"DROP TABLE IF EXISTS {table_name(relation.name)}"
+                        )
+                    for relation in database.schema:
+                        cursor.execute(self._create_table_sql(relation))
+                for relation in database.relations():
+                    self._write_rows(
+                        cursor, database.schema[relation.name], relation.rows
+                    )
+                connection.commit()
         except BaseException:
             try:
                 connection.rollback()
@@ -577,15 +585,17 @@ class SQLiteBackend(Backend):
         armed = False if self._frozen else self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
-            try:
-                for statement, params in plan.setup:
-                    cursor.execute(statement, params)
-                rows = cursor.execute(plan.query, plan.params).fetchall()
-            except sqlite3.OperationalError as error:
-                typed = self._typed_interrupt(error, state)
-                if typed is error:
-                    raise
-                raise typed from error
+            with span("backend.evaluate", spills=len(plan.setup)) as sp:
+                try:
+                    for statement, params in plan.setup:
+                        cursor.execute(statement, params)
+                    rows = cursor.execute(plan.query, plan.params).fetchall()
+                    sp.set(rows=len(rows))
+                except sqlite3.OperationalError as error:
+                    typed = self._typed_interrupt(error, state)
+                    if typed is error:
+                        raise
+                    raise typed from error
         finally:
             # Disarm before teardown so an expired deadline cannot abort
             # the DROPs that keep temp tables from leaking.
@@ -629,12 +639,18 @@ class SQLiteBackend(Backend):
         armed = False if self._frozen else self._arm_progress(state)
         cursor = self._connection.cursor()
         try:
+            # A span per fetched batch, not per stream: a generator can be
+            # parked indefinitely between next() calls, which would make a
+            # whole-stream span measure the consumer, not the backend.
             try:
-                for statement, params in plan.setup:
-                    cursor.execute(statement, params)
-                cursor.execute(plan.query, plan.params)
+                with span("backend.cursor.open", spills=len(plan.setup)):
+                    for statement, params in plan.setup:
+                        cursor.execute(statement, params)
+                    cursor.execute(plan.query, plan.params)
                 while True:
-                    batch = cursor.fetchmany(batch_size)
+                    with span("backend.cursor.batch") as sp:
+                        batch = cursor.fetchmany(batch_size)
+                        sp.set(rows=len(batch))
                     if not batch:
                         break
                     for row in batch:

@@ -38,6 +38,7 @@ from ..datamodel.conditional import FALSE, TRUE, Condition
 from ..datamodel.relations import Relation, Row
 from ..datamodel.schema import DatabaseSchema
 from ..datamodel.values import is_null
+from ..obs.trace import span
 from ..resilience import active_budget
 from .logical import (
     LAdom,
@@ -705,7 +706,9 @@ def execute_ctable(
         entry.ctable_sizes = sizes
 
     ctx = CTableContext(database, schema, kernel)
-    crows = entry.ctable_physical.rows(ctx)
+    with span("ctable.execute") as sp:
+        crows = entry.ctable_physical.rows(ctx)
+        sp.set(rows=len(crows))
     make_row = ConditionalRow._from_trusted
     rows = [make_row(values, condition) for values, condition in crows]
     return ConditionalTable(entry.out_schema, rows, global_condition)

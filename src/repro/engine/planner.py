@@ -33,6 +33,9 @@ from ..algebra.ast import RAExpression
 from ..datamodel import Database, Relation
 from ..datamodel.condition_kernel import DEFAULT_KERNEL, ConditionKernel
 from ..datamodel.schema import DatabaseSchema, RelationSchema
+from ..obs.analyze import OpStats, instrument
+from ..obs.metrics import DISABLED_METRICS, MetricsRegistry
+from ..obs.trace import Tracer, current_tracer, span
 from .logical import (
     LAdom,
     LConst,
@@ -98,7 +101,10 @@ class PlanCache:
     """
 
     def __init__(
-        self, limit: int = _PLAN_CACHE_LIMIT, kernel: Optional[ConditionKernel] = None
+        self,
+        limit: int = _PLAN_CACHE_LIMIT,
+        kernel: Optional[ConditionKernel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._cache: "OrderedDict[Tuple[RAExpression, DatabaseSchema], _CacheEntry]" = (
             OrderedDict()
@@ -107,6 +113,9 @@ class PlanCache:
         self._limit = limit
         self._kernel = kernel if kernel is not None else DEFAULT_KERNEL
         self._frozen = False
+        # The owning session's registry; DISABLED for the process default,
+        # so counting is one branch when nobody is watching.
+        self._metrics = metrics if metrics is not None else DISABLED_METRICS
 
     @property
     def kernel(self) -> ConditionKernel:
@@ -165,17 +174,25 @@ class PlanCache:
             # compute misses without publishing them — the mapping never
             # changes after freeze(), so concurrent readers need no lock.
             if entry is None:
-                entry = _CacheEntry(
-                    optimize(expression, schema), expression.output_schema(schema)
-                )
+                self._metrics.count("plan_cache.misses")
+                with span("plan.compile", frozen=True):
+                    entry = _CacheEntry(
+                        optimize(expression, schema), expression.output_schema(schema)
+                    )
+            else:
+                self._metrics.count("plan_cache.hits")
             return entry
         if entry is None:
-            out_schema = expression.output_schema(schema)
-            entry = _CacheEntry(optimize(expression, schema), out_schema)
+            self._metrics.count("plan_cache.misses")
+            with span("plan.compile"):
+                out_schema = expression.output_schema(schema)
+                entry = _CacheEntry(optimize(expression, schema), out_schema)
             self._cache[key] = entry
             if len(self._cache) > self._limit:
                 self._cache.popitem(last=False)
+                self._metrics.count("plan_cache.evictions")
         else:
+            self._metrics.count("plan_cache.hits")
             self._cache.move_to_end(key)
         return entry
 
@@ -198,6 +215,7 @@ class PlanCache:
             for cached_schema, cached_entry in entries:
                 if cached_schema is schema or cached_schema == schema:
                     entry = cached_entry
+                    self._metrics.count("plan_cache.hits")
                     break
         if entry is None:
             entry = self.entry(expression, schema)
@@ -221,15 +239,85 @@ class PlanCache:
         sizes = tuple(len(relation) for relation in database.relations())
         physical = entry.physical
         if physical is None or entry.sizes != sizes:
-            physical = lower(entry.logical, database)
+            self._metrics.count("plan_cache.lowerings")
+            with span("plan.lower"):
+                physical = lower(entry.logical, database)
             if not self._frozen:
                 entry.physical = physical
                 entry.sizes = sizes
             # frozen: keep the lowering local — a concurrent reader may be
             # walking entry.physical for a different database size
         ctx = ExecutionContext(database)
-        rows = physical.rows(ctx)
+        tracer = current_tracer()
+        if tracer is None:
+            rows = physical.rows(ctx)
+        else:
+            # Tracing is on: run the plan through analyze probes so each
+            # physical operator becomes a span with rows/time/memo facts.
+            # The probes wrap fresh clones; cached plans stay pristine.
+            with tracer.span("plan.execute") as sp:
+                probed, stats_root = instrument(physical)
+                rows = probed.rows(ctx)
+                sp.set(rows=len(rows))
+                _emit_operator_spans(tracer, stats_root, sp.span_id)
         return Relation._from_trusted(entry.out_schema, frozenset(rows))
+
+    def analyze(self, expression: RAExpression, database: Database) -> Tuple[Relation, OpStats]:
+        """Evaluate like :meth:`execute` but return per-operator statistics.
+
+        Backs ``Query.explain(analyze=True)``: the physical plan runs
+        wrapped in analyze probes, and the resulting :class:`OpStats`
+        tree mirrors the plan with rows / wall time / memo hits per node.
+        """
+        schema = database.schema
+        entry = self.entry(expression, schema)
+        sizes = tuple(len(relation) for relation in database.relations())
+        physical = entry.physical
+        if physical is None or entry.sizes != sizes:
+            physical = lower(entry.logical, database)
+            if not self._frozen:
+                entry.physical = physical
+                entry.sizes = sizes
+        probed, stats_root = instrument(physical)
+        ctx = ExecutionContext(database)
+        rows = probed.rows(ctx)
+        return Relation._from_trusted(entry.out_schema, frozenset(rows)), stats_root
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache shape and hit/miss counters (``Session.plan_cache_stats()``)."""
+        return {
+            "entries": len(self._cache),
+            "limit": self._limit,
+            "epoch": self._epoch,
+            "frozen": self._frozen,
+            "hits": self._metrics.counter_value("plan_cache.hits"),
+            "misses": self._metrics.counter_value("plan_cache.misses"),
+            "evictions": self._metrics.counter_value("plan_cache.evictions"),
+            "lowerings": self._metrics.counter_value("plan_cache.lowerings"),
+        }
+
+
+def _emit_operator_spans(tracer: Tracer, root: OpStats, parent_id: int) -> None:
+    """Turn an analyze stats tree into per-operator spans (shared nodes once)."""
+    visited: Set[int] = set()
+
+    def emit(node: OpStats, parent: int) -> None:
+        if id(node) in visited:
+            return
+        visited.add(id(node))
+        span_obj = tracer.record(
+            "op." + node.name,
+            node.seconds,
+            parent_id=parent,
+            rows=node.rows,
+            calls=node.calls,
+            memo_hits=node.memo_hits,
+            details=node.details,
+        )
+        for child in node.children:
+            emit(child, span_obj.span_id)
+
+    emit(root, parent_id)
 
 
 #: The process-default plan cache, shared by all legacy (non-session)

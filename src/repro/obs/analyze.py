@@ -1,0 +1,265 @@
+"""``explain(analyze=True)``: run the plan, keep per-operator facts.
+
+:func:`instrument` rebuilds a physical-operator tree with every node
+wrapped in a :class:`_Probe` that forwards ``rows(ctx)`` to the wrapped
+operator while recording its output cardinality, wall time, call count
+and memoization hits into an :class:`OpStats` node.  The probe tree
+mirrors the original exactly — including *sharing*: an operator that
+appears twice (common-subexpression reuse through ``op.key``) gets one
+probe and one stats node, so memo hits show up as ``memo_hits`` on that
+node rather than as phantom duplicate work.
+
+The wrapped tree is a rebuild (``object.__new__`` + slot copy), never a
+mutation: the session's plan cache keeps the pristine operators, and an
+analyze run can never leak probes into cached plans.
+
+:class:`AnalyzeReport` is the engine-agnostic result — the plan engine
+fills ``root`` with the probe stats tree; the SQLite engine fills
+``statements`` (per-statement timing) and ``spills`` (temp-table row
+counts) instead, since there is no Python operator tree to probe there.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["AnalyzeReport", "OpStats", "instrument"]
+
+
+class OpStats:
+    """Per-operator analyze facts, mirroring one physical-tree node."""
+
+    __slots__ = ("name", "details", "key", "rows", "seconds", "calls", "memo_hits", "children")
+
+    def __init__(self, name: str, details: str, key: Optional[object]) -> None:
+        self.name = name
+        self.details = details
+        self.key = key
+        self.rows: Optional[int] = None   # None: never computed (memo-only or unreached)
+        self.seconds = 0.0
+        self.calls = 0
+        self.memo_hits = 0
+        self.children: List["OpStats"] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.name,
+            "details": self.details,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "memo_hits": self.memo_hits,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _is_operator(value: Any) -> bool:
+    # Matches the duck test Session._render_physical uses: physical
+    # operators are the things with .rows and ._compute.
+    return hasattr(value, "rows") and hasattr(value, "_compute")
+
+
+def _describe(op: Any) -> str:
+    """A short operand summary, same spirit as ``Session._render_physical``."""
+    parts: List[str] = []
+    seen = set()
+    for klass in type(op).__mro__:
+        for attr in getattr(klass, "__slots__", ()):
+            if attr in seen or attr == "key" or attr.startswith("_"):
+                continue
+            seen.add(attr)
+            try:
+                value = getattr(op, attr)
+            except AttributeError:
+                continue
+            if _is_operator(value):
+                continue
+            if isinstance(value, (tuple, list)) and any(_is_operator(v) for v in value):
+                continue
+            if callable(value):
+                parts.append(f"{attr}={getattr(value, '__name__', repr(value))}")
+            else:
+                text = repr(value)
+                if len(text) > 40:
+                    text = text[:37] + "..."
+                parts.append(f"{attr}={text}")
+    return ", ".join(parts)
+
+
+class _Probe:
+    """Wraps one physical operator; quacks like it; records its work.
+
+    ``rows(ctx)`` re-implements the memo check so a hit on the wrapped
+    operator's ``key`` is *counted* (``memo_hits``) rather than timed as
+    a recompute — the memo holds the probe's own prior output, because
+    probes store under the same key the operator would.
+    """
+
+    __slots__ = ("op", "stats")
+
+    def __init__(self, op: Any, stats: OpStats) -> None:
+        self.op = op
+        self.stats = stats
+
+    def rows(self, ctx: Any) -> Any:
+        key = self.op.key
+        if key is not None:
+            cached = ctx.memo.get(key)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                return cached
+        t0 = time.perf_counter()
+        result = self.op._compute(ctx)
+        elapsed = time.perf_counter() - t0
+        stats = self.stats
+        stats.calls += 1
+        stats.seconds += elapsed
+        stats.rows = len(result)
+        if key is not None:
+            ctx.memo[key] = result
+        return result
+
+    def _compute(self, ctx: Any) -> Any:
+        return self.op._compute(ctx)
+
+    def __getattr__(self, name: str) -> Any:
+        # Anything a parent operator reads off its child (predicates,
+        # positions, .name on a Scan) comes straight from the wrapped op.
+        return getattr(self.op, name)
+
+
+def instrument(root: Any) -> Tuple[Any, OpStats]:
+    """Rebuild ``root`` with every operator probed; return (tree, stats).
+
+    Child operators are found the way the rest of the codebase finds
+    them — slot attributes (and tuples/lists of them) that pass the
+    operator duck test — and replaced with probes on a *fresh copy* of
+    the parent, so the original tree is untouched.  ``seen`` keys on
+    ``id(op)`` to preserve DAG sharing: one shared subplan → one probe →
+    one stats node.
+    """
+    seen: Dict[int, _Probe] = {}
+
+    def wrap(op: Any) -> _Probe:
+        probe = seen.get(id(op))
+        if probe is not None:
+            return probe
+        clone = object.__new__(type(op))
+        slots = []
+        slot_seen = set()
+        for klass in type(op).__mro__:
+            for attr in getattr(klass, "__slots__", ()):
+                if attr not in slot_seen:
+                    slot_seen.add(attr)
+                    slots.append(attr)
+        child_names: List[str] = []
+        for attr in slots:
+            try:
+                value = getattr(op, attr)
+            except AttributeError:
+                continue
+            if _is_operator(value):
+                child_names.append(attr)
+                object.__setattr__(clone, attr, wrap(value))
+            elif isinstance(value, tuple) and any(_is_operator(v) for v in value):
+                child_names.append(attr)
+                object.__setattr__(
+                    clone, attr, tuple(wrap(v) if _is_operator(v) else v for v in value)
+                )
+            elif isinstance(value, list) and any(_is_operator(v) for v in value):
+                child_names.append(attr)
+                object.__setattr__(
+                    clone, attr, [wrap(v) if _is_operator(v) else v for v in value]
+                )
+            else:
+                object.__setattr__(clone, attr, value)
+        stats = OpStats(type(op).__name__, _describe(op), getattr(op, "key", None))
+        for attr in child_names:
+            value = getattr(clone, attr)
+            if isinstance(value, (tuple, list)):
+                stats.children.extend(v.stats for v in value if isinstance(v, _Probe))
+            else:
+                stats.children.append(value.stats)
+        probe = _Probe(clone, stats)
+        seen[id(op)] = probe
+        return probe
+
+    wrapped = wrap(root)
+    return wrapped, wrapped.stats
+
+
+class AnalyzeReport:
+    """What ``Query.explain(analyze=True)`` hands back, renderable."""
+
+    __slots__ = ("engine", "rows", "seconds", "root", "statements", "spills", "notes")
+
+    def __init__(
+        self,
+        engine: str,
+        rows: int,
+        seconds: float,
+        root: Optional[OpStats] = None,
+        statements: Optional[List[Dict[str, Any]]] = None,
+        spills: Optional[Dict[str, int]] = None,
+        notes: Optional[List[str]] = None,
+    ) -> None:
+        self.engine = engine
+        self.rows = rows
+        self.seconds = seconds
+        self.root = root
+        self.statements = statements if statements is not None else []
+        self.spills = spills if spills is not None else {}
+        self.notes = notes if notes is not None else []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "rows": self.rows,
+            "seconds": self.seconds,
+            "plan": self.root.to_dict() if self.root is not None else None,
+            "statements": list(self.statements),
+            "spills": dict(self.spills),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Analyze ({self.engine} engine): {self.rows} rows in "
+            f"{self.seconds * 1e3:.3f} ms"
+        ]
+        if self.root is not None:
+            self._render_node(self.root, 0, lines, set())
+        for stmt in self.statements:
+            kind = stmt.get("kind", "statement")
+            lines.append(
+                f"  [{kind}] {stmt['sql']}  ({stmt['seconds'] * 1e3:.3f} ms)"
+            )
+        for table, count in sorted(self.spills.items()):
+            lines.append(f"  spill {table}: {count} rows")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: OpStats, indent: int, lines: List[str], emitted: set
+    ) -> None:
+        pad = "  " * (indent + 1)
+        if id(node) in emitted:
+            lines.append(f"{pad}{node.name} (shared subplan, see above)")
+            return
+        emitted.add(id(node))
+        facts: List[str] = []
+        if node.rows is not None:
+            facts.append(f"rows={node.rows}")
+        facts.append(f"time={node.seconds * 1e3:.3f}ms")
+        facts.append(f"calls={node.calls}")
+        if node.memo_hits:
+            facts.append(f"memo_hits={node.memo_hits}")
+        detail = f" [{node.details}]" if node.details else ""
+        lines.append(f"{pad}{node.name}{detail}  ({', '.join(facts)})")
+        for child in node.children:
+            self._render_node(child, indent + 1, lines, emitted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnalyzeReport(engine={self.engine!r}, rows={self.rows})"

@@ -70,6 +70,9 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Callable, FrozenSet, Iterator, Optional, Tuple, TypeVar
 
+from .obs.metrics import current_metrics
+from .obs.trace import current_tracer
+
 __all__ = [
     "BackendRecoveryWarning",
     "BackendUnavailable",
@@ -151,6 +154,19 @@ class WorkerPoolError(ReproError):
     def __init__(self, message: str, world: Any = None) -> None:
         super().__init__(message)
         self.world = world
+
+
+class PoolExhausted(ReproError):
+    """A :meth:`repro.serve.Server.cursor` checkout timed out.
+
+    Raised instead of blocking forever when every ``backends=`` cursor
+    session is held past the checkout ``timeout=``.  The request can be
+    retried; ``timeout`` carries the bound that expired.
+    """
+
+    def __init__(self, message: str, timeout: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
 
 
 class SessionClosedError(ReproError, RuntimeError):
@@ -601,6 +617,14 @@ def with_retries(
         except Exception as error:  # noqa: BLE001 - classified right below
             if attempt >= policy.retries or not policy.retryable(error):
                 raise
+            registry = current_metrics()
+            if registry is not None:
+                registry.count("retry.attempts")
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.record(
+                    "retry.attempt", 0.0, attempt=attempt, error=repr(error)
+                )
             state = active_budget()
             if state is not None:
                 state.check()

@@ -41,6 +41,8 @@ from .._deprecation import warn_deprecated as _warn_deprecated
 from ..datamodel import Database, Relation
 from ..datamodel.relations import Row
 from ..datamodel.schema import RelationSchema
+from ..obs.metrics import MetricsRegistry, current_metrics
+from ..obs.trace import Tracer, current_tracer, obs_scope, serialize_spans
 from ..resilience import (
     BudgetExceeded,
     QueryCancelled,
@@ -104,38 +106,86 @@ def _check_child_cancelled() -> None:
         raise QueryCancelled("worker chunk cancelled by Session.cancel()")
 
 
+def _observed_chunk(
+    body: Callable[[], Any], observe: bool
+) -> Tuple[Any, Optional[Tuple[List[dict], dict]]]:
+    """Run a chunk body, optionally under fresh local obs instruments.
+
+    ``observe=True`` is how worker *children* trace: they cannot share
+    the parent's sink or registry across the process boundary, so the
+    chunk runs under a local ring-buffer :class:`Tracer` and a local
+    :class:`MetricsRegistry`, and the serialized spans + counter deltas
+    travel back with the result (both picklable).  The parent absorbs
+    them in :func:`_windowed_chunk_results`.
+    """
+    if not observe:
+        return body(), None
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with obs_scope(tracer, registry):
+        payload = body()
+    return payload, (serialize_spans(tracer), registry.counters())
+
+
 def _intersect_chunk(
-    evaluate: Evaluator, chunk: List[Database]
-) -> Tuple[Optional[RelationSchema], Optional[Set[Row]]]:
+    evaluate: Evaluator, chunk: List[Database], observe: bool = False
+) -> Tuple[Tuple[Optional[RelationSchema], Optional[Set[Row]]], Any]:
     """Worker task: intersect the query answers over a chunk of worlds.
 
     Checks the shared cancel Event between worlds, so the cancellation
     latency of a ``workers=`` fan-out is bounded by one world's
     evaluation, not by a whole chunk (``_CHUNK_SIZE`` worlds).
     """
-    schema: Optional[RelationSchema] = None
-    certain: Optional[Set[Row]] = None
-    for world in chunk:
-        _check_child_cancelled()
-        answer = evaluate(world)
-        if schema is None:
-            schema = answer.schema
-        if certain is None:
-            certain = set(answer.rows)
-        else:
-            certain &= answer.rows
-    return schema, certain
+
+    def body() -> Tuple[Optional[RelationSchema], Optional[Set[Row]]]:
+        registry = current_metrics()
+        tracer = current_tracer()
+        schema: Optional[RelationSchema] = None
+        certain: Optional[Set[Row]] = None
+        for world in chunk:
+            _check_child_cancelled()
+            if tracer is not None:
+                with tracer.span("world.evaluate"):
+                    answer = evaluate(world)
+            else:
+                answer = evaluate(world)
+            if registry is not None:
+                registry.count("worlds.evaluated")
+            if schema is None:
+                schema = answer.schema
+            if certain is None:
+                certain = set(answer.rows)
+            else:
+                certain &= answer.rows
+        return schema, certain
+
+    return _observed_chunk(body, observe)
 
 
-def _all_hold_chunk(evaluate: Callable[[Database], bool], chunk: List[Database]) -> bool:
+def _all_hold_chunk(
+    evaluate: Callable[[Database], bool], chunk: List[Database], observe: bool = False
+) -> Tuple[bool, Any]:
     """Worker task: ``True`` iff the Boolean query holds in every chunk world."""
-    result = True
-    for world in chunk:
-        _check_child_cancelled()
-        if not evaluate(world):
-            result = False
-            break
-    return result
+
+    def body() -> bool:
+        registry = current_metrics()
+        tracer = current_tracer()
+        result = True
+        for world in chunk:
+            _check_child_cancelled()
+            if tracer is not None:
+                with tracer.span("world.evaluate"):
+                    holds = evaluate(world)
+            else:
+                holds = evaluate(world)
+            if registry is not None:
+                registry.count("worlds.evaluated")
+            if not holds:
+                result = False
+                break
+        return result
+
+    return _observed_chunk(body, observe)
 
 
 def _run_chunk_locally(task: Callable[..., Any], evaluate: Any, chunk: List[Database]) -> Any:
@@ -205,6 +255,11 @@ def _windowed_chunk_results(
     if heartbeat is None:
         heartbeat = _DEFAULT_HEARTBEAT
     state = active_budget()
+    registry = current_metrics()
+    tracer = current_tracer()
+    # Children trace/count into local instruments and ship the data back
+    # with the result; only ask them to when someone here is listening.
+    observe = registry is not None or tracer is not None
     pending: "deque" = deque()
     chunk_iter = iter(chunks)
     exhausted = False
@@ -212,7 +267,15 @@ def _windowed_chunk_results(
     leftover: Optional[List[Database]] = None
 
     def emit(result: Any, chunk: List[Database]) -> Iterator[Tuple[Any, int]]:
-        yield result, len(chunk)
+        payload, obs = result
+        if obs is not None:
+            spans, counts = obs
+            if tracer is not None and spans:
+                chunk_span = tracer.record("enumerate.chunk", worlds=len(chunk))
+                tracer.absorb(spans, chunk_span.span_id)
+            if registry is not None:
+                registry.merge_counts(counts)
+        yield payload, len(chunk)
         if state is not None:
             state.tick_world(len(chunk))
 
@@ -223,7 +286,7 @@ def _windowed_chunk_results(
                 exhausted = True
                 break
             try:
-                pending.append((pool.submit(task, evaluate, chunk), chunk))
+                pending.append((pool.submit(task, evaluate, chunk, observe), chunk))
             except BrokenExecutor:
                 # The pool noticed a dead child at submission time; the
                 # chunk must wait its turn behind the pending ones so the
@@ -406,10 +469,18 @@ def enumerate_certain_answers(
                         break  # empty intersection can only stay empty
         else:
             state = active_budget()
+            registry = current_metrics()
+            tracer = current_tracer()
             for world in world_iter:
                 if state is not None:
                     state.tick_world()
-                answer = evaluate(world)
+                if tracer is not None:
+                    with tracer.span("world.evaluate"):
+                        answer = evaluate(world)
+                else:
+                    answer = evaluate(world)
+                if registry is not None:
+                    registry.count("worlds.evaluated")
                 if answer_schema is None:
                     answer_schema = answer.schema
                 if certain is None:
@@ -450,6 +521,7 @@ def enumerate_possible_answers(
     answer_schema = None
     possible: Set[Row] = set()
     state = active_budget()
+    registry = current_metrics()
     for world in worlds(
         database,
         semantics=semantics,
@@ -459,6 +531,8 @@ def enumerate_possible_answers(
     ):
         if state is not None:
             state.tick_world()
+        if registry is not None:
+            registry.count("worlds.evaluated")
         answer = evaluate(world)
         if answer_schema is None:
             answer_schema = answer.schema
@@ -541,9 +615,12 @@ def enumerate_certain_boolean(
                     return False
         return True
     state = active_budget()
+    registry = current_metrics()
     for world in world_iter:
         if state is not None:
             state.tick_world()
+        if registry is not None:
+            registry.count("worlds.evaluated")
         if not evaluate(world):
             return False
     return True

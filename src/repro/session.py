@@ -81,6 +81,9 @@ from .datamodel.condition_kernel import ConditionKernel, DEFAULT_KERNEL
 from .datamodel.schema import DatabaseSchema
 from .datamodel.values import is_null
 from .logic.formulas import FOQuery
+from .obs.analyze import AnalyzeReport, OpStats
+from .obs.metrics import MetricsRegistry
+from .obs.trace import Tracer, entry_scope, env_tracer, span
 from .semantics.certain import (
     _pool_initializer,
     enumerate_certain_boolean,
@@ -122,10 +125,16 @@ class Cursor:
     (documented fallback: those engines materialize by nature).
     """
 
-    def __init__(self, rows: Iterator[Tuple[Any, ...]], batch_size: int) -> None:
+    def __init__(
+        self,
+        rows: Iterator[Tuple[Any, ...]],
+        batch_size: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._rows = rows
         self.batch_size = batch_size
         self._closed = False
+        self._metrics = metrics
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return self._rows
@@ -141,6 +150,9 @@ class Cursor:
             out.append(row)
             if len(out) >= count:
                 break
+        if out and self._metrics is not None:
+            self._metrics.count("cursor.batches")
+            self._metrics.count("cursor.rows", len(out))
         return out
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
@@ -286,6 +298,21 @@ class Query:
         unrelated answers.  A resumed run that completes returns exactly
         the uninterrupted answer.
         """
+        with self.session._obs("query.certain"):
+            return self._certain(
+                method, domain, extra_constants, max_extra_facts, budget, on_budget, resume
+            )
+
+    def _certain(
+        self,
+        method: str,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+        budget: Optional[Budget],
+        on_budget: Optional[str],
+        resume: Any,
+    ) -> Relation:
         if self._is_sql():
             if resume is not None:
                 raise InvalidRequestError(
@@ -326,6 +353,9 @@ class Query:
                 with budget_scope(state):
                     return run()
             except BudgetExceeded as error:
+                self.session._metrics.count(
+                    "budget.expired." + (error.resource or "budget")
+                )
                 self._stamp_resume(error, domain, extra_constants, max_extra_facts)
                 return self._degrade_certain(error, policy)
             finally:
@@ -441,8 +471,10 @@ class Query:
            returns an *empty* sound subset (never the unsound prefix of
            the aborted world intersection — that is an over-approximation).
         """
+        metrics = self.session._metrics
         resource = error.resource or "budget"
         if policy == "raise":
+            metrics.count("degrade.raised")
             self._resilience_verdict = (
                 f"budget exceeded ({resource}); on_budget='raise' — no fallback ran"
             )
@@ -452,38 +484,48 @@ class Query:
         semantics = self.session.semantics
         relation: Optional[Relation] = None
         quality: Optional[str] = None
-        exact = naive_evaluation_applies(
-            expression, semantics=applicability_semantics(semantics)
-        )
-        if exact.applies:
-            relation = naive_strategy(expression, database, self._evaluator())
-            quality = f"exact (naive evaluation applies: {exact.fragment})"
-        elif naive_evaluation_applies(expression, semantics="owa").applies:
-            relation = naive_strategy(expression, database, self._evaluator())
-            quality = (
-                "sound lower bound (naive/OWA answer; "
-                f"certain_owa ⊆ certain_{semantics} for monotone queries)"
+        rung: Optional[str] = None
+        with span("degrade.decide", resource=resource, policy=policy) as decision:
+            exact = naive_evaluation_applies(
+                expression, semantics=applicability_semantics(semantics)
             )
-        elif semantics == "cwa" and isinstance(expression, RAExpression):
-            from .core.sound_evaluation import sound_certain_answers
-
-            relation = sound_certain_answers(expression, database)
-            quality = "sound lower bound (polynomial CWA approximation)"
-        if relation is None:
-            if policy == "degrade":
-                self._resilience_verdict = (
-                    f"budget exceeded ({resource}); no sound fallback exists for "
-                    f"this query under {semantics} — raised"
+            if exact.applies:
+                relation = naive_strategy(expression, database, self._evaluator())
+                quality = f"exact (naive evaluation applies: {exact.fragment})"
+                rung = "exact"
+            elif naive_evaluation_applies(expression, semantics="owa").applies:
+                relation = naive_strategy(expression, database, self._evaluator())
+                quality = (
+                    "sound lower bound (naive/OWA answer; "
+                    f"certain_owa ⊆ certain_{semantics} for monotone queries)"
                 )
-                raise error
-            # policy == "partial": the only sound subset we can certify
-            # without finishing the enumeration is the empty one.
-            if isinstance(expression, RAExpression):
-                schema = expression.output_schema(database.schema)
-            else:
-                schema = expression.output_schema()
-            relation = Relation.empty(schema)
-            quality = "empty sound subset (no sound approximation exists)"
+                rung = "naive_owa"
+            elif semantics == "cwa" and isinstance(expression, RAExpression):
+                from .core.sound_evaluation import sound_certain_answers
+
+                relation = sound_certain_answers(expression, database)
+                quality = "sound lower bound (polynomial CWA approximation)"
+                rung = "sound_cwa"
+            if relation is None:
+                if policy == "degrade":
+                    decision.set(rung="raised")
+                    metrics.count("degrade.raised")
+                    self._resilience_verdict = (
+                        f"budget exceeded ({resource}); no sound fallback exists for "
+                        f"this query under {semantics} — raised"
+                    )
+                    raise error
+                # policy == "partial": the only sound subset we can certify
+                # without finishing the enumeration is the empty one.
+                if isinstance(expression, RAExpression):
+                    schema = expression.output_schema(database.schema)
+                else:
+                    schema = expression.output_schema()
+                relation = Relation.empty(schema)
+                quality = "empty sound subset (no sound approximation exists)"
+                rung = "empty_partial"
+            decision.set(rung=rung)
+        metrics.count("degrade." + rung)
         verdict = f"budget exceeded ({resource}); degraded to {quality}"
         self._resilience_verdict = verdict
         if policy == "partial":
@@ -506,6 +548,16 @@ class Query:
         degradation ladder here, because a *subset* of the worlds yields a
         subset of the possible answers, which no sound rung can complete.
         """
+        with self.session._obs("query.possible"):
+            return self._possible(domain, extra_constants, max_extra_facts, budget)
+
+    def _possible(
+        self,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+        budget: Optional[Budget],
+    ) -> Relation:
         self._no_sql("possible()")
         budget = budget if budget is not None else self.session.budget
         run = functools.partial(
@@ -539,26 +591,28 @@ class Query:
 
         For a three-valued SQL query: the raw 3VL row list (bag semantics).
         """
-        if self._is_sql():
-            return self.session.sql(self.expression, database=self._database)
-        database = self.database
-        if database is None:
-            # Backend-resident data (out-of-core sessions loaded through
-            # Session.load_rows): evaluate directly on the backend.
-            return self.session._execute_sqlite(self.expression, None)
-        return object_strategy(self.expression, database, self._evaluator())
+        with self.session._obs("query.answer_object"):
+            if self._is_sql():
+                return self.session.sql(self.expression, database=self._database)
+            database = self.database
+            if database is None:
+                # Backend-resident data (out-of-core sessions loaded through
+                # Session.load_rows): evaluate directly on the backend.
+                return self.session._execute_sqlite(self.expression, None)
+            return object_strategy(self.expression, database, self._evaluator())
 
     def knowledge(self):
         """``certainK``: the δ-formula of the naive answer (eq. (10))."""
         self._no_sql("knowledge()")
         # delta() natively supports all three semantics (δ_owa/δ_cwa/δ_wcwa),
         # so the session semantics passes through unchanged.
-        return knowledge_strategy(
-            self.expression,
-            self._require_database(),
-            self._evaluator(),
-            semantics=self.session.semantics,
-        )
+        with self.session._obs("query.knowledge"):
+            return knowledge_strategy(
+                self.expression,
+                self._require_database(),
+                self._evaluator(),
+                semantics=self.session.semantics,
+            )
 
     def boolean(
         self,
@@ -576,6 +630,19 @@ class Query:
         :class:`~repro.resilience.BudgetExceeded` is raised (a Boolean
         has no sound middle ground to degrade to).
         """
+        with self.session._obs("query.boolean"):
+            return self._boolean_entry(
+                mode, domain, extra_constants, max_extra_facts, budget
+            )
+
+    def _boolean_entry(
+        self,
+        mode: str,
+        domain: Optional[Sequence[Any]],
+        extra_constants: Optional[int],
+        max_extra_facts: int,
+        budget: Optional[Budget],
+    ) -> bool:
         self._no_sql("boolean()")
         budget = budget if budget is not None else self.session.budget
         self.session._begin_run()
@@ -634,7 +701,7 @@ class Query:
         raise InvalidRequestError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
 
     # -- introspection -------------------------------------------------
-    def explain(self) -> str:
+    def explain(self, analyze: bool = False) -> str:
         """A unified, human-readable account of how this query would run.
 
         Sections: the certain-answer method ``certain()`` would pick, the
@@ -642,6 +709,10 @@ class Query:
         when the session's engine is ``"sqlite"`` and the plan is inside
         the SQL fragment — the compiled SQL text.  For a three-valued SQL
         query: the transliterated SQLite statement.
+
+        ``analyze=True`` additionally *executes* the plan (once) and
+        appends per-operator row counts and wall time — see
+        :meth:`analyze` for the structured form and its caveats.
         """
         if self._is_sql():
             from .sqlnulls.backend import compile_select
@@ -654,9 +725,63 @@ class Query:
                 f"sql:\n  {sql}\n  params: {params!r}"
             )
         text = self.session._explain(self.expression, self.database, self._engine_name())
+        if analyze:
+            text += "\n" + self.analyze().render()
         if self._resilience_verdict is not None:
             text += f"\nresilience: {self._resilience_verdict}"
         return text
+
+    def analyze(self) -> "AnalyzeReport":
+        """Execute the plan once and return per-operator statistics.
+
+        On the in-memory engines the physical operator tree runs wrapped
+        in probes, so every operator reports its output cardinality
+        (``rows``), wall time, call count and memoization hits; shared
+        subplans (CSE) appear once, with their reuse showing up as
+        ``memo_hits``.  On ``engine="sqlite"`` there is no Python operator
+        tree — the report carries per-statement timing and the row count
+        of every temp-table spill instead; plans outside the SQL fragment
+        (and spilling plans on a frozen backend) fall back to the
+        in-memory analyze with a note saying so.
+
+        The rows executed are the *naive* answer (what
+        :meth:`answer_object` returns) — certainty modes layer world
+        enumeration on top of per-world plans, which is what the
+        ``world.evaluate`` spans of the tracer are for.  Caveats are in
+        ``docs/observability.md#analyze``.
+        """
+        import time as _time
+
+        self._no_sql("analyze()")
+        if not isinstance(self.expression, RAExpression):
+            raise InvalidRequestError(
+                "analyze() requires a relational-algebra query; first-order "
+                "queries are evaluated by satisfaction, without a plan"
+            )
+        database = self._require_database()
+        engine = self._engine_name()
+        with self.session._obs("query.analyze"):
+            if engine == "sqlite":
+                report = self.session._analyze_sqlite(self.expression, database)
+                if report is not None:
+                    return report
+            notes: List[str] = []
+            if engine == "sqlite":
+                notes.append(
+                    "plan outside the SQL fragment (or not runnable on this "
+                    "backend); analyzed on the in-memory plan engine instead"
+                )
+            elif engine == "interpreter":
+                notes.append(
+                    "interpreter engine has no operator tree; analyzed on the "
+                    "plan engine (same logical plan, different executor)"
+                )
+            t0 = _time.perf_counter()
+            relation, root = self.session.plan_cache.analyze(self.expression, database)
+            seconds = _time.perf_counter() - t0
+            return AnalyzeReport(
+                "plan", len(relation), seconds, root=root, notes=notes
+            )
 
     # -- streaming -----------------------------------------------------
     def cursor(self, batch_size: int = 1024, certain: bool = False) -> Cursor:
@@ -671,25 +796,33 @@ class Query:
         """
         if batch_size < 1:
             raise InvalidRequestError(f"batch_size must be >= 1, got {batch_size!r}")
-        if self._is_sql():
-            rows = self.session.sql(
-                self.expression, database=self._database, certain=certain
-            )
-            return Cursor(iter(rows), batch_size)
-        expression = self.expression
-        if certain and not naive_evaluation_applies(
-            expression, semantics=applicability_semantics(self.session.semantics)
-        ):
-            rows: Iterable[Tuple[Any, ...]] = iter(self.certain().rows)
-            return Cursor(iter(rows), batch_size)
-        stream: Iterator[Tuple[Any, ...]]
-        if self._engine_name() == "sqlite" and isinstance(expression, RAExpression):
-            stream = self.session._stream_sqlite(expression, self.database, batch_size)
-        else:
-            stream = iter(self.answer_object().rows)
-        if certain:
-            stream = (row for row in stream if not any(is_null(v) for v in row))
-        return Cursor(stream, batch_size)
+        # The entry scope covers cursor *construction* (planning, backend
+        # statement start); consumption is counted per batch by the Cursor.
+        metrics = self.session._metrics
+        with self.session._obs("query.cursor"):
+            if self._is_sql():
+                rows = self.session.sql(
+                    self.expression, database=self._database, certain=certain
+                )
+                return Cursor(iter(rows), batch_size, metrics=metrics)
+            expression = self.expression
+            if certain and not naive_evaluation_applies(
+                expression, semantics=applicability_semantics(self.session.semantics)
+            ):
+                rows: Iterable[Tuple[Any, ...]] = iter(self._certain(
+                    "auto", None, None, 1, None, None, None
+                ).rows)
+                return Cursor(iter(rows), batch_size, metrics=metrics)
+            stream: Iterator[Tuple[Any, ...]]
+            if self._engine_name() == "sqlite" and isinstance(expression, RAExpression):
+                stream = self.session._stream_sqlite(
+                    expression, self.database, batch_size
+                )
+            else:
+                stream = iter(self.answer_object().rows)
+            if certain:
+                stream = (row for row in stream if not any(is_null(v) for v in row))
+            return Cursor(stream, batch_size, metrics=metrics)
 
 
 class Session:
@@ -713,6 +846,8 @@ class Session:
         budget: Optional[Budget] = None,
         on_budget: str = "degrade",
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: bool = True,
         _dynamic_engine: bool = False,
         _plan_cache: Optional[Any] = None,
         _kernel: Optional[ConditionKernel] = None,
@@ -751,13 +886,21 @@ class Session:
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         )
+        # Observability: the registry is created before the plan cache so
+        # the cache can record its hits/misses into it; the tracer defaults
+        # to the REPRO_TRACE process tracer (None — tracing off — without
+        # the environment variable).
+        self._metrics = MetricsRegistry(enabled=metrics)
+        self._tracer = tracer if tracer is not None else env_tracer()
         self.kernel: ConditionKernel = (
             _kernel
             if _kernel is not None
             else ConditionKernel(watermark=kernel_watermark, memo_limit=kernel_memo_limit)
         )
         self.plan_cache = (
-            _plan_cache if _plan_cache is not None else PlanCache(kernel=self.kernel)
+            _plan_cache
+            if _plan_cache is not None
+            else PlanCache(kernel=self.kernel, metrics=self._metrics)
         )
         # Legacy mode (the process-default session): route engine="sqlite"
         # through the historical per-Database backend cache so shimmed old
@@ -812,6 +955,52 @@ class Session:
             f"Session(database={db}, engine={self.engine!r}, "
             f"semantics={self.semantics!r}, backend_path={self.backend_path!r})"
         )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The session's tracer, or ``None`` when tracing is off."""
+        return self._tracer
+
+    def _obs(self, name: str) -> Any:
+        """The entry scope arming this session's tracer + registry as ambient.
+
+        Every public ``Query`` mode opens one of these; when the tracer is
+        ``None`` and metrics are disabled it is a shared no-op object, so
+        the disabled path costs two attribute reads and a branch.
+        """
+        return entry_scope(self._tracer, self._metrics, name)
+
+    def metrics(self) -> dict:
+        """A snapshot of this session's metrics.
+
+        Returns ``{"counters", "gauges", "histograms", "kernel",
+        "plan_cache"}`` — the registry's aggregated counters/gauges/
+        histograms (see ``docs/observability.md`` for the name table)
+        plus the kernel and plan-cache stat blocks of
+        :meth:`kernel_stats` / :meth:`plan_cache_stats`.  Safe to call
+        from any thread, including on a frozen session mid-traffic: the
+        registry records into per-thread shards and this aggregates them
+        without stopping writers.
+        """
+        snapshot = self._metrics.snapshot()
+        snapshot["kernel"] = self.kernel_stats()
+        snapshot["plan_cache"] = self.plan_cache_stats()
+        return snapshot
+
+    def kernel_stats(self) -> dict:
+        """The condition kernel's table sizes and lifecycle counters."""
+        stats = self.kernel.stats()
+        stats["auto_evictions"] = self.kernel.auto_evictions
+        stats["memo_trims"] = self.kernel.memo_trims
+        stats["epoch"] = self.kernel.epoch
+        return stats
+
+    def plan_cache_stats(self) -> dict:
+        """The plan cache's shape and hit/miss counters."""
+        return self.plan_cache.stats()
 
     # ------------------------------------------------------------------
     # queries
@@ -917,6 +1106,7 @@ class Session:
             if executor is not None and getattr(executor, "_broken", False):
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = None
+                self._metrics.count("workers.pool_rebuilds")
             if executor is None:
                 executor = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -1074,13 +1264,16 @@ class Session:
                 raise
             # Outside the SQL fragment (or a compile-time failure): the
             # quiet, by-design fallback — no warning, the backend is fine.
+            self._metrics.count("backend.fallbacks.fragment")
             return self.plan_cache.execute(expression, database)
         except sqlite3.Error as error:
             if isinstance(error, sqlite3.OperationalError) and _sqlite_module._is_engine_limit(error):
                 if database is None:
                     raise
+                self._metrics.count("backend.fallbacks.engine_limit")
                 return self.plan_cache.execute(expression, database)
             if _sqlite_module.is_runtime_failure(error):
+                self._metrics.count("backend.recoveries")
                 return self.plan_cache.execute(
                     expression, self._recover_backend_failure(error, database)
                 )
@@ -1123,13 +1316,16 @@ class Session:
                 raise
             # Outside the SQL fragment: fall back to the in-memory engine
             # (materializes — the fragment has no streaming path).
+            self._metrics.count("backend.fallbacks.fragment")
             return iter(self.plan_cache.execute(expression, database).rows)
         except sqlite3.Error as error:
             if isinstance(error, sqlite3.OperationalError) and _sqlite_module._is_engine_limit(error):
                 if database is None:
                     raise
+                self._metrics.count("backend.fallbacks.engine_limit")
                 return iter(self.plan_cache.execute(expression, database).rows)
             if _sqlite_module.is_runtime_failure(error):
+                self._metrics.count("backend.recoveries")
                 return iter(
                     self.plan_cache.execute(
                         expression, self._recover_backend_failure(error, database)
@@ -1139,6 +1335,80 @@ class Session:
         if first is _SENTINEL:
             return iter(())
         return _stream_rest(first, plan_iter)
+
+    def _analyze_sqlite(
+        self, expression: RAExpression, database: Optional[Database]
+    ) -> Optional[AnalyzeReport]:
+        """The SQLite side of :meth:`Query.analyze`, or ``None`` to fall back.
+
+        Runs the compiled plan statement by statement, timing each one and
+        counting the rows of every temp-table spill (the out-of-core
+        intermediates).  ``None`` means the plan cannot run here — outside
+        the SQL fragment, or a spilling plan on a frozen backend — and the
+        caller should analyze on the in-memory engine instead.
+        """
+        import re
+        import sqlite3
+        import time as _time
+
+        from .backends.base import BackendError
+
+        if (
+            self._frozen
+            and database is not None
+            and database is not self._backend_database
+        ):
+            return None
+        try:
+            backend = self._ensure_backend(database)
+            plan, out_schema = backend._plan_for(expression, self.plan_cache)
+        except (BackendError, sqlite3.Error):
+            return None
+        statements: List[dict] = []
+        spills: dict = {}
+        cursor = backend._connection.cursor()
+        t0 = _time.perf_counter()
+        try:
+            try:
+                for statement, params in plan.setup:
+                    s0 = _time.perf_counter()
+                    cursor.execute(statement, params)
+                    elapsed = _time.perf_counter() - s0
+                    statements.append(
+                        {
+                            "kind": "setup",
+                            "sql": " ".join(statement.split()),
+                            "seconds": elapsed,
+                        }
+                    )
+                    match = re.match(
+                        r"CREATE TEMP(?:ORARY)? TABLE (\"[^\"]+\"|\S+)", statement
+                    )
+                    if match is not None:
+                        name = match.group(1)
+                        count = cursor.execute(
+                            f"SELECT COUNT(*) FROM {name}"
+                        ).fetchone()[0]
+                        spills[name.strip('"')] = count
+                s0 = _time.perf_counter()
+                rows = cursor.execute(plan.query, plan.params).fetchall()
+                statements.append(
+                    {
+                        "kind": "query",
+                        "sql": " ".join(plan.query.split()),
+                        "seconds": _time.perf_counter() - s0,
+                    }
+                )
+            except sqlite3.Error:
+                return None
+        finally:
+            backend._teardown(cursor, plan)
+        seconds = _time.perf_counter() - t0
+        decode_row = backend.codec.decode_row
+        distinct = frozenset(decode_row(row) for row in rows)
+        return AnalyzeReport(
+            "sqlite", len(distinct), seconds, statements=statements, spills=spills
+        )
 
     def _ensure_backend(self, database: Optional[Database]) -> Any:
         """The session's sentinel-mode backend, loaded with ``database``.
@@ -1478,6 +1748,8 @@ def connect(
     budget: Optional[Budget] = None,
     on_budget: str = "degrade",
     retry_policy: Optional[RetryPolicy] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: bool = True,
 ) -> Session:
     """Open a :class:`Session` owning all of its evaluation state.
 
@@ -1519,6 +1791,18 @@ def connect(
         backend retry of this session (query execution, streaming,
         database refills, the 3VL bridge).  Defaults to the historical
         3-retry / 5–40 ms exponential-backoff shape.
+    tracer:
+        A :class:`repro.obs.Tracer` receiving a span for every query
+        entry point, plan compilation, operator execution, backend
+        statement, retry and degradation decision of this session.
+        Defaults to the process tracer selected by ``REPRO_TRACE=path``
+        (a JSONL file sink), else ``None`` — tracing off, at the cost of
+        one branch per instrumentation point.
+    metrics:
+        ``False`` disables the session's :class:`~repro.obs.MetricsRegistry`
+        entirely (every recording call becomes one check and a return);
+        the default keeps counters/histograms on — their overhead is held
+        within the ``gate:obs`` benchmark bound.
     """
     return Session(
         database,
@@ -1531,6 +1815,8 @@ def connect(
         budget=budget,
         on_budget=on_budget,
         retry_policy=retry_policy,
+        tracer=tracer,
+        metrics=metrics,
     )
 
 

@@ -20,6 +20,7 @@ from repro.algebra import parse_ra
 
 
 EXPECTED_TOP_LEVEL = {
+    "AnalyzeReport",
     "BackendRecoveryWarning",
     "BackendUnavailable",
     "Budget",
@@ -31,8 +32,10 @@ EXPECTED_TOP_LEVEL = {
     "DatabaseSchema",
     "InvalidRequestError",
     "ManualClock",
+    "MetricsRegistry",
     "Null",
     "PartialResult",
+    "PoolExhausted",
     "Query",
     "QueryCancelled",
     "Relation",
@@ -42,11 +45,13 @@ EXPECTED_TOP_LEVEL = {
     "RetryPolicy",
     "Session",
     "SessionClosedError",
+    "Tracer",
     "Valuation",
     "WorkerPoolError",
     "__version__",
     "connect",
     "default_session",
+    "obs",
     "serve",
 }
 
