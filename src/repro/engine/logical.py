@@ -367,9 +367,15 @@ def _as_projected_multijoin(node: LogicalNode) -> "_ProjectedMultijoin | None":
     """
     if isinstance(node, LMultiJoin):
         return node.factors, node.pairs, node.residual, tuple(range(node.arity))
-    if isinstance(node, LProject) and isinstance(node.child, LMultiJoin):
-        inner = node.child
-        return inner.factors, inner.pairs, inner.residual, node.positions
+    if isinstance(node, LProject):
+        # Recurse so a user-written projection *inside* a join chain (a
+        # π(join) subtree, or stacked π over π) no longer stops
+        # flattening: compose its positions through the child's view.
+        inner = _as_projected_multijoin(node.child)
+        if inner is None:
+            return None
+        factors, pairs, residual, out = inner
+        return factors, pairs, residual, tuple(out[p] for p in node.positions)
     if isinstance(node, LEquiJoin):
         left = _as_projected_multijoin(node.left) or _trivial_view(node.left)
         right = _as_projected_multijoin(node.right) or _trivial_view(node.right)

@@ -1,0 +1,328 @@
+"""Probability models over the nulls of a pc-table.
+
+A *probabilistic c-table* (pc-table) is a c-table whose nulls carry a
+probability distribution: every null draws a value from a finite support,
+and the probability of an answer tuple is the probability that its
+lineage condition holds.  Two model classes cover the standard
+probabilistic-database representations (tuple-independent tables and
+block-independent-disjoint / x-tuple tables both encode into them):
+
+* **independent nulls** — each null draws from its own finite
+  distribution, independently of every other null;
+* **exclusive blocks** (:class:`ExclusiveBlock`) — a group of nulls
+  jointly draws one of a list of mutually exclusive *alternatives*
+  (joint assignments), the pc-table analogue of an x-tuple block.
+
+Distinct groups (an independent null is its own group) are mutually
+independent — the factorization the decomposition evaluator in
+:mod:`repro.prob.confidence` exploits.  Everything is validated at
+construction: supports must be constants, probabilities must be positive
+and sum to one per group, and no null may belong to two groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..datamodel.valuation import Valuation
+from ..datamodel.values import Null, is_null
+from ..resilience import InvalidRequestError
+
+#: Tolerance for "the probabilities of a group sum to one".
+_SUM_TOLERANCE = 1e-9
+
+#: One joint assignment of a group with its probability.
+Outcome = Tuple[Dict[Null, Any], float]
+
+
+def _check_probability(p: Any, what: str) -> float:
+    if not isinstance(p, (int, float)) or isinstance(p, bool):
+        raise InvalidRequestError(f"{what}: probability must be a number, got {p!r}")
+    p = float(p)
+    if not 0.0 < p <= 1.0:
+        raise InvalidRequestError(f"{what}: probability must be in (0, 1], got {p!r}")
+    return p
+
+
+def _check_constant(value: Any, what: str) -> Any:
+    if value is None or is_null(value):
+        raise InvalidRequestError(
+            f"{what}: supports must contain constants, got {value!r}"
+        )
+    return value
+
+
+class ExclusiveBlock:
+    """A correlation block: its nulls jointly draw one exclusive alternative.
+
+    ``alternatives`` is an iterable of ``(assignment, probability)`` pairs
+    where every assignment maps the *same* set of nulls to constants.
+    Exactly one alternative holds per possible world, so any two
+    conditions pinning the block to different alternatives are mutually
+    exclusive — which is what the confidence evaluator's exclusive-OR
+    rule detects.
+    """
+
+    __slots__ = ("nulls", "alternatives")
+
+    def __init__(self, alternatives: Iterable[Tuple[Mapping[Null, Any], float]]) -> None:
+        checked: List[Outcome] = []
+        nulls: Optional[FrozenSet[Null]] = None
+        total = 0.0
+        seen: set = set()
+        for assignment, probability in alternatives:
+            probability = _check_probability(probability, "ExclusiveBlock")
+            fixed: Dict[Null, Any] = {}
+            for null, value in assignment.items():
+                if not isinstance(null, Null):
+                    raise InvalidRequestError(
+                        f"ExclusiveBlock: assignments map nulls, got key {null!r}"
+                    )
+                fixed[null] = _check_constant(value, "ExclusiveBlock")
+            if not fixed:
+                raise InvalidRequestError("ExclusiveBlock: empty alternative assignment")
+            covered = frozenset(fixed)
+            if nulls is None:
+                nulls = covered
+            elif covered != nulls:
+                raise InvalidRequestError(
+                    "ExclusiveBlock: every alternative must assign the same nulls "
+                    f"({sorted(n.name for n in nulls)} vs {sorted(n.name for n in covered)})"
+                )
+            key = frozenset(fixed.items())
+            if key in seen:
+                raise InvalidRequestError(
+                    f"ExclusiveBlock: duplicate alternative {dict(fixed)!r}"
+                )
+            seen.add(key)
+            total += probability
+            checked.append((fixed, probability))
+        if nulls is None:
+            raise InvalidRequestError("ExclusiveBlock: at least one alternative required")
+        if abs(total - 1.0) > _SUM_TOLERANCE:
+            raise InvalidRequestError(
+                f"ExclusiveBlock: alternative probabilities sum to {total!r}, not 1"
+            )
+        self.nulls: FrozenSet[Null] = nulls
+        self.alternatives: Tuple[Outcome, ...] = tuple(checked)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(n.name for n in self.nulls))
+        return f"ExclusiveBlock({{{names}}}, {len(self.alternatives)} alternatives)"
+
+
+class ProbabilityModel:
+    """Probabilities for the condition atoms of a pc-table.
+
+    Parameters
+    ----------
+    independent:
+        ``{null: {value: probability}}`` — each null draws from its own
+        distribution, independently of every other group.
+    blocks:
+        :class:`ExclusiveBlock` instances for correlated nulls.
+
+    A null may appear in at most one place.  The model's *groups* are the
+    units of independence: each independent null is a singleton group,
+    each block is one group, and distinct groups never correlate.
+    """
+
+    __slots__ = ("_outcomes", "_group", "_rep", "_marginals", "_nulls")
+
+    def __init__(
+        self,
+        independent: Optional[Mapping[Null, Mapping[Any, float]]] = None,
+        blocks: Iterable[ExclusiveBlock] = (),
+    ) -> None:
+        # representative null -> tuple of (assignment, probability)
+        self._outcomes: Dict[Null, Tuple[Outcome, ...]] = {}
+        # null -> frozenset of the nulls it correlates with (its group)
+        self._group: Dict[Null, FrozenSet[Null]] = {}
+        # null -> the group's representative (smallest name; stable key)
+        self._rep: Dict[Null, Null] = {}
+        self._marginals: Dict[Null, Dict[Any, float]] = {}
+
+        for null, distribution in (independent or {}).items():
+            if not isinstance(null, Null):
+                raise InvalidRequestError(
+                    f"ProbabilityModel: independent= maps nulls, got key {null!r}"
+                )
+            self._claim(null)
+            outcomes: List[Outcome] = []
+            marginal: Dict[Any, float] = {}
+            total = 0.0
+            for value, probability in distribution.items():
+                value = _check_constant(value, f"distribution of {null}")
+                probability = _check_probability(probability, f"distribution of {null}")
+                if value in marginal:
+                    raise InvalidRequestError(
+                        f"distribution of {null}: duplicate value {value!r}"
+                    )
+                marginal[value] = probability
+                total += probability
+                outcomes.append(({null: value}, probability))
+            if not outcomes:
+                raise InvalidRequestError(f"distribution of {null} is empty")
+            if abs(total - 1.0) > _SUM_TOLERANCE:
+                raise InvalidRequestError(
+                    f"distribution of {null} sums to {total!r}, not 1"
+                )
+            self._group[null] = frozenset((null,))
+            self._rep[null] = null
+            self._outcomes[null] = tuple(outcomes)
+            self._marginals[null] = marginal
+
+        for block in blocks:
+            if not isinstance(block, ExclusiveBlock):
+                raise InvalidRequestError(
+                    f"ProbabilityModel: blocks= expects ExclusiveBlock, got {block!r}"
+                )
+            for null in block.nulls:
+                self._claim(null)
+            rep = min(block.nulls, key=lambda n: n.name)
+            group = block.nulls
+            for null in group:
+                self._group[null] = group
+                self._rep[null] = rep
+            self._outcomes[rep] = block.alternatives
+            for null in group:
+                marginal: Dict[Any, float] = {}
+                for assignment, probability in block.alternatives:
+                    value = assignment[null]
+                    marginal[value] = marginal.get(value, 0.0) + probability
+                self._marginals[null] = marginal
+
+        self._nulls: FrozenSet[Null] = frozenset(self._group)
+        if not self._nulls:
+            raise InvalidRequestError(
+                "ProbabilityModel: at least one null distribution required"
+            )
+
+    def _claim(self, null: Null) -> None:
+        if null in self._group:
+            raise InvalidRequestError(
+                f"ProbabilityModel: {null} appears in more than one distribution/block"
+            )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def nulls(self) -> FrozenSet[Null]:
+        """Every null the model assigns a probability to."""
+        return self._nulls
+
+    def covers(self, nulls: Iterable[Null]) -> bool:
+        """Whether every null in ``nulls`` is modeled."""
+        return all(n in self._group for n in nulls)
+
+    def require(self, nulls: Iterable[Null]) -> None:
+        """Raise :class:`InvalidRequestError` on any unmodeled null."""
+        missing = sorted((n.name for n in nulls if n not in self._group))
+        if missing:
+            raise InvalidRequestError(
+                f"no probability distribution for nulls {missing}; "
+                "extend the ProbabilityModel to cover the database"
+            )
+
+    def group(self, null: Null) -> FrozenSet[Null]:
+        """The correlation group of ``null`` (a singleton when independent)."""
+        try:
+            return self._group[null]
+        except KeyError:
+            raise InvalidRequestError(f"unmodeled null {null}") from None
+
+    def representative(self, null: Null) -> Null:
+        """The canonical member of ``null``'s group (stable across calls)."""
+        try:
+            return self._rep[null]
+        except KeyError:
+            raise InvalidRequestError(f"unmodeled null {null}") from None
+
+    def outcomes(self, null: Null) -> Tuple[Outcome, ...]:
+        """The joint ``(assignment, probability)`` outcomes of ``null``'s group."""
+        return self._outcomes[self.representative(null)]
+
+    def marginal(self, null: Null) -> Mapping[Any, float]:
+        """``{value: probability}`` for one null (summed over its block)."""
+        try:
+            return self._marginals[null]
+        except KeyError:
+            raise InvalidRequestError(f"unmodeled null {null}") from None
+
+    def support(self, null: Null) -> Tuple[Any, ...]:
+        """The values ``null`` can take (in distribution order)."""
+        return tuple(self.marginal(null))
+
+    # ------------------------------------------------------------------
+    # joint enumeration, sampling, world probabilities
+    # ------------------------------------------------------------------
+    def joint_outcomes(self, nulls: Iterable[Null]) -> Iterator[Outcome]:
+        """Joint outcomes of every group touching ``nulls`` (product order).
+
+        The assignments cover the *full* groups involved, which may be a
+        superset of ``nulls`` when a block is touched partially.
+        """
+        reps = sorted({self.representative(n) for n in nulls}, key=lambda n: n.name)
+        if not reps:
+            yield {}, 1.0
+            return
+        for combo in itertools.product(*(self._outcomes[rep] for rep in reps)):
+            assignment: Dict[Null, Any] = {}
+            probability = 1.0
+            for part, p in combo:
+                assignment.update(part)
+                probability *= p
+            yield assignment, probability
+
+    def sample(self, rng: Any) -> Valuation:
+        """One random valuation of every modeled null (``rng``: ``random.Random``)."""
+        assignment: Dict[Null, Any] = {}
+        for rep, outcomes in self._outcomes.items():
+            roll = rng.random()
+            acc = 0.0
+            chosen = outcomes[-1][0]
+            for part, p in outcomes:
+                acc += p
+                if roll < acc:
+                    chosen = part
+                    break
+            assignment.update(chosen)
+        return Valuation(assignment)
+
+    def world_probability(self, valuation: Valuation) -> float:
+        """The probability of the world ``valuation`` under this model.
+
+        The valuation must cover every modeled null; the probability is
+        the product over groups of the matching alternative (zero when a
+        group's joint assignment matches no alternative).
+        """
+        probability = 1.0
+        for rep, outcomes in self._outcomes.items():
+            group_p = 0.0
+            for assignment, p in outcomes:
+                if all(valuation(null) == value for null, value in assignment.items()):
+                    group_p = p
+                    break
+            if group_p == 0.0:
+                return 0.0
+            probability *= group_p
+        return probability
+
+    def stats(self) -> Dict[str, int]:
+        """Model shape: null/group/outcome counts (diagnostics, explain())."""
+        groups = len(self._outcomes)
+        blocks = sum(1 for rep in self._outcomes if len(self._group[rep]) > 1)
+        return {
+            "nulls": len(self._nulls),
+            "groups": groups,
+            "blocks": blocks,
+            "outcomes": sum(len(o) for o in self._outcomes.values()),
+        }
+
+    def __repr__(self) -> str:
+        shape = self.stats()
+        return (
+            f"ProbabilityModel({shape['nulls']} nulls, {shape['groups']} groups, "
+            f"{shape['blocks']} exclusive blocks)"
+        )

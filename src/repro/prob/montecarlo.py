@@ -1,0 +1,99 @@
+"""Monte Carlo confidence estimation — the budget-degradation fallback.
+
+When exact decomposition (:mod:`repro.prob.confidence`) blows its
+budget, callers fall back to sampling: draw worlds from the model,
+evaluate the condition in each, report the sample mean with a Wilson
+score interval.  The result is a
+:class:`~repro.resilience.ConfidenceInterval` — flagged ``partial`` like
+every degraded answer in this repo, so code must opt in to treating an
+estimate as a probability.
+
+Sampling never consults the budget: a fixed sample count is O(samples ·
+|condition|) with no exponential tail, which is the point of degrading
+to it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..datamodel.conditional import Condition
+from ..obs import span
+from ..resilience import ConfidenceInterval, InvalidRequestError
+from .model import ProbabilityModel
+
+__all__ = ["monte_carlo_confidence", "wilson_interval"]
+
+#: z-score of the two-sided 95% normal quantile.
+_Z_95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, samples: int, z: float = _Z_95
+) -> "tuple[float, float]":
+    """The Wilson score interval for ``successes``/``samples``.
+
+    Preferred over the naive normal interval because it stays inside
+    ``[0, 1]`` and behaves at the extremes (0 or all successes).
+    """
+    if samples <= 0:
+        return 0.0, 1.0
+    n = float(samples)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    center = (p + z * z / (2.0 * n)) / denom
+    spread = (z / denom) * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    # Clamp against the point estimate too: at 0 or n successes the
+    # float arithmetic can land the bound a ulp inside p.
+    return max(0.0, min(p, center - spread)), min(1.0, max(p, center + spread))
+
+
+def monte_carlo_confidence(
+    condition: Condition,
+    model: ProbabilityModel,
+    samples: int = 10_000,
+    seed: Optional[int] = None,
+    given: Optional[Condition] = None,
+    verdict: str = "monte-carlo estimate",
+    resource: Optional[str] = None,
+) -> ConfidenceInterval:
+    """Estimate ``P(condition)`` (or ``P(condition | given)``) by sampling.
+
+    With ``given``, rejection sampling estimates the conditional
+    probability from the accepted worlds; the interval then reflects the
+    accepted sample count, so a very selective constraint widens it
+    honestly.  Raises :class:`~repro.resilience.InvalidRequestError` when
+    every sample is rejected — the constraint is (near-)unsatisfiable and
+    no estimate can be made.
+    """
+    if samples < 1:
+        raise InvalidRequestError(f"monte carlo needs >= 1 sample, got {samples!r}")
+    rng = random.Random(seed)
+    successes = 0
+    accepted = 0
+    with span("prob.montecarlo", samples=samples) as sp:
+        for _ in range(samples):
+            valuation = model.sample(rng)
+            if given is not None and not given.evaluate(valuation):
+                continue
+            accepted += 1
+            if condition.evaluate(valuation):
+                successes += 1
+        if accepted == 0:
+            raise InvalidRequestError(
+                "monte carlo conditioning rejected every sample; "
+                "the constraint has (near-)zero probability"
+            )
+        low, high = wilson_interval(successes, accepted)
+        estimate = successes / accepted
+        sp.set(estimate=estimate, accepted=accepted)
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=low,
+        high=high,
+        samples=accepted,
+        verdict=verdict,
+        resource=resource,
+    )

@@ -79,6 +79,7 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "BudgetState",
+    "ConfidenceInterval",
     "InvalidRequestError",
     "ManualClock",
     "PartialResult",
@@ -488,6 +489,70 @@ class PartialResult:
 
     def __repr__(self) -> str:
         return f"PartialResult({len(self.relation)} sound rows; {self.verdict})"
+
+
+class ConfidenceInterval:
+    """A Monte Carlo probability estimate, flagged as approximate.
+
+    Produced when exact confidence computation (``Query.confidence()``)
+    exceeds its budget and degrades to sampling: :attr:`estimate` is the
+    sample mean, ``[low, high]`` a Wilson score interval at :attr:`level`
+    over :attr:`samples` draws.  ``verdict`` says why the exact evaluator
+    gave up (mirrors :class:`PartialResult`), ``resource`` which budget
+    dimension expired.
+
+    Deliberately *not* equal to any float — code must opt in to treating
+    an estimate as a probability via ``float(interval)`` (or
+    ``.estimate``); ``getattr(value, "partial", False)`` distinguishes it
+    from an exact answer without isinstance checks.
+    """
+
+    __slots__ = ("estimate", "low", "high", "samples", "level", "verdict", "resource")
+
+    #: Class-level flag, mirroring :class:`PartialResult`.
+    partial = True
+
+    def __init__(
+        self,
+        estimate: float,
+        low: float,
+        high: float,
+        samples: int,
+        level: float = 0.95,
+        verdict: str = "monte-carlo estimate",
+        resource: Optional[str] = None,
+    ) -> None:
+        self.estimate = float(estimate)
+        self.low = float(low)
+        self.high = float(high)
+        self.samples = int(samples)
+        self.level = float(level)
+        self.verdict = verdict
+        self.resource = resource
+
+    def __float__(self) -> float:
+        return self.estimate
+
+    def __contains__(self, probability: object) -> bool:
+        """Whether an (exact) probability lies inside the interval."""
+        if not isinstance(probability, (int, float)):
+            return False
+        return self.low <= float(probability) <= self.high
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self.estimate, self.low, self.high, self.samples, self.level,
+                self.verdict, self.resource)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        (self.estimate, self.low, self.high, self.samples, self.level,
+         self.verdict, self.resource) = state
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfidenceInterval({self.estimate:.4f} "
+            f"[{self.low:.4f}, {self.high:.4f}] @ {self.level:.0%}, "
+            f"{self.samples} samples; {self.verdict})"
+        )
 
 
 # ----------------------------------------------------------------------

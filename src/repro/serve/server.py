@@ -53,8 +53,10 @@ class Server:
         Number of worker threads answering queries concurrently.  May
         exceed ``backends``: relation-returning reads share the single
         frozen session, so they need no handle of their own.
-    engine, semantics, workers, budget, on_budget, retry_policy:
+    engine, semantics, model, workers, budget, on_budget, retry_policy:
         Forwarded to :func:`repro.connect` for every pooled session.
+        ``semantics="prob"`` with a :class:`~repro.prob.ProbabilityModel`
+        enables :meth:`confidence` on the frozen read path.
     backends:
         Number of *mutable* sessions (each with its own backend handle)
         kept for ``cursor()`` streaming, which pins per-connection cursor
@@ -85,6 +87,7 @@ class Server:
         pool_size: int = 8,
         engine: str = "sqlite",
         semantics: str = "cwa",
+        model: Optional[Any] = None,
         workers: Optional[int] = None,
         backends: int = 2,
         warm: Iterable[Any] = (),
@@ -115,6 +118,7 @@ class Server:
         session_kwargs = dict(
             engine=engine,
             semantics=semantics,
+            model=model,
             workers=workers,
             budget=budget,
             on_budget=on_budget,
@@ -204,6 +208,18 @@ class Server:
         """``await``-able :meth:`repro.session.Query.boolean`."""
         return await self._run(
             lambda: self._frozen.query(query).boolean(**kwargs), "boolean"
+        )
+
+    async def confidence(self, query: Any, **kwargs: Any) -> Any:
+        """``await``-able :meth:`repro.session.Query.confidence`.
+
+        Requires the server to be built with ``semantics="prob"`` and a
+        ``model=``.  Confidence queries on the frozen session read the
+        memo warmed before freezing and memoize new work per call, so
+        they stay lock-free across the pool.
+        """
+        return await self._run(
+            lambda: self._frozen.query(query).confidence(**kwargs), "confidence"
         )
 
     async def answer_object(self, query: Any) -> Any:

@@ -90,7 +90,7 @@ from .semantics.certain import (
     enumerate_possible_boolean,
 )
 
-_SEMANTICS = ("owa", "cwa", "wcwa")
+_SEMANTICS = ("owa", "cwa", "wcwa", "prob")
 
 
 def _engine_names() -> Tuple[str, ...]:
@@ -203,7 +203,14 @@ class Query:
     the session's engine, semantics and caches.
     """
 
-    __slots__ = ("session", "expression", "_database", "_engine", "_resilience_verdict")
+    __slots__ = (
+        "session",
+        "expression",
+        "_database",
+        "_engine",
+        "_resilience_verdict",
+        "_prob_constraint",
+    )
 
     def __init__(
         self,
@@ -218,6 +225,8 @@ class Query:
         self._engine = _engine
         #: How the last certain() call degraded, if it did (shown by explain()).
         self._resilience_verdict: Optional[str] = None
+        #: Conditioning constraint for confidence() (set by condition_on()).
+        self._prob_constraint: Optional[Any] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Query({self.expression!r})"
@@ -333,7 +342,7 @@ class Query:
             self.expression,
             self._require_database(),
             self._evaluator(),
-            semantics=self.session.semantics,
+            semantics=self.session.world_semantics,
             method=method,
             domain=domain,
             extra_constants=extra_constants,
@@ -481,7 +490,7 @@ class Query:
             raise error
         expression = self.expression
         database = self._require_database()
-        semantics = self.session.semantics
+        semantics = self.session.world_semantics
         relation: Optional[Relation] = None
         quality: Optional[str] = None
         rung: Optional[str] = None
@@ -565,7 +574,7 @@ class Query:
             self.expression,
             self._require_database(),
             self._evaluator(),
-            semantics=self.session.semantics,
+            semantics=self.session.world_semantics,
             domain=domain,
             extra_constants=extra_constants,
             max_extra_facts=max_extra_facts,
@@ -611,7 +620,7 @@ class Query:
                 self.expression,
                 self._require_database(),
                 self._evaluator(),
-                semantics=self.session.semantics,
+                semantics=self.session.world_semantics,
             )
 
     def boolean(
@@ -682,7 +691,7 @@ class Query:
             return enumerate_certain_boolean(
                 evaluate,
                 database,
-                semantics=self.session.semantics,
+                semantics=self.session.world_semantics,
                 domain=domain,
                 extra_constants=extra_constants,
                 max_extra_facts=max_extra_facts,
@@ -693,12 +702,289 @@ class Query:
             return enumerate_possible_boolean(
                 evaluate,
                 database,
-                semantics=self.session.semantics,
+                semantics=self.session.world_semantics,
                 domain=domain,
                 extra_constants=extra_constants,
                 max_extra_facts=max_extra_facts,
             )
         raise InvalidRequestError(f"unknown mode {mode!r}; expected 'certain' or 'possible'")
+
+    # -- probabilistic answering (semantics="prob") --------------------
+    def _require_prob(self, what: str) -> Any:
+        self._no_sql(what)
+        if self.session.semantics != "prob" or self.session.model is None:
+            raise InvalidRequestError(
+                f'{what} needs a probabilistic session: '
+                "connect(semantics='prob', model=ProbabilityModel(...))"
+            )
+        if not isinstance(self.expression, RAExpression):
+            raise InvalidRequestError(
+                f"{what} requires a relational-algebra query; the c-table "
+                "engine supplies the lineage conditions"
+            )
+        return self.session.model
+
+    def condition_on(self, constraint: Any) -> "Query":
+        """A new query conditioned on ``constraint`` (Koch–Olteanu).
+
+        ``constraint`` is a :class:`~repro.datamodel.conditional.Condition`
+        over the model's nulls; worlds violating it are retracted and the
+        remaining measure renormalized, so :meth:`confidence` returns
+        ``P(answer | constraint)``.  Chaining ``condition_on`` conjoins
+        constraints.  Conditioning on a probability-zero constraint
+        raises :class:`~repro.resilience.InvalidRequestError` at
+        :meth:`confidence` time.
+        """
+        from .datamodel.conditional import And, Condition
+
+        self._require_prob("condition_on()")
+        if not isinstance(constraint, Condition):
+            raise InvalidRequestError(
+                "condition_on() expects a Condition over the model's nulls, "
+                f"got {type(constraint).__name__}"
+            )
+        clone = Query(self.session, self.expression, self._database, self._engine)
+        if self._prob_constraint is None:
+            clone._prob_constraint = constraint
+        else:
+            clone._prob_constraint = And((self._prob_constraint, constraint)).simplify()
+        return clone
+
+    def confidence(
+        self,
+        limit: Optional[int] = None,
+        min_p: float = 0.0,
+        budget: Optional[Budget] = None,
+        on_budget: Optional[str] = None,
+        samples: int = 10_000,
+        seed: Optional[int] = None,
+    ) -> List[Tuple[Tuple[Any, ...], Any]]:
+        """Answer tuples ranked by probability: ``[(row, P(row)), ...]``.
+
+        The c-table engine evaluates the query once, producing each
+        answer's lineage condition; :func:`repro.prob.confidence` then
+        computes the exact probability of every lineage under the
+        session's :class:`~repro.prob.ProbabilityModel` (conditioned on
+        the c-table's global condition and any :meth:`condition_on`
+        constraint).  Results are sorted by descending probability
+        (ties broken deterministically), filtered to ``min_p`` and capped
+        at ``limit``.
+
+        ``budget`` caps the evaluation (falling back to the session
+        default).  When it expires *during* confidence computation the
+        remaining answers degrade to Monte Carlo estimates over
+        ``samples`` sampled worlds — their probabilities come back as
+        :class:`~repro.resilience.ConfidenceInterval` (flagged
+        ``partial``) instead of floats, and :meth:`explain` records the
+        verdict; ``on_budget="raise"`` propagates
+        :class:`~repro.resilience.BudgetExceeded` instead.  A budget that
+        dies before the lineage exists (c-table evaluation itself) always
+        raises — with no lineage there is nothing to estimate.
+        """
+        with self.session._obs("query.confidence"):
+            return self._confidence(limit, min_p, budget, on_budget, samples, seed)
+
+    def _confidence(
+        self,
+        limit: Optional[int],
+        min_p: float,
+        budget: Optional[Budget],
+        on_budget: Optional[str],
+        samples: int,
+        seed: Optional[int],
+    ) -> List[Tuple[Tuple[Any, ...], Any]]:
+        from .prob.conditioning import Conditioner
+        from .prob.confidence import confidence as exact_confidence
+        from .prob.montecarlo import monte_carlo_confidence
+
+        model = self._require_prob("confidence()")
+        if limit is not None and limit < 1:
+            raise InvalidRequestError(f"limit must be >= 1, got {limit!r}")
+        policy = on_budget if on_budget is not None else self.session.on_budget
+        if policy not in ("degrade", "raise", "partial"):
+            raise InvalidRequestError(
+                f"unknown on_budget policy {policy!r}; "
+                "expected 'degrade', 'raise' or 'partial'"
+            )
+        self._resilience_verdict = None
+        budget = budget if budget is not None else self.session.budget
+        kernel = self.session.kernel
+        # Mutable carrier: on a budget overrun the except-branch reads the
+        # lineage and the exact prefix computed before the expiry.
+        progress: dict = {}
+
+        def run() -> List[Tuple[Tuple[Any, ...], Any]]:
+            candidates, constraint = self._prob_lineage(model, kernel)
+            progress["candidates"] = candidates
+            progress["constraint"] = constraint
+            conditioner = (
+                Conditioner(constraint, model, kernel)
+                if constraint is not None
+                else None
+            )
+            scored: List[Tuple[Tuple[Any, ...], Any]] = []
+            progress["scored"] = scored
+            for values, lineage in candidates:
+                if conditioner is not None:
+                    p = conditioner.probability(lineage)
+                else:
+                    p = exact_confidence(lineage, model, kernel)
+                scored.append((values, p))
+            return scored
+
+        self.session._begin_run()
+        try:
+            if budget is None:
+                return self._rank_confidence(run(), limit, min_p)
+            state = budget.start()
+            self.session._register_state(state)
+            try:
+                with budget_scope(state):
+                    return self._rank_confidence(run(), limit, min_p)
+            except BudgetExceeded as error:
+                resource = error.resource or "budget"
+                self.session._metrics.count("budget.expired." + resource)
+                if policy == "raise":
+                    self._resilience_verdict = (
+                        f"budget exceeded ({resource}); on_budget='raise' — "
+                        "no estimator ran"
+                    )
+                    raise
+                candidates = progress.get("candidates")
+                if candidates is None:
+                    # Lineage construction itself blew the budget: no
+                    # conditions exist to sample, so degrading is impossible.
+                    self._resilience_verdict = (
+                        f"budget exceeded ({resource}) during c-table lineage "
+                        "construction — nothing to estimate; raised"
+                    )
+                    raise
+                scored = list(progress.get("scored", ()))
+                constraint = progress.get("constraint")
+                verdict = (
+                    f"budget exceeded ({resource}); "
+                    f"{len(candidates) - len(scored)} of {len(candidates)} "
+                    f"answers degraded to Monte Carlo ({samples} samples)"
+                )
+                self.session._metrics.count("degrade.monte_carlo")
+                # Estimation runs outside the expired budget: a fixed
+                # sample count is polynomial, the overrun bounded.
+                for index in range(len(scored), len(candidates)):
+                    values, lineage = candidates[index]
+                    estimate = monte_carlo_confidence(
+                        lineage,
+                        model,
+                        samples=samples,
+                        seed=None if seed is None else seed + index,
+                        given=constraint,
+                        verdict=verdict,
+                        resource=error.resource,
+                    )
+                    scored.append((values, estimate))
+                self._resilience_verdict = verdict
+                return self._rank_confidence(scored, limit, min_p)
+            finally:
+                self.session._unregister_state(state)
+        finally:
+            self.session._end_run()
+
+    def _prob_lineage(
+        self, model: Any, kernel: ConditionKernel
+    ) -> Tuple[List[Tuple[Tuple[Any, ...], Any]], Optional[Any]]:
+        """Ground answer tuples with their lineage conditions, plus the
+        effective conditioning constraint (``None`` when trivial).
+
+        The c-table engine supplies one conditional row per derivation;
+        rows carrying nulls *in the tuple itself* are grounded by
+        enumerating the joint outcomes of those nulls' groups (each
+        outcome pins the nulls with equality atoms conjoined onto the
+        row's condition).  Derivations of the same ground tuple are
+        OR-ed.  Deterministic: candidates come back in first-derivation
+        order.
+        """
+        from .algebra.ctable_algebra import CTableDatabase
+        from .datamodel.conditional import FalseCondition, TrueCondition
+        from .datamodel.valuation import Valuation
+        from .resilience import active_budget
+
+        database = self._require_database()
+        model.require(database.nulls())
+        ctable = self.session.evaluate_ctable(
+            self.expression, CTableDatabase.from_database(database)
+        )
+        state = active_budget()
+        lineages: dict = {}
+        order: List[Tuple[Any, ...]] = []
+
+        def add(values: Tuple[Any, ...], lineage: Any) -> None:
+            bucket = lineages.get(values)
+            if bucket is None:
+                lineages[values] = [lineage]
+                order.append(values)
+            else:
+                bucket.append(lineage)
+
+        for row in ctable.rows:
+            condition = kernel.intern(row.condition)
+            value_nulls = sorted(
+                {v for v in row.values if is_null(v)}, key=lambda n: n.name
+            )
+            if not value_nulls:
+                if not isinstance(condition, FalseCondition):
+                    add(row.values, condition)
+                continue
+            # Ground the tuple: one candidate per distinct restriction of
+            # the involved groups' joint outcomes to the tuple's nulls.
+            seen: set = set()
+            for assignment, _probability in model.joint_outcomes(value_nulls):
+                if state is not None:
+                    state.tick_world()
+                restricted = tuple(assignment[n] for n in value_nulls)
+                if restricted in seen:
+                    continue
+                seen.add(restricted)
+                valuation = Valuation(dict(zip(value_nulls, restricted)))
+                values = valuation.apply_row(row.values)
+                pins = [kernel.eq(n, v) for n, v in zip(value_nulls, restricted)]
+                lineage = kernel.conjunction([condition, *pins])
+                if not isinstance(lineage, FalseCondition):
+                    add(values, lineage)
+
+        candidates: List[Tuple[Tuple[Any, ...], Any]] = []
+        for values in order:
+            bucket = lineages[values]
+            lineage = bucket[0] if len(bucket) == 1 else kernel.disjunction(bucket)
+            candidates.append((values, lineage))
+        self.session._metrics.count("prob.confidence.candidates", len(candidates))
+
+        parts = []
+        global_condition = kernel.intern(ctable.global_condition)
+        if not isinstance(global_condition, TrueCondition):
+            parts.append(global_condition)
+        if self._prob_constraint is not None:
+            constraint = kernel.intern(self._prob_constraint)
+            if not isinstance(constraint, TrueCondition):
+                parts.append(constraint)
+        if not parts:
+            return candidates, None
+        effective = parts[0] if len(parts) == 1 else kernel.conjunction(parts)
+        return candidates, effective
+
+    @staticmethod
+    def _rank_confidence(
+        scored: List[Tuple[Tuple[Any, ...], Any]],
+        limit: Optional[int],
+        min_p: float,
+    ) -> List[Tuple[Tuple[Any, ...], Any]]:
+        # Zero-probability derivations (a lineage the model rules out) are
+        # not answers in any retained world; they never surface.
+        kept = [
+            (values, p)
+            for values, p in scored
+            if float(p) > 0.0 and float(p) >= min_p
+        ]
+        kept.sort(key=lambda item: (-float(item[1]), tuple(str(v) for v in item[0])))
+        return kept if limit is None else kept[:limit]
 
     # -- introspection -------------------------------------------------
     def explain(self, analyze: bool = False) -> str:
@@ -807,7 +1093,8 @@ class Query:
                 return Cursor(iter(rows), batch_size, metrics=metrics)
             expression = self.expression
             if certain and not naive_evaluation_applies(
-                expression, semantics=applicability_semantics(self.session.semantics)
+                expression,
+                semantics=applicability_semantics(self.session.world_semantics),
             ):
                 rows: Iterable[Tuple[Any, ...]] = iter(self._certain(
                     "auto", None, None, 1, None, None, None
@@ -839,6 +1126,7 @@ class Session:
         *,
         engine: str = "plan",
         semantics: str = "cwa",
+        model: Optional[Any] = None,
         workers: Optional[int] = None,
         backend_path: str = ":memory:",
         kernel_watermark: Optional[int] = None,
@@ -876,7 +1164,25 @@ class Session:
             raise TypeError(
                 f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
             )
+        if semantics == "prob":
+            from .prob import ProbabilityModel
+
+            if model is None:
+                raise InvalidRequestError(
+                    'semantics="prob" needs a probability model: '
+                    "connect(semantics='prob', model=ProbabilityModel(...))"
+                )
+            if not isinstance(model, ProbabilityModel):
+                raise TypeError(
+                    f"model must be a ProbabilityModel, got {type(model).__name__}"
+                )
+        elif model is not None:
+            raise InvalidRequestError(
+                f'model= is only meaningful with semantics="prob", '
+                f"not {semantics!r}"
+            )
         self.database = database
+        self.model = model
         self._engine = None if _dynamic_engine else engine
         self.semantics = semantics
         self.workers = workers
@@ -948,6 +1254,18 @@ class Session:
         from . import engine as _engine_module
 
         return _engine_module.get_default_engine()
+
+    @property
+    def world_semantics(self) -> str:
+        """The possible-world semantics evaluation strategies quantify over.
+
+        ``semantics="prob"`` is a *probability layer on top of* the
+        closed-world possible-world space: a pc-table's worlds are the
+        valuations of its nulls (no open-world fact invention), so
+        certain/possible/boolean modes on a prob session evaluate under
+        CWA while ``confidence()`` adds the measure.
+        """
+        return "cwa" if self.semantics == "prob" else self.semantics
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         db = "None" if self.database is None else f"<{len(self.database)} facts>"
@@ -1544,11 +1862,19 @@ class Session:
 
         lines: List[str] = [f"query: {expression!r}"]
         lines.append(f"engine: {engine}; semantics: {self.semantics}")
-        verdict = explain_method(expression, semantics=self.semantics)
+        verdict = explain_method(expression, semantics=self.world_semantics)
         certainty = "naive evaluation" if verdict.applies else "world enumeration"
         lines.append(
             f"certain(): {certainty} — {verdict.reason} (fragment: {verdict.fragment})"
         )
+        if self.semantics == "prob" and self.model is not None:
+            shape = self.model.stats()
+            lines.append(
+                "confidence(): exact decomposition over the c-table lineage "
+                f"({shape['nulls']} modeled nulls, {shape['groups']} independent "
+                f"groups, {shape['blocks']} exclusive blocks); budget overruns "
+                "degrade to a Monte Carlo ConfidenceInterval"
+            )
         if not isinstance(expression, RAExpression):
             lines.append("plan: n/a (first-order query, evaluated by satisfaction)")
             return "\n".join(lines)
@@ -1632,7 +1958,13 @@ class Session:
             if self._frozen:
                 return self
             for query in warm:
-                self.query(query).certain()
+                # Warming must populate the caches the serving tier will
+                # read: on a prob session that is the lineage plans and
+                # the kernel's confidence memo, reached via confidence().
+                if self.semantics == "prob":
+                    self.query(query).confidence()
+                else:
+                    self.query(query).certain()
             if self.engine == "sqlite" and self.database is not None:
                 self._ensure_backend(self.database)
             self.kernel.freeze()
@@ -1741,6 +2073,7 @@ def connect(
     *,
     engine: str = "plan",
     semantics: str = "cwa",
+    model: Optional[Any] = None,
     workers: Optional[int] = None,
     backend_path: str = ":memory:",
     kernel_watermark: Optional[int] = None,
@@ -1765,7 +2098,14 @@ def connect(
         (plans compiled to SQL on a session-owned SQLite handle).
     semantics:
         ``"cwa"`` (default), ``"owa"`` or ``"wcwa"`` — the possible-world
-        semantics certain/possible answers quantify over.
+        semantics certain/possible answers quantify over — or ``"prob"``,
+        the probabilistic tier: worlds are CWA valuations weighted by
+        ``model``, and :meth:`Query.confidence` ranks answers by exact
+        probability (see ``docs/probability.md``).
+    model:
+        The :class:`~repro.prob.ProbabilityModel` over the database's
+        nulls; required by (and only meaningful with)
+        ``semantics="prob"``.
     workers:
         When > 1, world enumeration fans out over a process pool.
     backend_path:
@@ -1808,6 +2148,7 @@ def connect(
         database,
         engine=engine,
         semantics=semantics,
+        model=model,
         workers=workers,
         backend_path=backend_path,
         kernel_watermark=kernel_watermark,

@@ -55,7 +55,7 @@ class TestInterning:
         kernel_eq(x, "fresh-value")
         assert kernel_stats()["interned"] > 0
         clear_condition_kernel()
-        assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+        assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0, "confidence_memo": 0}
 
     def test_nodes_surviving_a_clear_reintern(self):
         """A pre-clear canonical node must not satisfy identity checks by a stale mark."""

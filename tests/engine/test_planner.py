@@ -174,6 +174,51 @@ class TestLogicalOptimizer:
         assert len(plan.child.factors) == 3
         assert query.evaluate(db, engine="plan") == query.evaluate(db, engine="interpreter")
 
+    def test_projection_inside_join_chain_flattens(self, db):
+        # A user-written projection between joins used to stop flattening
+        # (the π(join) subtree became an opaque leaf factor); now the view
+        # composes through it, so the whole chain is one 3-ary multijoin.
+        inner = project(
+            join(
+                rename(relation("R"), "A", ("a", "b")),
+                rename(relation("S"), "B", ("b", "c")),
+            ),
+            ("b", "c"),
+        )
+        query = join(inner, rename(relation("S"), "C", ("c", "d")))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LProject)
+        assert isinstance(plan.child, LMultiJoin)
+        assert len(plan.child.factors) == 3
+        assert query.evaluate(db, engine="plan") == query.evaluate(db, engine="interpreter")
+
+    def test_stacked_projections_compose_through_flattening(self, db):
+        # π over π over a join chain: positions compose, results agree.
+        inner = project(
+            project(
+                join(
+                    rename(relation("R"), "A", ("a", "b")),
+                    rename(relation("S"), "B", ("b", "c")),
+                ),
+                ("b", "c"),
+            ),
+            ("c", "b"),
+        )
+        query = join(inner, rename(relation("T"), "C", ("b",)))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LProject)
+        assert isinstance(plan.child, LMultiJoin)
+        assert len(plan.child.factors) == 3
+        assert query.evaluate(db, engine="plan") == query.evaluate(db, engine="interpreter")
+
+    def test_bare_projection_over_scan_stays_a_leaf(self, db):
+        # The recursion must not turn π(scan) into a (vacuous) multijoin
+        # view — leaves stay leaves.
+        query = project(relation("S"), ("#1", "#0"))
+        plan = compile_plan(query, db.schema)
+        assert isinstance(plan, LProject)
+        assert isinstance(plan.child, LScan)
+
 
 class TestExecution:
     def test_common_subexpression_runs_once(self, db):
@@ -281,7 +326,12 @@ class TestExecution:
 
         # The full wipe remains available for tests and benchmarks.
         clear_condition_kernel()
-        assert kernel_stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+        assert kernel_stats() == {
+            "interned": 0,
+            "and_memo": 0,
+            "or_memo": 0,
+            "confidence_memo": 0,
+        }
 
     def test_unknown_engine_rejected(self, db):
         with pytest.raises(ValueError):

@@ -24,6 +24,7 @@ EXPECTED_SNIPPETS = {
     "graph_queries.py": "Certain answers",
     "consistent_answers.py": "repairs",
     "views_integration.py": "Certainly employees",
+    "prob_confidence.py": "P(answer",
 }
 
 

@@ -1,0 +1,93 @@
+"""Koch–Olteanu conditioning: factorization, normalization, errors."""
+
+import pytest
+
+from repro.datamodel import And, Eq, Not, Null, Or
+from repro.datamodel.condition_kernel import ConditionKernel
+from repro.datamodel.conditional import TRUE
+from repro.prob import Conditioner, ProbabilityModel, brute_force_confidence
+from repro.resilience import InvalidRequestError
+
+X, Y, Z = Null("x"), Null("y"), Null("z")
+
+
+@pytest.fixture
+def model():
+    return ProbabilityModel(
+        independent={
+            X: {1: 0.5, 2: 0.5},
+            Y: {1: 0.4, 2: 0.6},
+            Z: {1: 0.9, 2: 0.1},
+        }
+    )
+
+
+def test_group_disjoint_conjuncts_become_components(model):
+    # x-conjunct and y-conjunct touch disjoint groups: two components,
+    # P(constraint) is the product of the cached factors.
+    conditioner = Conditioner(And((Eq(X, 1), Eq(Y, 2))), model, ConditionKernel())
+    assert conditioner.components() == 2
+    assert conditioner.normalization == pytest.approx(0.5 * 0.6)
+
+
+def test_overlapping_conjuncts_merge_into_one_component(model):
+    constraint = And((Or((Eq(X, 1), Eq(Y, 1))), Eq(Y, 2)))
+    conditioner = Conditioner(constraint, model, ConditionKernel())
+    assert conditioner.components() == 1
+    assert conditioner.normalization == pytest.approx(
+        brute_force_confidence(constraint, model)
+    )
+
+
+def test_independent_components_cancel(model):
+    # P(z-condition | x-constraint ∧ y-constraint) = P(z-condition): the
+    # untouched components cancel out exactly.
+    conditioner = Conditioner(And((Eq(X, 1), Eq(Y, 2))), model, ConditionKernel())
+    assert conditioner.probability(Eq(Z, 2)) == pytest.approx(0.1)
+
+
+def test_touched_component_renormalizes(model):
+    conditioner = Conditioner(Eq(X, 1), model, ConditionKernel())
+    assert conditioner.probability(Eq(X, 1)) == pytest.approx(1.0)
+    assert conditioner.probability(Eq(X, 2)) == pytest.approx(0.0)
+    assert conditioner.probability(TRUE) == 1.0
+
+
+def test_conditional_matches_brute_force(model):
+    constraint = Or((Eq(X, 1), Eq(Y, 1)))
+    conditioner = Conditioner(constraint, model, ConditionKernel())
+    condition = And((Eq(X, 1), Eq(Z, 1)))
+    expected = brute_force_confidence(
+        And((condition, constraint)), model
+    ) / brute_force_confidence(constraint, model)
+    assert conditioner.probability(condition) == pytest.approx(expected)
+
+
+def test_zero_probability_constraint_raises(model):
+    with pytest.raises(InvalidRequestError, match="probability zero"):
+        Conditioner(And((Eq(X, 1), Eq(X, 2))), model, ConditionKernel())
+    with pytest.raises(InvalidRequestError, match="probability zero"):
+        Conditioner(Eq(X, 7), model, ConditionKernel())  # off support
+
+
+def test_ground_conjuncts_fold_into_normalization(model):
+    # A certainly-true ground conjunct contributes factor 1 and no
+    # component.
+    conditioner = Conditioner(And((Not(Eq(1, 2)), Eq(X, 1))), model, ConditionKernel())
+    assert conditioner.components() == 1
+    assert conditioner.normalization == pytest.approx(0.5)
+
+
+def test_given_exposes_constraint_for_sampling(model):
+    assert Conditioner(TRUE, model, ConditionKernel()).given() is None
+    conditioner = Conditioner(Eq(X, 1), model, ConditionKernel())
+    assert conditioner.given() is not None
+    assert "components" in repr(conditioner)
+
+
+def test_unmodeled_null_rejected(model):
+    with pytest.raises(InvalidRequestError, match="no probability"):
+        Conditioner(Eq(Null("other"), 1), model, ConditionKernel())
+    conditioner = Conditioner(Eq(X, 1), model, ConditionKernel())
+    with pytest.raises(InvalidRequestError, match="no probability"):
+        conditioner.probability(Eq(Null("other"), 1))

@@ -1,0 +1,180 @@
+"""The exact confidence evaluator: decomposition rules, memo, budget."""
+
+import pytest
+
+from repro.datamodel import Eq, Null, Not, Or, And
+from repro.datamodel.condition_kernel import ConditionKernel
+from repro.datamodel.conditional import FALSE, TRUE
+from repro.prob import ExclusiveBlock, ProbabilityModel, brute_force_confidence, confidence
+from repro.resilience import Budget, BudgetExceeded, InvalidRequestError, budget_scope
+
+X, Y, Z, W = Null("x"), Null("y"), Null("z"), Null("w")
+
+
+@pytest.fixture
+def model():
+    # x, w independent; {y, z} an exclusive block.
+    return ProbabilityModel(
+        independent={X: {1: 0.6, 2: 0.4}, W: {1: 0.5, 3: 0.5}},
+        blocks=[
+            ExclusiveBlock(
+                [({Y: 1, Z: 1}, 0.3), ({Y: 2, Z: 1}, 0.2), ({Y: 2, Z: 2}, 0.5)]
+            )
+        ],
+    )
+
+
+@pytest.fixture
+def kernel():
+    return ConditionKernel()
+
+
+class TestAtoms:
+    def test_constants(self, model, kernel):
+        assert confidence(TRUE, model, kernel) == 1.0
+        assert confidence(FALSE, model, kernel) == 0.0
+
+    def test_null_equals_constant(self, model, kernel):
+        assert confidence(Eq(X, 1), model, kernel) == pytest.approx(0.6)
+        assert confidence(Eq(X, 9), model, kernel) == 0.0  # off support
+
+    def test_same_block_atom_sums_matching_alternatives(self, model, kernel):
+        # y = z holds in alternatives (1,1) and (2,2): 0.3 + 0.5.
+        assert confidence(Eq(Y, Z), model, kernel) == pytest.approx(0.8)
+
+    def test_cross_group_atom_convolves_marginals(self, model, kernel):
+        # x = w: only value 1 is shared (0.6 * 0.5).
+        assert confidence(Eq(X, W), model, kernel) == pytest.approx(0.3)
+
+    def test_negation_complements(self, model, kernel):
+        assert confidence(Not(Eq(X, 1)), model, kernel) == pytest.approx(0.4)
+
+    def test_unmodeled_null_raises(self, model, kernel):
+        with pytest.raises(InvalidRequestError, match="no probability"):
+            confidence(Eq(Null("other"), 1), model, kernel)
+
+
+class TestDecomposition:
+    def test_independent_and_multiplies(self, model, kernel):
+        stats = {}
+        p = confidence(And((Eq(X, 1), Eq(W, 3))), model, kernel, stats=stats)
+        assert p == pytest.approx(0.6 * 0.5)
+        assert stats["independent_ands"] >= 1
+        assert stats["shannon_expansions"] == 0
+
+    def test_independent_or_complements(self, model, kernel):
+        stats = {}
+        p = confidence(Or((Eq(X, 1), Eq(W, 3))), model, kernel, stats=stats)
+        assert p == pytest.approx(1.0 - 0.4 * 0.5)
+        assert stats["independent_ors"] >= 1
+
+    def test_exclusive_or_sums_without_shannon(self, model, kernel):
+        # y = 1 and z = 2 never hold together (no block alternative has
+        # both): the evaluator detects the exclusion from the block
+        # structure and sums — no Shannon expansion.
+        disjunction = Or((Eq(Y, 1), Eq(Z, 2)))
+        stats = {}
+        p = confidence(disjunction, model, kernel, stats=stats)
+        assert p == pytest.approx(0.3 + 0.5)
+        assert stats["exclusive_ors"] >= 1
+        assert stats["shannon_expansions"] == 0
+
+    def test_exclusive_or_over_pinned_alternatives(self, model, kernel):
+        # Conjunctions pinning the block to different alternatives are
+        # exclusive too (their inner evaluation may expand, the top-level
+        # disjunction must not enumerate cross products).
+        disjunction = Or(
+            (And((Eq(Y, 1), Eq(Z, 1))), And((Eq(Y, 2), Eq(Z, 2))))
+        )
+        stats = {}
+        p = confidence(disjunction, model, kernel, stats=stats)
+        assert p == pytest.approx(0.3 + 0.5)
+        assert stats["exclusive_ors"] >= 1
+
+    def test_shared_group_or_takes_shannon(self, model, kernel):
+        # Disjuncts overlap on x = 1 (not exclusive, not independent):
+        # Shannon expansion over x is the only sound rule.
+        condition = Or((And((Eq(X, 1), Eq(Y, 1))), And((Eq(X, 1), Eq(W, 1)))))
+        stats = {}
+        p = confidence(condition, model, kernel, stats=stats)
+        assert p == pytest.approx(brute_force_confidence(condition, model))
+        assert p == pytest.approx(0.6 * (0.3 + 0.5 - 0.3 * 0.5))
+        assert stats["shannon_expansions"] >= 1
+
+    def test_contradictory_conjunction_is_zero(self, model, kernel):
+        assert confidence(And((Eq(X, 1), Eq(X, 2))), model, kernel) == 0.0
+
+    def test_result_clamped_to_unit_interval(self, model, kernel):
+        big = Or(tuple(Eq(X, v) for v in (1, 2)))
+        assert confidence(big, model, kernel) == 1.0
+
+
+class TestMemo:
+    def test_shared_memo_hits_on_reevaluation(self, model, kernel):
+        condition = Or((And((Eq(X, 1), Eq(Y, 1))), And((Eq(X, 1), Eq(W, 1)))))
+        first = confidence(condition, model, kernel)
+        stats = {}
+        second = confidence(condition, model, kernel, stats=stats)
+        assert first == second
+        assert stats["memo_hits"] >= 1
+        assert stats["shannon_expansions"] == 0  # cached, not re-expanded
+        assert kernel.stats()["confidence_memo"] > 0
+
+    def test_memo_is_per_model(self, kernel):
+        model_a = ProbabilityModel(independent={X: {1: 0.6, 2: 0.4}})
+        model_b = ProbabilityModel(independent={X: {1: 0.1, 2: 0.9}})
+        assert confidence(Eq(X, 1), model_a, kernel) == pytest.approx(0.6)
+        assert confidence(Eq(X, 1), model_b, kernel) == pytest.approx(0.1)
+
+    def test_explicit_memo_override(self, model, kernel):
+        memo = {}
+        confidence(Eq(X, 1), model, kernel, memo=memo)
+        assert len(memo) >= 1
+        assert kernel.stats()["confidence_memo"] == 0  # shared table untouched
+
+    def test_clear_drops_confidence_memo(self, model, kernel):
+        confidence(Eq(X, 1), model, kernel)
+        assert kernel.stats()["confidence_memo"] > 0
+        kernel.clear()
+        assert kernel.stats()["confidence_memo"] == 0
+
+
+class TestFrozenKernel:
+    def test_frozen_kernel_serves_warmed_memo_readonly(self, model, kernel):
+        condition = Or((And((Eq(X, 1), Eq(Y, 1))), And((Eq(X, 1), Eq(W, 1)))))
+        warmed = confidence(condition, model, kernel)
+        warmed_size = kernel.stats()["confidence_memo"]
+        assert warmed_size > 0
+        kernel.freeze()
+        stats = {}
+        assert confidence(condition, model, kernel, stats=stats) == warmed
+        assert stats["memo_hits"] >= 1  # served from the frozen base layer
+        # The frozen kernel's tables are not mutated by new queries.
+        fresh = And((Eq(X, 2), Eq(W, 3)))
+        assert confidence(fresh, model, kernel) == pytest.approx(0.4 * 0.5)
+        assert kernel.stats()["confidence_memo"] == warmed_size
+        assert kernel.memo_trims == 0
+
+    def test_unwarmed_frozen_kernel_still_answers(self, model):
+        kernel = ConditionKernel()
+        kernel.freeze()
+        assert confidence(Eq(X, 1), model, kernel) == pytest.approx(0.6)
+        assert kernel.stats()["confidence_memo"] == 0
+
+
+class TestBudget:
+    def test_budget_expiry_raises_mid_expansion(self, model, kernel):
+        # Force Shannon (shared x, not exclusive) under a one-world budget.
+        condition = Or((And((Eq(X, 1), Eq(Y, 1))), And((Eq(X, 1), Eq(W, 1)))))
+        state = Budget(max_worlds=1).start()
+        with pytest.raises(BudgetExceeded):
+            with budget_scope(state):
+                confidence(condition, model, kernel)
+
+    def test_ample_budget_is_untouched(self, model, kernel):
+        condition = Or((And((Eq(X, 1), Eq(Y, 1))), And((Eq(X, 1), Eq(W, 1)))))
+        state = Budget(max_worlds=10_000).start()
+        with budget_scope(state):
+            assert confidence(condition, model, kernel) == pytest.approx(
+                brute_force_confidence(condition, model)
+            )

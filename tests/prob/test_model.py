@@ -1,0 +1,106 @@
+"""ProbabilityModel / ExclusiveBlock: construction-time validation and shape."""
+
+import random
+
+import pytest
+
+from repro.datamodel import Null, Valuation
+from repro.prob import ExclusiveBlock, ProbabilityModel
+from repro.resilience import InvalidRequestError
+
+X, Y, Z = Null("x"), Null("y"), Null("z")
+
+
+def two_point(a=1, b=2, p=0.5):
+    return {a: p, b: 1.0 - p}
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(InvalidRequestError, match="sums to"):
+            ProbabilityModel(independent={X: {1: 0.5, 2: 0.4}})
+
+    def test_probabilities_must_be_positive(self):
+        with pytest.raises(InvalidRequestError, match="probability"):
+            ProbabilityModel(independent={X: {1: 0.0, 2: 1.0}})
+        with pytest.raises(InvalidRequestError, match="probability"):
+            ProbabilityModel(independent={X: {1: "half", 2: 0.5}})
+
+    def test_supports_must_be_constants(self):
+        with pytest.raises(InvalidRequestError, match="constants"):
+            ProbabilityModel(independent={X: {Y: 0.5, 2: 0.5}})
+        with pytest.raises(InvalidRequestError, match="constants"):
+            ProbabilityModel(independent={X: {None: 0.5, 2: 0.5}})
+
+    def test_keys_must_be_nulls(self):
+        with pytest.raises(InvalidRequestError, match="maps nulls"):
+            ProbabilityModel(independent={"x": two_point()})
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(InvalidRequestError, match="at least one"):
+            ProbabilityModel()
+        with pytest.raises(InvalidRequestError, match="empty"):
+            ProbabilityModel(independent={X: {}})
+
+    def test_null_cannot_join_two_groups(self):
+        block = ExclusiveBlock([({X: 1, Y: 1}, 0.5), ({X: 2, Y: 2}, 0.5)])
+        with pytest.raises(InvalidRequestError, match="more than one"):
+            ProbabilityModel(independent={X: two_point()}, blocks=[block])
+
+    def test_block_alternatives_must_share_nulls(self):
+        with pytest.raises(InvalidRequestError, match="same nulls"):
+            ExclusiveBlock([({X: 1}, 0.5), ({Y: 1}, 0.5)])
+
+    def test_block_rejects_duplicates_and_empty(self):
+        with pytest.raises(InvalidRequestError, match="duplicate"):
+            ExclusiveBlock([({X: 1}, 0.5), ({X: 1}, 0.5)])
+        with pytest.raises(InvalidRequestError, match="at least one"):
+            ExclusiveBlock([])
+
+
+class TestShape:
+    @pytest.fixture
+    def model(self):
+        block = ExclusiveBlock([({Y: 1, Z: 1}, 0.3), ({Y: 2, Z: 1}, 0.2), ({Y: 2, Z: 2}, 0.5)])
+        return ProbabilityModel(independent={X: two_point(p=0.7)}, blocks=[block])
+
+    def test_groups_and_representatives(self, model):
+        assert model.group(X) == frozenset({X})
+        assert model.group(Y) == frozenset({Y, Z})
+        assert model.representative(Z) == Y  # smallest name in the block
+        assert model.nulls() == frozenset({X, Y, Z})
+        assert model.covers([X, Y]) and not model.covers([Null("w")])
+
+    def test_block_marginals_sum_alternatives(self, model):
+        assert model.marginal(Y) == pytest.approx({1: 0.3, 2: 0.7})
+        assert model.marginal(Z) == pytest.approx({1: 0.5, 2: 0.5})
+        assert model.support(X) == (1, 2)
+
+    def test_require_lists_missing_nulls(self, model):
+        with pytest.raises(InvalidRequestError, match=r"\['w'\]"):
+            model.require([X, Null("w")])
+
+    def test_joint_outcomes_cover_full_groups(self, model):
+        # Touching Z pulls in the whole {Y, Z} block.
+        outcomes = list(model.joint_outcomes([Z]))
+        assert len(outcomes) == 3
+        assert all(set(assignment) == {Y, Z} for assignment, _ in outcomes)
+        assert sum(p for _, p in outcomes) == pytest.approx(1.0)
+        # The empty set yields the single empty world.
+        assert list(model.joint_outcomes([])) == [({}, 1.0)]
+
+    def test_world_probability_multiplies_groups(self, model):
+        world = Valuation({X: 1, Y: 2, Z: 1})
+        assert model.world_probability(world) == pytest.approx(0.7 * 0.2)
+        # A joint assignment matching no block alternative has measure zero.
+        assert model.world_probability(Valuation({X: 1, Y: 1, Z: 2})) == 0.0
+
+    def test_sample_respects_block_alternatives(self, model):
+        rng = random.Random(7)
+        for _ in range(50):
+            world = model.sample(rng)
+            assert model.world_probability(world) > 0.0
+
+    def test_stats_shape(self, model):
+        assert model.stats() == {"nulls": 3, "groups": 2, "blocks": 1, "outcomes": 5}
+        assert "2 groups" in repr(model)

@@ -1,0 +1,80 @@
+"""Monte Carlo estimation: Wilson intervals, rejection sampling, errors."""
+
+import pytest
+
+from repro.datamodel import And, Eq, Null, Or
+from repro.prob import ProbabilityModel, monte_carlo_confidence, wilson_interval
+from repro.resilience import ConfidenceInterval, InvalidRequestError
+
+X, Y = Null("x"), Null("y")
+
+
+@pytest.fixture
+def model():
+    return ProbabilityModel(
+        independent={X: {1: 0.5, 2: 0.5}, Y: {1: 0.25, 2: 0.75}}
+    )
+
+
+class TestWilson:
+    def test_interval_stays_in_unit_range(self):
+        for successes, samples in [(0, 100), (100, 100), (50, 100), (1, 3)]:
+            low, high = wilson_interval(successes, samples)
+            p = successes / samples
+            assert 0.0 <= low <= p <= high <= 1.0
+
+    def test_zero_samples_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_more_samples(self):
+        low_small, high_small = wilson_interval(50, 100)
+        low_big, high_big = wilson_interval(5000, 10_000)
+        assert high_big - low_big < high_small - low_small
+
+
+class TestEstimation:
+    def test_estimate_is_deterministic_per_seed(self, model):
+        condition = Eq(X, 1)
+        a = monte_carlo_confidence(condition, model, samples=500, seed=3)
+        b = monte_carlo_confidence(condition, model, samples=500, seed=3)
+        assert isinstance(a, ConfidenceInterval)
+        assert a.partial  # flagged approximate, like every degraded answer
+        assert (a.estimate, a.low, a.high) == (b.estimate, b.low, b.high)
+        assert a.samples == 500
+
+    def test_interval_contains_truth_on_fixed_seed(self, model):
+        interval = monte_carlo_confidence(
+            And((Eq(X, 1), Eq(Y, 2))), model, samples=20_000, seed=11
+        )
+        assert 0.375 in interval
+        assert float(interval) == interval.estimate
+
+    def test_rejection_sampling_conditions(self, model):
+        # P(x=1 | x=1 ∨ y=1) on a pinned seed; truth = 0.5 / 0.625 = 0.8.
+        interval = monte_carlo_confidence(
+            Eq(X, 1),
+            model,
+            samples=20_000,
+            seed=5,
+            given=Or((Eq(X, 1), Eq(Y, 1))),
+        )
+        assert 0.8 in interval
+        assert interval.samples < 20_000  # rejected worlds don't count
+
+    def test_unsatisfiable_constraint_raises(self, model):
+        with pytest.raises(InvalidRequestError, match="rejected every sample"):
+            monte_carlo_confidence(
+                Eq(X, 1), model, samples=100, seed=0, given=Eq(X, 9)
+            )
+
+    def test_sample_count_validated(self, model):
+        with pytest.raises(InvalidRequestError, match=">= 1 sample"):
+            monte_carlo_confidence(Eq(X, 1), model, samples=0)
+
+    def test_verdict_and_resource_carried(self, model):
+        interval = monte_carlo_confidence(
+            Eq(X, 1), model, samples=100, seed=1, verdict="budget blew", resource="worlds"
+        )
+        assert interval.verdict == "budget blew"
+        assert interval.resource == "worlds"
+        assert "100 samples" in repr(interval)

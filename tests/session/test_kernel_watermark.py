@@ -50,7 +50,7 @@ class TestAutomaticEviction:
         for i in range(100):
             kernel.eq(Null("n%d" % i), i)
         kernel.clear()
-        assert kernel.stats() == {"interned": 0, "and_memo": 0, "or_memo": 0}
+        assert kernel.stats() == {"interned": 0, "and_memo": 0, "or_memo": 0, "confidence_memo": 0}
         for i in range(100):
             kernel.eq(Null("m%d" % i), i)
         assert kernel.stats()["interned"] <= 100
@@ -96,7 +96,12 @@ class TestMemoBounds:
 
     def test_stats_keys_are_stable(self):
         # The stats() contract is pinned: downstream dashboards key on it.
-        assert set(ConditionKernel().stats()) == {"interned", "and_memo", "or_memo"}
+        assert set(ConditionKernel().stats()) == {
+            "interned",
+            "and_memo",
+            "or_memo",
+            "confidence_memo",
+        }
 
 
 class TestSessionWiring:

@@ -26,15 +26,18 @@ EXPECTED_TOP_LEVEL = {
     "Budget",
     "BudgetExceeded",
     "ConditionalTable",
+    "ConfidenceInterval",
     "ConstantPool",
     "Cursor",
     "Database",
+    "ExclusiveBlock",
     "DatabaseSchema",
     "InvalidRequestError",
     "ManualClock",
     "MetricsRegistry",
     "Null",
     "PartialResult",
+    "ProbabilityModel",
     "PoolExhausted",
     "Query",
     "QueryCancelled",
@@ -52,6 +55,7 @@ EXPECTED_TOP_LEVEL = {
     "connect",
     "default_session",
     "obs",
+    "prob",
     "serve",
 }
 
